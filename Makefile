@@ -1,0 +1,59 @@
+# groupkey — build, test and paper-reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench repro charts examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Benchmark harness: one bench per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (analytic, as the paper
+# did) plus the extension experiments, and the model-vs-implementation
+# cross-validation.
+repro:
+	$(GO) run ./cmd/lkhbench -exp all
+	$(GO) run ./cmd/lkhbench -exp sim -n 2048 -periods 80
+
+# The paper's figures as ASCII charts.
+charts:
+	$(GO) run ./cmd/lkhbench -exp fig3 -format chart
+	$(GO) run ./cmd/lkhbench -exp fig4 -format chart
+	$(GO) run ./cmd/lkhbench -exp fig6 -format chart
+	$(GO) run ./cmd/lkhbench -exp fig7 -format chart
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/oft
+	$(GO) run ./examples/netgroup
+	$(GO) run ./examples/payperview
+	$(GO) run ./examples/lossaware
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/stateless
+
+# Short fuzzing pass over the wire protocol decoders.
+fuzz:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeRekey -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeWelcome -fuzztime=10s ./internal/wire/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

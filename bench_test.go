@@ -1,0 +1,374 @@
+package groupkey_test
+
+import (
+	"testing"
+
+	"groupkey/internal/analytic"
+	"groupkey/internal/core"
+	"groupkey/internal/experiments"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+	"groupkey/internal/sim"
+	"groupkey/internal/transport"
+	"groupkey/internal/workload"
+)
+
+// The benchmarks below regenerate each of the paper's evaluation artifacts
+// (Figs. 3–7, the Section 4.4 FEC discussion) and report the headline
+// quantity of each figure as a custom metric, so `go test -bench=.` doubles
+// as the reproduction harness. Ablation benchmarks for the design choices
+// called out in DESIGN.md follow.
+
+// BenchmarkFig3SPeriodSweep regenerates Fig. 3 (rekey cost vs. K) and
+// reports the best TT reduction over the one-keytree baseline.
+func BenchmarkFig3SPeriodSweep(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		base := analytic.DefaultTwoPartitionParams()
+		one, err := base.CostOneKeyTree()
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for k := 0; k <= 20; k++ {
+			p := base
+			p.K = k
+			tt, err := p.CostTT()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := (one - tt) / one; r > best {
+				best = r
+			}
+		}
+	}
+	b.ReportMetric(100*best, "best-tt-reduction-%")
+}
+
+// BenchmarkFig4AlphaSweep regenerates Fig. 4 and reports the peak
+// improvement (the paper's 31.4% headline).
+func BenchmarkFig4AlphaSweep(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = 0
+		for a := 0; a <= 20; a++ {
+			p := analytic.DefaultTwoPartitionParams()
+			p.Alpha = float64(a) / 20
+			one, err := p.CostOneKeyTree()
+			if err != nil {
+				b.Fatal(err)
+			}
+			qt, err := p.CostQT()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tt, err := p.CostTT()
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := (one - qt) / one
+			if r2 := (one - tt) / one; r2 > r {
+				r = r2
+			}
+			if r > peak {
+				peak = r
+			}
+		}
+	}
+	b.ReportMetric(100*peak, "peak-reduction-%")
+}
+
+// BenchmarkFig5GroupSizeSweep regenerates Fig. 5 and reports the mean
+// reduction across group sizes 1K–256K.
+func BenchmarkFig5GroupSizeSweep(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		sum, count := 0.0, 0
+		for _, n := range []float64{1024, 4096, 16384, 65536, 262144} {
+			p := analytic.DefaultTwoPartitionParams()
+			p.N = n
+			one, err := p.CostOneKeyTree()
+			if err != nil {
+				b.Fatal(err)
+			}
+			qt, err := p.CostQT()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tt, err := p.CostTT()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += (one-qt)/one + (one-tt)/one
+			count += 2
+		}
+		mean = sum / float64(count)
+	}
+	b.ReportMetric(100*mean, "mean-reduction-%")
+}
+
+// BenchmarkFig6LossHeterogeneity regenerates Fig. 6 and reports the peak
+// loss-homogenized gain (the paper's 12.1% headline).
+func BenchmarkFig6LossHeterogeneity(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = 0
+		for a := 1; a < 20; a++ {
+			p := analytic.DefaultLossScenario()
+			p.Alpha = float64(a) / 20
+			one, err := p.CostOneKeyTree()
+			if err != nil {
+				b.Fatal(err)
+			}
+			hom, err := p.CostLossHomogenized()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g := (one - hom) / one; g > peak {
+				peak = g
+			}
+		}
+	}
+	b.ReportMetric(100*peak, "peak-gain-%")
+}
+
+// BenchmarkFig7Misplacement regenerates Fig. 7 and reports the β=0.8
+// penalty relative to the one-keytree baseline.
+func BenchmarkFig7Misplacement(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		p := analytic.DefaultLossScenario()
+		p.Alpha = 0.2
+		one, err := p.CostOneKeyTree()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for beta := 0.0; beta <= 1.0; beta += 0.05 {
+			if _, err := p.CostMisplaced(beta); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c08, err := p.CostMisplaced(0.8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = (c08 - one) / one
+	}
+	b.ReportMetric(100*penalty, "beta0.8-penalty-%")
+}
+
+// BenchmarkFECLossHomogenized regenerates the Section 4.4 discussion and
+// reports the α=0.1 gain (the paper's 25.7% headline).
+func BenchmarkFECLossHomogenized(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		p := analytic.DefaultLossScenario()
+		p.Alpha = 0.1
+		f := analytic.DefaultFECParams()
+		one, err := p.FECCostOneKeyTree(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hom, err := p.FECCostLossHomogenized(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = (one - hom) / one
+	}
+	b.ReportMetric(100*gain, "alpha0.1-gain-%")
+}
+
+// BenchmarkAllFigures regenerates every analytic table and figure once per
+// iteration — the full `lkhbench -exp all` workload.
+func BenchmarkAllFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simBench runs a small end-to-end simulation per iteration and reports
+// mean multicast keys per period — the V1 cross-validation entries.
+func simBench(b *testing.B, build func() (core.Scheme, error), proto transport.Protocol) {
+	var keys float64
+	for i := 0; i < b.N; i++ {
+		s, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Seed:      uint64(i + 1),
+			GroupSize: 512,
+			Periods:   30,
+			Tp:        60,
+			Warmup:    10,
+			Durations: workload.PaperDefault(),
+			Loss:      workload.PaperLossModel(0.2),
+			Scheme:    s,
+			Transport: proto,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys = res.MeanMulticastKeys
+		if proto != nil {
+			keys = res.MeanTransportKeys
+		}
+	}
+	b.ReportMetric(keys, "keys/period")
+}
+
+func BenchmarkSimOneTree(b *testing.B) {
+	simBench(b, func() (core.Scheme, error) { return core.NewOneTree() }, nil)
+}
+
+func BenchmarkSimTwoPartitionTT(b *testing.B) {
+	simBench(b, func() (core.Scheme, error) { return core.NewTwoPartition(core.TT, 10) }, nil)
+}
+
+func BenchmarkSimTwoPartitionQT(b *testing.B) {
+	simBench(b, func() (core.Scheme, error) { return core.NewTwoPartition(core.QT, 10) }, nil)
+}
+
+func BenchmarkSimLossHomogenizedWKABKR(b *testing.B) {
+	simBench(b, func() (core.Scheme, error) { return core.NewLossHomogenized([]float64{0.05}) },
+		transport.NewWKABKR(transport.DefaultConfig()))
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkTreeDegree ablates the key-tree fan-out d: batched rekey cost
+// and time for one 64-departure batch from a 4096-member tree. The base
+// tree is built once and restored from a snapshot per iteration so the
+// timed section is the rekey alone.
+func BenchmarkTreeDegree(b *testing.B) {
+	for _, d := range []int{2, 4, 8, 16} {
+		b.Run(map[int]string{2: "d=2", 4: "d=4", 8: "d=8", 16: "d=16"}[d], func(b *testing.B) {
+			base, err := keytree.New(d, keytree.WithRand(keycrypt.NewDeterministicReader(uint64(d))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := keytree.Batch{}
+			for m := 1; m <= 4096; m++ {
+				batch.Joins = append(batch.Joins, keytree.MemberID(m))
+			}
+			if _, err := base.Rekey(batch); err != nil {
+				b.Fatal(err)
+			}
+			snap, err := base.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			depart := keytree.Batch{}
+			for m := 1; m <= 64; m++ {
+				depart.Leaves = append(depart.Leaves, keytree.MemberID(m*61))
+			}
+			var cost int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tr, err := keytree.Restore(snap, keytree.WithRand(keycrypt.NewDeterministicReader(uint64(i))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				p, err := tr.Rekey(depart)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = p.MulticastKeyCount()
+			}
+			b.ReportMetric(float64(cost), "keys/batch")
+		})
+	}
+}
+
+// BenchmarkBatchVsIndividual ablates periodic batching (Section 2.1.1):
+// the same 64 departures processed as one batch versus one at a time.
+func BenchmarkBatchVsIndividual(b *testing.B) {
+	base, err := keytree.New(4, keytree.WithRand(keycrypt.NewDeterministicReader(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	populate := keytree.Batch{}
+	for m := 1; m <= 4096; m++ {
+		populate.Joins = append(populate.Joins, keytree.MemberID(m))
+	}
+	if _, err := base.Rekey(populate); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, batched bool) {
+		var cost int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tr, err := keytree.Restore(snap, keytree.WithRand(keycrypt.NewDeterministicReader(uint64(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			cost = 0
+			if batched {
+				depart := keytree.Batch{}
+				for m := 1; m <= 64; m++ {
+					depart.Leaves = append(depart.Leaves, keytree.MemberID(m*61))
+				}
+				p, err := tr.Rekey(depart)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = p.MulticastKeyCount()
+			} else {
+				for m := 1; m <= 64; m++ {
+					p, err := tr.Leave(keytree.MemberID(m * 61))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost += p.MulticastKeyCount()
+				}
+			}
+		}
+		b.ReportMetric(float64(cost), "keys/64-departures")
+	}
+	b.Run("batched", func(b *testing.B) { run(b, true) })
+	b.Run("individual", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkPackingOrder ablates WKA's packing order (Section 2.2.1):
+// breadth-first versus depth-first key assignment under 10% loss.
+func BenchmarkPackingOrder(b *testing.B) {
+	for _, order := range []transport.PackOrder{transport.BreadthFirst, transport.DepthFirst} {
+		b.Run(order.String(), func(b *testing.B) {
+			var keys float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewOneTree(core.WithRand(keycrypt.NewDeterministicReader(uint64(i))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				proto := transport.NewWKABKR(transport.DefaultConfig())
+				proto.Order = order
+				res, err := sim.Run(sim.Config{
+					Seed:      uint64(i + 1),
+					GroupSize: 512,
+					Periods:   20,
+					Tp:        60,
+					Warmup:    5,
+					Durations: workload.PaperDefault(),
+					Loss:      workload.LossModel{HighFraction: 0, HighLoss: 0.1, LowLoss: 0.1},
+					Scheme:    s,
+					Transport: proto,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys = res.MeanTransportKeys
+			}
+			b.ReportMetric(keys, "keys/period")
+		})
+	}
+}

@@ -1,0 +1,143 @@
+// Command keyserverd runs a group key server daemon over TCP: members join
+// and leave via the wire protocol, the daemon rekeys periodically with the
+// selected key-management scheme, and (optionally) multicasts a demo data
+// feed sealed under the group key.
+//
+// Usage:
+//
+//	keyserverd -listen 127.0.0.1:7600 -scheme tt -k 10 -period 5s -feed 2s
+package main
+
+import (
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "keyserverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("keyserverd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7600", "TCP listen address")
+	schemeName := fs.String("scheme", "onetree", "onetree, qt, tt, pt, losshomog")
+	k := fs.Int("k", 10, "S-period in rekey periods for qt/tt")
+	period := fs.Duration("period", 5*time.Second, "rekey period Tp")
+	feed := fs.Duration("feed", 0, "interval of the demo data feed (0 disables)")
+	advise := fs.Duration("advise", 0, "interval for logging the adaptive scheme advisor (0 disables)")
+	rotate := fs.Duration("rotate", 0, "interval for scheduled group-key rotation (0 disables)")
+	tlsCertOut := fs.String("tls-cert-out", "", "serve TLS with a fresh self-signed certificate, writing its PEM here for clients to pin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scheme core.Scheme
+	var err error
+	switch *schemeName {
+	case "onetree":
+		scheme, err = core.NewOneTree()
+	case "qt":
+		scheme, err = core.NewTwoPartition(core.QT, *k)
+	case "tt":
+		scheme, err = core.NewTwoPartition(core.TT, *k)
+	case "pt":
+		scheme, err = core.NewTwoPartition(core.PT, *k)
+	case "losshomog":
+		scheme, err = core.NewLossHomogenized([]float64{0.05})
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := server.New(scheme, nil)
+	transportLabel := "tcp"
+	if *tlsCertOut != "" {
+		cert, leaf, err := server.GenerateTLSCert(nil)
+		if err != nil {
+			return err
+		}
+		pemBytes := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: leaf.Raw})
+		if err := os.WriteFile(*tlsCertOut, pemBytes, 0o644); err != nil {
+			return err
+		}
+		srv.ServeTLS(ln, cert)
+		transportLabel = "tls (pin certificate from " + *tlsCertOut + ")"
+	} else {
+		srv.Serve(ln)
+	}
+	srv.StartPeriodic(*period)
+	fmt.Printf("keyserverd: scheme=%s listening on %s over %s, rekeying every %v\n",
+		scheme.Name(), ln.Addr(), transportLabel, *period)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	if *rotate > 0 {
+		go func() {
+			ticker := time.NewTicker(*rotate)
+			defer ticker.Stop()
+			for range ticker.C {
+				if _, err := srv.RotateNow(); err != nil {
+					continue // empty group or shutting down
+				}
+			}
+		}()
+	}
+
+	if *advise > 0 {
+		go func() {
+			ticker := time.NewTicker(*advise)
+			defer ticker.Stop()
+			for range ticker.C {
+				rec, err := srv.Recommend(*period)
+				if err != nil {
+					fmt.Printf("advisor: waiting for churn data (%d departures observed)\n",
+						srv.ObservedDepartures())
+					continue
+				}
+				fmt.Printf("advisor: %v\n", rec)
+			}
+		}()
+	}
+
+	if *feed > 0 {
+		go func() {
+			ticker := time.NewTicker(*feed)
+			defer ticker.Stop()
+			seq := 0
+			for range ticker.C {
+				seq++
+				msg := fmt.Sprintf("frame %06d at %s", seq, time.Now().Format(time.RFC3339))
+				if err := srv.Broadcast([]byte(msg)); err != nil {
+					if err == server.ErrClosed {
+						return
+					}
+					// No members yet: keep ticking.
+					continue
+				}
+			}
+		}()
+	}
+
+	<-stop
+	fmt.Println("keyserverd: shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-listen", "999.999.999.999:1"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command lkhbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lkhbench -exp all                 # every analytic table/figure
+//	lkhbench -exp fig4                # one experiment
+//	lkhbench -exp sim -n 2048         # model-vs-simulation cross-validation
+//	lkhbench -exp fig6 -format csv    # machine-readable output
+//
+// Experiments: table1 fig3 fig4 fig5 fig6 fig7 fec sim all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"groupkey/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lkhbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lkhbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id: table1, fig3..fig7, fec, multiclass, advise, oft, interval, problkh, related, sim, fairness, all")
+	format := fs.String("format", "text", "output format: text, csv, or chart (ASCII figure)")
+	n := fs.Int("n", 2048, "group size for simulation cross-validation")
+	periods := fs.Int("periods", 80, "rekey periods for simulation cross-validation")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	outDir := fs.String("o", "", "also write <id>.txt and <id>.csv artifacts into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tables []*experiments.Table
+	switch *exp {
+	case "all":
+		ts, err := experiments.All()
+		if err != nil {
+			return err
+		}
+		tables = ts
+	case "table1":
+		tables = append(tables, experiments.Table1())
+	case "fig3", "fig4", "fig5", "fig6", "fig7", "fec", "multiclass", "advise", "oft", "interval", "problkh", "related":
+		builders := map[string]func() (*experiments.Table, error){
+			"fig3": experiments.Fig3, "fig4": experiments.Fig4, "fig5": experiments.Fig5,
+			"fig6": experiments.Fig6, "fig7": experiments.Fig7, "fec": experiments.FECGain,
+			"multiclass": experiments.MultiClassTreeSweep, "advise": experiments.AdvisorDecisionTable,
+			"oft": experiments.TwoPartitionOverOFT, "interval": experiments.RekeyIntervalSweep,
+			"problkh": experiments.ProbabilisticLKHSweep, "related": experiments.RelatedSchemes,
+		}
+		t, err := builders[*exp]()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "sim":
+		cfg := experiments.SimConfig{Seed: *seed, N: *n, Periods: *periods, Warmup: *periods / 4}
+		t1, err := experiments.SimTwoPartition(cfg)
+		if err != nil {
+			return err
+		}
+		t2, err := experiments.SimLossHomogenized(cfg)
+		if err != nil {
+			return err
+		}
+		t3, err := experiments.SimKSweep(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t1, t2, t3)
+	case "fairness":
+		cfg := experiments.SimConfig{Seed: *seed, N: *n, Periods: *periods, Warmup: *periods / 4}
+		t1, err := experiments.FairnessReport(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t1)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	for _, t := range tables {
+		var err error
+		switch *format {
+		case "csv":
+			err = t.CSV(os.Stdout)
+		case "chart":
+			if x, ys, ok := experiments.DefaultChartColumns(t.ID); ok {
+				err = t.Chart(os.Stdout, x, ys, 72, 18)
+			} else {
+				err = t.Fprint(os.Stdout)
+			}
+		default:
+			err = t.Fprint(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeArtifacts records one experiment's table as <id>.txt and <id>.csv.
+func writeArtifacts(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	txt, err := os.Create(filepath.Join(dir, t.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	if err := t.Fprint(txt); err != nil {
+		txt.Close()
+		return err
+	}
+	if err := txt.Close(); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(csv); err != nil {
+		csv.Close()
+		return err
+	}
+	return csv.Close()
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "fig3", "fig5", "fig7", "multiclass", "advise", "oft", "interval"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Errorf("-exp %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-format", "csv"}); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSimExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation is slow")
+	}
+	if err := run([]string{"-exp", "sim", "-n", "256", "-periods", "20"}); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if err := run([]string{"-exp", "fairness", "-n", "256", "-periods", "16"}); err != nil {
+		t.Fatalf("fairness: %v", err)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "fig5", "-o", dir}); err != nil {
+		t.Fatalf("run with -o: %v", err)
+	}
+	for _, name := range []string{"fig5.txt", "fig5.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("artifact %s missing: %v", name, err)
+		}
+	}
+}

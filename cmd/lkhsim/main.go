@@ -1,0 +1,165 @@
+// Command lkhsim runs one discrete rekeying simulation and prints
+// per-period and aggregate statistics.
+//
+// Usage:
+//
+//	lkhsim -scheme tt -k 10 -n 4096 -periods 120
+//	lkhsim -scheme losshomog -transport wkabkr -high 0.2
+//
+// Schemes: onetree, naive, qt, tt, pt, losshomog, random2.
+// Transports: none, wkabkr, multisend, fec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/sim"
+	"groupkey/internal/transport"
+	"groupkey/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lkhsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lkhsim", flag.ContinueOnError)
+	schemeName := fs.String("scheme", "onetree", "onetree, naive, qt, tt, pt, losshomog, random2")
+	transportName := fs.String("transport", "none", "none, wkabkr, multisend, fec")
+	n := fs.Int("n", 4096, "steady-state group size")
+	periods := fs.Int("periods", 100, "rekey periods")
+	k := fs.Int("k", 10, "S-period K = Ts/Tp for qt/tt")
+	alpha := fs.Float64("alpha", 0.8, "fraction of short-duration joins")
+	high := fs.Float64("high", 0.2, "fraction of high-loss members")
+	seed := fs.Uint64("seed", 1, "random seed")
+	verbose := fs.Bool("v", false, "print per-period rows")
+	saveTrace := fs.String("save-trace", "", "record the workload trace to this file")
+	loadTrace := fs.String("load-trace", "", "replay a previously saved workload trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *saveTrace != "" && *loadTrace != "" {
+		return fmt.Errorf("-save-trace and -load-trace are mutually exclusive")
+	}
+
+	rnd := core.WithRand(keycrypt.NewDeterministicReader(*seed))
+	var scheme core.Scheme
+	var err error
+	switch *schemeName {
+	case "onetree":
+		scheme, err = core.NewOneTree(rnd)
+	case "naive":
+		scheme, err = core.NewNaive(rnd)
+	case "qt":
+		scheme, err = core.NewTwoPartition(core.QT, *k, rnd)
+	case "tt":
+		scheme, err = core.NewTwoPartition(core.TT, *k, rnd)
+	case "pt":
+		scheme, err = core.NewTwoPartition(core.PT, *k, rnd)
+	case "losshomog":
+		scheme, err = core.NewLossHomogenized([]float64{0.05}, rnd)
+	case "random2":
+		scheme, err = core.NewRandomMultiTree(2, rnd)
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	if err != nil {
+		return err
+	}
+
+	var proto transport.Protocol
+	tcfg := transport.DefaultConfig()
+	tcfg.DefaultLoss = 0.05
+	switch *transportName {
+	case "none":
+	case "wkabkr":
+		proto = transport.NewWKABKR(tcfg)
+	case "multisend":
+		proto = transport.NewMultiSend(tcfg, 2)
+	case "fec":
+		proto = transport.NewProactiveFEC(tcfg)
+	default:
+		return fmt.Errorf("unknown transport %q", *transportName)
+	}
+
+	durations := workload.PaperDefault()
+	durations.Alpha = *alpha
+
+	var trace *workload.Trace
+	if *loadTrace != "" {
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			return err
+		}
+		trace, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying trace %s: %d members, %d events\n", *loadTrace, len(trace.Members), len(trace.Events))
+	} else if *saveTrace != "" {
+		session, err := workload.NewSession(workload.Config{
+			Seed:        *seed,
+			ArrivalRate: workload.ArrivalRateForGroupSize(float64(*n), durations),
+			Durations:   durations,
+			Loss:        workload.PaperLossModel(*high),
+		})
+		if err != nil {
+			return err
+		}
+		trace = session.Record(*n, float64(*periods)*60)
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteTrace(f, trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved trace to %s: %d members, %d events\n", *saveTrace, len(trace.Members), len(trace.Events))
+	}
+
+	res, err := sim.Run(sim.Config{
+		Seed:      *seed,
+		GroupSize: *n,
+		Periods:   *periods,
+		Tp:        60,
+		Warmup:    *periods / 4,
+		Durations: durations,
+		Loss:      workload.PaperLossModel(*high),
+		Trace:     trace,
+		Scheme:    scheme,
+		Transport: proto,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *verbose {
+		fmt.Println("epoch  joins  leaves  size   mcast-keys  transport-keys  rounds")
+		for _, p := range res.Periods {
+			fmt.Printf("%5d  %5d  %6d  %5d  %10d  %14d  %6d\n",
+				p.Epoch, p.Joins, p.Leaves, p.GroupSize, p.MulticastKeys, p.TransportKeys, p.Rounds)
+		}
+	}
+	fmt.Printf("scheme=%s transport=%s N=%d periods=%d (warmup %d)\n",
+		scheme.Name(), *transportName, *n, *periods, *periods/4)
+	fmt.Printf("mean joins/period:      %8.1f\n", res.MeanJoins)
+	fmt.Printf("mean leaves/period:     %8.1f\n", res.MeanLeaves)
+	fmt.Printf("mean group size:        %8.1f\n", res.MeanGroupSize)
+	fmt.Printf("mean multicast keys:    %8.1f\n", res.MeanMulticastKeys)
+	if proto != nil {
+		fmt.Printf("mean transport keys:    %8.1f\n", res.MeanTransportKeys)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations are slow")
+	}
+	for _, scheme := range []string{"onetree", "naive", "qt", "tt", "pt", "losshomog", "random2"} {
+		if err := run([]string{"-scheme", scheme, "-n", "128", "-periods", "8"}); err != nil {
+			t.Errorf("-scheme %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunWithTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations are slow")
+	}
+	for _, tr := range []string{"wkabkr", "multisend", "fec"} {
+		if err := run([]string{"-scheme", "onetree", "-transport", tr, "-n", "128", "-periods", "6"}); err != nil {
+			t.Errorf("-transport %s: %v", tr, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-transport", "bogus"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if err := run([]string{"-save-trace", "a", "-load-trace", "b"}); err == nil {
+		t.Error("conflicting trace flags accepted")
+	}
+}
+
+func TestRunTraceRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulations are slow")
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := run([]string{"-scheme", "tt", "-n", "128", "-periods", "8", "-save-trace", path}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := run([]string{"-scheme", "tt", "-n", "128", "-periods", "8", "-load-trace", path}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command memberclient joins a running keyserverd as a group member,
+// prints every decrypted data frame, and leaves after the configured
+// duration (or on Ctrl-C).
+//
+// Usage:
+//
+//	memberclient -server 127.0.0.1:7600 -loss 0.02 -stay 30s
+package main
+
+import (
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"groupkey/internal/server"
+	"groupkey/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "memberclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("memberclient", flag.ContinueOnError)
+	addr := fs.String("server", "127.0.0.1:7600", "key server address")
+	loss := fs.Float64("loss", -1, "loss rate to report at join (-1 = unknown)")
+	longLived := fs.Bool("long", false, "report the long-lived class hint")
+	stay := fs.Duration("stay", 0, "leave after this duration (0 = until Ctrl-C)")
+	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long to wait for admission")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate to pin; connect over TLS when set")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	req := wire.JoinRequest{LossRate: *loss, LongLived: *longLived}
+	var c *server.Client
+	var err error
+	if *tlsCert != "" {
+		pemBytes, rerr := os.ReadFile(*tlsCert)
+		if rerr != nil {
+			return rerr
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pemBytes) {
+			return fmt.Errorf("no certificate found in %s", *tlsCert)
+		}
+		c, err = server.DialTLS(*addr, req, *joinTimeout, pool)
+	} else {
+		c, err = server.Dial(*addr, req, *joinTimeout)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("memberclient: admitted as member %d at epoch %d\n", c.ID(), c.Epoch())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var leaveAt <-chan time.Time
+	if *stay > 0 {
+		leaveAt = time.After(*stay)
+	}
+
+	for {
+		select {
+		case msg, ok := <-c.Data():
+			if !ok {
+				return nil
+			}
+			fmt.Printf("data: %s\n", msg)
+		case <-leaveAt:
+			fmt.Println("memberclient: leaving")
+			return c.Leave()
+		case <-stop:
+			fmt.Println("memberclient: leaving")
+			return c.Leave()
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunFailsWithoutServer(t *testing.T) {
+	err := run([]string{"-server", "127.0.0.1:1", "-join-timeout", time.Second.String()})
+	if err == nil {
+		t.Fatal("connected to a server that does not exist")
+	}
+}

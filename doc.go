@@ -1,0 +1,38 @@
+// Package groupkey is a group key management library for secure multicast,
+// reproducing "Performance Optimizations for Group Key Management Schemes
+// for Secure Multicast" (Zhu, Setia, Jajodia; ICDCS 2003).
+//
+// The library implements scalable group rekeying with logical key
+// hierarchies (LKH) and the paper's two optimizations — two-partition key
+// trees exploiting membership-duration patterns, and loss-homogenized key
+// trees exploiting receiver loss heterogeneity — together with every
+// substrate they need: batched d-ary key trees over real AES-GCM key
+// wrapping, the WKA-BKR / proactive-FEC / multi-send reliable rekey
+// transports, a Reed-Solomon erasure coder, a lossy multicast network
+// simulator, membership workload generators, the paper's analytic models,
+// and a TCP key-server daemon.
+//
+// Layout:
+//
+//	internal/core        key-server schemes (the paper's contribution)
+//	internal/keytree     batched d-ary LKH trees
+//	internal/keycrypt    keys, AES-GCM wrapping, OFT primitives, data sealing
+//	internal/transport   reliable rekey transport protocols
+//	internal/fec         GF(2^8) Reed-Solomon erasure coding
+//	internal/netsim      per-receiver lossy multicast simulation
+//	internal/workload    membership churn generators
+//	internal/analytic    the paper's closed-form models (Appendix A/B, §3.3, §4.3)
+//	internal/sim         end-to-end discrete simulation harness
+//	internal/experiments per-figure reproduction harness
+//	internal/member      receiver-side key store
+//	internal/adaptive    §3.4 churn estimation and scheme advisor
+//	internal/wire        framed, Ed25519-signed TCP protocol
+//	internal/server      key-server daemon (TLS-capable) and client
+//	internal/elk         ELK hint-based rekeying (survey scheme)
+//	internal/subsetdiff  NNL Subset-Difference broadcast encryption (survey scheme)
+//	internal/marks       MARKS time-slot key sequences (survey scheme)
+//
+// Entry points: cmd/lkhbench regenerates every table and figure,
+// cmd/lkhsim runs simulations, cmd/keyserverd and cmd/memberclient run the
+// live system, and examples/ holds runnable walkthroughs.
+package groupkey

@@ -1,0 +1,118 @@
+// One-way function trees: the alternative key-tree construction of
+// Section 2.1.1 — members *compute* the group key from blinded sibling
+// keys instead of receiving it encrypted, and a membership change costs
+// one blinded key per tree level instead of LKH's two (binary trees).
+//
+// The example drives the same churn through a binary LKH tree and an OFT,
+// verifies on real member state that everyone agrees on the group key
+// (and that an evicted member is locked out), and compares payload sizes.
+//
+// Run with: go run ./examples/oft
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+const (
+	groupSize = 256
+	epochs    = 40
+)
+
+func main() {
+	// Server-side trees.
+	lkh, err := keytree.New(2, keytree.WithRand(keycrypt.NewDeterministicReader(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	oft, err := keytree.NewOFT(keytree.WithRand(keycrypt.NewDeterministicReader(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate both and keep real OFT member state for verification.
+	initial := keytree.Batch{}
+	for i := 1; i <= groupSize; i++ {
+		initial.Joins = append(initial.Joins, keytree.MemberID(i))
+	}
+	if _, err := lkh.Rekey(initial); err != nil {
+		log.Fatal(err)
+	}
+	firstPayload, err := oft.Rekey(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	members := make(map[keytree.MemberID]*keytree.OFTMember, groupSize)
+	for i := 1; i <= groupSize; i++ {
+		id := keytree.MemberID(i)
+		secret, err := oft.LeafSecret(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := keytree.NewOFTMember(id, secret)
+		m.Apply(firstPayload)
+		members[id] = m
+	}
+
+	// Churn: one replacement per epoch (J = L = 1).
+	lkhKeys, oftKeys := 0, 0
+	next := keytree.MemberID(groupSize + 1)
+	victim := keytree.MemberID(1)
+	for e := 0; e < epochs; e++ {
+		batch := keytree.Batch{Joins: []keytree.MemberID{next}, Leaves: []keytree.MemberID{victim}}
+		lp, err := lkh.Rekey(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		op, err := oft.Rekey(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lkhKeys += lp.MulticastKeyCount()
+		oftKeys += op.MulticastKeyCount()
+
+		// Member-side bookkeeping on the OFT: the evicted member is
+		// replaced, the joiner bootstraps, everyone else follows blinds.
+		evicted := members[victim]
+		if n := evicted.Apply(op); n != 0 {
+			log.Fatalf("epoch %d: evicted member consumed %d items", e, n)
+		}
+		delete(members, victim)
+		secret, err := oft.LeafSecret(next)
+		if err != nil {
+			log.Fatal(err)
+		}
+		joiner := keytree.NewOFTMember(next, secret)
+		joiner.Apply(op)
+		members[next] = joiner
+		want, err := oft.GroupKey()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for id, m := range members {
+			m.Apply(op)
+			got, ok := m.GroupKey()
+			if !ok || !got.Equal(want) {
+				log.Fatalf("epoch %d: member %d disagrees on the group key", e, id)
+			}
+		}
+		if got, ok := evicted.GroupKey(); ok && got.Equal(want) {
+			log.Fatalf("epoch %d: evicted member computed the group key", e)
+		}
+
+		victim = keytree.MemberID(e + 2) // evict the next-oldest original member
+		next++
+	}
+
+	fmt.Printf("%d members, %d replacement epochs, all group keys verified on real member state\n",
+		groupSize, epochs)
+	fmt.Printf("binary LKH multicast keys:      %5d (%.1f per epoch)\n", lkhKeys, float64(lkhKeys)/epochs)
+	fmt.Printf("OFT multicast keys:             %5d (%.1f per epoch)\n", oftKeys, float64(oftKeys)/epochs)
+	fmt.Printf("OFT saves %.1f%% — one blinded key per level instead of two child wraps\n",
+		100*float64(lkhKeys-oftKeys)/float64(lkhKeys))
+	fmt.Println("evicted members were cryptographically locked out at every epoch")
+}

@@ -1,0 +1,84 @@
+// Pay-per-view: the workload that motivates the paper's two-partition
+// optimization (Section 3).
+//
+// An MBone-like audience — most viewers sample the stream for minutes, a
+// loyal minority stays for hours — churns through a large group. The
+// example runs the same churn trace through the one-keytree baseline and
+// the TT two-partition scheme and reports the rekeying-bandwidth savings,
+// alongside the analytic model's prediction.
+//
+// Run with: go run ./examples/payperview
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupkey/internal/analytic"
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/sim"
+	"groupkey/internal/workload"
+)
+
+const (
+	groupSize = 4096
+	periods   = 120
+	warmup    = 40
+	sPeriodK  = 10
+)
+
+func main() {
+	durations := workload.PaperDefault() // α=0.8 short viewers at 3 min, rest at 3 h
+
+	run := func(name string, scheme core.Scheme) float64 {
+		res, err := sim.Run(sim.Config{
+			Seed:      7,
+			GroupSize: groupSize,
+			Periods:   periods,
+			Tp:        60,
+			Warmup:    warmup,
+			Durations: durations,
+			Loss:      workload.PaperLossModel(0.2),
+			Scheme:    scheme,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-22s mean %8.1f keys/period (group ≈ %.0f, churn ≈ %.0f joins+%.0f leaves)\n",
+			name, res.MeanMulticastKeys, res.MeanGroupSize, res.MeanJoins, res.MeanLeaves)
+		return res.MeanMulticastKeys
+	}
+
+	oneTree, err := core.NewOneTree(core.WithRand(keycrypt.NewDeterministicReader(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt, err := core.NewTwoPartition(core.TT, sPeriodK, core.WithRand(keycrypt.NewDeterministicReader(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qt, err := core.NewTwoPartition(core.QT, sPeriodK, core.WithRand(keycrypt.NewDeterministicReader(3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pay-per-view session: %d viewers, %d one-minute rekey periods, S-period K=%d\n\n",
+		groupSize, periods, sPeriodK)
+	one := run("one-keytree", oneTree)
+	ttCost := run("two-partition (TT)", tt)
+	qtCost := run("two-partition (QT)", qt)
+
+	fmt.Printf("\nTT saves %.1f%%, QT saves %.1f%% of rekeying bandwidth\n",
+		100*(one-ttCost)/one, 100*(one-qtCost)/one)
+
+	// The analytic model's prediction for the same parameters.
+	params := analytic.DefaultTwoPartitionParams()
+	params.N = groupSize
+	params.K = sPeriodK
+	mOne, _ := params.CostOneKeyTree()
+	mTT, _ := params.CostTT()
+	mQT, _ := params.CostQT()
+	fmt.Printf("analytic model predicts: TT %.1f%%, QT %.1f%%\n",
+		100*(mOne-mTT)/mOne, 100*(mOne-mQT)/mOne)
+}

@@ -1,0 +1,109 @@
+// Quickstart: the group key management library in five minutes.
+//
+// A key server manages a logical key tree (LKH); members join, the group is
+// rekeyed in periodic batches, everyone converges on the group key, and a
+// departed member is cryptographically locked out.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+	"groupkey/internal/member"
+)
+
+func main() {
+	// 1. The key server side: a single balanced LKH key tree (degree 4).
+	scheme, err := core.NewOneTree(core.WithDegree(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Admit five members in one batched rekey. The returned payload
+	// carries every encrypted key the server multicasts, plus each
+	// joiner's individual key (the registration package).
+	batch := core.Batch{}
+	for id := 1; id <= 5; id++ {
+		batch.Joins = append(batch.Joins, core.Join{ID: keytree.MemberID(id)})
+	}
+	rekey, err := scheme.ProcessBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted 5 members: %d encrypted keys multicast, epoch %d\n",
+		rekey.MulticastKeyCount(), rekey.Epoch)
+
+	// 3. The member side: bootstrap from the individual key, then decrypt
+	// the payload to a fixpoint.
+	clients := make(map[keytree.MemberID]*member.Member)
+	for id, welcome := range rekey.Welcome {
+		c := member.New(id, welcome)
+		c.Apply(rekey.AllItems())
+		clients[id] = c
+	}
+	groupKey, err := scheme.GroupKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id, c := range clients {
+		if !c.Has(groupKey) {
+			log.Fatalf("member %d failed to derive the group key", id)
+		}
+	}
+	fmt.Printf("all members hold the group key %v\n", groupKey)
+
+	// 4. Application data is sealed under the group key.
+	frame, err := keycrypt.Seal(groupKey, []byte("movie frame #1"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt, err := keycrypt.Open(mustKey(clients[3], groupKey.ID), frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("member 3 decrypted: %q\n", pt)
+
+	// 5. Member 2 departs: one more batched rekey. Everyone else follows
+	// the payload to the NEW group key; member 2 decrypts nothing.
+	rekey2, err := scheme.ProcessBatch(core.Batch{Leaves: []keytree.MemberID{2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("member 2 evicted: %d encrypted keys multicast\n", rekey2.MulticastKeyCount())
+
+	departed := clients[2]
+	if n := departed.Apply(rekey2.AllItems()); n != 0 {
+		log.Fatalf("forward secrecy broken: departed member decrypted %d items", n)
+	}
+	newGroupKey, _ := scheme.GroupKey()
+	for id, c := range clients {
+		if id == 2 {
+			continue
+		}
+		c.Apply(rekey2.AllItems())
+		if !c.Has(newGroupKey) {
+			log.Fatalf("member %d lost the group", id)
+		}
+	}
+	frame2, _ := keycrypt.Seal(newGroupKey, []byte("movie frame #2"), nil)
+	if _, err := keycrypt.Open(mustKey(clients[1], newGroupKey.ID), frame2); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := departed.Key(newGroupKey.ID); ok && departed.Has(newGroupKey) {
+		log.Fatal("departed member holds the new group key")
+	}
+	fmt.Println("survivors rekeyed; departed member locked out — forward secrecy holds")
+}
+
+func mustKey(c *member.Member, id keycrypt.KeyID) keycrypt.Key {
+	k, ok := c.Key(id)
+	if !ok {
+		log.Fatalf("member %d missing key %v", c.ID(), id)
+	}
+	return k
+}

@@ -1,0 +1,120 @@
+// Stateless pay-TV: the two stateless schemes from the paper's survey,
+// composed the way real broadcast systems compose them.
+//
+//   - MARKS gates WHEN a device may watch: subscriptions are time-slot
+//     intervals over a one-way seed tree; expiry is automatic, no rekey
+//     messages ever.
+//   - Subset-Difference gates WHO may watch: a compromised (cloned)
+//     device is revoked with a ≤2r−1-subset broadcast that every other
+//     device — even one that slept through every previous revocation —
+//     decrypts with its factory key material.
+//
+// The content key for a slot is the Mix of the MARKS slot key and the
+// SD session key, so a device needs BOTH a live subscription and
+// non-revoked status.
+//
+// Run with: go run ./examples/stateless
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/marks"
+	"groupkey/internal/subsetdiff"
+)
+
+func main() {
+	// Head-end setup: a 256-slot broadcast day, 64 manufactured devices.
+	schedule, err := marks.NewServer(8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	devices, err := subsetdiff.NewServer(6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Device 12's factory material and a subscription for slots 40–90.
+	device, err := devices.ReceiverMaterial(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	subscription, err := schedule.Grant(40, 90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device 12: %d SD labels in ROM, %d MARKS seeds for slots 40–90\n",
+		device.StorageLabels(), subscription.NodeCount())
+
+	// The head-end's periodic SD broadcast (nobody revoked yet).
+	sdKey := keycrypt.Random(500, 0)
+	broadcast, err := devices.Revoke(sdKey, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	contentKey := func(slot int, slotKey, sessionKey keycrypt.Key) keycrypt.Key {
+		return keycrypt.Mix(keycrypt.KeyID(1<<56|uint64(slot)), 0, slotKey, sessionKey)
+	}
+
+	// Watching slot 60: in-window and non-revoked — both derivations work.
+	watch := func(slot int) error {
+		slotKey, err := subscription.SlotKey(slot)
+		if err != nil {
+			return err
+		}
+		sessionKey, err := device.Decrypt(broadcast)
+		if err != nil {
+			return err
+		}
+		// Verify against the head-end's view.
+		serverSlot, err := schedule.SlotKey(slot)
+		if err != nil {
+			return err
+		}
+		got := contentKey(slot, slotKey, sessionKey)
+		want := contentKey(slot, serverSlot, sdKey)
+		if !got.Equal(want) {
+			return errors.New("content key mismatch")
+		}
+		return nil
+	}
+	if err := watch(60); err != nil {
+		log.Fatalf("in-window watch failed: %v", err)
+	}
+	fmt.Println("slot 60: device derives the content key (subscribed ∧ authorized)")
+
+	// Outside the window: MARKS seeds cannot reach slot 91.
+	if err := watch(91); !errors.Is(err, marks.ErrNotSubscribed) {
+		log.Fatalf("slot 91 should be out of window, got %v", err)
+	}
+	fmt.Println("slot 91: blocked — subscription expired, zero rekey messages sent")
+
+	// Device 12's card is cloned: emergency SD revocation mid-window.
+	sdKey2 := keycrypt.Random(501, 0)
+	broadcast2, err := devices.Revoke(sdKey2, []int{12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revocation broadcast: %d subsets for 1 revoked device (bound 1)\n",
+		broadcast2.CoverSize())
+	broadcast = broadcast2
+	sdKey = sdKey2
+	if err := watch(60); !errors.Is(err, subsetdiff.ErrRevoked) {
+		log.Fatalf("revoked device should be locked out, got %v", err)
+	}
+	fmt.Println("slot 60 after revocation: blocked — in-window but no longer authorized")
+
+	// Every other device keeps watching without any state update.
+	other, err := devices.ReceiverMaterial(13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := other.Decrypt(broadcast); err != nil {
+		log.Fatalf("innocent device lost access: %v", err)
+	}
+	fmt.Println("device 13: unaffected, decrypts the new session key statelessly")
+}

@@ -1,0 +1,3 @@
+module groupkey
+
+go 1.22

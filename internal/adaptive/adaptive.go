@@ -1,0 +1,317 @@
+// Package adaptive implements the paper's Section 3.4 strategy: "at the
+// beginning of a session, the key server just maintains one key tree;
+// later, from its collected trace data it can compute the group statistics
+// such as Ms, Ml, and α. Then using our analytic model, the key server can
+// choose the best scheme to use. And this process can be repeated
+// periodically."
+//
+// The Estimator fits the two-exponential membership-duration mixture by
+// expectation–maximization over observed member lifetimes; the Advisor
+// evaluates the Section 3.3 analytic model over candidate schemes and
+// S-periods and recommends the cheapest configuration.
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"groupkey/internal/analytic"
+)
+
+// Estimation errors.
+var (
+	ErrTooFewSamples = errors.New("adaptive: not enough duration samples")
+	ErrBadWindow     = errors.New("adaptive: window must be positive")
+)
+
+// MixtureEstimate is the fitted two-class duration model.
+type MixtureEstimate struct {
+	Alpha   float64 // fraction of short-class members
+	Ms      float64 // short-class mean duration (seconds)
+	Ml      float64 // long-class mean duration (seconds)
+	Samples int     // observations used
+	// LogLikelihood of the fitted mixture, for diagnostics.
+	LogLikelihood float64
+}
+
+// String implements fmt.Stringer.
+func (e MixtureEstimate) String() string {
+	return fmt.Sprintf("alpha=%.2f Ms=%.0fs Ml=%.0fs (n=%d)", e.Alpha, e.Ms, e.Ml, e.Samples)
+}
+
+// Estimator accumulates the lifetimes of departed members in a sliding
+// window and fits the mixture on demand. It is not safe for concurrent
+// use.
+type Estimator struct {
+	window    int
+	durations []float64
+	next      int
+	full      bool
+}
+
+// NewEstimator creates an estimator keeping the last `window` lifetimes.
+func NewEstimator(window int) (*Estimator, error) {
+	if window < 1 {
+		return nil, ErrBadWindow
+	}
+	return &Estimator{window: window, durations: make([]float64, window)}, nil
+}
+
+// Observe records one departed member's total membership duration.
+func (e *Estimator) Observe(duration float64) {
+	if duration <= 0 {
+		return
+	}
+	e.durations[e.next] = duration
+	e.next++
+	if e.next == e.window {
+		e.next = 0
+		e.full = true
+	}
+}
+
+// Count returns the number of retained samples.
+func (e *Estimator) Count() int {
+	if e.full {
+		return e.window
+	}
+	return e.next
+}
+
+// minSamples is the floor below which the mixture fit is meaningless.
+const minSamples = 30
+
+// Estimate fits the two-exponential mixture by EM. It initializes from the
+// sample median (short class below, long class above) and iterates until
+// the log-likelihood stabilizes.
+func (e *Estimator) Estimate() (MixtureEstimate, error) {
+	n := e.Count()
+	if n < minSamples {
+		return MixtureEstimate{}, fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, n, minSamples)
+	}
+	xs := append([]float64(nil), e.durations[:n]...)
+	return FitTwoExponential(xs)
+}
+
+// FitTwoExponential fits x ~ α·Exp(Ms) + (1−α)·Exp(Ml) by EM.
+func FitTwoExponential(xs []float64) (MixtureEstimate, error) {
+	if len(xs) < minSamples {
+		return MixtureEstimate{}, fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, len(xs), minSamples)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+
+	// Initialize from the median split.
+	var sumLo, sumHi float64
+	var nLo, nHi int
+	for _, x := range xs {
+		if x <= median {
+			sumLo += x
+			nLo++
+		} else {
+			sumHi += x
+			nHi++
+		}
+	}
+	alpha := float64(nLo) / float64(len(xs))
+	ms := math.Max(sumLo/math.Max(float64(nLo), 1), 1e-6)
+	ml := math.Max(sumHi/math.Max(float64(nHi), 1), ms*1.5)
+
+	prevLL := math.Inf(-1)
+	resp := make([]float64, len(xs))
+	for iter := 0; iter < 200; iter++ {
+		// E-step.
+		ll := 0.0
+		for i, x := range xs {
+			fs := density(x, ms)
+			fl := density(x, ml)
+			num := alpha * fs
+			den := num + (1-alpha)*fl
+			if den <= 0 {
+				resp[i] = 0.5
+				continue
+			}
+			resp[i] = num / den
+			ll += math.Log(den)
+		}
+		// M-step.
+		var rSum, rxSum, qxSum float64
+		for i, x := range xs {
+			rSum += resp[i]
+			rxSum += resp[i] * x
+			qxSum += (1 - resp[i]) * x
+		}
+		nf := float64(len(xs))
+		alpha = clamp(rSum/nf, 1e-4, 1-1e-4)
+		ms = math.Max(rxSum/math.Max(rSum, 1e-9), 1e-6)
+		ml = math.Max(qxSum/math.Max(nf-rSum, 1e-9), ms)
+		if math.Abs(ll-prevLL) < 1e-9*math.Abs(ll)+1e-12 {
+			prevLL = ll
+			break
+		}
+		prevLL = ll
+	}
+	// Canonical orientation: the short class is the one with the smaller
+	// mean.
+	if ms > ml {
+		ms, ml = ml, ms
+		alpha = 1 - alpha
+	}
+	return MixtureEstimate{
+		Alpha:         alpha,
+		Ms:            ms,
+		Ml:            ml,
+		Samples:       len(xs),
+		LogLikelihood: prevLL,
+	}, nil
+}
+
+func density(x, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return math.Exp(-x/mean) / mean
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SchemeChoice names a recommended key-tree organization.
+type SchemeChoice int
+
+const (
+	// ChooseOneTree keeps the single balanced key tree.
+	ChooseOneTree SchemeChoice = iota + 1
+	// ChooseQT uses the two-partition scheme with a queue S-partition.
+	ChooseQT
+	// ChooseTT uses the two-partition scheme with a tree S-partition.
+	ChooseTT
+)
+
+// String implements fmt.Stringer.
+func (c SchemeChoice) String() string {
+	switch c {
+	case ChooseOneTree:
+		return "one-keytree"
+	case ChooseQT:
+		return "qt-scheme"
+	case ChooseTT:
+		return "tt-scheme"
+	default:
+		return fmt.Sprintf("SchemeChoice(%d)", int(c))
+	}
+}
+
+// Recommendation is the advisor's verdict.
+type Recommendation struct {
+	Scheme SchemeChoice
+	// K is the recommended S-period in rekey periods (0 when the
+	// one-keytree scheme wins).
+	K int
+	// PredictedCost is the analytic per-period key count of the winner.
+	PredictedCost float64
+	// BaselineCost is the one-keytree cost for comparison.
+	BaselineCost float64
+	// Estimate is the churn model the recommendation is based on.
+	Estimate MixtureEstimate
+}
+
+// Reduction returns the predicted relative saving over the baseline.
+func (r Recommendation) Reduction() float64 {
+	if r.BaselineCost <= 0 {
+		return 0
+	}
+	return (r.BaselineCost - r.PredictedCost) / r.BaselineCost
+}
+
+// String implements fmt.Stringer.
+func (r Recommendation) String() string {
+	if r.Scheme == ChooseOneTree {
+		return fmt.Sprintf("keep one-keytree (%.0f keys/period; churn %v)", r.BaselineCost, r.Estimate)
+	}
+	return fmt.Sprintf("switch to %v with K=%d (%.0f keys/period, %.1f%% below one-keytree; churn %v)",
+		r.Scheme, r.K, r.PredictedCost, 100*r.Reduction(), r.Estimate)
+}
+
+// Advisor evaluates the analytic model for the observed churn.
+type Advisor struct {
+	// Tp is the rekey period in seconds.
+	Tp float64
+	// Degree is the key-tree fan-out.
+	Degree int
+	// MaxK bounds the S-period search (default 30).
+	MaxK int
+	// Hysteresis is the minimum relative saving required before the
+	// advisor recommends moving off the one-keytree scheme (reorganizing
+	// has a cost); default 2%.
+	Hysteresis float64
+}
+
+// DefaultAdvisor returns an advisor with the paper's Tp and degree.
+func DefaultAdvisor() Advisor {
+	return Advisor{Tp: 60, Degree: 4, MaxK: 30, Hysteresis: 0.02}
+}
+
+// Recommend evaluates QT and TT across K = 1..MaxK for a group of size n
+// under the estimated churn and returns the cheapest configuration,
+// falling back to the one-keytree scheme inside the hysteresis band.
+func (a Advisor) Recommend(n float64, est MixtureEstimate) (Recommendation, error) {
+	maxK := a.MaxK
+	if maxK < 1 {
+		maxK = 30
+	}
+	hyst := a.Hysteresis
+	if hyst < 0 {
+		hyst = 0
+	}
+	base := analytic.TwoPartitionParams{
+		Tp:     a.Tp,
+		N:      n,
+		Degree: a.Degree,
+		Ms:     est.Ms,
+		Ml:     est.Ml,
+		Alpha:  est.Alpha,
+	}
+	baseline, err := base.CostOneKeyTree()
+	if err != nil {
+		return Recommendation{}, err
+	}
+	bestRec := Recommendation{
+		Scheme:        ChooseOneTree,
+		PredictedCost: baseline,
+		BaselineCost:  baseline,
+		Estimate:      est,
+	}
+	best := baseline * (1 - hyst)
+	for k := 1; k <= maxK; k++ {
+		p := base
+		p.K = k
+		qt, err := p.CostQT()
+		if err != nil {
+			return Recommendation{}, err
+		}
+		if qt < best {
+			best = qt
+			bestRec = Recommendation{Scheme: ChooseQT, K: k, PredictedCost: qt, BaselineCost: baseline, Estimate: est}
+		}
+		tt, err := p.CostTT()
+		if err != nil {
+			return Recommendation{}, err
+		}
+		if tt < best {
+			best = tt
+			bestRec = Recommendation{Scheme: ChooseTT, K: k, PredictedCost: tt, BaselineCost: baseline, Estimate: est}
+		}
+	}
+	return bestRec, nil
+}

@@ -1,0 +1,193 @@
+package adaptive
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"groupkey/internal/workload"
+)
+
+func sampleMixture(t *testing.T, seed uint64, n int, tc workload.TwoClass) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		_, d := tc.SampleClass(rng)
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestFitRecoversPaperMixture(t *testing.T) {
+	// Table 1 churn: α=0.8, Ms=180 s, Ml=10800 s. The means differ by 60×,
+	// so EM should recover the parameters well.
+	xs := sampleMixture(t, 1, 20000, workload.PaperDefault())
+	est, err := FitTwoExponential(xs)
+	if err != nil {
+		t.Fatalf("FitTwoExponential: %v", err)
+	}
+	if math.Abs(est.Alpha-0.8) > 0.05 {
+		t.Errorf("alpha=%v, want ≈0.8", est.Alpha)
+	}
+	if math.Abs(est.Ms-180)/180 > 0.15 {
+		t.Errorf("Ms=%v, want ≈180", est.Ms)
+	}
+	if math.Abs(est.Ml-10800)/10800 > 0.15 {
+		t.Errorf("Ml=%v, want ≈10800", est.Ml)
+	}
+}
+
+func TestFitRecoversLongHeavyMixture(t *testing.T) {
+	tc := workload.TwoClass{
+		Alpha: 0.3,
+		Short: workload.Exponential{M: 120},
+		Long:  workload.Exponential{M: 7200},
+	}
+	xs := sampleMixture(t, 2, 20000, tc)
+	est, err := FitTwoExponential(xs)
+	if err != nil {
+		t.Fatalf("FitTwoExponential: %v", err)
+	}
+	if math.Abs(est.Alpha-0.3) > 0.06 {
+		t.Errorf("alpha=%v, want ≈0.3", est.Alpha)
+	}
+	if est.Ms > est.Ml {
+		t.Error("canonical orientation violated: Ms > Ml")
+	}
+}
+
+func TestFitDegenerateSingleClass(t *testing.T) {
+	// All durations from one exponential: the fit must still converge and
+	// report two components whose mixture mean matches.
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 5000)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 600
+		sum += xs[i]
+	}
+	est, err := FitTwoExponential(xs)
+	if err != nil {
+		t.Fatalf("FitTwoExponential: %v", err)
+	}
+	mean := est.Alpha*est.Ms + (1-est.Alpha)*est.Ml
+	if math.Abs(mean-sum/5000)/(sum/5000) > 0.1 {
+		t.Errorf("mixture mean %v, empirical %v", mean, sum/5000)
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	if _, err := FitTwoExponential(make([]float64, 5)); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err=%v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestEstimatorSlidingWindow(t *testing.T) {
+	e, err := NewEstimator(100)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if _, err := e.Estimate(); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("empty estimator: err=%v", err)
+	}
+	for i := 0; i < 250; i++ {
+		e.Observe(100)
+	}
+	if e.Count() != 100 {
+		t.Fatalf("Count=%d, want window size 100", e.Count())
+	}
+	e.Observe(-5) // ignored
+	if e.Count() != 100 {
+		t.Fatal("negative duration observed")
+	}
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est.Samples != 100 {
+		t.Fatalf("Samples=%d, want 100", est.Samples)
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(0); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("err=%v, want ErrBadWindow", err)
+	}
+}
+
+func TestAdvisorRecommendsTwoPartitionForChurnyGroups(t *testing.T) {
+	// α=0.8 churn (the paper's default): a two-partition scheme must win
+	// with a healthy margin and a K near the paper's optimum.
+	est := MixtureEstimate{Alpha: 0.8, Ms: 180, Ml: 10800, Samples: 1000}
+	rec, err := DefaultAdvisor().Recommend(65536, est)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.Scheme == ChooseOneTree {
+		t.Fatalf("advisor kept one-keytree for churny group: %v", rec)
+	}
+	if rec.K < 4 || rec.K > 14 {
+		t.Errorf("recommended K=%d, expected near the paper's optimum 7–10", rec.K)
+	}
+	if rec.Reduction() < 0.15 {
+		t.Errorf("predicted reduction %.1f%%, expected >15%%", 100*rec.Reduction())
+	}
+}
+
+func TestAdvisorKeepsOneTreeForStableGroups(t *testing.T) {
+	// "For applications that have very stable memberships, the one-keytree
+	// scheme is preferred."
+	est := MixtureEstimate{Alpha: 0.2, Ms: 180, Ml: 10800, Samples: 1000}
+	rec, err := DefaultAdvisor().Recommend(65536, est)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.Scheme != ChooseOneTree {
+		t.Fatalf("advisor recommended %v for a stable group", rec)
+	}
+	if rec.K != 0 {
+		t.Errorf("one-keytree recommendation carries K=%d", rec.K)
+	}
+}
+
+func TestAdvisorHysteresis(t *testing.T) {
+	// Near the crossover a small predicted gain must not trigger a switch.
+	est := MixtureEstimate{Alpha: 0.55, Ms: 180, Ml: 10800, Samples: 1000}
+	a := DefaultAdvisor()
+	a.Hysteresis = 0.10 // demand 10%
+	rec, err := a.Recommend(65536, est)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.Scheme != ChooseOneTree {
+		t.Fatalf("hysteresis violated: %v", rec)
+	}
+}
+
+func TestEndToEndEstimateAndRecommend(t *testing.T) {
+	// Feed the estimator real workload lifetimes, as the key server would,
+	// then check the recommendation direction.
+	e, err := NewEstimator(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sampleMixture(t, 9, 5000, workload.PaperDefault()) {
+		e.Observe(d)
+	}
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	rec, err := DefaultAdvisor().Recommend(65536, est)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.Scheme == ChooseOneTree {
+		t.Fatalf("expected a two-partition recommendation, got %v", rec)
+	}
+	if rec.String() == "" {
+		t.Fatal("empty recommendation string")
+	}
+}

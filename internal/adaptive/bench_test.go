@@ -1,0 +1,34 @@
+package adaptive
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"groupkey/internal/workload"
+)
+
+func BenchmarkFitTwoExponential(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	tc := workload.PaperDefault()
+	xs := make([]float64, 5000)
+	for i := range xs {
+		_, xs[i] = tc.SampleClass(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitTwoExponential(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecommend(b *testing.B) {
+	est := MixtureEstimate{Alpha: 0.8, Ms: 180, Ml: 10800, Samples: 5000}
+	adv := DefaultAdvisor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adv.Recommend(65536, est); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

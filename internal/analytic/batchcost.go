@@ -1,0 +1,225 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level describes one interior level of the (possibly partially-full)
+// logical key tree as seen by the analytic model.
+type Level struct {
+	// Index is the level number: 0 is the root, increasing downward.
+	Index int
+	// Keys is the (possibly fractional) number of key nodes at this level.
+	Keys float64
+	// Subtree is the average number of member leaves under one key node at
+	// this level (S_i in the paper's Appendix A).
+	Subtree float64
+}
+
+// PUpdate is the probability that one key at this level is updated when l
+// of the n members depart in a batch — equation (11) of Appendix A:
+// 1 − C(n−S_i, l)/C(n, l).
+func (lv Level) PUpdate(n, l float64) float64 {
+	return 1 - chooseRatio(n, lv.Subtree, l)
+}
+
+// TreeLevels lays out the interior levels of a balanced d-ary key tree with
+// n member leaves. For n = d^h it reproduces the paper's full-tree layout
+// exactly (d^i keys at level i, d^{h-i} leaves per key). For other n it
+// models the partially-full balanced tree the key server actually builds:
+// levels 0..h−2 are complete (d^i keys, n/d^i leaves each on average), and
+// at the deepest interior level h−1 only part of the slots are interior
+// keys — each slot that is a key holds exactly d leaves, the rest hold a
+// single leaf directly. Counting leaves gives
+//
+//	(d^{h−1} − x) + x·d = n  ⇒  x = (n − d^{h−1}) / (d − 1)
+//
+// interior keys at level h−1. This layout is continuous in n (as n crosses
+// a power of d, the new level enters with weight zero), which the
+// steady-state queueing model needs: it produces fractional partition
+// sizes.
+func TreeLevels(n float64, d int) []Level {
+	if n <= 1 || d < 2 {
+		return nil
+	}
+	df := float64(d)
+	hReal := math.Log(n) / math.Log(df)
+	// Guard against float fuzz for exact powers (e.g. log4(65536) = 7.999…).
+	hCeil := int(math.Ceil(hReal - 1e-9))
+	if hCeil < 1 {
+		hCeil = 1
+	}
+	levels := make([]Level, 0, hCeil)
+	for i := 0; i < hCeil-1; i++ {
+		keys := math.Pow(df, float64(i))
+		levels = append(levels, Level{Index: i, Keys: keys, Subtree: n / keys})
+	}
+	deepSlots := math.Pow(df, float64(hCeil-1))
+	deepKeys := (n - deepSlots) / (df - 1)
+	if deepKeys > 0 {
+		levels = append(levels, Level{Index: hCeil - 1, Keys: deepKeys, Subtree: df})
+	}
+	return levels
+}
+
+// BatchRekeyCost is Ne(N, L): the expected number of encrypted keys the key
+// server multicasts for one batched rekey of a balanced degree-d key tree
+// holding n members, of which l depart (and l join, taking the vacated
+// leaves — the J = L regime of Appendix A). Each updated key at level i is
+// encrypted under each of its d children, so
+//
+//	Ne = Σ_{i=0}^{h−1} d · d^i · P_i,   P_i = 1 − C(N−S_i, L)/C(N, L).
+//
+// n and l may be fractional (outputs of the steady-state queueing model).
+func BatchRekeyCost(n, l float64, d int) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	if l > n {
+		l = n
+	}
+	total := 0.0
+	for _, lv := range TreeLevels(n, d) {
+		p := 1 - chooseRatio(n, lv.Subtree, l)
+		total += float64(d) * lv.Keys * p
+	}
+	return total
+}
+
+// BatchRekeyCostOFT is the one-way-function-tree analogue of Ne(N, L)
+// (Section 2.1.1 notes the paper's optimizations apply to OFT too). OFT
+// trees are binary; an updated non-root node costs ONE blinded-key
+// transmission to its sibling subtree instead of LKH's d child wraps, and
+// each of the l replaced leaves contributes one blind of its fresh secret:
+//
+//	NeOFT = Σ_{i=1}^{h−1} 2^i · P_i + l.
+//
+// This mirrors keytree.(*OFT).ExpectedRekeyCost evaluated on a full tree.
+func BatchRekeyCostOFT(n, l float64) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	if l > n {
+		l = n
+	}
+	total := l
+	for _, lv := range TreeLevels(n, 2) {
+		if lv.Index == 0 {
+			continue // the root's blind is never transmitted
+		}
+		total += lv.Keys * lv.PUpdate(n, l)
+	}
+	return total
+}
+
+// IndividualRekeyCost is the expected multicast cost of processing l
+// departures one at a time (no batching): l times the cost of a single
+// departure, about d·⌈log_d n⌉ keys each. Used by the batching ablation.
+func IndividualRekeyCost(n, l float64, d int) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	return l * BatchRekeyCost(n, 1, d)
+}
+
+// ReplacementWrapCorrection quantifies the gap between the paper's Ne and
+// what a careful implementation multicasts under the J = L replacement
+// regime: a child whose entire subtree departed (and was re-filled with
+// joiners) needs no wrap — the joiners receive their keys through the
+// bootstrap path. The correction sums, over every non-root node c, the
+// probability that all of c's leaves are among the l departures; it is
+// dominated by the leaf level, where it equals exactly l.
+func ReplacementWrapCorrection(n, l float64, d int) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	if l > n {
+		l = n
+	}
+	correction := l // leaf level: Σ over n leaves of l/n
+	for _, lv := range TreeLevels(n, d) {
+		if lv.Index == 0 {
+			continue // the root is nobody's child
+		}
+		correction += lv.Keys * AllChosenProb(n, lv.Subtree, l)
+	}
+	return correction
+}
+
+// BatchRekeyCostImpl is the implementation-aware variant of Ne(N, L): the
+// paper's closed form minus the redundant replaced-subtree wraps this
+// library never sends. Use it when validating the real system; use
+// BatchRekeyCost when reproducing the paper's figures.
+func BatchRekeyCostImpl(n, l float64, d int) float64 {
+	cost := BatchRekeyCost(n, l, d) - ReplacementWrapCorrection(n, l, d)
+	if cost < 0 {
+		return 0
+	}
+	return cost
+}
+
+// WorstCaseBatchRekeyCost bounds Ne(N, L) from above: the adversarial
+// placement spreads the l departures over distinct subtrees as high as
+// possible, updating min(d^i, l) keys at every level (Yang et al.'s
+// worst-case analysis, referenced in Section 2.1.1):
+//
+//	Ne_worst = Σ_{i=0}^{h−1} d · min(d^i, l).
+func WorstCaseBatchRekeyCost(n, l float64, d int) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	if l > n {
+		l = n
+	}
+	total := 0.0
+	for _, lv := range TreeLevels(n, d) {
+		total += float64(d) * math.Min(lv.Keys, l)
+	}
+	return total
+}
+
+// BestCaseBatchRekeyCost bounds Ne(N, L) from below: all l departures
+// cluster in one contiguous block of leaves, so level i updates only
+// ⌈l/S_i⌉ keys.
+func BestCaseBatchRekeyCost(n, l float64, d int) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	if l > n {
+		l = n
+	}
+	total := 0.0
+	for _, lv := range TreeLevels(n, d) {
+		updated := math.Ceil(l / lv.Subtree)
+		total += float64(d) * math.Min(updated, lv.Keys)
+	}
+	return total
+}
+
+// NaiveUnicastCost is the baseline without a key tree: the server encrypts
+// the new group key individually for every remaining member, once per
+// departure.
+func NaiveUnicastCost(n, l float64) float64 {
+	if n <= 1 || l <= 0 {
+		return 0
+	}
+	return l * (n - 1)
+}
+
+// UpdatedKeysPerLevel returns, for each interior level, the expected number
+// of updated keys U(l) = d^l · P_l (used by the transport models).
+func UpdatedKeysPerLevel(n, l float64, d int) []float64 {
+	levels := TreeLevels(n, d)
+	out := make([]float64, len(levels))
+	for i, lv := range levels {
+		p := 1 - chooseRatio(n, lv.Subtree, l)
+		out[i] = lv.Keys * p
+	}
+	return out
+}
+
+// String renders a level for debugging.
+func (lv Level) String() string {
+	return fmt.Sprintf("level %d: %.2f keys × %.2f leaves", lv.Index, lv.Keys, lv.Subtree)
+}

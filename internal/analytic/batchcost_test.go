@@ -1,0 +1,209 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTreeLevelsFullTree(t *testing.T) {
+	// N = 4^4 = 256: levels i have 4^i keys and 4^{4-i} leaves per key.
+	levels := TreeLevels(256, 4)
+	if len(levels) != 4 {
+		t.Fatalf("got %d levels, want 4", len(levels))
+	}
+	for i, lv := range levels {
+		wantKeys := math.Pow(4, float64(i))
+		wantSub := math.Pow(4, float64(4-i))
+		if !almostEqual(lv.Keys, wantKeys, 1e-9) {
+			t.Errorf("level %d: keys=%v, want %v", i, lv.Keys, wantKeys)
+		}
+		if !almostEqual(lv.Subtree, wantSub, 1e-9) {
+			t.Errorf("level %d: subtree=%v, want %v", i, lv.Subtree, wantSub)
+		}
+	}
+}
+
+func TestTreeLevelsLeafConservation(t *testing.T) {
+	// At every level the keys' subtrees plus leaves attached above must
+	// account for all n members; in particular Keys·Subtree ≤ n and the
+	// deepest level satisfies (slots − keys) + keys·d = n.
+	for _, n := range []float64{2, 3, 5, 16, 17, 100, 256, 1000, 65536, 7867.2} {
+		levels := TreeLevels(n, 4)
+		if len(levels) == 0 {
+			t.Fatalf("n=%v: no levels", n)
+		}
+		deep := levels[len(levels)-1]
+		slots := math.Pow(4, float64(deep.Index))
+		leavesAccounted := (slots - deep.Keys) + deep.Keys*4
+		if !almostEqual(leavesAccounted, n, 1e-6) {
+			t.Errorf("n=%v: deepest level accounts for %v leaves", n, leavesAccounted)
+		}
+		for _, lv := range levels {
+			if lv.Keys*lv.Subtree > n*(1+1e-9) {
+				t.Errorf("n=%v level %d: keys×subtree=%v exceeds n", n, lv.Index, lv.Keys*lv.Subtree)
+			}
+		}
+	}
+}
+
+func TestTreeLevelsContinuityAcrossPower(t *testing.T) {
+	// Cost must be continuous as n crosses a power of d: the discontinuity
+	// at the boundary caused a spurious dip in the Fig. 6 reproduction.
+	d := 4
+	l := 64.0
+	below := BatchRekeyCost(16384-1, l, d)
+	at := BatchRekeyCost(16384, l, d)
+	above := BatchRekeyCost(16384+1, l, d)
+	if math.Abs(at-below) > 2 || math.Abs(above-at) > 2 {
+		t.Fatalf("cost discontinuous across 4^7: below=%v at=%v above=%v", below, at, above)
+	}
+}
+
+func TestBatchRekeyCostSingleDepartureFullTree(t *testing.T) {
+	// For one departure from a full tree, P_i = S_i/N and the sum
+	// telescopes to exactly d·h.
+	tests := []struct {
+		d, h int
+	}{
+		{2, 4}, {2, 8}, {4, 4}, {4, 8}, {8, 3}, {16, 2},
+	}
+	for _, tt := range tests {
+		n := math.Pow(float64(tt.d), float64(tt.h))
+		got := BatchRekeyCost(n, 1, tt.d)
+		want := float64(tt.d * tt.h)
+		// lgamma-based combinatorials carry ~1e-7 relative error at N=65536.
+		if !almostEqual(got, want, 1e-5) {
+			t.Errorf("Ne(%v, 1, %d) = %v, want d·h = %v", n, tt.d, got, want)
+		}
+	}
+}
+
+func TestBatchRekeyCostAllDepart(t *testing.T) {
+	// When every member departs, every interior key is updated: cost is
+	// d × (number of interior keys) = d·(d^h − 1)/(d − 1).
+	d, h := 4, 4
+	n := math.Pow(4, 4)
+	got := BatchRekeyCost(n, n, d)
+	want := 4.0 * (math.Pow(4, float64(h)) - 1) / 3.0
+	if !almostEqual(got, want, 1e-9) {
+		t.Fatalf("Ne(N, N) = %v, want %v", got, want)
+	}
+}
+
+func TestBatchRekeyCostDegenerate(t *testing.T) {
+	if got := BatchRekeyCost(0, 5, 4); got != 0 {
+		t.Errorf("empty tree cost %v, want 0", got)
+	}
+	if got := BatchRekeyCost(100, 0, 4); got != 0 {
+		t.Errorf("zero departures cost %v, want 0", got)
+	}
+	if got := BatchRekeyCost(1, 1, 4); got != 0 {
+		t.Errorf("single-member tree cost %v, want 0 (no interior keys)", got)
+	}
+	// l > n clamps rather than exploding.
+	a := BatchRekeyCost(64, 64, 4)
+	b := BatchRekeyCost(64, 1000, 4)
+	if !almostEqual(a, b, 1e-9) {
+		t.Errorf("l>n not clamped: %v vs %v", a, b)
+	}
+}
+
+func TestBatchRekeyCostMonotoneInL(t *testing.T) {
+	prev := -1.0
+	for l := 1.0; l <= 256; l *= 2 {
+		c := BatchRekeyCost(65536, l, 4)
+		if c <= prev {
+			t.Fatalf("cost not increasing in L: L=%v gives %v (prev %v)", l, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestBatchRekeyCostSubadditiveBatching(t *testing.T) {
+	// Batching L departures must cost no more than L separate rekeys
+	// (Section 2.1.1: path overlap is the whole point of batching).
+	for _, l := range []float64{2, 16, 128, 1024} {
+		batched := BatchRekeyCost(65536, l, 4)
+		individual := IndividualRekeyCost(65536, l, 4)
+		if batched > individual {
+			t.Errorf("L=%v: batched %v > individual %v", l, batched, individual)
+		}
+	}
+}
+
+func TestBatchRekeyCostPaperDefaultMagnitude(t *testing.T) {
+	// The one-keytree line of Fig. 3: about 1.6×10^4 keys per period for
+	// N=65536, d=4, J≈1684.
+	got := BatchRekeyCost(65536, 1683.8, 4)
+	if got < 15000 || got > 18000 {
+		t.Fatalf("one-keytree cost %v, paper's Fig. 3 shows ≈1.6×10^4", got)
+	}
+}
+
+func TestNaiveUnicastCost(t *testing.T) {
+	if got := NaiveUnicastCost(100, 1); got != 99 {
+		t.Errorf("naive cost %v, want 99", got)
+	}
+	if got := NaiveUnicastCost(100, 3); got != 297 {
+		t.Errorf("naive cost %v, want 297", got)
+	}
+	if got := NaiveUnicastCost(1, 1); got != 0 {
+		t.Errorf("naive cost for singleton %v, want 0", got)
+	}
+	// The whole motivation: the tree is exponentially cheaper.
+	if tree := BatchRekeyCost(65536, 1, 4); tree >= NaiveUnicastCost(65536, 1) {
+		t.Error("LKH not cheaper than naive unicast")
+	}
+}
+
+func TestWorstBestCaseBracketAverage(t *testing.T) {
+	// For every (N, L) the expected cost must sit between the clustered
+	// best case and the adversarial worst case.
+	for _, tc := range []struct {
+		n, l float64
+	}{
+		{65536, 1}, {65536, 16}, {65536, 256}, {65536, 4096},
+		{1024, 10}, {700, 20},
+	} {
+		avg := BatchRekeyCost(tc.n, tc.l, 4)
+		worst := WorstCaseBatchRekeyCost(tc.n, tc.l, 4)
+		best := BestCaseBatchRekeyCost(tc.n, tc.l, 4)
+		// The expectation uses lgamma-based combinatorials (~1e-7 relative
+		// error), so allow a hair of slack at the coincidence points.
+		slack := 1e-4 * avg
+		if best > avg+slack || avg > worst+slack {
+			t.Errorf("N=%v L=%v: best %v ≤ avg %v ≤ worst %v violated", tc.n, tc.l, best, avg, worst)
+		}
+	}
+	// Single departure: all three coincide (d·h).
+	a, w, b := BatchRekeyCost(4096, 1, 4), WorstCaseBatchRekeyCost(4096, 1, 4), BestCaseBatchRekeyCost(4096, 1, 4)
+	if !almostEqual(a, w, 1e-5) || !almostEqual(a, b, 1e-5) {
+		t.Errorf("L=1: avg=%v worst=%v best=%v should coincide", a, w, b)
+	}
+}
+
+func TestWorstCaseSaturates(t *testing.T) {
+	// Once l ≥ d^{h−1} every interior key updates: worst case equals the
+	// all-depart cost.
+	n := 4096.0
+	all := BatchRekeyCost(n, n, 4)
+	if got := WorstCaseBatchRekeyCost(n, 1024, 4); !almostEqual(got, all, 1e-9) {
+		t.Errorf("saturated worst case %v, want %v", got, all)
+	}
+}
+
+func TestUpdatedKeysPerLevelConsistent(t *testing.T) {
+	n, l, d := 65536.0, 256.0, 4
+	per := UpdatedKeysPerLevel(n, l, d)
+	sum := 0.0
+	for _, u := range per {
+		sum += float64(d) * u
+	}
+	if !almostEqual(sum, BatchRekeyCost(n, l, d), 1e-9) {
+		t.Fatalf("Σ d·U(l) = %v ≠ Ne = %v", sum, BatchRekeyCost(n, l, d))
+	}
+	// The root updates almost surely with 256 departures.
+	if per[0] < 0.999 {
+		t.Errorf("root update expectation %v, want ≈1", per[0])
+	}
+}

@@ -1,0 +1,60 @@
+package analytic
+
+import "testing"
+
+func BenchmarkBatchRekeyCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BatchRekeyCost(65536, 1684, 4)
+	}
+}
+
+func BenchmarkTwoPartitionCosts(b *testing.B) {
+	p := DefaultTwoPartitionParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CostTT(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.CostQT(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.CostPT(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWKABKRBandwidth(b *testing.B) {
+	p := DefaultLossScenario()
+	p.Alpha = 0.2
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CostOneKeyTree(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpectedTransmissions(b *testing.B) {
+	mix := []LossShare{{Fraction: 0.8, P: 0.02}, {Fraction: 0.2, P: 0.2}}
+	for i := 0; i < b.N; i++ {
+		_ = ExpectedTransmissions(16384, mix)
+	}
+}
+
+func BenchmarkFECBlockModel(b *testing.B) {
+	f := DefaultFECParams()
+	mix := []LossShare{{Fraction: 0.9, P: 0.02}, {Fraction: 0.1, P: 0.2}}
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ExpectedPacketsPerBlock(65536, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiClassBestPartition(b *testing.B) {
+	s := DefaultMultiClassScenario()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.BestPartition(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package analytic implements the closed-form performance models the paper
+// uses for its entire evaluation:
+//
+//   - Appendix A: the expected number of encrypted keys for one batched LKH
+//     rekey, Ne(N, L), extended to partially-full trees;
+//   - Section 3.3.1: the two-class open queueing model of the two-partition
+//     schemes (QT, TT, PT) and the one-keytree baseline, equations (1)–(10);
+//   - Appendix B: the WKA-BKR reliable-transport bandwidth model,
+//     equations (11)–(15), extended to heterogeneous per-receiver loss so
+//     that the loss-homogenized, random-split and misplacement scenarios of
+//     Section 4.3 can be evaluated;
+//   - the proactive-FEC transport model referenced in Section 4.4.
+//
+// All quantities are real-valued: the steady-state queueing model produces
+// fractional member counts, so the combinatorial terms are continued with
+// the gamma function.
+package analytic
+
+import "math"
+
+// lchoose returns log C(n, k) for real n ≥ k ≥ 0, via the gamma function.
+// It returns -Inf when the coefficient is zero (k < 0 or k > n).
+func lchoose(n, k float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(n + 1)
+	lk, _ := math.Lgamma(k + 1)
+	lnk, _ := math.Lgamma(n - k + 1)
+	return ln - lk - lnk
+}
+
+// ChooseRatio returns C(n-s, l) / C(n, l) for real arguments — the
+// probability that none of l departures, drawn uniformly without
+// replacement from n leaves, falls inside a subtree of s leaves. It is
+// exported for white-box cost analysis of concrete tree shapes
+// (keytree.Tree.ExpectedRekeyCost).
+func ChooseRatio(n, s, l float64) float64 {
+	return chooseRatio(n, s, l)
+}
+
+func chooseRatio(n, s, l float64) float64 {
+	if l <= 0 {
+		return 1
+	}
+	if s <= 0 {
+		return 1
+	}
+	if n-s < l {
+		return 0 // fewer than l leaves outside the subtree: impossible to miss it
+	}
+	return math.Exp(lchoose(n-s, l) - lchoose(n, l))
+}
+
+// AllChosenProb returns C(n−s, l−s)/C(n, l): the probability that ALL s
+// leaves of a subtree are among the l departures drawn uniformly without
+// replacement from n leaves. Used by the exact per-tree cost analysis —
+// a child whose members all departed (and were replaced by joiners)
+// receives no wrap.
+func AllChosenProb(n, s, l float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if l < s {
+		return 0
+	}
+	return math.Exp(lchoose(n-s, l-s) - lchoose(n, l))
+}
+
+// binomPMF returns the Binomial(n, p) probability mass at j, computed in
+// log space for numerical stability.
+func binomPMF(n int, p float64, j int) float64 {
+	if j < 0 || j > n {
+		return 0
+	}
+	if p <= 0 {
+		if j == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if j == n {
+			return 1
+		}
+		return 0
+	}
+	lp := lchoose(float64(n), float64(j)) + float64(j)*math.Log(p) + float64(n-j)*math.Log(1-p)
+	return math.Exp(lp)
+}
+
+// binomCDF returns P[X ≤ j] for X ~ Binomial(n, p).
+func binomCDF(n int, p float64, j int) float64 {
+	if j < 0 {
+		return 0
+	}
+	if j >= n {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= j; i++ {
+		sum += binomPMF(n, p, i)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

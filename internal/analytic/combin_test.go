@@ -1,0 +1,140 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLchooseSmallValues(t *testing.T) {
+	tests := []struct {
+		n, k float64
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 1, 5}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {20, 10, 184756},
+	}
+	for _, tt := range tests {
+		got := math.Exp(lchoose(tt.n, tt.k))
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("C(%v,%v) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestLchooseOutOfRange(t *testing.T) {
+	if !math.IsInf(lchoose(5, 6), -1) {
+		t.Error("C(5,6) should be 0 (log -Inf)")
+	}
+	if !math.IsInf(lchoose(5, -1), -1) {
+		t.Error("C(5,-1) should be 0 (log -Inf)")
+	}
+}
+
+func TestChooseRatioExactEnumeration(t *testing.T) {
+	// chooseRatio(n, s, l) must equal the exact fraction of l-subsets of n
+	// leaves that avoid a fixed subtree of s leaves. Enumerate all subsets
+	// for small n.
+	n, s, l := 16, 4, 3
+	total, miss := 0, 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				total++
+				if a >= s && b >= s && c >= s { // subtree = leaves 0..s-1
+					miss++
+				}
+			}
+		}
+	}
+	want := float64(miss) / float64(total)
+	got := chooseRatio(float64(n), float64(s), float64(l))
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("chooseRatio(16,4,3)=%v, enumeration gives %v", got, want)
+	}
+}
+
+func TestChooseRatioBoundsQuick(t *testing.T) {
+	f := func(nRaw, sRaw, lRaw uint16) bool {
+		n := float64(nRaw%1000) + 2
+		s := math.Mod(float64(sRaw), n-1) + 1
+		l := math.Mod(float64(lRaw), n-s)
+		r := chooseRatio(n, s, l)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseRatioDegenerateCases(t *testing.T) {
+	if got := chooseRatio(100, 10, 0); got != 1 {
+		t.Errorf("l=0: got %v, want 1 (no departures cannot hit the subtree)", got)
+	}
+	if got := chooseRatio(100, 100, 5); got != 0 {
+		t.Errorf("s=n: got %v, want 0 (subtree is the whole tree)", got)
+	}
+	if got := chooseRatio(100, 96, 5); got != 0 {
+		t.Errorf("n-s<l: got %v, want 0", got)
+	}
+}
+
+func TestChooseRatioMonotoneInL(t *testing.T) {
+	// More departures → more likely to hit the subtree → smaller ratio.
+	prev := 2.0
+	for l := 0.0; l <= 60; l += 5 {
+		r := chooseRatio(64, 8, l)
+		if r > prev {
+			t.Fatalf("chooseRatio not monotone: l=%v gives %v > previous %v", l, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 20, 100} {
+		for _, p := range []float64{0, 0.02, 0.2, 0.5, 0.97, 1} {
+			sum := 0.0
+			for j := 0; j <= n; j++ {
+				sum += binomPMF(n, p, j)
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				t.Errorf("binomPMF(n=%d,p=%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomPMFKnownValues(t *testing.T) {
+	// Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+	want := []float64{0.0625, 0.25, 0.375, 0.25, 0.0625}
+	for j, w := range want {
+		if got := binomPMF(4, 0.5, j); !almostEqual(got, w, 1e-12) {
+			t.Errorf("binomPMF(4,0.5,%d)=%v, want %v", j, got, w)
+		}
+	}
+}
+
+func TestBinomCDFMonotoneAndBounded(t *testing.T) {
+	prev := 0.0
+	for j := 0; j <= 30; j++ {
+		c := binomCDF(30, 0.3, j)
+		if c < prev || c > 1 {
+			t.Fatalf("binomCDF not monotone/bounded at j=%d: %v (prev %v)", j, c, prev)
+		}
+		prev = c
+	}
+	if binomCDF(30, 0.3, 30) != 1 {
+		t.Error("binomCDF at n should be 1")
+	}
+	if binomCDF(30, 0.3, -1) != 0 {
+		t.Error("binomCDF below 0 should be 0")
+	}
+}

@@ -1,0 +1,44 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"groupkey/internal/analytic"
+)
+
+// ExampleTwoPartitionParams reproduces the paper's headline Fig. 4 numbers
+// at the Table 1 defaults.
+func ExampleTwoPartitionParams() {
+	p := analytic.DefaultTwoPartitionParams()
+	p.Alpha = 0.9
+	one, _ := p.CostOneKeyTree()
+	qt, _ := p.CostQT()
+	fmt.Printf("one-keytree: %.0f keys/period\n", one)
+	fmt.Printf("qt-scheme:   %.0f keys/period (%.1f%% reduction)\n", qt, 100*(one-qt)/one)
+	// Output:
+	// one-keytree: 25594 keys/period
+	// qt-scheme:   17838 keys/period (30.3% reduction)
+}
+
+// ExampleBatchRekeyCost evaluates Appendix A's Ne(N, L) closed form.
+func ExampleBatchRekeyCost() {
+	// One departure from a full 4-ary tree of 65536 members costs d·h.
+	fmt.Printf("Ne(65536, 1) = %.0f keys\n", analytic.BatchRekeyCost(65536, 1, 4))
+	fmt.Printf("Ne(65536, 256) = %.0f keys\n", analytic.BatchRekeyCost(65536, 256, 4))
+	// Output:
+	// Ne(65536, 1) = 32 keys
+	// Ne(65536, 256) = 3905 keys
+}
+
+// ExampleLossScenarioParams reproduces the Fig. 6 comparison at α = 0.2.
+func ExampleLossScenarioParams() {
+	p := analytic.DefaultLossScenario()
+	p.Alpha = 0.2
+	one, _ := p.CostOneKeyTree()
+	hom, _ := p.CostLossHomogenized()
+	fmt.Printf("one mixed tree:   %.0f keys\n", one)
+	fmt.Printf("loss-homogenized: %.0f keys (%.1f%% gain)\n", hom, 100*(one-hom)/one)
+	// Output:
+	// one mixed tree:   6799 keys
+	// loss-homogenized: 6051 keys (11.0% gain)
+}

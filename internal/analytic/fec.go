@@ -1,0 +1,205 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// FECParams configures the proactive-FEC rekey transport model (Yang et
+// al., SIGCOMM 2001, as referenced in Sections 2.2 and 4.4): encrypted keys
+// are packed into packets, packets are grouped into blocks of K source
+// packets, and each block is transmitted with proactive Reed-Solomon parity
+// so that any K of the packets sent reconstruct the block.
+type FECParams struct {
+	// K is the number of source packets per FEC block.
+	K int
+	// Rho is the proactivity factor: the server initially multicasts
+	// ceil(Rho·K) packets per block (K source + parity).
+	Rho float64
+	// KeysPerPacket is how many encrypted keys fit in one packet.
+	KeysPerPacket int
+	// MaxRounds bounds the NACK/retransmission rounds evaluated.
+	MaxRounds int
+	// Epsilon terminates the round recursion once the probability that any
+	// receiver still misses the block drops below it.
+	Epsilon float64
+}
+
+// DefaultFECParams mirrors the proactive-FEC configuration used in the
+// rekey-transport literature: blocks of 8 source packets, 10% proactive
+// parity, 25 keys per packet.
+func DefaultFECParams() FECParams {
+	return FECParams{K: 8, Rho: 1.1, KeysPerPacket: 25, MaxRounds: 32, Epsilon: 1e-9}
+}
+
+// Validate checks parameter sanity.
+func (f FECParams) Validate() error {
+	switch {
+	case f.K < 1 || f.K > 256:
+		return fmt.Errorf("%w: FEC block size K=%d", ErrBadParams, f.K)
+	case f.Rho < 1:
+		return fmt.Errorf("%w: proactivity rho=%v < 1", ErrBadParams, f.Rho)
+	case f.KeysPerPacket < 1:
+		return fmt.Errorf("%w: keysPerPacket=%d", ErrBadParams, f.KeysPerPacket)
+	case f.MaxRounds < 1:
+		return fmt.Errorf("%w: maxRounds=%d", ErrBadParams, f.MaxRounds)
+	case f.Epsilon <= 0:
+		return fmt.Errorf("%w: epsilon=%v", ErrBadParams, f.Epsilon)
+	}
+	return nil
+}
+
+// ExpectedPacketsPerBlock returns the expected number of packets the server
+// multicasts for one FEC block until all receivers can reconstruct it.
+//
+// The model tracks, per loss class, the distribution of a receiver's packet
+// deficit (how many more packets it needs to reach K). Each round the
+// server transmits the expected maximum deficit over all receivers — the
+// batched-NACK policy of proactive-FEC rekeying — and deficits contract by
+// an independent Binomial number of successful receptions. The expectation
+// is exact per class given the round sizes; round sizes use the standard
+// order-statistics bound over the (fractional) receiver counts.
+//
+// Because the per-block parity is sized by the worst receiver, a small
+// fraction of high-loss members inflates every round for everyone — the
+// sensitivity to heterogeneity that the loss-homogenized organization
+// removes (Section 4.4).
+func (f FECParams) ExpectedPacketsPerBlock(receivers float64, mix []LossShare) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	m, err := NormalizeMix(mix)
+	if err != nil {
+		return 0, err
+	}
+	if receivers <= 0 {
+		return 0, nil
+	}
+
+	initial := int(math.Ceil(f.Rho * float64(f.K)))
+	total := float64(initial)
+
+	// deficit[c][d] = probability a class-c receiver still needs d packets.
+	deficit := make([][]float64, len(m))
+	for ci, c := range m {
+		dist := make([]float64, f.K+1)
+		// After the initial transmission of `initial` packets the receiver
+		// holds X ~ Binomial(initial, 1-p); deficit = max(0, K - X).
+		for x := 0; x <= initial; x++ {
+			px := binomPMF(initial, 1-c.P, x)
+			d := f.K - x
+			if d < 0 {
+				d = 0
+			}
+			dist[d] += px
+		}
+		deficit[ci] = dist
+	}
+
+	for round := 0; round < f.MaxRounds; round++ {
+		// Probability any receiver is still unfinished.
+		pAll := 1.0
+		for ci, c := range m {
+			pAll *= math.Pow(deficit[ci][0], c.Fraction*receivers)
+		}
+		if 1-pAll < f.Epsilon {
+			break
+		}
+		// Expected maximum deficit over all receivers:
+		// E[max] = Σ_{j≥0} (1 − P[max ≤ j]), P[max ≤ j] = Π_c P[D_c ≤ j]^{n_c}.
+		eMax := 0.0
+		for j := 0; j < f.K; j++ {
+			pLe := 1.0
+			for ci, c := range m {
+				cdf := 0.0
+				for d := 0; d <= j; d++ {
+					cdf += deficit[ci][d]
+				}
+				if cdf <= 0 {
+					pLe = 0
+					break
+				}
+				pLe *= math.Pow(cdf, c.Fraction*receivers)
+			}
+			eMax += 1 - pLe
+		}
+		send := int(math.Ceil(eMax - 1e-9))
+		if send < 1 {
+			send = 1
+		}
+		total += eMax
+
+		// Contract deficits: D' = max(0, D − Binomial(send, 1−p)).
+		for ci, c := range m {
+			next := make([]float64, f.K+1)
+			for d, pd := range deficit[ci] {
+				if pd == 0 {
+					continue
+				}
+				if d == 0 {
+					next[0] += pd
+					continue
+				}
+				for x := 0; x <= send; x++ {
+					px := binomPMF(send, 1-c.P, x)
+					nd := d - x
+					if nd < 0 {
+						nd = 0
+					}
+					next[nd] += pd * px
+				}
+			}
+			deficit[ci] = next
+		}
+	}
+	return total, nil
+}
+
+// FECRekeyBandwidth returns the expected number of encrypted-key slots the
+// server transmits to deliver `keys` encrypted keys to `receivers` members
+// with the given loss mix, under proactive-FEC transport. Packets are
+// converted back to key slots (KeysPerPacket each) so results are
+// comparable with the WKA-BKR model's key counts.
+func (f FECParams) FECRekeyBandwidth(keys, receivers float64, mix []LossShare) (float64, error) {
+	if keys <= 0 || receivers <= 0 {
+		return 0, nil
+	}
+	perBlock, err := f.ExpectedPacketsPerBlock(receivers, mix)
+	if err != nil {
+		return 0, err
+	}
+	packets := math.Ceil(keys / float64(f.KeysPerPacket))
+	blocks := packets / float64(f.K)
+	return blocks * perBlock * float64(f.KeysPerPacket), nil
+}
+
+// FECCostOneKeyTree evaluates the Section 4.4 scenario for a single mixed
+// key tree under proactive-FEC transport.
+func (p LossScenarioParams) FECCostOneKeyTree(f FECParams) (float64, error) {
+	keys := BatchRekeyCost(p.N, p.L, p.Degree)
+	return f.FECRekeyBandwidth(keys, p.N, p.mixedShare(p.Alpha))
+}
+
+// FECCostLossHomogenized evaluates the loss-homogenized organization under
+// proactive-FEC transport: each loss class gets its own key tree, so block
+// parity for the low-loss population is no longer driven by the high-loss
+// tail.
+func (p LossScenarioParams) FECCostLossHomogenized(f FECParams) (float64, error) {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return p.FECCostOneKeyTree(f)
+	}
+	highKeys := BatchRekeyCost(p.Alpha*p.N, p.Alpha*p.L, p.Degree)
+	lowKeys := BatchRekeyCost((1-p.Alpha)*p.N, (1-p.Alpha)*p.L, p.Degree)
+	high, err := f.FECRekeyBandwidth(highKeys, p.Alpha*p.N, []LossShare{{Fraction: 1, P: p.Ph}})
+	if err != nil {
+		return 0, err
+	}
+	low, err := f.FECRekeyBandwidth(lowKeys, (1-p.Alpha)*p.N, []LossShare{{Fraction: 1, P: p.Pl}})
+	if err != nil {
+		return 0, err
+	}
+	// Group-key distribution: one wrap per tree, delivered in the first
+	// packet of each tree's stream; negligible next to the block costs but
+	// included for parity with the WKA-BKR multi-tree accounting.
+	return high + low + 2, nil
+}

@@ -1,0 +1,124 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFECParamsValidate(t *testing.T) {
+	good := DefaultFECParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []FECParams{
+		{K: 0, Rho: 1.1, KeysPerPacket: 25, MaxRounds: 8, Epsilon: 1e-9},
+		{K: 8, Rho: 0.9, KeysPerPacket: 25, MaxRounds: 8, Epsilon: 1e-9},
+		{K: 8, Rho: 1.1, KeysPerPacket: 0, MaxRounds: 8, Epsilon: 1e-9},
+		{K: 8, Rho: 1.1, KeysPerPacket: 25, MaxRounds: 0, Epsilon: 1e-9},
+		{K: 8, Rho: 1.1, KeysPerPacket: 25, MaxRounds: 8, Epsilon: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: err=%v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestFECLosslessBlockCost(t *testing.T) {
+	f := DefaultFECParams()
+	got, err := f.ExpectedPacketsPerBlock(65536, []LossShare{{Fraction: 1, P: 0}})
+	if err != nil {
+		t.Fatalf("ExpectedPacketsPerBlock: %v", err)
+	}
+	want := math.Ceil(f.Rho * float64(f.K))
+	if !almostEqual(got, want, 1e-9) {
+		t.Fatalf("lossless block cost %v, want the proactive transmission %v", got, want)
+	}
+}
+
+func TestFECBlockCostMonotoneInLoss(t *testing.T) {
+	f := DefaultFECParams()
+	prev := 0.0
+	for _, p := range []float64{0.0, 0.02, 0.1, 0.2, 0.4} {
+		c, err := f.ExpectedPacketsPerBlock(10000, []LossShare{{Fraction: 1, P: p}})
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if c < prev {
+			t.Fatalf("block cost not monotone in loss: p=%v gives %v (prev %v)", p, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestFECHeterogeneitySensitivity(t *testing.T) {
+	// The motivation of Section 4.4: a small high-loss fraction drags the
+	// whole block toward the high-loss cost, much more than its share.
+	f := DefaultFECParams()
+	pureLow, _ := f.ExpectedPacketsPerBlock(65536, []LossShare{{Fraction: 1, P: 0.02}})
+	pureHigh, _ := f.ExpectedPacketsPerBlock(65536, []LossShare{{Fraction: 1, P: 0.2}})
+	mixed, _ := f.ExpectedPacketsPerBlock(65536, []LossShare{
+		{Fraction: 0.1, P: 0.2}, {Fraction: 0.9, P: 0.02},
+	})
+	if mixed <= pureLow || mixed > pureHigh {
+		t.Fatalf("mixed=%v not in (%v, %v]", mixed, pureLow, pureHigh)
+	}
+	// Far closer to the high-loss cost than the 10% share suggests.
+	if (mixed-pureLow)/(pureHigh-pureLow) < 0.5 {
+		t.Fatalf("mixed block cost %v not dominated by high-loss tail (low=%v high=%v)", mixed, pureLow, pureHigh)
+	}
+}
+
+func TestFECLossHomogenizedGainSection44(t *testing.T) {
+	// Section 4.4: "the performance gain is more significant — up to 25.7%
+	// when ph=20%, pl=2% and α=0.1" (under proactive FEC).
+	p := DefaultLossScenario()
+	p.Alpha = 0.1
+	f := DefaultFECParams()
+	one, err := p.FECCostOneKeyTree(f)
+	if err != nil {
+		t.Fatalf("one: %v", err)
+	}
+	hom, err := p.FECCostLossHomogenized(f)
+	if err != nil {
+		t.Fatalf("homog: %v", err)
+	}
+	gain := (one - hom) / one
+	if gain < 0.15 || gain > 0.45 {
+		t.Fatalf("FEC loss-homogenized gain %.1f%%, paper reports 25.7%%", 100*gain)
+	}
+	// And the FEC gain exceeds the WKA-BKR gain at the same α — the
+	// paper's reason for mentioning it.
+	wOne, _ := p.CostOneKeyTree()
+	wHom, _ := p.CostLossHomogenized()
+	wGain := (wOne - wHom) / wOne
+	if gain <= wGain {
+		t.Fatalf("FEC gain %.1f%% should exceed WKA-BKR gain %.1f%%", 100*gain, 100*wGain)
+	}
+}
+
+func TestFECHomogeneousDegenerates(t *testing.T) {
+	p := DefaultLossScenario()
+	p.Alpha = 0
+	f := DefaultFECParams()
+	one, _ := p.FECCostOneKeyTree(f)
+	hom, _ := p.FECCostLossHomogenized(f)
+	if !almostEqual(one, hom, 1e-9) {
+		t.Fatalf("α=0: homogenized %v must equal one tree %v", hom, one)
+	}
+}
+
+func TestFECBandwidthScalesWithKeys(t *testing.T) {
+	f := DefaultFECParams()
+	mix := []LossShare{{Fraction: 1, P: 0.05}}
+	small, _ := f.FECRekeyBandwidth(1000, 1000, mix)
+	large, _ := f.FECRekeyBandwidth(10000, 1000, mix)
+	if large < 9*small || large > 11*small {
+		t.Fatalf("bandwidth not ~linear in key count: %v vs %v", small, large)
+	}
+	zero, _ := f.FECRekeyBandwidth(0, 1000, mix)
+	if zero != 0 {
+		t.Fatalf("zero keys cost %v", zero)
+	}
+}

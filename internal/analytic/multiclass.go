@@ -1,0 +1,136 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MultiClassLossScenario generalizes the Section 4.3 evaluation beyond two
+// loss classes: a population with an arbitrary discrete loss-rate
+// distribution, organized into some number of loss-homogenized key trees.
+// It answers the natural follow-up the paper leaves open — how many trees
+// are worth maintaining, and where to draw the class boundaries.
+type MultiClassLossScenario struct {
+	N      float64
+	L      float64
+	Degree int
+	// Classes are the population's loss classes; fractions must sum to 1.
+	// They do not need to be sorted.
+	Classes []LossShare
+}
+
+// DefaultMultiClassScenario returns a four-class population spanning the
+// paper's 2%–20% range: 40% at 2%, 30% at 5%, 20% at 10%, 10% at 20%.
+func DefaultMultiClassScenario() MultiClassLossScenario {
+	return MultiClassLossScenario{
+		N: 65536, L: 256, Degree: 4,
+		Classes: []LossShare{
+			{Fraction: 0.4, P: 0.02},
+			{Fraction: 0.3, P: 0.05},
+			{Fraction: 0.2, P: 0.10},
+			{Fraction: 0.1, P: 0.20},
+		},
+	}
+}
+
+// CostOneKeyTree evaluates the whole mixed population in one tree.
+func (s MultiClassLossScenario) CostOneKeyTree() (float64, error) {
+	t := WKABKRTree{N: s.N, L: s.L, Degree: s.Degree, Mix: s.Classes}
+	return t.RekeyBandwidth()
+}
+
+// CostGrouped evaluates a specific partition of the (sorted) classes into
+// contiguous groups, one key tree per group. Departures are proportional
+// to tree size.
+func (s MultiClassLossScenario) CostGrouped(groups [][]LossShare) (float64, error) {
+	trees := make([]WKABKRTree, 0, len(groups))
+	for _, g := range groups {
+		frac := 0.0
+		for _, c := range g {
+			frac += c.Fraction
+		}
+		if frac <= 0 {
+			continue
+		}
+		mix := make([]LossShare, 0, len(g))
+		for _, c := range g {
+			mix = append(mix, LossShare{Fraction: c.Fraction / frac, P: c.P})
+		}
+		trees = append(trees, WKABKRTree{
+			N: frac * s.N, L: frac * s.L, Degree: s.Degree, Mix: mix,
+		})
+	}
+	mp := MultiTreeParams{Trees: trees, IncludeGroupKey: true}
+	return mp.RekeyBandwidth()
+}
+
+// BestPartition finds the cheapest organization into exactly k trees by
+// exhaustive search over contiguous partitions of the loss-sorted classes
+// (an optimal grouping is always contiguous in loss rate: swapping members
+// across a boundary only increases the spread inside each tree). It
+// returns the cost and the chosen boundaries (upper loss bound of each
+// tree except the last).
+func (s MultiClassLossScenario) BestPartition(k int) (float64, []float64, error) {
+	classes := append([]LossShare(nil), s.Classes...)
+	sort.Slice(classes, func(i, j int) bool { return classes[i].P < classes[j].P })
+	c := len(classes)
+	if k < 1 || k > c {
+		return 0, nil, fmt.Errorf("%w: %d trees for %d classes", ErrBadParams, k, c)
+	}
+	best := math.Inf(1)
+	var bestBounds []float64
+
+	// Choose k−1 cut points among the c−1 gaps.
+	cuts := make([]int, k-1)
+	var recurse func(pos, from int) error
+	recurse = func(pos, from int) error {
+		if pos == k-1 {
+			groups := make([][]LossShare, 0, k)
+			prev := 0
+			for _, cut := range cuts {
+				groups = append(groups, classes[prev:cut])
+				prev = cut
+			}
+			groups = append(groups, classes[prev:])
+			cost, err := s.CostGrouped(groups)
+			if err != nil {
+				return err
+			}
+			if cost < best {
+				best = cost
+				bestBounds = bestBounds[:0]
+				for _, cut := range cuts {
+					bestBounds = append(bestBounds, classes[cut-1].P)
+				}
+			}
+			return nil
+		}
+		for cut := from; cut <= c-(k-1-pos); cut++ {
+			cuts[pos] = cut
+			if err := recurse(pos+1, cut+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recurse(0, 1); err != nil {
+		return 0, nil, err
+	}
+	return best, append([]float64(nil), bestBounds...), nil
+}
+
+// TreeCountSweep returns, for k = 1..len(Classes), the best achievable
+// cost with k trees — quantifying the diminishing returns of finer
+// loss homogenization.
+func (s MultiClassLossScenario) TreeCountSweep() ([]float64, error) {
+	out := make([]float64, 0, len(s.Classes))
+	for k := 1; k <= len(s.Classes); k++ {
+		cost, _, err := s.BestPartition(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cost)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package analytic
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMultiClassOneTreeMatchesTwoClassScenario(t *testing.T) {
+	// With exactly two classes the generalized scenario must reproduce the
+	// Fig. 6 two-class numbers.
+	two := DefaultLossScenario()
+	two.Alpha = 0.2
+	wantOne, err := two.CostOneKeyTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MultiClassLossScenario{
+		N: two.N, L: two.L, Degree: two.Degree,
+		Classes: []LossShare{
+			{Fraction: 0.8, P: two.Pl},
+			{Fraction: 0.2, P: two.Ph},
+		},
+	}
+	gotOne, err := mc.CostOneKeyTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gotOne, wantOne, 1e-9) {
+		t.Fatalf("one-tree cost %v, two-class scenario gives %v", gotOne, wantOne)
+	}
+	wantHom, err := two.CostLossHomogenized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHom, _, err := mc.BestPartition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gotHom, wantHom, 1e-9) {
+		t.Fatalf("2-tree cost %v, two-class scenario gives %v", gotHom, wantHom)
+	}
+}
+
+func TestMultiClassTreeCountSweepDiminishingReturns(t *testing.T) {
+	s := DefaultMultiClassScenario()
+	costs, err := s.TreeCountSweep()
+	if err != nil {
+		t.Fatalf("TreeCountSweep: %v", err)
+	}
+	if len(costs) != 4 {
+		t.Fatalf("got %d costs, want 4", len(costs))
+	}
+	// More trees never hurts much and the first split helps most.
+	if costs[1] >= costs[0] {
+		t.Errorf("2 trees (%v) should beat 1 tree (%v)", costs[1], costs[0])
+	}
+	firstGain := costs[0] - costs[1]
+	lastGain := costs[2] - costs[3]
+	if lastGain > firstGain {
+		t.Errorf("no diminishing returns: first split saves %v, last saves %v", firstGain, lastGain)
+	}
+}
+
+func TestMultiClassBestPartitionBounds(t *testing.T) {
+	s := DefaultMultiClassScenario()
+	cost, bounds, err := s.BestPartition(2)
+	if err != nil {
+		t.Fatalf("BestPartition: %v", err)
+	}
+	if len(bounds) != 1 {
+		t.Fatalf("bounds=%v, want one boundary", bounds)
+	}
+	// The boundary must be one of the class rates below the maximum.
+	valid := map[float64]bool{0.02: true, 0.05: true, 0.10: true}
+	if !valid[bounds[0]] {
+		t.Errorf("boundary %v is not a class rate below the max", bounds[0])
+	}
+	one, err := s.CostOneKeyTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost >= one {
+		t.Errorf("best 2-tree cost %v not below one-tree %v", cost, one)
+	}
+}
+
+func TestMultiClassBestPartitionValidation(t *testing.T) {
+	s := DefaultMultiClassScenario()
+	if _, _, err := s.BestPartition(0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("k=0: err=%v", err)
+	}
+	if _, _, err := s.BestPartition(5); !errors.Is(err, ErrBadParams) {
+		t.Errorf("k>classes: err=%v", err)
+	}
+}
+
+func TestMultiClassFullSplitEqualsPerClassTrees(t *testing.T) {
+	s := DefaultMultiClassScenario()
+	full, _, err := s.BestPartition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([][]LossShare, len(s.Classes))
+	for i, c := range s.Classes {
+		groups[i] = []LossShare{c}
+	}
+	direct, err := s.CostGrouped(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(full, direct, 1e-9) {
+		t.Fatalf("4-way best partition %v ≠ per-class trees %v", full, direct)
+	}
+}

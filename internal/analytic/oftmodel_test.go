@@ -1,0 +1,70 @@
+package analytic
+
+import "testing"
+
+func TestBatchRekeyCostOFTBelowBinaryLKH(t *testing.T) {
+	// One blinded key per updated level instead of two child wraps: OFT
+	// must cost roughly half of binary LKH across batch sizes.
+	for _, l := range []float64{1, 16, 256} {
+		lkh := BatchRekeyCost(65536, l, 2)
+		oft := BatchRekeyCostOFT(65536, l)
+		if oft >= lkh {
+			t.Errorf("l=%v: OFT %v not below LKH-2 %v", l, oft, lkh)
+		}
+		ratio := oft / lkh
+		if ratio < 0.4 || ratio > 0.75 {
+			t.Errorf("l=%v: OFT/LKH ratio %v outside the ≈0.5–0.7 band", l, ratio)
+		}
+	}
+}
+
+func TestBatchRekeyCostOFTSingleDeparture(t *testing.T) {
+	// One departure from a full binary tree of height h: every non-root
+	// interior level contributes P_i = S_i/N = 2^{-i}, so the interior sum
+	// telescopes to h−1, plus one leaf blind: h in total.
+	got := BatchRekeyCostOFT(1024, 1) // h = 10
+	if got < 9.99 || got > 10.01 {
+		t.Fatalf("NeOFT(1024, 1) = %v, want 10", got)
+	}
+}
+
+func TestBatchRekeyCostOFTDegenerate(t *testing.T) {
+	if got := BatchRekeyCostOFT(1, 1); got != 0 {
+		t.Errorf("singleton cost %v", got)
+	}
+	if got := BatchRekeyCostOFT(100, 0); got != 0 {
+		t.Errorf("zero departures cost %v", got)
+	}
+}
+
+func TestTwoPartitionOFTReductionCarriesOver(t *testing.T) {
+	// Section 2.1.1: the optimization applies to OFT. At the Table 1
+	// defaults the TT-over-OFT scheme must beat the one-OFT-tree baseline.
+	p := DefaultTwoPartitionParams()
+	one, err := p.CostOneKeyTreeOFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := p.CostTTOFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt >= one {
+		t.Fatalf("TT-over-OFT (%v) does not beat one OFT tree (%v)", tt, one)
+	}
+	red := (one - tt) / one
+	if red < 0.08 {
+		t.Errorf("OFT two-partition reduction only %.1f%%", 100*red)
+	}
+	// K=0 fallback.
+	p0 := p
+	p0.K = 0
+	tt0, err := p0.CostTTOFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one0, _ := p0.CostOneKeyTreeOFT()
+	if !almostEqual(tt0, one0, 1e-9) {
+		t.Fatalf("K=0: TT-OFT %v must equal one-OFT %v", tt0, one0)
+	}
+}

@@ -1,0 +1,127 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models the probabilistic LKH organization of Selcuk et al.
+// (Section 2.3): instead of a balanced tree, members that are more likely
+// to be revoked sit closer to the root, "in a spirit similar to data
+// compression algorithms such as Huffman and Shannon-Fano coding". The
+// PT-scheme borrows its known-class assumption; this model quantifies how
+// much the depth optimization itself can save under individual (per-event)
+// rekeying, where a member at depth h costs about d·h keys to revoke.
+
+// LeaveClass is one slice of the membership with a common per-period
+// departure probability.
+type LeaveClass struct {
+	Fraction float64 // share of the group, summing to 1 across classes
+	PLeave   float64 // probability the member departs in one rekey period
+}
+
+// ProbabilisticLKH describes a group with known per-class departure
+// probabilities.
+type ProbabilisticLKH struct {
+	N       float64
+	Degree  int
+	Classes []LeaveClass
+}
+
+// Validate checks the inputs.
+func (p ProbabilisticLKH) Validate() error {
+	if p.N < 2 || p.Degree < 2 {
+		return fmt.Errorf("%w: n=%v degree=%d", ErrBadParams, p.N, p.Degree)
+	}
+	sum := 0.0
+	for _, c := range p.Classes {
+		if c.Fraction < 0 || c.PLeave < 0 || c.PLeave > 1 {
+			return fmt.Errorf("%w: class %+v", ErrBadParams, c)
+		}
+		sum += c.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("%w: class fractions sum to %v", ErrBadParams, sum)
+	}
+	return nil
+}
+
+// BalancedCost is the per-period expected revocation cost of the balanced
+// tree: every member sits at depth log_d N, and a departure costs d·depth
+// keys (individual rekeying, as in Selcuk et al.'s setting).
+func (p ProbabilisticLKH) BalancedCost() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	depth := math.Ceil(math.Log(p.N) / math.Log(float64(p.Degree)))
+	cost := 0.0
+	for _, c := range p.Classes {
+		cost += c.Fraction * p.N * c.PLeave * float64(p.Degree) * depth
+	}
+	return cost, nil
+}
+
+// OptimalDepths returns the revocation-probability-weighted depths that
+// minimize Σ_i N_i·p_i·depth_i subject to the Kraft inequality
+// Σ_i N_i·d^(−depth_i) ≤ 1 — the Shannon-code solution
+//
+//	depth_i = log_d( W / w_i ),  w_i = p_i / Σ_j f_j·N·p_j per member,
+//
+// clamped below at the information-theoretic floor for the class size (a
+// class of N_i members can never sit shallower than log_d N_i if it fills
+// its subtree).
+func (p ProbabilisticLKH) OptimalDepths() ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	df := float64(p.Degree)
+	// Total weight W = Σ members' p; per-member weight w_i = p_i.
+	totalW := 0.0
+	for _, c := range p.Classes {
+		totalW += c.Fraction * p.N * c.PLeave
+	}
+	depths := make([]float64, len(p.Classes))
+	for i, c := range p.Classes {
+		if c.PLeave <= 0 || totalW <= 0 {
+			// Never-leaving members can sit arbitrarily deep; cap at the
+			// depth needed to pack them all.
+			depths[i] = math.Log(p.N) / math.Log(df)
+			continue
+		}
+		ideal := math.Log(totalW/c.PLeave) / math.Log(df)
+		floor := math.Log(math.Max(c.Fraction*p.N, 1)) / math.Log(df)
+		depths[i] = math.Max(ideal, floor)
+	}
+	return depths, nil
+}
+
+// OptimalCost is the per-period expected revocation cost with the
+// probability-ordered organization.
+func (p ProbabilisticLKH) OptimalCost() (float64, error) {
+	depths, err := p.OptimalDepths()
+	if err != nil {
+		return 0, err
+	}
+	cost := 0.0
+	for i, c := range p.Classes {
+		cost += c.Fraction * p.N * c.PLeave * float64(p.Degree) * depths[i]
+	}
+	return cost, nil
+}
+
+// Gain returns the relative saving of the probabilistic organization over
+// the balanced tree.
+func (p ProbabilisticLKH) Gain() (float64, error) {
+	bal, err := p.BalancedCost()
+	if err != nil {
+		return 0, err
+	}
+	opt, err := p.OptimalCost()
+	if err != nil {
+		return 0, err
+	}
+	if bal <= 0 {
+		return 0, nil
+	}
+	return (bal - opt) / bal, nil
+}

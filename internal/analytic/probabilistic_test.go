@@ -1,0 +1,106 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func skewedGroup(alpha, pHigh, pLow float64) ProbabilisticLKH {
+	return ProbabilisticLKH{
+		N:      65536,
+		Degree: 4,
+		Classes: []LeaveClass{
+			{Fraction: alpha, PLeave: pHigh},
+			{Fraction: 1 - alpha, PLeave: pLow},
+		},
+	}
+}
+
+func TestProbabilisticUniformNoGain(t *testing.T) {
+	// With identical leave probabilities the optimal depths collapse to
+	// the balanced ones: no gain.
+	p := skewedGroup(0.5, 0.01, 0.01)
+	gain, err := p.Gain()
+	if err != nil {
+		t.Fatalf("Gain: %v", err)
+	}
+	if math.Abs(gain) > 0.01 {
+		t.Fatalf("uniform population gain %v, want ≈0", gain)
+	}
+}
+
+func TestProbabilisticSkewGain(t *testing.T) {
+	// The paper's point (via Selcuk et al.): when leave probabilities are
+	// very skewed, placing churners near the root pays off.
+	p := skewedGroup(0.05, 0.5, 0.001) // 5% of members cause most churn
+	gain, err := p.Gain()
+	if err != nil {
+		t.Fatalf("Gain: %v", err)
+	}
+	if gain < 0.10 {
+		t.Fatalf("heavily skewed population gains only %.1f%%", 100*gain)
+	}
+	// Gain grows with skew.
+	mild := skewedGroup(0.05, 0.05, 0.01)
+	mildGain, _ := mild.Gain()
+	if mildGain >= gain {
+		t.Fatalf("mild skew gain %v not below heavy skew gain %v", mildGain, gain)
+	}
+}
+
+func TestProbabilisticDepthsRespectKraftAndFloors(t *testing.T) {
+	p := skewedGroup(0.1, 0.3, 0.005)
+	depths, err := p.OptimalDepths()
+	if err != nil {
+		t.Fatalf("OptimalDepths: %v", err)
+	}
+	// Kraft: Σ N_i·d^{-depth_i} ≤ 1 (+ float tolerance).
+	kraft := 0.0
+	for i, c := range p.Classes {
+		kraft += c.Fraction * p.N * math.Pow(4, -depths[i])
+	}
+	if kraft > 1.0001 {
+		t.Fatalf("Kraft sum %v exceeds 1: depths unrealizable", kraft)
+	}
+	// High-churn class sits strictly shallower.
+	if depths[0] >= depths[1] {
+		t.Fatalf("high-churn depth %v not above low-churn depth %v", depths[0], depths[1])
+	}
+	// No class sits shallower than its packing floor.
+	for i, c := range p.Classes {
+		floor := math.Log(c.Fraction*p.N) / math.Log(4)
+		if depths[i] < floor-1e-9 {
+			t.Fatalf("class %d depth %v below packing floor %v", i, depths[i], floor)
+		}
+	}
+}
+
+func TestProbabilisticValidation(t *testing.T) {
+	bad := ProbabilisticLKH{N: 100, Degree: 4, Classes: []LeaveClass{{Fraction: 0.5, PLeave: 0.1}}}
+	if _, err := bad.Gain(); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("fractions not summing to 1: err=%v", err)
+	}
+	bad2 := ProbabilisticLKH{N: 1, Degree: 4, Classes: []LeaveClass{{Fraction: 1, PLeave: 0.1}}}
+	if _, err := bad2.Gain(); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("n<2: err=%v", err)
+	}
+}
+
+func TestProbabilisticNeverLeavers(t *testing.T) {
+	p := ProbabilisticLKH{
+		N:      4096,
+		Degree: 4,
+		Classes: []LeaveClass{
+			{Fraction: 0.2, PLeave: 0.2},
+			{Fraction: 0.8, PLeave: 0}, // archival subscribers
+		},
+	}
+	gain, err := p.Gain()
+	if err != nil {
+		t.Fatalf("Gain: %v", err)
+	}
+	if gain <= 0 {
+		t.Fatalf("gain %v, want positive when 80%% of members never leave", gain)
+	}
+}

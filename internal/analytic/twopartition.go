@@ -1,0 +1,229 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model validation errors.
+var (
+	ErrBadParams = errors.New("analytic: invalid model parameters")
+)
+
+// TwoPartitionParams parameterizes the two-class open queueing model of
+// Section 3.3.1 (see the paper's Fig. 2 and Table 1). Durations are in
+// seconds. Members arrive at rate J per rekey period Tp; a fraction Alpha
+// belong to the short-duration class Cs (exponential mean Ms) and the rest
+// to the long-duration class Cl (exponential mean Ml). Members joining the
+// S-partition migrate to the L-partition after surviving the S-period
+// Ts = K·Tp.
+type TwoPartitionParams struct {
+	Tp     float64 // rekey period (seconds)
+	N      float64 // steady-state group size
+	Degree int     // key tree fan-out d
+	K      int     // S-period in rekey periods: Ts = K·Tp
+	Ms     float64 // mean membership duration of class Cs (seconds)
+	Ml     float64 // mean membership duration of class Cl (seconds)
+	Alpha  float64 // fraction of joins from class Cs
+}
+
+// DefaultTwoPartitionParams returns the paper's Table 1 defaults:
+// Tp = 60 s, N = 65536, d = 4, K = 10, Ms = 3 min, Ml = 3 h, α = 0.8.
+func DefaultTwoPartitionParams() TwoPartitionParams {
+	return TwoPartitionParams{
+		Tp:     60,
+		N:      65536,
+		Degree: 4,
+		K:      10,
+		Ms:     3 * 60,
+		Ml:     3 * 60 * 60,
+		Alpha:  0.8,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p TwoPartitionParams) Validate() error {
+	switch {
+	case p.Tp <= 0:
+		return fmt.Errorf("%w: Tp=%v", ErrBadParams, p.Tp)
+	case p.N < 2:
+		return fmt.Errorf("%w: N=%v", ErrBadParams, p.N)
+	case p.Degree < 2:
+		return fmt.Errorf("%w: degree=%d", ErrBadParams, p.Degree)
+	case p.K < 0:
+		return fmt.Errorf("%w: K=%d", ErrBadParams, p.K)
+	case p.Ms <= 0 || p.Ml <= 0:
+		return fmt.Errorf("%w: Ms=%v Ml=%v", ErrBadParams, p.Ms, p.Ml)
+	case p.Alpha < 0 || p.Alpha > 1:
+		return fmt.Errorf("%w: alpha=%v", ErrBadParams, p.Alpha)
+	}
+	return nil
+}
+
+// DepartProb is equation (2): the probability that a member with
+// exponentially distributed duration of mean m departs within time t.
+func DepartProb(t, m float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-t/m)
+}
+
+// TwoPartitionState holds the steady-state quantities of the model,
+// equations (1)–(7). All values are per rekey period Tp unless noted.
+type TwoPartitionState struct {
+	J   float64 // join (and departure) rate per period
+	Ncs float64 // class-Cs members in the group
+	Ncl float64 // class-Cl members in the group
+	Lcs float64 // class-Cs departures per period (= α·J)
+	Lcl float64 // class-Cl departures per period (= (1−α)·J)
+	Ns  float64 // members in the S-partition (equation 6)
+	Nl  float64 // members in the L-partition (N − Ns)
+	Lm  float64 // migrations S→L per period (equation 7)
+	Ls  float64 // departures from the S-partition per period (J − Lm)
+	Ll  float64 // departures from the L-partition per period (= Lm in steady state)
+}
+
+// SteadyState solves the model for the given parameters.
+//
+// From equations (3)–(5): Lcs = Ncs·Pr(Tp,Ms) = α·J and
+// Lcl = Ncl·Pr(Tp,Ml) = (1−α)·J, with Ncs + Ncl = N, so
+//
+//	J = N / ( α/Pr(Tp,Ms) + (1−α)/Pr(Tp,Ml) ).
+func (p TwoPartitionParams) SteadyState() (TwoPartitionState, error) {
+	if err := p.Validate(); err != nil {
+		return TwoPartitionState{}, err
+	}
+	prS := DepartProb(p.Tp, p.Ms)
+	prL := DepartProb(p.Tp, p.Ml)
+
+	var s TwoPartitionState
+	s.J = p.N / (p.Alpha/prS + (1-p.Alpha)/prL)
+	s.Lcs = p.Alpha * s.J
+	s.Lcl = (1 - p.Alpha) * s.J
+	s.Ncs = s.Lcs / prS
+	s.Ncl = s.Lcl / prL
+
+	// Equation (6): members resident in the S-partition have survived
+	// 0, Tp, …, (K−1)·Tp so far.
+	for i := 0; i < p.K; i++ {
+		t := float64(i) * p.Tp
+		s.Ns += p.Alpha*s.J*math.Exp(-t/p.Ms) + (1-p.Alpha)*s.J*math.Exp(-t/p.Ml)
+	}
+	s.Nl = p.N - s.Ns
+
+	// Equation (7): only members that survived the full S-period migrate.
+	ts := float64(p.K) * p.Tp
+	s.Lm = p.Alpha*s.J*math.Exp(-ts/p.Ms) + (1-p.Alpha)*s.J*math.Exp(-ts/p.Ml)
+	s.Ls = s.J - s.Lm
+	s.Ll = s.Lm // steady state: L-partition arrivals equal its departures
+	return s, nil
+}
+
+// CostOneKeyTree is the per-period rekeying cost (number of encrypted keys)
+// of the unoptimized single balanced key tree: Ne(N, J).
+func (p TwoPartitionParams) CostOneKeyTree() (float64, error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return BatchRekeyCost(p.N, s.J, p.Degree), nil
+}
+
+// CostQT is equation (8): the QT-scheme keeps the S-partition as a linear
+// queue (rekey cost Ns: the new key is encrypted individually for every
+// queue resident) and the L-partition as a balanced tree.
+func (p TwoPartitionParams) CostQT() (float64, error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	if p.K == 0 {
+		// Degenerate S-partition: the scheme falls back to one key tree.
+		return BatchRekeyCost(p.N, s.J, p.Degree), nil
+	}
+	return s.Ns + BatchRekeyCost(s.Nl, s.Ll, p.Degree), nil
+}
+
+// CostTT is equation (9): both partitions are balanced key trees. The
+// S-tree processes all J arrivals and J removals (Ls departures plus Lm
+// migrations) per period; the L-tree processes Lm arrivals and Ll
+// departures.
+func (p TwoPartitionParams) CostTT() (float64, error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	if p.K == 0 {
+		return BatchRekeyCost(p.N, s.J, p.Degree), nil
+	}
+	return BatchRekeyCost(s.Ns, s.J, p.Degree) + BatchRekeyCost(s.Nl, s.Ll, p.Degree), nil
+}
+
+// CostPT is equation (10): the oracle scheme that knows each member's class
+// at join time and places it directly, avoiding all migration overhead.
+func (p TwoPartitionParams) CostPT() (float64, error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return BatchRekeyCost(s.Ncs, s.Lcs, p.Degree) + BatchRekeyCost(s.Ncl, s.Lcl, p.Degree), nil
+}
+
+// CostsWith evaluates all four schemes' per-period costs with an arbitrary
+// batched-rekey cost function (e.g. BatchRekeyCost for the paper's model,
+// BatchRekeyCostImpl for the implementation-aware variant).
+func (p TwoPartitionParams) CostsWith(f func(n, l float64, d int) float64) (one, qt, tt, pt float64, err error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	one = f(p.N, s.J, p.Degree)
+	if p.K == 0 {
+		qt, tt = one, one
+	} else {
+		qt = s.Ns + f(s.Nl, s.Ll, p.Degree)
+		tt = f(s.Ns, s.J, p.Degree) + f(s.Nl, s.Ll, p.Degree)
+	}
+	pt = f(s.Ncs, s.Lcs, p.Degree) + f(s.Ncl, s.Lcl, p.Degree)
+	return one, qt, tt, pt, nil
+}
+
+// CostOneKeyTreeOFT is the per-period cost of the unoptimized scheme when
+// the key tree is a one-way function tree instead of LKH.
+func (p TwoPartitionParams) CostOneKeyTreeOFT() (float64, error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return BatchRekeyCostOFT(p.N, s.J), nil
+}
+
+// CostTTOFT is the TT-scheme cost with both partitions built as one-way
+// function trees — demonstrating the paper's Section 2.1.1 claim that the
+// two-partition optimization carries over to OFT.
+func (p TwoPartitionParams) CostTTOFT() (float64, error) {
+	s, err := p.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	if p.K == 0 {
+		return BatchRekeyCostOFT(p.N, s.J), nil
+	}
+	return BatchRekeyCostOFT(s.Ns, s.J) + BatchRekeyCostOFT(s.Nl, s.Ll), nil
+}
+
+// Reduction returns the relative rekeying-cost reduction of cost over the
+// one-keytree baseline: (baseline − cost) / baseline. Positive means the
+// optimized scheme wins.
+func (p TwoPartitionParams) Reduction(cost float64) (float64, error) {
+	base, err := p.CostOneKeyTree()
+	if err != nil {
+		return 0, err
+	}
+	if base == 0 {
+		return 0, nil
+	}
+	return (base - cost) / base, nil
+}

@@ -1,0 +1,256 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDepartProb(t *testing.T) {
+	tests := []struct {
+		t, m, want float64
+	}{
+		{0, 180, 0},
+		{180, 180, 1 - math.Exp(-1)},
+		{math.Inf(1), 180, 1},
+	}
+	for _, tt := range tests {
+		if got := DepartProb(tt.t, tt.m); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("DepartProb(%v,%v)=%v, want %v", tt.t, tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestSteadyStateDefaults(t *testing.T) {
+	p := DefaultTwoPartitionParams()
+	s, err := p.SteadyState()
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	// Join rate: J = N / (α/Pr(Tp,Ms) + (1−α)/Pr(Tp,Ml)) ≈ 1683.8 for
+	// Table 1 defaults.
+	if s.J < 1600 || s.J > 1800 {
+		t.Errorf("J=%v, want ≈1684", s.J)
+	}
+	// Flow conservation.
+	if !almostEqual(s.Lcs+s.Lcl, s.J, 1e-9) {
+		t.Errorf("Lcs+Lcl=%v ≠ J=%v", s.Lcs+s.Lcl, s.J)
+	}
+	if !almostEqual(s.Ncs+s.Ncl, p.N, 1e-6) {
+		t.Errorf("Ncs+Ncl=%v ≠ N=%v", s.Ncs+s.Ncl, p.N)
+	}
+	if !almostEqual(s.Ns+s.Nl, p.N, 1e-6) {
+		t.Errorf("Ns+Nl=%v ≠ N=%v", s.Ns+s.Nl, p.N)
+	}
+	if !almostEqual(s.Ls+s.Lm, s.J, 1e-9) {
+		t.Errorf("Ls+Lm=%v ≠ J=%v (S-partition flow)", s.Ls+s.Lm, s.J)
+	}
+	if s.Ll != s.Lm {
+		t.Errorf("steady state requires Ll=Lm, got %v vs %v", s.Ll, s.Lm)
+	}
+	// With α=0.8 and short mean 3 min, the S-partition holds a visible
+	// slice of the group but far from all of it.
+	if s.Ns < 1000 || s.Ns > p.N/2 {
+		t.Errorf("Ns=%v implausible", s.Ns)
+	}
+}
+
+func TestSteadyStateValidation(t *testing.T) {
+	bad := []TwoPartitionParams{
+		{Tp: 0, N: 100, Degree: 4, Ms: 1, Ml: 1, Alpha: 0.5},
+		{Tp: 60, N: 1, Degree: 4, Ms: 1, Ml: 1, Alpha: 0.5},
+		{Tp: 60, N: 100, Degree: 1, Ms: 1, Ml: 1, Alpha: 0.5},
+		{Tp: 60, N: 100, Degree: 4, K: -1, Ms: 1, Ml: 1, Alpha: 0.5},
+		{Tp: 60, N: 100, Degree: 4, Ms: 0, Ml: 1, Alpha: 0.5},
+		{Tp: 60, N: 100, Degree: 4, Ms: 1, Ml: 1, Alpha: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := p.SteadyState(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: err=%v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestKZeroFallsBackToOneKeyTree(t *testing.T) {
+	// "The previous one-keytree scheme is actually a special case of our
+	// schemes where the S-period Ts is 0."
+	p := DefaultTwoPartitionParams()
+	p.K = 0
+	one, err := p.CostOneKeyTree()
+	if err != nil {
+		t.Fatalf("CostOneKeyTree: %v", err)
+	}
+	qt, err := p.CostQT()
+	if err != nil {
+		t.Fatalf("CostQT: %v", err)
+	}
+	tt, err := p.CostTT()
+	if err != nil {
+		t.Fatalf("CostTT: %v", err)
+	}
+	if !almostEqual(qt, one, 1e-9) || !almostEqual(tt, one, 1e-9) {
+		t.Fatalf("K=0: qt=%v tt=%v one=%v, all must coincide", qt, tt, one)
+	}
+}
+
+func TestFig3DefaultKSweep(t *testing.T) {
+	// Paper Fig. 3 observations at Table 1 defaults:
+	//  1. TT achieves a large reduction near K=10 (paper: up to 25%).
+	//  2. TT outperforms QT for large K.
+	//  3. PT is best and independent of K.
+	p := DefaultTwoPartitionParams()
+	one, _ := p.CostOneKeyTree()
+
+	ttAt10, _ := p.CostTT()
+	red := (one - ttAt10) / one
+	if red < 0.15 || red > 0.35 {
+		t.Errorf("TT reduction at K=10 is %.1f%%, paper shows ≈25%%", 100*red)
+	}
+
+	p20 := p
+	p20.K = 20
+	qt20, _ := p20.CostQT()
+	tt20, _ := p20.CostTT()
+	if tt20 >= qt20 {
+		t.Errorf("at K=20 TT (%v) should beat QT (%v)", tt20, qt20)
+	}
+
+	pt10, _ := p.CostPT()
+	pt20, _ := p20.CostPT()
+	if !almostEqual(pt10, pt20, 1e-9) {
+		t.Errorf("PT cost depends on K: %v vs %v", pt10, pt20)
+	}
+	ptRed := (one - pt10) / one
+	if ptRed < 0.3 || ptRed > 0.5 {
+		t.Errorf("PT reduction %.1f%%, paper shows up to 40%%", 100*ptRed)
+	}
+}
+
+func TestFig4AlphaSweep(t *testing.T) {
+	// Paper Fig. 4 observations (K=10):
+	//  1. For α > 0.6 both TT and QT beat the one-keytree scheme.
+	//  2. Peak improvement ≈31.4% at α = 0.9.
+	//  3. For α ≤ 0.4 the one-keytree scheme wins.
+	//  4. PT always wins.
+	base := DefaultTwoPartitionParams()
+
+	for _, alpha := range []float64{0.7, 0.8, 0.9} {
+		p := base
+		p.Alpha = alpha
+		one, _ := p.CostOneKeyTree()
+		qt, _ := p.CostQT()
+		tt, _ := p.CostTT()
+		if qt >= one || tt >= one {
+			t.Errorf("α=%v: two-partition should win (one=%v qt=%v tt=%v)", alpha, one, qt, tt)
+		}
+	}
+	for _, alpha := range []float64{0.0, 0.2, 0.4} {
+		p := base
+		p.Alpha = alpha
+		one, _ := p.CostOneKeyTree()
+		qt, _ := p.CostQT()
+		tt, _ := p.CostTT()
+		if qt <= one || tt <= one {
+			t.Errorf("α=%v: one-keytree should win (one=%v qt=%v tt=%v)", alpha, one, qt, tt)
+		}
+	}
+
+	p9 := base
+	p9.Alpha = 0.9
+	one, _ := p9.CostOneKeyTree()
+	qt, _ := p9.CostQT()
+	bestRed := (one - qt) / one
+	if tt, _ := p9.CostTT(); (one-tt)/one > bestRed {
+		bestRed = (one - tt) / one
+	}
+	if bestRed < 0.25 || bestRed > 0.38 {
+		t.Errorf("best reduction at α=0.9 is %.1f%%, paper reports 31.4%%", 100*bestRed)
+	}
+
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := base
+		p.Alpha = alpha
+		pt, _ := p.CostPT()
+		qt, _ := p.CostQT()
+		tt, _ := p.CostTT()
+		if pt > qt+1e-9 || pt > tt+1e-9 {
+			t.Errorf("α=%v: PT (%v) must not lose to QT (%v) or TT (%v)", alpha, pt, qt, tt)
+		}
+	}
+}
+
+func TestFig5GroupSizeSweep(t *testing.T) {
+	// Paper Fig. 5: varying N from 1K to 256K changes the relative gains
+	// little; average savings exceed 22% in the default scenario.
+	var reductions []float64
+	for _, n := range []float64{1024, 4096, 16384, 65536, 262144} {
+		p := DefaultTwoPartitionParams()
+		p.N = n
+		one, err := p.CostOneKeyTree()
+		if err != nil {
+			t.Fatalf("N=%v: %v", n, err)
+		}
+		qt, _ := p.CostQT()
+		tt, _ := p.CostTT()
+		best := math.Max((one-qt)/one, (one-tt)/one)
+		reductions = append(reductions, best)
+		if best < 0.15 {
+			t.Errorf("N=%v: best reduction only %.1f%%", n, 100*best)
+		}
+	}
+	mean := 0.0
+	for _, r := range reductions {
+		mean += r
+	}
+	mean /= float64(len(reductions))
+	if mean < 0.20 {
+		t.Errorf("mean reduction across sizes %.1f%%, paper shows >22%%", 100*mean)
+	}
+	// Weak dependence on N: spread bounded.
+	minR, maxR := reductions[0], reductions[0]
+	for _, r := range reductions {
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	if maxR-minR > 0.15 {
+		t.Errorf("reduction varies too much with N: [%v, %v]", minR, maxR)
+	}
+}
+
+func TestSteadyStateFlowConservationQuick(t *testing.T) {
+	f := func(aRaw, kRaw, msRaw, mlRaw uint16) bool {
+		p := TwoPartitionParams{
+			Tp:     60,
+			N:      65536,
+			Degree: 4,
+			K:      int(kRaw % 30),
+			Ms:     float64(msRaw%1000) + 10,
+			Ml:     float64(mlRaw)*2 + 100,
+			Alpha:  float64(aRaw%101) / 100,
+		}
+		s, err := p.SteadyState()
+		if err != nil {
+			return false
+		}
+		return almostEqual(s.Ncs+s.Ncl, p.N, 1e-6) &&
+			almostEqual(s.Ns+s.Nl, p.N, 1e-6) &&
+			almostEqual(s.Ls+s.Lm, s.J, 1e-6) &&
+			s.Ns >= 0 && s.Nl >= 0 && s.Ls >= -1e-9 && s.Lm >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionHelper(t *testing.T) {
+	p := DefaultTwoPartitionParams()
+	one, _ := p.CostOneKeyTree()
+	r, err := p.Reduction(one / 2)
+	if err != nil {
+		t.Fatalf("Reduction: %v", err)
+	}
+	if !almostEqual(r, 0.5, 1e-9) {
+		t.Fatalf("Reduction=%v, want 0.5", r)
+	}
+}

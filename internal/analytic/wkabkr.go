@@ -1,0 +1,239 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossShare describes one homogeneous slice of a key tree's receiver
+// population: a Fraction of the members (0..1) all experiencing packet-loss
+// probability P.
+type LossShare struct {
+	Fraction float64
+	P        float64
+}
+
+// NormalizeMix drops zero-fraction shares and verifies fractions sum to 1.
+func NormalizeMix(mix []LossShare) ([]LossShare, error) {
+	out := make([]LossShare, 0, len(mix))
+	sum := 0.0
+	for _, s := range mix {
+		if s.Fraction < 0 || s.P < 0 || s.P >= 1 {
+			return nil, fmt.Errorf("%w: loss share fraction=%v p=%v", ErrBadParams, s.Fraction, s.P)
+		}
+		sum += s.Fraction
+		if s.Fraction > 0 {
+			out = append(out, s)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: loss shares sum to %v, want 1", ErrBadParams, sum)
+	}
+	return out, nil
+}
+
+// ExpectedTransmissions is equation (14) extended to a heterogeneous
+// receiver set: the expected number of times one key must be multicast so
+// that all r interested receivers obtain it, when the receivers split into
+// the given loss shares. With independent losses,
+//
+//	P[M ≤ m] = Π_c (1 − p_c^m)^(f_c·r),
+//	E[M]     = Σ_{m≥1} (1 − Π_c (1 − p_c^{m−1})^(f_c·r)).
+//
+// r may be fractional (average receivers per key at a tree level). The sum
+// is truncated once the tail term drops below 1e-12.
+func ExpectedTransmissions(r float64, mix []LossShare) float64 {
+	if r <= 0 {
+		return 0
+	}
+	// E[M] = Σ_{m≥1} P[M ≥ m] = Σ_{m≥1} (1 − P[M ≤ m−1]). The key is always
+	// sent at least once (P[M ≤ 0] = 0), so the m = 1 term is exactly 1.
+	e := 1.0
+	for m := 2; m <= 100000; m++ {
+		cdf := 1.0 // P[M ≤ m−1]
+		for _, c := range mix {
+			if c.P <= 0 || c.Fraction <= 0 {
+				continue // lossless receivers are satisfied by transmission 1
+			}
+			cdf *= math.Pow(1-math.Pow(c.P, float64(m-1)), c.Fraction*r)
+		}
+		term := 1 - cdf
+		e += term
+		if term < 1e-12 {
+			break
+		}
+	}
+	return e
+}
+
+// WKABKRTree models one key tree under the WKA-BKR transport: n members
+// with the given loss mix, l of whom depart in the batch.
+type WKABKRTree struct {
+	N      float64
+	L      float64
+	Degree int
+	Mix    []LossShare
+}
+
+// RekeyBandwidth is equation (15): the expected number of encrypted keys
+// the server transmits (including proactive replicas and retransmissions)
+// for one batched rekey of this tree until every receiver has its keys.
+// Each updated key at level l yields d child wraps, each needed by the
+// R(l) = S_l/d members under that child:
+//
+//	E[V] = Σ_l d · U(l) · E[M(l)],  U(l) = d^l · P_l.
+//
+// Members are assumed uniformly spread over the tree, so each wrap sees the
+// tree's overall loss mix.
+func (t WKABKRTree) RekeyBandwidth() (float64, error) {
+	mix, err := NormalizeMix(t.Mix)
+	if err != nil {
+		return 0, err
+	}
+	if t.N <= 1 || t.L <= 0 {
+		return 0, nil
+	}
+	if t.Degree < 2 {
+		return 0, fmt.Errorf("%w: degree=%d", ErrBadParams, t.Degree)
+	}
+	l := math.Min(t.L, t.N)
+	total := 0.0
+	for _, lv := range TreeLevels(t.N, t.Degree) {
+		u := lv.Keys * lv.PUpdate(t.N, l)           // expected updated keys at this level
+		receivers := lv.Subtree / float64(t.Degree) // members under one child wrap
+		total += float64(t.Degree) * u * ExpectedTransmissions(receivers, mix)
+	}
+	return total, nil
+}
+
+// MultiTreeParams models a key server maintaining several key trees as
+// subtrees beneath the shared group key (Section 4.2). Departures are
+// apportioned to trees in proportion to tree size (Section 4.3).
+type MultiTreeParams struct {
+	Trees []WKABKRTree
+	// IncludeGroupKey adds the cost of re-distributing the shared group
+	// key: one wrap per tree (encrypted under that tree's root), each
+	// needed by the whole tree. The paper's single-tree model already
+	// counts its root at level 0, so comparisons across scheme shapes
+	// should keep this enabled.
+	IncludeGroupKey bool
+}
+
+// RekeyBandwidth sums per-tree rekey bandwidth plus, optionally, the group
+// key distribution cost.
+func (mp MultiTreeParams) RekeyBandwidth() (float64, error) {
+	total := 0.0
+	anyDeparture := false
+	for _, t := range mp.Trees {
+		v, err := t.RekeyBandwidth()
+		if err != nil {
+			return 0, err
+		}
+		total += v
+		if t.L > 0 {
+			anyDeparture = true
+		}
+	}
+	if mp.IncludeGroupKey && anyDeparture && len(mp.Trees) > 1 {
+		for _, t := range mp.Trees {
+			mix, err := NormalizeMix(t.Mix)
+			if err != nil {
+				return 0, err
+			}
+			total += ExpectedTransmissions(t.N, mix)
+		}
+	}
+	return total, nil
+}
+
+// LossScenarioParams sets up the Section 4.3 experiments: N receivers, a
+// fraction alpha experiencing high loss Ph and the rest low loss Pl, and L
+// departures per batch.
+type LossScenarioParams struct {
+	N      float64
+	L      float64
+	Degree int
+	Alpha  float64 // fraction of high-loss receivers
+	Ph     float64 // high loss rate
+	Pl     float64 // low loss rate
+}
+
+// DefaultLossScenario returns the paper's Section 4.3 defaults:
+// N = 65536, L = 256, d = 4, ph = 20%, pl = 2%.
+func DefaultLossScenario() LossScenarioParams {
+	return LossScenarioParams{N: 65536, L: 256, Degree: 4, Ph: 0.20, Pl: 0.02}
+}
+
+func (p LossScenarioParams) mixedShare(alpha float64) []LossShare {
+	return []LossShare{
+		{Fraction: alpha, P: p.Ph},
+		{Fraction: 1 - alpha, P: p.Pl},
+	}
+}
+
+// CostOneKeyTree evaluates the unoptimized scheme: a single tree holding
+// the full mixed population.
+func (p LossScenarioParams) CostOneKeyTree() (float64, error) {
+	t := WKABKRTree{N: p.N, L: p.L, Degree: p.Degree, Mix: p.mixedShare(p.Alpha)}
+	return t.RekeyBandwidth()
+}
+
+// CostTwoRandomTrees evaluates the control scheme of Fig. 6: two key trees
+// of N/2 members each, with members assigned at random, so both trees carry
+// the same loss mix as the whole group.
+func (p LossScenarioParams) CostTwoRandomTrees() (float64, error) {
+	half := WKABKRTree{N: p.N / 2, L: p.L / 2, Degree: p.Degree, Mix: p.mixedShare(p.Alpha)}
+	mp := MultiTreeParams{Trees: []WKABKRTree{half, half}, IncludeGroupKey: true}
+	return mp.RekeyBandwidth()
+}
+
+// CostLossHomogenized evaluates the proposed scheme: one tree with all the
+// high-loss members, another with all the low-loss members. Departures are
+// proportional to tree size.
+func (p LossScenarioParams) CostLossHomogenized() (float64, error) {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		// Homogeneous population: the scheme degenerates to one key tree.
+		return p.CostOneKeyTree()
+	}
+	high := WKABKRTree{
+		N: p.Alpha * p.N, L: p.Alpha * p.L, Degree: p.Degree,
+		Mix: []LossShare{{Fraction: 1, P: p.Ph}},
+	}
+	low := WKABKRTree{
+		N: (1 - p.Alpha) * p.N, L: (1 - p.Alpha) * p.L, Degree: p.Degree,
+		Mix: []LossShare{{Fraction: 1, P: p.Pl}},
+	}
+	mp := MultiTreeParams{Trees: []WKABKRTree{high, low}, IncludeGroupKey: true}
+	return mp.RekeyBandwidth()
+}
+
+// CostMisplaced evaluates the Fig. 7 scenario: tree sizes stay as in the
+// correctly partitioned scheme, but a fraction beta of the high-loss tree's
+// members are actually low-loss and the same head count of the low-loss
+// tree's members are actually high-loss.
+func (p LossScenarioParams) CostMisplaced(beta float64) (float64, error) {
+	if beta < 0 || beta > 1 {
+		return 0, fmt.Errorf("%w: beta=%v", ErrBadParams, beta)
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return p.CostOneKeyTree()
+	}
+	swapped := beta * p.Alpha * p.N // members moved in each direction
+	highTree := WKABKRTree{
+		N: p.Alpha * p.N, L: p.Alpha * p.L, Degree: p.Degree,
+		Mix: []LossShare{
+			{Fraction: 1 - beta, P: p.Ph},
+			{Fraction: beta, P: p.Pl},
+		},
+	}
+	lowN := (1 - p.Alpha) * p.N
+	lowTree := WKABKRTree{
+		N: lowN, L: (1 - p.Alpha) * p.L, Degree: p.Degree,
+		Mix: []LossShare{
+			{Fraction: swapped / lowN, P: p.Ph},
+			{Fraction: 1 - swapped/lowN, P: p.Pl},
+		},
+	}
+	mp := MultiTreeParams{Trees: []WKABKRTree{highTree, lowTree}, IncludeGroupKey: true}
+	return mp.RekeyBandwidth()
+}

@@ -1,0 +1,243 @@
+package analytic
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExpectedTransmissionsLossless(t *testing.T) {
+	got := ExpectedTransmissions(1000, []LossShare{{Fraction: 1, P: 0}})
+	if got != 1 {
+		t.Fatalf("lossless E[M]=%v, want 1", got)
+	}
+}
+
+func TestExpectedTransmissionsSingleReceiverGeometric(t *testing.T) {
+	// One receiver with loss p needs Geometric(1-p) transmissions:
+	// E[M] = 1/(1-p).
+	for _, p := range []float64{0.02, 0.2, 0.5, 0.9} {
+		got := ExpectedTransmissions(1, []LossShare{{Fraction: 1, P: p}})
+		want := 1 / (1 - p)
+		if !almostEqual(got, want, 1e-6) {
+			t.Errorf("p=%v: E[M]=%v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestExpectedTransmissionsMonotone(t *testing.T) {
+	// More receivers or higher loss → more transmissions.
+	prev := 0.0
+	for _, r := range []float64{1, 4, 16, 256, 65536} {
+		e := ExpectedTransmissions(r, []LossShare{{Fraction: 1, P: 0.2}})
+		if e <= prev {
+			t.Fatalf("E[M] not increasing in r: r=%v gives %v (prev %v)", r, e, prev)
+		}
+		prev = e
+	}
+	prev = 0.0
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.6} {
+		e := ExpectedTransmissions(100, []LossShare{{Fraction: 1, P: p}})
+		if e <= prev {
+			t.Fatalf("E[M] not increasing in p: p=%v gives %v (prev %v)", p, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestExpectedTransmissionsMixtureBetweenExtremes(t *testing.T) {
+	mix := []LossShare{{Fraction: 0.5, P: 0.02}, {Fraction: 0.5, P: 0.2}}
+	mixed := ExpectedTransmissions(100, mix)
+	low := ExpectedTransmissions(100, []LossShare{{Fraction: 1, P: 0.02}})
+	high := ExpectedTransmissions(100, []LossShare{{Fraction: 1, P: 0.2}})
+	if mixed <= low || mixed >= high {
+		t.Fatalf("mixture E[M]=%v not between pure cases [%v, %v]", mixed, low, high)
+	}
+	// But the mixture must be dominated by the high-loss half: with 50
+	// high-loss receivers present, it costs nearly as much as all-high.
+	halfHigh := ExpectedTransmissions(50, []LossShare{{Fraction: 1, P: 0.2}})
+	if mixed < halfHigh {
+		t.Fatalf("mixture E[M]=%v below its high-loss component alone %v", mixed, halfHigh)
+	}
+}
+
+func TestNormalizeMixValidation(t *testing.T) {
+	if _, err := NormalizeMix([]LossShare{{Fraction: 0.5, P: 0.1}}); !errors.Is(err, ErrBadParams) {
+		t.Error("fractions not summing to 1 must be rejected")
+	}
+	if _, err := NormalizeMix([]LossShare{{Fraction: 1, P: 1.0}}); !errors.Is(err, ErrBadParams) {
+		t.Error("p=1 must be rejected (key can never be delivered)")
+	}
+	out, err := NormalizeMix([]LossShare{{Fraction: 1, P: 0.1}, {Fraction: 0, P: 0.9}})
+	if err != nil {
+		t.Fatalf("NormalizeMix: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("zero-fraction share not dropped: %v", out)
+	}
+}
+
+func TestWKABKRTreeHomogeneousPaperShape(t *testing.T) {
+	// Homogeneous 2% loss, N=65536, L=256: bandwidth must exceed the
+	// loss-free key count Ne but not wildly (low loss ⇒ little replication).
+	tr := WKABKRTree{N: 65536, L: 256, Degree: 4, Mix: []LossShare{{Fraction: 1, P: 0.02}}}
+	v, err := tr.RekeyBandwidth()
+	if err != nil {
+		t.Fatalf("RekeyBandwidth: %v", err)
+	}
+	ne := BatchRekeyCost(65536, 256, 4)
+	if v <= ne {
+		t.Fatalf("bandwidth %v not above loss-free cost %v", v, ne)
+	}
+	if v > 2*ne {
+		t.Fatalf("bandwidth %v implausibly high for 2%% loss (Ne=%v)", v, ne)
+	}
+}
+
+func TestFig6LossHeterogeneity(t *testing.T) {
+	// Paper Fig. 6 observations:
+	//  1. Two random key trees are slightly WORSE than one key tree.
+	//  2. Loss-homogenized trees win by up to ≈12.1% (peak near α=0.3).
+	//  3. At α = 0 and α = 1 all schemes coincide.
+	base := DefaultLossScenario()
+
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.8} {
+		p := base
+		p.Alpha = alpha
+		one, err := p.CostOneKeyTree()
+		if err != nil {
+			t.Fatalf("α=%v one: %v", alpha, err)
+		}
+		rnd, err := p.CostTwoRandomTrees()
+		if err != nil {
+			t.Fatalf("α=%v random: %v", alpha, err)
+		}
+		hom, err := p.CostLossHomogenized()
+		if err != nil {
+			t.Fatalf("α=%v homog: %v", alpha, err)
+		}
+		if rnd <= one {
+			t.Errorf("α=%v: two random trees (%v) should be slightly worse than one tree (%v)", alpha, rnd, one)
+		}
+		if rnd > 1.15*one {
+			t.Errorf("α=%v: two random trees (%v) should be only slightly worse than one tree (%v)", alpha, rnd, one)
+		}
+		if hom >= one {
+			t.Errorf("α=%v: loss-homogenized (%v) should beat one tree (%v)", alpha, hom, one)
+		}
+	}
+
+	// Peak gain near α≈0.2–0.3 of roughly 12%.
+	best := 0.0
+	for alpha := 0.05; alpha < 1; alpha += 0.05 {
+		p := base
+		p.Alpha = alpha
+		one, _ := p.CostOneKeyTree()
+		hom, _ := p.CostLossHomogenized()
+		if g := (one - hom) / one; g > best {
+			best = g
+		}
+	}
+	if best < 0.08 || best > 0.16 {
+		t.Errorf("peak loss-homogenized gain %.1f%%, paper reports 12.1%%", 100*best)
+	}
+
+	for _, alpha := range []float64{0, 1} {
+		p := base
+		p.Alpha = alpha
+		one, _ := p.CostOneKeyTree()
+		hom, _ := p.CostLossHomogenized()
+		if !almostEqual(one, hom, 1e-9) {
+			t.Errorf("α=%v: homogeneous population must degenerate to one tree (%v vs %v)", alpha, hom, one)
+		}
+	}
+}
+
+func TestFig7Misplacement(t *testing.T) {
+	// Paper Fig. 7 observations (α=0.2, ph=20%, pl=2%):
+	//  1. β=0 (correct partitioning) is best.
+	//  2. Small β (≤0.1) still beats the one-keytree scheme.
+	//  3. At β=0.8 the scheme is slightly worse than one keytree.
+	//  4. β=1.0 is better than β=0.8 (the swap becomes a relabeling).
+	p := DefaultLossScenario()
+	p.Alpha = 0.2
+	one, err := p.CostOneKeyTree()
+	if err != nil {
+		t.Fatalf("one: %v", err)
+	}
+
+	c0, err := p.CostMisplaced(0)
+	if err != nil {
+		t.Fatalf("β=0: %v", err)
+	}
+	correct, _ := p.CostLossHomogenized()
+	if !almostEqual(c0, correct, 1e-9) {
+		t.Errorf("β=0 (%v) must equal the correctly partitioned cost (%v)", c0, correct)
+	}
+
+	prev := c0
+	for _, beta := range []float64{0.1, 0.3, 0.5, 0.8} {
+		c, err := p.CostMisplaced(beta)
+		if err != nil {
+			t.Fatalf("β=%v: %v", beta, err)
+		}
+		if c < prev {
+			t.Errorf("cost should grow with β up to 0.8: β=%v gives %v < %v", beta, c, prev)
+		}
+		prev = c
+	}
+
+	c01, _ := p.CostMisplaced(0.1)
+	if c01 >= one {
+		t.Errorf("β=0.1 (%v) should still beat one keytree (%v)", c01, one)
+	}
+	c08, _ := p.CostMisplaced(0.8)
+	if c08 <= one {
+		t.Errorf("β=0.8 (%v) should be slightly worse than one keytree (%v)", c08, one)
+	}
+	c10, _ := p.CostMisplaced(1.0)
+	if c10 >= c08 {
+		t.Errorf("β=1.0 (%v) should improve on β=0.8 (%v) — the paper's observed dip", c10, c08)
+	}
+
+	if _, err := p.CostMisplaced(1.5); !errors.Is(err, ErrBadParams) {
+		t.Error("β out of range must be rejected")
+	}
+}
+
+func TestMultiTreeGroupKeyAccounting(t *testing.T) {
+	tr := WKABKRTree{N: 1024, L: 8, Degree: 4, Mix: []LossShare{{Fraction: 1, P: 0.02}}}
+	with := MultiTreeParams{Trees: []WKABKRTree{tr, tr}, IncludeGroupKey: true}
+	without := MultiTreeParams{Trees: []WKABKRTree{tr, tr}, IncludeGroupKey: false}
+	vw, err := with.RekeyBandwidth()
+	if err != nil {
+		t.Fatalf("with: %v", err)
+	}
+	vo, err := without.RekeyBandwidth()
+	if err != nil {
+		t.Fatalf("without: %v", err)
+	}
+	if vw <= vo {
+		t.Fatal("group-key accounting added no cost")
+	}
+	if vw-vo > 0.05*vo {
+		t.Fatalf("group-key cost %v suspiciously large vs per-tree cost %v", vw-vo, vo)
+	}
+	// Single tree: no extra group key (its root is already the group key).
+	single := MultiTreeParams{Trees: []WKABKRTree{tr}, IncludeGroupKey: true}
+	vs, _ := single.RekeyBandwidth()
+	base, _ := tr.RekeyBandwidth()
+	if !almostEqual(vs, base, 1e-9) {
+		t.Fatal("single-tree multi-tree wrapper must not add group-key cost")
+	}
+}
+
+func TestWKABKRNoDeparturesNoCost(t *testing.T) {
+	tr := WKABKRTree{N: 1024, L: 0, Degree: 4, Mix: []LossShare{{Fraction: 1, P: 0.2}}}
+	v, err := tr.RekeyBandwidth()
+	if err != nil {
+		t.Fatalf("RekeyBandwidth: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("no departures cost %v, want 0", v)
+	}
+}

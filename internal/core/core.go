@@ -1,0 +1,254 @@
+// Package core implements the key server's group key management schemes —
+// the paper's contribution and its baselines:
+//
+//   - OneTree: the unoptimized single balanced LKH tree (the scheme every
+//     prior protocol in Section 2 uses).
+//   - Naive: unicast rekeying without a key tree, the O(N) strawman.
+//   - TwoPartition: the Section 3 optimization. The key tree is split into
+//     a short-term (S) and a long-term (L) partition under the group key;
+//     joiners enter S and migrate to L after surviving the S-period. Three
+//     constructions: QT (S is a flat queue), TT (S is a tree) and PT (the
+//     oracle that knows member classes at join time).
+//   - LossHomogenized: the Section 4 optimization — one key tree per loss
+//     class, so high-loss members stop inflating the replication of keys
+//     that only low-loss members need.
+//   - RandomMultiTree: the Fig. 6 control — multiple trees with random
+//     member placement.
+//
+// Every scheme maintains real keys (internal/keycrypt) in real trees
+// (internal/keytree) and emits rekey payloads that members can actually
+// decrypt; costs reported by experiments are counts over these payloads,
+// not estimates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// Scheme errors.
+var (
+	ErrMemberExists  = errors.New("core: member already in group")
+	ErrMemberUnknown = errors.New("core: no such member")
+	ErrEmptyGroup    = errors.New("core: group is empty")
+	ErrBadConfig     = errors.New("core: invalid configuration")
+)
+
+// MemberMeta carries the member characteristics the optimized schemes
+// exploit (Sections 3 and 4). Zero values mean "unknown".
+type MemberMeta struct {
+	// LossRate is the estimated packet-loss probability of the member's
+	// link, reported at join time (Section 4.2). Negative means unknown.
+	LossRate float64
+	// LongLived hints that the member belongs to the long-duration class;
+	// only the PT oracle scheme uses it.
+	LongLived bool
+}
+
+// Join is one joining member with its metadata.
+type Join struct {
+	ID   keytree.MemberID
+	Meta MemberMeta
+}
+
+// Batch is one rekey period's worth of membership changes.
+type Batch struct {
+	Joins  []Join
+	Leaves []keytree.MemberID
+}
+
+// IsEmpty reports whether the batch changes nothing.
+func (b Batch) IsEmpty() bool { return len(b.Joins) == 0 && len(b.Leaves) == 0 }
+
+// Stream is an independently transported set of rekey items. Multi-tree
+// schemes emit one stream per key tree: the whole point of the
+// loss-homogenized organization is that each tree's stream sees only that
+// tree's receivers, so its transport replication is not driven by other
+// trees' members.
+type Stream struct {
+	// Label names the originating partition/tree for reporting.
+	Label string
+	// Items are multicast to current members.
+	Items []keytree.Item
+	// JoinerItems bootstrap joining (or migrating) members; they may be
+	// unicast or ride the multicast channel.
+	JoinerItems []keytree.Item
+	// Audience lists the members subscribed to this stream's multicast
+	// group — in a deployment with one IP multicast group per key tree
+	// (Section 4.4) these members hear every packet of the stream, needed
+	// or not. Fairness analysis builds on this.
+	Audience []keytree.MemberID
+}
+
+// Rekey is the output of one batch: everything the key server transmits.
+type Rekey struct {
+	// Epoch is the rekey sequence number (1 for the first batch).
+	Epoch uint64
+	// Streams are the per-tree item sets.
+	Streams []Stream
+	// Welcome holds each joiner's individual key, handed over the secure
+	// registration channel (not counted as multicast rekey bandwidth).
+	Welcome map[keytree.MemberID]keycrypt.Key
+}
+
+// MulticastKeyCount is the paper's rekeying-cost metric: encrypted keys
+// multicast to current members.
+func (r *Rekey) MulticastKeyCount() int {
+	n := 0
+	for _, s := range r.Streams {
+		n += len(s.Items)
+	}
+	return n
+}
+
+// TotalKeyCount additionally counts joiner bootstrap items.
+func (r *Rekey) TotalKeyCount() int {
+	n := r.MulticastKeyCount()
+	for _, s := range r.Streams {
+		n += len(s.JoinerItems)
+	}
+	return n
+}
+
+// AllItems flattens every stream (multicast first, then joiner items).
+func (r *Rekey) AllItems() []keytree.Item {
+	var out []keytree.Item
+	for _, s := range r.Streams {
+		out = append(out, s.Items...)
+	}
+	for _, s := range r.Streams {
+		out = append(out, s.JoinerItems...)
+	}
+	return out
+}
+
+// Scheme is a key-tree organization strategy run by the key server. Scheme
+// implementations are not safe for concurrent use; the server serializes
+// batches.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// ProcessBatch applies one period's membership changes, rekeys, and
+	// returns the payloads. Joins and leaves must be disjoint and valid.
+	ProcessBatch(b Batch) (*Rekey, error)
+	// GroupKey returns the current data-encryption key.
+	GroupKey() (keycrypt.Key, error)
+	// MemberKeys returns every key the member currently holds, leaf first,
+	// group key last.
+	MemberKeys(m keytree.MemberID) ([]keycrypt.Key, error)
+	// Contains reports membership.
+	Contains(m keytree.MemberID) bool
+	// Size returns the current group size.
+	Size() int
+	// Members lists current members in ascending order.
+	Members() []keytree.MemberID
+}
+
+// Option configures scheme construction.
+type Option func(*options)
+
+type options struct {
+	rand      io.Reader
+	degree    int
+	keyIDBase keycrypt.KeyID
+}
+
+// WithRand injects the entropy source (nil means crypto/rand); simulations
+// pass keycrypt.NewDeterministicReader.
+func WithRand(r io.Reader) Option {
+	return func(o *options) { o.rand = r }
+}
+
+// WithDegree sets the key tree fan-out (default 4, the paper's d).
+func WithDegree(d int) Option {
+	return func(o *options) { o.degree = d }
+}
+
+// WithKeyIDBase offsets every key ID the scheme allocates. Key IDs are how
+// members index their key stores, so two scheme instances whose payloads
+// one member will ever process — in particular the source and destination
+// of a Migrate — MUST use disjoint bases, or stale same-ID keys shadow new
+// ones client-side.
+func WithKeyIDBase(base keycrypt.KeyID) Option {
+	return func(o *options) { o.keyIDBase = base }
+}
+
+func buildOptions(opts []Option) (options, error) {
+	o := options{degree: 4}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.degree < 2 {
+		return o, fmt.Errorf("%w: degree=%d", ErrBadConfig, o.degree)
+	}
+	return o, nil
+}
+
+// validateBatch performs the membership checks shared by all schemes.
+func validateBatch(s Scheme, b Batch) error {
+	seen := make(map[keytree.MemberID]bool, len(b.Joins)+len(b.Leaves))
+	for _, j := range b.Joins {
+		if j.ID == 0 {
+			return keytree.ErrZeroMember
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("%w: member %d listed twice", keytree.ErrBatchConflict, j.ID)
+		}
+		seen[j.ID] = true
+		if s.Contains(j.ID) {
+			return fmt.Errorf("%w: %d", ErrMemberExists, j.ID)
+		}
+	}
+	for _, m := range b.Leaves {
+		if m == 0 {
+			return keytree.ErrZeroMember
+		}
+		if seen[m] {
+			return fmt.Errorf("%w: member %d both joins and leaves", keytree.ErrBatchConflict, m)
+		}
+		seen[m] = true
+		if !s.Contains(m) {
+			return fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+		}
+	}
+	return nil
+}
+
+// sortedMembers returns the keys of a member set in ascending order.
+func sortedMembers[V any](m map[keytree.MemberID]V) []keytree.MemberID {
+	out := make([]keytree.MemberID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// excludeSet builds a lookup of joiner IDs.
+func excludeSet(joins []Join) map[keytree.MemberID]bool {
+	out := make(map[keytree.MemberID]bool, len(joins))
+	for _, j := range joins {
+		out[j.ID] = true
+	}
+	return out
+}
+
+// subtract returns members not present in the exclusion set, preserving
+// order.
+func subtract(members []keytree.MemberID, exclude map[keytree.MemberID]bool) []keytree.MemberID {
+	if len(exclude) == 0 {
+		return members
+	}
+	out := make([]keytree.MemberID, 0, len(members))
+	for _, m := range members {
+		if !exclude[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

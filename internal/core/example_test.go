@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+	"groupkey/internal/member"
+)
+
+// ExampleNewOneTree shows the minimal server/member round trip: batch-admit
+// members, rekey on a departure, and verify the group key converges.
+func ExampleNewOneTree() {
+	scheme, _ := core.NewOneTree(core.WithRand(keycrypt.NewDeterministicReader(1)))
+
+	rekey, _ := scheme.ProcessBatch(core.Batch{Joins: []core.Join{{ID: 1}, {ID: 2}, {ID: 3}}})
+	alice := member.New(1, rekey.Welcome[1])
+	alice.Apply(rekey.AllItems())
+
+	dek, _ := scheme.GroupKey()
+	fmt.Println("alice holds the group key:", alice.Has(dek))
+
+	rekey2, _ := scheme.ProcessBatch(core.Batch{Leaves: []keytree.MemberID{2}})
+	alice.Apply(rekey2.AllItems())
+	newDEK, _ := scheme.GroupKey()
+	fmt.Println("alice follows the rekey:", alice.Has(newDEK))
+	fmt.Println("departure rekey cost (keys):", rekey2.MulticastKeyCount())
+	// Output:
+	// alice holds the group key: true
+	// alice follows the rekey: true
+	// departure rekey cost (keys): 2
+}
+
+// ExampleNewTwoPartition shows the Section 3 optimization: joiners enter
+// the short-term partition and migrate after surviving the S-period.
+func ExampleNewTwoPartition() {
+	scheme, _ := core.NewTwoPartition(core.TT, 2, core.WithRand(keycrypt.NewDeterministicReader(2)))
+
+	scheme.ProcessBatch(core.Batch{Joins: []core.Join{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}})
+	fmt.Printf("epoch 1: S=%d L=%d\n", scheme.SPartitionSize(), scheme.LPartitionSize())
+
+	scheme.ProcessBatch(core.Batch{}) // epoch 2: members too young to migrate
+	scheme.ProcessBatch(core.Batch{}) // epoch 3: survivors of the S-period migrate
+	fmt.Printf("epoch 3: S=%d L=%d\n", scheme.SPartitionSize(), scheme.LPartitionSize())
+	// Output:
+	// epoch 1: S=4 L=0
+	// epoch 3: S=0 L=4
+}
+
+// ExampleNewLossHomogenized shows the Section 4 optimization: members are
+// placed into key trees by their reported loss rate.
+func ExampleNewLossHomogenized() {
+	scheme, _ := core.NewLossHomogenized([]float64{0.05}, core.WithRand(keycrypt.NewDeterministicReader(3)))
+	scheme.ProcessBatch(core.Batch{Joins: []core.Join{
+		{ID: 1, Meta: core.MemberMeta{LossRate: 0.02}},
+		{ID: 2, Meta: core.MemberMeta{LossRate: 0.20}},
+	}})
+	t1, _ := scheme.TreeOf(1)
+	t2, _ := scheme.TreeOf(2)
+	fmt.Println("low-loss member tree:", t1)
+	fmt.Println("high-loss member tree:", t2)
+	// Output:
+	// low-loss member tree: 0
+	// high-loss member tree: 1
+}

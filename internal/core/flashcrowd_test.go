@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFlashCrowdJoinCost demonstrates why batched rekeying absorbs join
+// spikes: a join-only batch costs O(1) multicast keys (one wrap under the
+// previous group key per join-tainted path node) regardless of spike size,
+// with the per-joiner work riding the registration/bootstrap channel.
+func TestFlashCrowdJoinCost(t *testing.T) {
+	s, err := NewOneTree(rnd(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, s)
+	base := Batch{}
+	for i := 1; i <= 1024; i++ {
+		base.Joins = append(base.Joins, Join{ID: keytreeID(i)})
+	}
+	h.process(base)
+
+	// Flash crowd: 4096 joins in one rekey period — 4× the group.
+	spike := Batch{}
+	for i := 0; i < 4096; i++ {
+		spike.Joins = append(spike.Joins, Join{ID: keytreeID(10000 + i)})
+	}
+	r := h.process(spike)
+
+	// Multicast cost must stay below one key per joiner (split partners
+	// need the fresh interior keys; everything else rides old-key wraps
+	// and the bootstrap channel). Individually processed joins would cost
+	// several keys each.
+	if got := r.MulticastKeyCount(); got > len(spike.Joins) {
+		t.Fatalf("flash crowd multicast cost %d for %d joins — batching failed to absorb the spike",
+			got, len(spike.Joins))
+	}
+	// The bootstrap work is per joiner, as expected.
+	if r.TotalKeyCount() <= r.MulticastKeyCount() {
+		t.Fatal("no joiner bootstrap items recorded")
+	}
+	if s.Size() != 1024+4096 {
+		t.Fatalf("Size=%d", s.Size())
+	}
+}
+
+// TestFlashCrowdDepartureCost is the mirror image: a mass eviction (e.g. a
+// pay-per-view event ending) must cost far less than per-member rekeying.
+func TestFlashCrowdDepartureCost(t *testing.T) {
+	s, err := NewOneTree(rnd(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, s)
+	base := Batch{}
+	for i := 1; i <= 2048; i++ {
+		base.Joins = append(base.Joins, Join{ID: keytreeID(i)})
+	}
+	h.process(base)
+
+	exodus := Batch{}
+	for i := 1; i <= 1024; i++ {
+		exodus.Leaves = append(exodus.Leaves, keytreeID(i*2)) // every other member
+	}
+	r := h.process(exodus)
+	perDeparture := float64(r.MulticastKeyCount()) / 1024
+	// Individual rekeying would pay ~d·log_d(N) ≈ 22 keys per departure;
+	// the batch must amortize far below that.
+	if perDeparture > 8 {
+		t.Fatalf("mass departure cost %.1f keys/departure — batching failed", perDeparture)
+	}
+	if s.Size() != 1024 {
+		t.Fatalf("Size=%d", s.Size())
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+	"groupkey/internal/member"
+)
+
+func TestMigrateOneTreeToTwoPartition(t *testing.T) {
+	// Run a group on one-keytree, then switch to TT mid-session: every
+	// member must reach the new group key using only keys it already has.
+	from, err := NewOneTree(rnd(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, from)
+	h.process(Batch{Joins: joins(MemberMeta{}, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)})
+	h.process(Batch{Leaves: leaves(4)})
+
+	to, err := NewTwoPartition(TT, 5, rnd(201), WithKeyIDBase(1<<50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rekey, err := Migrate(from, to, nil, rnd(202))
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if rekey.Welcome != nil {
+		t.Fatal("migration must not use the registration channel")
+	}
+	if to.Size() != from.Size() {
+		t.Fatalf("destination size %d, want %d", to.Size(), from.Size())
+	}
+
+	// Replay the migration through the existing clients.
+	items := rekey.AllItems()
+	newDEK, err := to.GroupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range h.clients {
+		c.Apply(items)
+		want, err := to.MemberKeys(id)
+		if err != nil {
+			t.Fatalf("MemberKeys(%d): %v", id, err)
+		}
+		for _, k := range want {
+			if !c.Has(k) {
+				t.Fatalf("member %d missing key %v after migration", id, k)
+			}
+		}
+		if !c.Has(newDEK) {
+			t.Fatalf("member %d lacks the new group key", id)
+		}
+	}
+
+	// An outsider holding a key the scheme never issued learns nothing.
+	outsider := member.New(4, keycrypt.Random(99999, 0))
+	if n := outsider.Apply(items); n != 0 {
+		t.Fatalf("outsider decrypted %d migration items", n)
+	}
+}
+
+func TestMigratePreservesMeta(t *testing.T) {
+	from, err := NewOneTree(rnd(203))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, from)
+	h.process(Batch{Joins: []Join{
+		{ID: 1, Meta: MemberMeta{LossRate: 0.02}},
+		{ID: 2, Meta: MemberMeta{LossRate: 0.2}},
+		{ID: 3, Meta: MemberMeta{LossRate: 0.03}},
+	}})
+
+	to, err := NewLossHomogenized([]float64{0.05}, rnd(204), WithKeyIDBase(1<<50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := map[keytree.MemberID]MemberMeta{
+		1: {LossRate: 0.02}, 2: {LossRate: 0.2}, 3: {LossRate: 0.03},
+	}
+	if _, err := Migrate(from, to, func(m keytree.MemberID) MemberMeta { return metas[m] }, rnd(205)); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	for id, want := range map[keytree.MemberID]int{1: 0, 2: 1, 3: 0} {
+		got, err := to.TreeOf(id)
+		if err != nil {
+			t.Fatalf("TreeOf(%d): %v", id, err)
+		}
+		if got != want {
+			t.Errorf("member %d landed in tree %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	a, _ := NewOneTree(rnd(206))
+	b, _ := NewOneTree(rnd(207))
+	if _, err := Migrate(a, b, nil); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("empty source: err=%v", err)
+	}
+	ha := newHarness(t, a)
+	ha.process(Batch{Joins: joins(MemberMeta{}, 1, 2)})
+	hb := newHarness(t, b)
+	hb.process(Batch{Joins: joins(MemberMeta{}, 9)})
+	if _, err := Migrate(a, b, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("non-empty destination: err=%v", err)
+	}
+}

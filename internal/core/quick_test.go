@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// TestSchemesQuickRandomChurn is the property-based companion to the soak
+// test: for arbitrary (seed, shape) inputs, every scheme must preserve the
+// membership invariant, keep partitions consistent, and pass the full
+// cryptographic contract enforced by the harness.
+func TestSchemesQuickRandomChurn(t *testing.T) {
+	type shape struct {
+		Seed   uint64
+		Mode   uint8 // scheme selector
+		Epochs uint8
+	}
+	run := func(s shape) bool {
+		var scheme Scheme
+		var err error
+		opt := WithRand(keycrypt.NewDeterministicReader(s.Seed))
+		switch s.Mode % 5 {
+		case 0:
+			scheme, err = NewOneTree(opt)
+		case 1:
+			scheme, err = NewTwoPartition(QT, int(s.Mode%4), opt)
+		case 2:
+			scheme, err = NewTwoPartition(TT, int(s.Mode%4), opt)
+		case 3:
+			scheme, err = NewTwoPartition(PT, 3, opt)
+		case 4:
+			scheme, err = NewLossHomogenized([]float64{0.05}, opt)
+		}
+		if err != nil {
+			return false
+		}
+		h := newHarness(t, scheme)
+		rng := keycrypt.NewDeterministicReader(s.Seed ^ 0xfeed)
+		rb := func(n int) int {
+			var b [1]byte
+			rng.Read(b[:])
+			return int(b[0]) % n
+		}
+		next := 1
+		var present []int
+		epochs := int(s.Epochs%12) + 3
+		for e := 0; e < epochs; e++ {
+			b := Batch{}
+			for i := 0; i < rb(6); i++ {
+				b.Joins = append(b.Joins, Join{
+					ID:   keytree.MemberID(next),
+					Meta: MemberMeta{LossRate: []float64{0.02, 0.2}[rb(2)], LongLived: rb(2) == 0},
+				})
+				present = append(present, next)
+				next++
+			}
+			for i := 0; i < rb(4) && len(present) > len(b.Joins); i++ {
+				idx := rb(len(present))
+				id := keytree.MemberID(present[idx])
+				conflict := false
+				for _, j := range b.Joins {
+					if j.ID == id {
+						conflict = true
+						break
+					}
+				}
+				for _, l := range b.Leaves {
+					if l == id {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				b.Leaves = append(b.Leaves, id)
+				present = append(present[:idx], present[idx+1:]...)
+			}
+			h.process(b) // harness Fatals on any contract violation
+			if scheme.Size() != len(present) {
+				return false
+			}
+			if tp, ok := scheme.(*TwoPartition); ok {
+				if tp.SPartitionSize()+tp.LPartitionSize() != tp.Size() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

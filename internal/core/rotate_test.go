@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRotateAllSchemes(t *testing.T) {
+	builders := []func() (Scheme, error){
+		func() (Scheme, error) { return NewOneTree(rnd(500)) },
+		func() (Scheme, error) { return NewNaive(rnd(501)) },
+		func() (Scheme, error) { return NewTwoPartition(TT, 3, rnd(502)) },
+		func() (Scheme, error) { return NewTwoPartition(QT, 3, rnd(503)) },
+		func() (Scheme, error) { return NewLossHomogenized([]float64{0.05}, rnd(504)) },
+	}
+	for _, build := range builders {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(s.Name(), func(t *testing.T) {
+			rot, ok := s.(Rotator)
+			if !ok {
+				t.Fatalf("%s does not implement Rotator", s.Name())
+			}
+			// Rotating an empty group fails cleanly.
+			if _, err := rot.Rotate(); !errors.Is(err, ErrEmptyGroup) {
+				t.Fatalf("empty rotate: err=%v", err)
+			}
+
+			h := newHarness(t, s)
+			h.process(Batch{Joins: joins(MemberMeta{}, 1, 2, 3, 4, 5, 6)})
+			before, _ := s.GroupKey()
+
+			r, err := rot.Rotate()
+			if err != nil {
+				t.Fatalf("Rotate: %v", err)
+			}
+			// Exactly one multicast key, regardless of scheme or size.
+			if got := r.MulticastKeyCount(); got != 1 {
+				t.Fatalf("rotation cost %d keys, want 1", got)
+			}
+			after, err := s.GroupKey()
+			if err != nil {
+				t.Fatalf("GroupKey: %v", err)
+			}
+			if after.Equal(before) {
+				t.Fatal("group key unchanged by rotation")
+			}
+			// Every member follows with the one item.
+			for id, c := range h.clients {
+				c.Apply(r.AllItems())
+				if !c.Has(after) {
+					t.Fatalf("member %d lost the group key after rotation", id)
+				}
+			}
+			// Epochs continue monotonically through rotations.
+			r2, err := s.ProcessBatch(Batch{Joins: joins(MemberMeta{}, 7)})
+			if err != nil {
+				t.Fatalf("ProcessBatch after rotation: %v", err)
+			}
+			if r2.Epoch != r.Epoch+1 {
+				t.Fatalf("epoch %d after rotation epoch %d", r2.Epoch, r.Epoch)
+			}
+			// Keep the harness consistent for completeness.
+			for _, c := range h.clients {
+				c.Apply(r2.AllItems())
+			}
+		})
+	}
+}
+
+func TestRotateDoesNotHelpDepartedMembers(t *testing.T) {
+	// Rotation wraps under the old key: a member evicted BEFORE the
+	// rotation lacks that old key and stays locked out.
+	s, err := NewTwoPartition(TT, 3, rnd(510))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, s)
+	h.process(Batch{Joins: joins(MemberMeta{}, 1, 2, 3, 4)})
+	evicted := h.clients[2]
+	h.process(Batch{Leaves: leaves(2)})
+
+	r, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := evicted.Apply(r.AllItems()); n != 0 {
+		t.Fatalf("evicted member decrypted %d rotation items", n)
+	}
+	dek, _ := s.GroupKey()
+	if evicted.Has(dek) {
+		t.Fatal("evicted member holds the rotated group key")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"groupkey/internal/keytree"
+)
+
+// ErrBadSnapshot reports a malformed scheme snapshot.
+var ErrBadSnapshot = errors.New("core: malformed snapshot")
+
+const oneTreeSnapMagic = "GKS1"
+
+// Snapshot serializes the one-keytree scheme — epoch counter plus the full
+// key tree — so a key server can restart without a whole-group rekey. The
+// blob contains every group secret; encrypt at rest.
+func (s *OneTree) Snapshot() ([]byte, error) {
+	treeBlob, err := s.tree.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 12+len(treeBlob))
+	out = append(out, oneTreeSnapMagic...)
+	out = binary.BigEndian.AppendUint64(out, s.epoch)
+	return append(out, treeBlob...), nil
+}
+
+// RestoreOneTree rebuilds a one-keytree scheme from a snapshot.
+func RestoreOneTree(snapshot []byte, opts ...Option) (*OneTree, error) {
+	if len(snapshot) < 12 || string(snapshot[:4]) != oneTreeSnapMagic {
+		return nil, fmt.Errorf("%w: bad header", ErrBadSnapshot)
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := keytree.Restore(snapshot[12:], keytree.WithRand(o.rand))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return &OneTree{
+		tree:  tree,
+		epoch: binary.BigEndian.Uint64(snapshot[4:12]),
+	}, nil
+}

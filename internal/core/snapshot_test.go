@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOneTreeSnapshotRestartContinuity(t *testing.T) {
+	// A key-server restart: snapshot mid-session, restore, keep rekeying.
+	// Members that lived through the restart must follow payloads from the
+	// restored scheme seamlessly.
+	s, err := NewOneTree(rnd(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, s)
+	h.process(Batch{Joins: joins(MemberMeta{}, 1, 2, 3, 4, 5, 6, 7, 8)})
+	h.process(Batch{Leaves: leaves(3)})
+
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := RestoreOneTree(blob, rnd(401))
+	if err != nil {
+		t.Fatalf("RestoreOneTree: %v", err)
+	}
+	if restored.Size() != s.Size() {
+		t.Fatalf("restored size %d, want %d", restored.Size(), s.Size())
+	}
+	wantDEK, _ := s.GroupKey()
+	gotDEK, err := restored.GroupKey()
+	if err != nil || !gotDEK.Equal(wantDEK) {
+		t.Fatal("group key lost across restart")
+	}
+
+	// The restored server processes the next batch; pre-restart clients
+	// follow, and epochs continue monotonically.
+	r, err := restored.ProcessBatch(Batch{Joins: joins(MemberMeta{}, 20), Leaves: leaves(5)})
+	if err != nil {
+		t.Fatalf("ProcessBatch after restore: %v", err)
+	}
+	if r.Epoch != 3 {
+		t.Fatalf("epoch %d after restart, want 3 (continuing from 2)", r.Epoch)
+	}
+	newDEK, _ := restored.GroupKey()
+	for id, c := range h.clients {
+		if id == 5 {
+			continue
+		}
+		c.Apply(r.AllItems())
+		if !c.Has(newDEK) {
+			t.Fatalf("member %d lost the group across the restart", id)
+		}
+	}
+}
+
+func TestRestoreOneTreeRejectsGarbage(t *testing.T) {
+	if _, err := RestoreOneTree([]byte("nope")); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err=%v, want ErrBadSnapshot", err)
+	}
+	if _, err := RestoreOneTree(append([]byte("GKS1"), make([]byte, 12)...)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupt tree: err=%v, want ErrBadSnapshot", err)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// TestLongSoakTwoPartition runs 500 epochs of heavy churn through the TT
+// scheme with the full cryptographic contract enforced at every epoch —
+// the endurance companion to the 30-epoch soak in core_test.go.
+func TestLongSoakTwoPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak is slow")
+	}
+	s, err := NewTwoPartition(TT, 5, rnd(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, s)
+	rng := keycrypt.NewDeterministicReader(601)
+	rb := func(n int) int {
+		var b [2]byte
+		rng.Read(b[:])
+		return (int(b[0])<<8 | int(b[1])) % n
+	}
+	next := 1
+	var present []int
+	for epoch := 0; epoch < 500; epoch++ {
+		b := Batch{}
+		// Bias arrivals up while small, down while large, around ~200.
+		joinN := rb(8)
+		if len(present) > 250 {
+			joinN = rb(3)
+		}
+		for i := 0; i < joinN; i++ {
+			b.Joins = append(b.Joins, Join{ID: keytree.MemberID(next)})
+			present = append(present, next)
+			next++
+		}
+		leaveN := rb(6)
+		if len(present) < 100 {
+			leaveN = rb(2)
+		}
+		for i := 0; i < leaveN && len(present) > len(b.Joins); i++ {
+			idx := rb(len(present))
+			id := keytree.MemberID(present[idx])
+			conflict := false
+			for _, j := range b.Joins {
+				if j.ID == id {
+					conflict = true
+					break
+				}
+			}
+			for _, l := range b.Leaves {
+				if l == id {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			b.Leaves = append(b.Leaves, id)
+			present = append(present[:idx], present[idx+1:]...)
+		}
+		h.process(b)
+		if s.Size() != len(present) {
+			t.Fatalf("epoch %d: Size=%d, want %d", epoch, s.Size(), len(present))
+		}
+		if s.SPartitionSize()+s.LPartitionSize() != s.Size() {
+			t.Fatalf("epoch %d: partitions inconsistent", epoch)
+		}
+	}
+	t.Logf("soak complete: %d members, S=%d L=%d after 500 epochs",
+		s.Size(), s.SPartitionSize(), s.LPartitionSize())
+}

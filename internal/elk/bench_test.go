@@ -1,0 +1,84 @@
+package elk
+
+import (
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	tree, err := New(DefaultParams(), keycrypt.NewDeterministicReader(uint64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := tree.Join(MemberID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree
+}
+
+func BenchmarkLeave(b *testing.B) {
+	const n = 4096
+	tree := benchTree(b, n)
+	members := make([]MemberID, n)
+	for i := range members {
+		members[i] = MemberID(i + 1)
+	}
+	next := MemberID(n + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % n
+		if _, err := tree.Leave(members[slot]); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := tree.Join(next); err != nil {
+			b.Fatal(err)
+		}
+		members[slot] = next
+		next++
+		b.StartTimer()
+	}
+}
+
+// BenchmarkMemberApply measures the receiver-side brute force — the CPU
+// cost ELK trades its bandwidth saving for.
+func BenchmarkMemberApply(b *testing.B) {
+	tree := benchTree(b, 1024)
+	path, err := tree.Path(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sides, err := tree.SidesOf(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := NewMember(DefaultParams(), 512, path, sides)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg, err := tree.Leave(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-create the member each round so the brute force re-runs.
+		b.StopTimer()
+		clone, err := NewMember(DefaultParams(), 512, path, sides)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := clone.Apply(msg); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(clone.BruteForceSteps), "prf-evals")
+		}
+	}
+	_ = mem
+}

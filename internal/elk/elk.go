@@ -1,0 +1,507 @@
+// Package elk implements the core of ELK (Perrig, Song, Tygar — IEEE S&P
+// 2001), the last of the hierarchical rekeying schemes the paper's survey
+// names (Section 2.1.1: "Other approaches for scalable rekeying such as
+// one-way function trees and ELK also involve the use of a hierarchical
+// key tree").
+//
+// ELK's two ideas, both implemented here:
+//
+//  1. Contribution-based key updates. When node v's key must change, the
+//     new key is computed from pseudo-random contributions of BOTH child
+//     keys: K'(v) = H(C_L ‖ C_R) with C_side = PRF(K(side child), K(v)).
+//     A member under the left child computes C_L itself and only needs
+//     C_R — half the secret material of an LKH child wrap.
+//
+//  2. Hints. Instead of sending the needed contribution whole, the server
+//     sends its first HintBits bits plus a short verifier of the resulting
+//     key; the member brute-forces the remaining CBits−HintBits bits,
+//     trading receiver CPU for multicast bandwidth. This is the knob that
+//     made ELK's rekey messages smaller than LKH's.
+//
+// The implementation is a binary key tree with departure rekeying; the
+// paper's own optimizations (two-partition organization) would apply on
+// top of it exactly as they do for LKH and OFT.
+package elk
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"groupkey/internal/keycrypt"
+)
+
+// Scheme errors.
+var (
+	ErrMemberExists  = errors.New("elk: member already present")
+	ErrMemberUnknown = errors.New("elk: no such member")
+	ErrBadParams     = errors.New("elk: invalid parameters")
+	ErrHintMismatch  = errors.New("elk: hint brute force failed (wrong keys or corrupted hint)")
+)
+
+// Params tunes the bandwidth/CPU trade-off.
+type Params struct {
+	// CBits is the contribution entropy in bits (the paper's n1+n2).
+	CBits int
+	// HintBits is how many contribution bits the server transmits; the
+	// receiver brute-forces the remaining CBits−HintBits.
+	HintBits int
+}
+
+// DefaultParams uses 20-bit contributions with 8 transmitted bits: 4096
+// brute-force candidates per updated key — milliseconds on a receiver.
+//
+// Security note (inherent to ELK, not this implementation): an outsider
+// can attack a hint by brute-forcing BOTH contributions jointly, a
+// 2^(2·CBits−2·HintBits) search. The original paper sizes the
+// contributions so this is just out of reach for the key's lifetime —
+// ELK keys are short-lived by design. These defaults favor test speed;
+// production deployments must raise CBits accordingly.
+func DefaultParams() Params { return Params{CBits: 20, HintBits: 8} }
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.CBits < 8 || p.CBits > 32 || p.HintBits < 0 || p.HintBits > p.CBits {
+		return fmt.Errorf("%w: cbits=%d hintbits=%d", ErrBadParams, p.CBits, p.HintBits)
+	}
+	if p.CBits-p.HintBits > 20 {
+		return fmt.Errorf("%w: brute-force space 2^%d too large", ErrBadParams, p.CBits-p.HintBits)
+	}
+	return nil
+}
+
+// MemberID identifies a member (nonzero).
+type MemberID uint64
+
+// prf is the scheme's keyed pseudo-random function.
+func prf(key []byte, parts ...[]byte) [32]byte {
+	mac := hmac.New(sha256.New, key)
+	for _, p := range parts {
+		mac.Write(p)
+	}
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// contribution computes a CBits-bit child contribution:
+// PRF(childKey, oldParentKey ‖ side).
+func contribution(p Params, child, oldParent keycrypt.Key, side byte) uint32 {
+	d := prf(child.Bytes(), oldParent.Bytes(), []byte{side})
+	return binary.BigEndian.Uint32(d[:4]) & mask(p.CBits)
+}
+
+func mask(bits int) uint32 {
+	if bits >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(bits) - 1
+}
+
+// mixKey derives the new node key from the two contributions and the old
+// key's identity (ID and next version ride along so all parties agree).
+func mixKey(old keycrypt.Key, cl, cr uint32) keycrypt.Key {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:4], cl)
+	binary.BigEndian.PutUint32(buf[4:8], cr)
+	d := prf(old.Bytes(), buf[:], []byte("elk-mix"))
+	k, err := keycrypt.NewKey(old.ID, old.Version+1, d[:])
+	if err != nil {
+		panic("elk: digest size mismatch") // impossible
+	}
+	return k
+}
+
+// verifier is the short check value receivers use to confirm a brute-forced
+// key (8 bytes — the paper's key verification).
+func verifier(k keycrypt.Key) uint64 {
+	d := prf(k.Bytes(), []byte("elk-verify"))
+	return binary.BigEndian.Uint64(d[:8])
+}
+
+// Hint is the per-updated-node rekey message: which node, the transmitted
+// contribution bits for each side, and the verifier of the new key.
+// Receivers on the left side know C_L and brute-force C_R from RHint (and
+// vice versa). Size on the wire: 2·HintBits bits + 64 + node id — far
+// below two 32-byte wrapped keys.
+type Hint struct {
+	Node     keycrypt.KeyID
+	LHint    uint32 // first HintBits bits of C_L
+	RHint    uint32 // first HintBits bits of C_R
+	Verifier uint64
+}
+
+// RekeyMessage is the broadcast for one departure.
+type RekeyMessage struct {
+	Hints []Hint
+	// LeafWraps bootstrap the members whose sibling leaf departed: the
+	// refreshed sibling key cannot be hint-derived (the departed member
+	// knew everything a hint assumes), so it is wrapped conventionally.
+	LeafWraps []keycrypt.WrappedKey
+	// Removed lists interior nodes spliced out of the tree by this
+	// departure; members whose path contains one contract their path
+	// accordingly before processing hints.
+	Removed []keycrypt.KeyID
+}
+
+// BitsOnWire estimates the multicast payload size in bits — ELK's metric.
+func (m *RekeyMessage) BitsOnWire(p Params) int {
+	perHint := 2*p.HintBits + 64 + 64 // hints + verifier + node id
+	return len(m.Hints)*perHint + len(m.LeafWraps)*keycrypt.WrappedSize*8
+}
+
+type node struct {
+	key         keycrypt.Key
+	parent      *node
+	left, right *node
+	member      MemberID
+	leaves      int
+}
+
+func (n *node) isLeaf() bool { return n.left == nil && n.right == nil }
+
+// Tree is the server-side ELK key tree. Not safe for concurrent use.
+type Tree struct {
+	params Params
+	root   *node
+	leaves map[MemberID]*node
+	gen    keycrypt.Generator
+	nextID keycrypt.KeyID
+}
+
+// New creates an empty ELK tree. rng nil means crypto/rand.
+func New(params Params, rng io.Reader) (*Tree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		params: params,
+		leaves: make(map[MemberID]*node),
+		gen:    keycrypt.Generator{Rand: rng},
+		nextID: 1,
+	}, nil
+}
+
+// Size returns the member count.
+func (t *Tree) Size() int { return len(t.leaves) }
+
+// GroupKey returns the root key.
+func (t *Tree) GroupKey() (keycrypt.Key, error) {
+	if t.root == nil {
+		return keycrypt.Key{}, fmt.Errorf("%w: empty tree", ErrMemberUnknown)
+	}
+	return t.root.key, nil
+}
+
+// Members lists member IDs ascending.
+func (t *Tree) Members() []MemberID {
+	out := make([]MemberID, 0, len(t.leaves))
+	for m := range t.leaves {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Path returns the member's keys, leaf first, root last — handed over the
+// registration channel at join.
+func (t *Tree) Path(m MemberID) ([]keycrypt.Key, error) {
+	leaf, ok := t.leaves[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+	}
+	var out []keycrypt.Key
+	for n := leaf; n != nil; n = n.parent {
+		out = append(out, n.key)
+	}
+	return out, nil
+}
+
+// Join admits a member (balanced insertion). ELK joins need no broadcast
+// at all in the full protocol (keys advance by a timed one-way refresh);
+// here the server simply hands the joiner its path, which is the part the
+// paper's comparison cares about: join cost 0 multicast keys.
+func (t *Tree) Join(m MemberID) error {
+	if m == 0 {
+		return fmt.Errorf("%w: zero id", ErrBadParams)
+	}
+	if _, dup := t.leaves[m]; dup {
+		return fmt.Errorf("%w: %d", ErrMemberExists, m)
+	}
+	key, err := t.freshKey()
+	if err != nil {
+		return err
+	}
+	leaf := &node{key: key, member: m, leaves: 1}
+	t.leaves[m] = leaf
+	if t.root == nil {
+		t.root = leaf
+		return nil
+	}
+	n := t.root
+	for !n.isLeaf() {
+		if n.left.leaves <= n.right.leaves {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	interiorKey, err := t.freshKey()
+	if err != nil {
+		return err
+	}
+	interior := &node{key: interiorKey, parent: n.parent, left: n, right: leaf, leaves: n.leaves + 1}
+	if n.parent == nil {
+		t.root = interior
+	} else if n.parent.left == n {
+		n.parent.left = interior
+	} else {
+		n.parent.right = interior
+	}
+	n.parent = interior
+	leaf.parent = interior
+	for g := interior.parent; g != nil; g = g.parent {
+		g.leaves++
+	}
+	return nil
+}
+
+func (t *Tree) freshKey() (keycrypt.Key, error) {
+	id := t.nextID
+	t.nextID++
+	return t.gen.New(id, 0)
+}
+
+// Leave evicts a member and produces the hint-based rekey broadcast.
+func (t *Tree) Leave(m MemberID) (*RekeyMessage, error) {
+	leaf, ok := t.leaves[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+	}
+	delete(t.leaves, m)
+	msg := &RekeyMessage{}
+
+	parent := leaf.parent
+	if parent == nil {
+		t.root = nil
+		return msg, nil
+	}
+	// Splice: promote the sibling.
+	sibling := parent.left
+	if sibling == leaf {
+		sibling = parent.right
+	}
+	grand := parent.parent
+	sibling.parent = grand
+	if grand == nil {
+		t.root = sibling
+	} else if grand.left == parent {
+		grand.left = sibling
+	} else {
+		grand.right = sibling
+	}
+	parent.parent, parent.left, parent.right = nil, nil, nil
+	leaf.parent = nil
+	msg.Removed = append(msg.Removed, parent.key.ID)
+	for g := grand; g != nil; g = g.parent {
+		g.leaves--
+	}
+	if t.root.isLeaf() {
+		return msg, nil // singleton group: nothing to broadcast
+	}
+
+	// The departed member knew every key on its path, including the keys
+	// its hints would be derived from — hints alone cannot lock it out.
+	// ELK therefore refreshes one leaf it never knew (the nearest leaf of
+	// the promoted subtree), delivered wrapped under that leaf's old key,
+	// and drives every ancestor update from contributions involving it.
+	fresh := shallowLeaf(sibling)
+	oldLeafKey := fresh.key
+	next, err := t.gen.New(oldLeafKey.ID, oldLeafKey.Version+1)
+	if err != nil {
+		return nil, err
+	}
+	fresh.key = next
+	w, err := keycrypt.Wrap(next, oldLeafKey, t.gen.Rand)
+	if err != nil {
+		return nil, err
+	}
+	msg.LeafWraps = append(msg.LeafWraps, w)
+
+	// Update every ancestor of the refreshed leaf bottom-up with
+	// contribution mixing, emitting one hint per node.
+	for v := fresh.parent; v != nil; v = v.parent {
+		old := v.key
+		cl := contribution(t.params, v.left.key, old, 'L')
+		cr := contribution(t.params, v.right.key, old, 'R')
+		v.key = mixKey(old, cl, cr)
+		msg.Hints = append(msg.Hints, Hint{
+			Node:     old.ID,
+			LHint:    cl >> uint(t.params.CBits-t.params.HintBits),
+			RHint:    cr >> uint(t.params.CBits-t.params.HintBits),
+			Verifier: verifier(v.key),
+		})
+	}
+	return msg, nil
+}
+
+func shallowLeaf(n *node) *node {
+	queue := []*node{n}
+	for len(queue) > 0 {
+		head := queue[0]
+		queue = queue[1:]
+		if head.isLeaf() {
+			return head
+		}
+		queue = append(queue, head.left, head.right)
+	}
+	panic("elk: subtree without leaves")
+}
+
+// Member is the receiver side: it holds its path keys and processes hint
+// broadcasts by recomputing its own side's contribution and brute-forcing
+// the other side's.
+type Member struct {
+	params Params
+	id     MemberID
+	// pathKeys maps node key ID → current key, leaf upward.
+	pathKeys map[keycrypt.KeyID]keycrypt.Key
+	// order lists the path node IDs leaf→root; sides[i] is true when the
+	// member sits under the LEFT child of order[i].
+	order []keycrypt.KeyID
+	sides []bool
+	// BruteForceSteps counts PRF evaluations spent on hints — the CPU the
+	// bandwidth saving costs.
+	BruteForceSteps int
+}
+
+// NewMember bootstraps a receiver from its registration material: the path
+// keys (leaf first) and, for each interior path node, whether the member
+// hangs under its left child.
+func NewMember(params Params, id MemberID, path []keycrypt.Key, underLeft []bool) (*Member, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(path) == 0 || len(underLeft) != len(path)-1 {
+		return nil, fmt.Errorf("%w: path %d sides %d", ErrBadParams, len(path), len(underLeft))
+	}
+	m := &Member{params: params, id: id, pathKeys: make(map[keycrypt.KeyID]keycrypt.Key, len(path))}
+	for _, k := range path {
+		m.pathKeys[k.ID] = k
+		m.order = append(m.order, k.ID)
+	}
+	m.sides = append([]bool(nil), underLeft...)
+	return m, nil
+}
+
+// SidesOf computes the underLeft vector for a member — a server-side
+// helper for registration.
+func (t *Tree) SidesOf(m MemberID) ([]bool, error) {
+	leaf, ok := t.leaves[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+	}
+	var out []bool
+	for n := leaf; n.parent != nil; n = n.parent {
+		out = append(out, n.parent.left == n)
+	}
+	return out, nil
+}
+
+// GroupKey returns the member's current root key.
+func (m *Member) GroupKey() (keycrypt.Key, bool) {
+	k, ok := m.pathKeys[m.order[len(m.order)-1]]
+	return k, ok
+}
+
+// Apply processes a rekey broadcast: structural contractions first, then
+// leaf wraps (in case this member owns the refreshed leaf), then hints
+// bottom-up.
+func (m *Member) Apply(msg *RekeyMessage) error {
+	for _, removed := range msg.Removed {
+		idx := -1
+		for i, id := range m.order {
+			if id == removed {
+				idx = i
+				break
+			}
+		}
+		if idx <= 0 {
+			continue // not on this path (or the member's own leaf: impossible)
+		}
+		// order[idx] disappears: order[idx-1] now hangs under order[idx+1]
+		// on the side order[idx] occupied (sides[idx] slides down into the
+		// vacated relation; the child→removed relation sides[idx-1] dies).
+		m.order = append(m.order[:idx], m.order[idx+1:]...)
+		m.sides = append(m.sides[:idx-1], m.sides[idx:]...)
+		delete(m.pathKeys, removed)
+	}
+	for _, w := range msg.LeafWraps {
+		cur, ok := m.pathKeys[w.WrapperID]
+		if !ok || cur.Version != w.WrapperVersion {
+			continue
+		}
+		got, err := keycrypt.Unwrap(w, cur)
+		if err != nil {
+			continue
+		}
+		m.pathKeys[got.ID] = got
+	}
+	for _, h := range msg.Hints {
+		idx := -1
+		for i, id := range m.order {
+			if id == h.Node {
+				idx = i
+				break
+			}
+		}
+		if idx <= 0 {
+			continue // not on this member's path (or is the leaf itself)
+		}
+		old := m.pathKeys[h.Node]
+		childID := m.order[idx-1]
+		child := m.pathKeys[childID]
+		underLeft := m.sides[idx-1]
+
+		// Compute our side's contribution; brute-force the other's.
+		var mine uint32
+		var mineHint, otherHint uint32
+		if underLeft {
+			mine = contribution(m.params, child, old, 'L')
+			mineHint, otherHint = h.LHint, h.RHint
+		} else {
+			mine = contribution(m.params, child, old, 'R')
+			mineHint, otherHint = h.RHint, h.LHint
+		}
+		if mine>>uint(m.params.CBits-m.params.HintBits) != mineHint {
+			return fmt.Errorf("%w: own-side hint mismatch at %v", ErrHintMismatch, h.Node)
+		}
+		unknownBits := uint(m.params.CBits - m.params.HintBits)
+		base := otherHint << unknownBits
+		found := false
+		for candidate := uint32(0); candidate < 1<<unknownBits; candidate++ {
+			other := base | candidate
+			var cl, cr uint32
+			if underLeft {
+				cl, cr = mine, other
+			} else {
+				cl, cr = other, mine
+			}
+			trial := mixKey(old, cl, cr)
+			m.BruteForceSteps++
+			if verifier(trial) == h.Verifier {
+				m.pathKeys[h.Node] = trial
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: node %v", ErrHintMismatch, h.Node)
+		}
+	}
+	return nil
+}

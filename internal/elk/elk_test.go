@@ -1,0 +1,214 @@
+package elk
+
+import (
+	"errors"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+// harness pairs the server tree with real member state.
+type harness struct {
+	t       *testing.T
+	tree    *Tree
+	members map[MemberID]*Member
+}
+
+func newHarness(t *testing.T, seed uint64, n int) *harness {
+	t.Helper()
+	tree, err := New(DefaultParams(), keycrypt.NewDeterministicReader(seed))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := &harness{t: t, tree: tree, members: make(map[MemberID]*Member)}
+	for i := 1; i <= n; i++ {
+		h.join(MemberID(i))
+	}
+	return h
+}
+
+// join admits a member server-side and registers its client state. ELK
+// joins have zero multicast cost; existing member state stays valid
+// because insertion splits a leaf (their paths gain no new nodes... the
+// split partner's path does grow, so re-register all member state after
+// the initial population — done by registering at the end in tests).
+func (h *harness) join(m MemberID) {
+	h.t.Helper()
+	if err := h.tree.Join(m); err != nil {
+		h.t.Fatalf("Join(%d): %v", m, err)
+	}
+}
+
+// register (re)builds every member's client state from the registration
+// channel — used after population, before the departures under test.
+func (h *harness) register() {
+	h.t.Helper()
+	for _, m := range h.tree.Members() {
+		path, err := h.tree.Path(m)
+		if err != nil {
+			h.t.Fatalf("Path(%d): %v", m, err)
+		}
+		sides, err := h.tree.SidesOf(m)
+		if err != nil {
+			h.t.Fatalf("SidesOf(%d): %v", m, err)
+		}
+		mem, err := NewMember(DefaultParams(), m, path, sides)
+		if err != nil {
+			h.t.Fatalf("NewMember(%d): %v", m, err)
+		}
+		h.members[m] = mem
+	}
+}
+
+// leave evicts a member and verifies the full crypto contract.
+func (h *harness) leave(m MemberID) *RekeyMessage {
+	h.t.Helper()
+	departed := h.members[m]
+	delete(h.members, m)
+	msg, err := h.tree.Leave(m)
+	if err != nil {
+		h.t.Fatalf("Leave(%d): %v", m, err)
+	}
+	want, err := h.tree.GroupKey()
+	if err != nil {
+		h.t.Fatalf("GroupKey: %v", err)
+	}
+	for id, mem := range h.members {
+		if err := mem.Apply(msg); err != nil {
+			h.t.Fatalf("member %d Apply: %v", id, err)
+		}
+		got, ok := mem.GroupKey()
+		if !ok || !got.Equal(want) {
+			h.t.Fatalf("member %d disagrees on the group key after %d left", id, m)
+		}
+	}
+	if departed != nil {
+		departed.Apply(msg) // errors expected; what matters is the key
+		if got, ok := departed.GroupKey(); ok && got.Equal(want) {
+			h.t.Fatalf("departed member %d computed the new group key", m)
+		}
+	}
+	return msg
+}
+
+func TestELKDepartureRekeysViaHints(t *testing.T) {
+	h := newHarness(t, 1, 16)
+	h.register()
+	msg := h.leave(7)
+	if len(msg.Hints) == 0 {
+		t.Fatal("no hints emitted")
+	}
+	if len(msg.LeafWraps) != 1 {
+		t.Fatalf("LeafWraps=%d, want 1 (the refreshed leaf)", len(msg.LeafWraps))
+	}
+	// Receivers actually brute-forced something.
+	worked := false
+	for _, mem := range h.members {
+		if mem.BruteForceSteps > 0 {
+			worked = true
+		}
+	}
+	if !worked {
+		t.Fatal("no member spent brute-force CPU — hints were not exercised")
+	}
+}
+
+func TestELKSequentialDepartures(t *testing.T) {
+	h := newHarness(t, 2, 32)
+	h.register()
+	for _, m := range []MemberID{1, 16, 32, 8, 9} {
+		h.leave(m)
+	}
+	if h.tree.Size() != 27 {
+		t.Fatalf("size=%d, want 27", h.tree.Size())
+	}
+}
+
+func TestELKBandwidthBelowLKH(t *testing.T) {
+	// The point of ELK: hint bits per updated node instead of two wrapped
+	// keys. Compare bits on the wire for one departure from N=256 against
+	// binary-LKH's 2·(h−1) wraps.
+	h := newHarness(t, 3, 256)
+	h.register()
+	msg := h.leave(100)
+	p := DefaultParams()
+	elkBits := msg.BitsOnWire(p)
+	lkhBits := 2 * 7 * keycrypt.WrappedSize * 8 // 2(h-1) wraps, h=8
+	if elkBits >= lkhBits {
+		t.Fatalf("ELK %d bits not below LKH %d bits", elkBits, lkhBits)
+	}
+}
+
+func TestELKJoinIsFreeMulticast(t *testing.T) {
+	tree, err := New(DefaultParams(), keycrypt.NewDeterministicReader(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := tree.Join(MemberID(i)); err != nil {
+			t.Fatalf("Join(%d): %v", i, err)
+		}
+	}
+	// No broadcast API even exists for joins: the scheme's claim.
+	if tree.Size() != 20 {
+		t.Fatalf("size=%d", tree.Size())
+	}
+}
+
+func TestELKValidation(t *testing.T) {
+	if _, err := New(Params{CBits: 4, HintBits: 2}, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("tiny cbits: err=%v", err)
+	}
+	if _, err := New(Params{CBits: 32, HintBits: 0}, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("2^32 brute force accepted: err=%v", err)
+	}
+	tree, err := New(DefaultParams(), keycrypt.NewDeterministicReader(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Leave(9); !errors.Is(err, ErrMemberUnknown) {
+		t.Errorf("unknown leave: err=%v", err)
+	}
+	if err := tree.Join(0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero member: err=%v", err)
+	}
+	tree.Join(1)
+	if err := tree.Join(1); !errors.Is(err, ErrMemberExists) {
+		t.Errorf("duplicate join: err=%v", err)
+	}
+}
+
+func TestELKCorruptedHintDetected(t *testing.T) {
+	h := newHarness(t, 6, 8)
+	h.register()
+	victim := h.members[2]
+	delete(h.members, 2) // keep it from the harness's own verification
+	msg, err := h.tree.Leave(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Hints) == 0 {
+		t.Fatal("no hints")
+	}
+	msg.Hints[len(msg.Hints)-1].Verifier ^= 1
+	if err := victim.Apply(msg); !errors.Is(err, ErrHintMismatch) {
+		t.Fatalf("corrupted hint: err=%v, want ErrHintMismatch", err)
+	}
+}
+
+func TestELKLastMember(t *testing.T) {
+	h := newHarness(t, 7, 2)
+	h.register()
+	h.leave(1)
+	if h.tree.Size() != 1 {
+		t.Fatalf("size=%d", h.tree.Size())
+	}
+	// Singleton: root is the remaining leaf; no broadcast needed.
+	msg, err := h.tree.Leave(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Hints) != 0 || h.tree.Size() != 0 {
+		t.Fatalf("emptying: hints=%d size=%d", len(msg.Hints), h.tree.Size())
+	}
+}

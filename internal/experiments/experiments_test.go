@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTable1Defaults(t *testing.T) {
+	tb := Table1()
+	if tb.ID != "table1" || len(tb.Rows) != 7 {
+		t.Fatalf("Table1: id=%q rows=%d, want table1/7", tb.ID, len(tb.Rows))
+	}
+}
+
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tb.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d)=%q not numeric: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig3Shape(t *testing.T) {
+	tb, err := Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	if len(tb.Rows) != 21 {
+		t.Fatalf("rows=%d, want 21 (K=0..20)", len(tb.Rows))
+	}
+	// K=0 row: all two-partition schemes except PT coincide with baseline.
+	one0, tt0, qt0 := cell(t, tb, 0, 1), cell(t, tb, 0, 2), cell(t, tb, 0, 3)
+	if one0 != tt0 || one0 != qt0 {
+		t.Errorf("K=0: one=%v tt=%v qt=%v, must coincide", one0, tt0, qt0)
+	}
+	// K=10 row (index 10): TT clearly below baseline.
+	one10, tt10 := cell(t, tb, 10, 1), cell(t, tb, 10, 2)
+	if tt10 >= one10 {
+		t.Errorf("K=10: TT (%v) should beat one-keytree (%v)", tt10, one10)
+	}
+	// PT flat across K.
+	if cell(t, tb, 0, 4) != cell(t, tb, 20, 4) {
+		t.Error("PT cost varies with K")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb, err := Fig4()
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if len(tb.Rows) != 21 {
+		t.Fatalf("rows=%d, want 21", len(tb.Rows))
+	}
+	// alpha=0.9 row (index 18): best reduction in the paper's 26–36% band.
+	best := cell(t, tb, 18, 5)
+	if best < 26 || best > 36 {
+		t.Errorf("best reduction at alpha=0.9 = %v%%, paper reports 31.4%%", best)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb, err := Fig5()
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows=%d, want 5 (1K..256K)", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if qt := cell(t, tb, i, 1); qt < 15 {
+			t.Errorf("N=%s: QT reduction %v%% below the paper's ~22%%+ band", tb.Rows[i][0], qt)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb, err := Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	// Endpoints: gain 0.
+	if g := cell(t, tb, 0, 4); g != 0 {
+		t.Errorf("alpha=0 gain %v%%, want 0", g)
+	}
+	if g := cell(t, tb, len(tb.Rows)-1, 4); g != 0 {
+		t.Errorf("alpha=1 gain %v%%, want 0", g)
+	}
+	// Peak gain in the 8–16% band.
+	peak := 0.0
+	for i := range tb.Rows {
+		if g := cell(t, tb, i, 4); g > peak {
+			peak = g
+		}
+	}
+	if peak < 8 || peak > 16 {
+		t.Errorf("peak gain %v%%, paper reports 12.1%%", peak)
+	}
+	// Random split never beats the single tree.
+	for i := range tb.Rows {
+		if cell(t, tb, i, 2) < cell(t, tb, i, 1)-1e-9 {
+			t.Errorf("row %d: two-random (%v) beats one-keytree (%v)", i, cell(t, tb, i, 2), cell(t, tb, i, 1))
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tb, err := Fig7()
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	one := cell(t, tb, 0, 1)
+	mis0 := cell(t, tb, 0, 2)
+	correct := cell(t, tb, 0, 3)
+	if mis0 != correct {
+		t.Errorf("beta=0 mis-partitioned (%v) must equal correctly partitioned (%v)", mis0, correct)
+	}
+	mis08 := cell(t, tb, 16, 2)
+	mis10 := cell(t, tb, 20, 2)
+	if mis08 <= one {
+		t.Errorf("beta=0.8 (%v) should exceed one-keytree (%v)", mis08, one)
+	}
+	if mis10 >= mis08 {
+		t.Errorf("beta=1.0 (%v) should undercut beta=0.8 (%v)", mis10, mis08)
+	}
+}
+
+func TestFECGainShape(t *testing.T) {
+	tb, err := FECGain()
+	if err != nil {
+		t.Fatalf("FECGain: %v", err)
+	}
+	// Find the alpha=0.10 row.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "0.10" {
+			found = true
+			g, _ := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+			if g < 15 || g > 45 {
+				t.Errorf("FEC gain at alpha=0.1 = %v%%, paper reports 25.7%%", g)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no alpha=0.10 row")
+	}
+}
+
+func TestSimTwoPartitionCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation cross-validation is slow")
+	}
+	cfg := DefaultSimConfig()
+	cfg.N = 1024
+	cfg.Periods = 60
+	cfg.Warmup = 20
+	tb, err := SimTwoPartition(cfg)
+	if err != nil {
+		t.Fatalf("SimTwoPartition: %v", err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows=%d, want 4", len(tb.Rows))
+	}
+	// Column 5 is the implementation-aware model: the one-keytree row must
+	// validate tightly; partitioned schemes have looser agreement (the
+	// model idealizes migration batching).
+	if e := cell(t, tb, 0, 5); e > 10 {
+		t.Errorf("one-keytree sim-vs-impl-model error %v%% exceeds 10%%", e)
+	}
+	for i := 1; i < 4; i++ {
+		if e := cell(t, tb, i, 5); e > 35 {
+			t.Errorf("%s sim-vs-impl-model error %v%% exceeds 35%%", tb.Rows[i][0], e)
+		}
+	}
+	// The paper's verbatim model over-counts replaced-subtree wraps, so it
+	// must sit above the simulation for the baseline.
+	if sim, paper := cell(t, tb, 0, 1), cell(t, tb, 0, 2); paper <= sim {
+		t.Errorf("paper model %v should over-estimate the simulation %v", paper, sim)
+	}
+}
+
+func TestAllRunsAndRenders(t *testing.T) {
+	tables, err := All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("got %d tables, want 13 (table1, figs 3-7, fec, 6 extensions)", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.Fprint(&buf); err != nil {
+			t.Fatalf("Fprint(%s): %v", tb.ID, err)
+		}
+		var csv bytes.Buffer
+		if err := tb.CSV(&csv); err != nil {
+			t.Fatalf("CSV(%s): %v", tb.ID, err)
+		}
+		lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+		if len(lines) != len(tb.Rows)+1 {
+			t.Fatalf("%s: CSV has %d lines, want %d", tb.ID, len(lines), len(tb.Rows)+1)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no rendered output")
+	}
+}
+
+func TestSimKSweepReproducesFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	cfg := SimConfig{Seed: 1, N: 1024, Periods: 60, Warmup: 20}
+	tb, err := SimKSweep(cfg)
+	if err != nil {
+		t.Fatalf("SimKSweep: %v", err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows=%d, want 7", len(tb.Rows))
+	}
+	k0 := cell(t, tb, 0, 1)
+	k2 := cell(t, tb, 1, 1)
+	// Best of the paper's optimal region K ∈ {6, 8, 10}.
+	best := k0
+	for i := 3; i <= 5; i++ {
+		if c := cell(t, tb, i, 1); c < best {
+			best = c
+		}
+	}
+	if best > 0.85*k0 {
+		t.Errorf("best mid-K cost %v not well below K=0 cost %v", best, k0)
+	}
+	// The falling edge of the U: K=2 sits between K=0 and the minimum.
+	if !(k2 < k0 && k2 > best) {
+		t.Errorf("U-shape falling edge violated: k0=%v k2=%v best=%v", k0, k2, best)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart renders selected numeric columns of the table as an ASCII line
+// chart — the terminal rendition of the paper's figures. xCol is the
+// column index used for the x axis; yCols select the series. Percent signs
+// in cells are tolerated.
+func (t *Table) Chart(w io.Writer, xCol int, yCols []int, width, height int) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 18
+	}
+	if len(t.Rows) < 2 {
+		return fmt.Errorf("experiments: need at least 2 rows to chart %q", t.ID)
+	}
+	xs := make([]float64, len(t.Rows))
+	series := make([][]float64, len(yCols))
+	for i := range series {
+		series[i] = make([]float64, len(t.Rows))
+	}
+	for r, row := range t.Rows {
+		v, err := parseCell(row[xCol])
+		if err != nil {
+			return fmt.Errorf("experiments: x cell (%d,%d): %w", r, xCol, err)
+		}
+		xs[r] = v
+		for si, c := range yCols {
+			if c >= len(row) {
+				return fmt.Errorf("experiments: column %d out of range", c)
+			}
+			v, err := parseCell(row[c])
+			if err != nil {
+				return fmt.Errorf("experiments: y cell (%d,%d): %w", r, c, err)
+			}
+			series[si][r] = v
+		}
+	}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	minX, maxX := xs[0], xs[0]
+	for _, v := range xs {
+		minX = math.Min(minX, v)
+		maxX = math.Max(maxX, v)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	marks := []byte{'*', '+', 'o', 'x', '#', '@'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(si int, x, y float64) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = marks[si%len(marks)]
+		}
+	}
+	// Linear interpolation between consecutive points for continuity.
+	for si, s := range series {
+		for r := 0; r < len(xs)-1; r++ {
+			steps := 2 * width / len(xs)
+			if steps < 1 {
+				steps = 1
+			}
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plot(si, xs[r]+f*(xs[r+1]-xs[r]), s[r]+f*(s[r+1]-s[r]))
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", 10)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.4g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", minY)
+		case height / 2:
+			label = fmt.Sprintf("%10.4g", (maxY+minY)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 10),
+		minX, strings.Repeat(" ", max(0, width-20)), maxX); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(yCols))
+	for si, c := range yCols {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], t.Columns[c]))
+	}
+	_, err := fmt.Fprintf(w, "%s  x: %s   %s\n\n", strings.Repeat(" ", 10), t.Columns[xCol], strings.Join(legend, "   "))
+	return err
+}
+
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	return strconv.ParseFloat(s, 64)
+}
+
+// DefaultChartColumns returns, for the known experiment IDs, the (x, y)
+// column selection that mirrors the paper's figure.
+func DefaultChartColumns(id string) (int, []int, bool) {
+	switch id {
+	case "fig3":
+		return 0, []int{1, 2, 3, 4}, true
+	case "fig4":
+		return 0, []int{1, 2, 3, 4}, true
+	case "fig6":
+		return 0, []int{1, 2, 3}, true
+	case "fig7":
+		return 0, []int{1, 2, 3}, true
+	case "fec":
+		return 0, []int{1, 2}, true
+	default:
+		return 0, nil, false
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRendersFigures(t *testing.T) {
+	for _, build := range []func() (*Table, error){Fig3, Fig4, Fig6, Fig7} {
+		tb, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, ys, ok := DefaultChartColumns(tb.ID)
+		if !ok {
+			t.Fatalf("%s: no default chart columns", tb.ID)
+		}
+		var buf bytes.Buffer
+		if err := tb.Chart(&buf, x, ys, 60, 12); err != nil {
+			t.Fatalf("%s: Chart: %v", tb.ID, err)
+		}
+		out := buf.String()
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// Header + 12 grid rows + axis + x labels + legend.
+		if len(lines) != 16 {
+			t.Fatalf("%s: %d output lines, want 16", tb.ID, len(lines))
+		}
+		// Every series mark must appear somewhere.
+		marks := "*+ox#@"
+		for i := range ys {
+			if !strings.ContainsRune(out, rune(marks[i])) {
+				t.Errorf("%s: series mark %q never plotted", tb.ID, marks[i])
+			}
+		}
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	tb := &Table{ID: "x", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.Chart(&buf, 0, []int{1}, 40, 10); err == nil {
+		t.Error("single-row chart accepted")
+	}
+	tb.AddRow("2", "oops")
+	if err := tb.Chart(&buf, 0, []int{1}, 40, 10); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+	tb.Rows[1][1] = "3"
+	if err := tb.Chart(&buf, 0, []int{5}, 40, 10); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := tb.Chart(&buf, 0, []int{1}, 40, 10); err != nil {
+		t.Errorf("valid two-row chart rejected: %v", err)
+	}
+}
+
+func TestDefaultChartColumnsUnknownID(t *testing.T) {
+	if _, _, ok := DefaultChartColumns("nope"); ok {
+		t.Error("unknown id reported chartable")
+	}
+}

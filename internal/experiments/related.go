@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"groupkey/internal/analytic"
+	"groupkey/internal/elk"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/subsetdiff"
+)
+
+// RelatedSchemes is extension experiment E7: the paper's Section 1 survey,
+// quantified. For a one-shot revocation of r members from N = 1024 it
+// compares stateful batched LKH (the paper's substrate) against the
+// stateless Subset-Difference scheme [MNL01], with the receiver-storage
+// trade-off each buys its bandwidth with. MARKS [Briscoe99] appears as the
+// zero-message bound available only when memberships expire on schedule.
+func RelatedSchemes() (*Table, error) {
+	const n, degree, height = 1024, 4, 10
+	t := &Table{
+		ID:    "related",
+		Title: "Extension E7: revocation bandwidth across the Section 1 schemes (N=1024)",
+		Columns: []string{
+			"revoked", "lkh-batch(#keys)", "elk(key-equiv)", "sd-cover(#wraps)", "sd-bound(2r-1)", "marks(#msgs)",
+		},
+	}
+	srv, err := subsetdiff.NewServer(height, keycrypt.NewDeterministicReader(7))
+	if err != nil {
+		return nil, err
+	}
+	elkParams := elk.DefaultParams()
+	rng := rand.New(rand.NewPCG(7, 7))
+	for _, r := range []int{1, 4, 16, 64, 256} {
+		lkh := analytic.BatchRekeyCost(n, float64(r), degree)
+		revoked := rng.Perm(n)[:r]
+		cover, err := srv.Cover(revoked)
+		if err != nil {
+			return nil, err
+		}
+		// ELK has no batching: r sequential departures, bits measured on a
+		// real tree and converted to wrapped-key equivalents.
+		elkTree, err := elk.New(elkParams, keycrypt.NewDeterministicReader(uint64(100+r)))
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i <= n; i++ {
+			if err := elkTree.Join(elk.MemberID(i)); err != nil {
+				return nil, err
+			}
+		}
+		elkBits := 0
+		for i := 0; i < r; i++ {
+			msg, err := elkTree.Leave(elk.MemberID(revoked[i] + 1))
+			if err != nil {
+				return nil, err
+			}
+			elkBits += msg.BitsOnWire(elkParams)
+		}
+		elkKeys := float64(elkBits) / float64(keycrypt.WrappedSize*8)
+		t.AddRow(fmt.Sprintf("%d", r), f1(lkh), f1(elkKeys), fmt.Sprintf("%d", len(cover)),
+			fmt.Sprintf("%d", 2*r-1), "0")
+	}
+	t.AddNote("elk: hint-based per-departure rekeying (no batching), 2·%d hint bits + 128-bit overhead per updated node, receiver pays 2^%d PRF brute force",
+		elkParams.HintBits, elkParams.CBits-elkParams.HintBits)
+	t.AddNote("receiver storage: LKH log_d(N)+1 = %d keys; SD h(h+1)/2+1 = %d labels; MARKS ≤ 2h seeds",
+		int(math.Ceil(math.Log(n)/math.Log(degree)))+1, height*(height+1)/2+1)
+	t.AddNote("SD is stateless (sleepers keep up) but cannot batch across periods; MARKS cannot revoke early at all")
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"groupkey/internal/core"
+	"groupkey/internal/sim"
+	"groupkey/internal/workload"
+)
+
+// SimKSweep cross-validates the SHAPE of Fig. 3 on the running system: the
+// TT scheme's per-period multicast cost as a function of the S-period K,
+// measured by discrete simulation. The U-shape — falling as short-lived
+// members stop touching the big L-tree, rising again as migration traffic
+// dominates — must reproduce, with the minimum in the paper's K≈6–10
+// region.
+func SimKSweep(cfg SimConfig) (*Table, error) {
+	t := &Table{
+		ID:    "simfig3",
+		Title: fmt.Sprintf("Fig. 3 shape by simulation: TT cost vs. S-period K (N=%d, %d periods)", cfg.N, cfg.Periods),
+		Columns: []string{
+			"K", "simulated-#keys", "vs-K0",
+		},
+	}
+	var k0 float64
+	for _, k := range []int{0, 2, 4, 6, 8, 10, 14} {
+		s, err := core.NewTwoPartition(core.TT, k, detRand(cfg.Seed+uint64(k)))
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{
+			Seed:      cfg.Seed,
+			GroupSize: cfg.N,
+			Periods:   cfg.Periods,
+			Tp:        60,
+			Warmup:    cfg.Warmup,
+			Durations: workload.PaperDefault(),
+			Loss:      workload.PaperLossModel(0.2),
+			Scheme:    s,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: simulating K=%d: %w", k, err)
+		}
+		if k == 0 {
+			k0 = res.MeanMulticastKeys
+			t.AddRow("0", f1(res.MeanMulticastKeys), "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", k), f1(res.MeanMulticastKeys),
+			pct((k0-res.MeanMulticastKeys)/k0))
+	}
+	t.AddNote("the same workload trace drives every K; reductions are against the K=0 (one-tree-equivalent) run")
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package fec
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	for _, tc := range []struct{ k, p, size int }{
+		{8, 2, 1024}, {8, 8, 1024}, {32, 8, 4096},
+	} {
+		b.Run(fmt.Sprintf("k=%d_p=%d_%dB", tc.k, tc.p, tc.size), func(b *testing.B) {
+			coder, err := NewCoder(tc.k, tc.p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(1, 2))
+			data := randomShards(rng, tc.k, tc.size)
+			b.SetBytes(int64(tc.k * tc.size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coder.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	const k, p, size = 8, 4, 1024
+	coder, err := NewCoder(k, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	data := randomShards(rng, k, size)
+	parity, err := coder.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(int64(k * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, k+p)
+		for j := range shards {
+			shards[j] = full[j]
+		}
+		// Erase the maximum tolerable number of data shards.
+		shards[0], shards[2], shards[5], shards[7] = nil, nil, nil, nil
+		if err := coder.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGFMulSlice(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulSlice(dst, src, 0x1d)
+	}
+}

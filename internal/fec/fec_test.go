@@ -1,0 +1,255 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check multiplicative structure over the whole field.
+	for a := 1; a < 256; a++ {
+		ab := byte(a)
+		if got := gfMul(ab, gfInv(ab)); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d, want 1", got, a)
+		}
+		if got := gfMul(ab, 1); got != ab {
+			t.Fatalf("a·1 = %d for a=%d", got, a)
+		}
+		if got := gfMul(ab, 0); got != 0 {
+			t.Fatalf("a·0 = %d for a=%d", got, a)
+		}
+	}
+	// Associativity and commutativity on a sample.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 2000; i++ {
+		a, b, c := byte(rng.IntN(256)), byte(rng.IntN(256)), byte(rng.IntN(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("mul not commutative at %d,%d", a, b)
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("mul not associative at %d,%d,%d", a, b, c)
+		}
+		// Distributivity over XOR (field addition).
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("mul not distributive at %d,%d,%d", a, b, c)
+		}
+	}
+}
+
+func TestGFDivInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		for _, b := range []byte{1, 2, 3, 29, 255} {
+			q := gfDiv(byte(a), b)
+			if gfMul(q, b) != byte(a) {
+				t.Fatalf("(a/b)·b ≠ a for a=%d b=%d", a, b)
+			}
+		}
+	}
+	if gfDiv(0, 7) != 0 {
+		t.Error("0/b should be 0")
+	}
+}
+
+func TestGFExp(t *testing.T) {
+	if gfExp(2, 0) != 1 {
+		t.Error("a^0 should be 1")
+	}
+	if gfExp(0, 5) != 0 {
+		t.Error("0^n should be 0")
+	}
+	// a^(n+1) == a^n · a
+	for n := 0; n < 20; n++ {
+		if gfExp(3, n+1) != gfMul(gfExp(3, n), 3) {
+			t.Fatalf("exponent recurrence broken at n=%d", n)
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(8)
+		m := vandermonde(n+4, n).subMatrix(randDistinct(rng, n, n+4))
+		inv, err := m.invert()
+		if err != nil {
+			t.Fatalf("invert Vandermonde submatrix: %v", err)
+		}
+		prod := m.mul(inv)
+		id := identityMatrix(n)
+		for i := range prod {
+			if !bytes.Equal(prod[i], id[i]) {
+				t.Fatalf("M·M⁻¹ ≠ I at row %d: %v", i, prod[i])
+			}
+		}
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := newMatrix(2, 2)
+	m[0][0], m[0][1] = 1, 2
+	m[1][0], m[1][1] = 1, 2 // duplicate row
+	if _, err := m.invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err=%v, want ErrSingular", err)
+	}
+}
+
+func randDistinct(rng *rand.Rand, k, n int) []int {
+	perm := rng.Perm(n)
+	out := perm[:k]
+	// subMatrix rows can be in any order; keep as-is.
+	return out
+}
+
+func TestNewCoderValidation(t *testing.T) {
+	cases := []struct{ d, p int }{{0, 2}, {-1, 2}, {2, -1}, {200, 100}}
+	for _, c := range cases {
+		if _, err := NewCoder(c.d, c.p); !errors.Is(err, ErrInvalidShardCounts) {
+			t.Errorf("NewCoder(%d,%d): err=%v, want ErrInvalidShardCounts", c.d, c.p, err)
+		}
+	}
+	if _, err := NewCoder(8, 0); err != nil {
+		t.Errorf("parity=0 should be allowed: %v", err)
+	}
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	// Exhaustively erase every subset of ≤ parity shards for a small code.
+	const d, p = 4, 3
+	coder, err := NewCoder(d, p)
+	if err != nil {
+		t.Fatalf("NewCoder: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	data := randomShards(rng, d, 64)
+	parity, err := coder.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	n := d + p
+
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := popcount(mask)
+		if erased > p {
+			continue
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				shards[i] = bytes.Clone(full[i])
+			}
+		}
+		if err := coder.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct mask=%b: %v", mask, err)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(shards[i], full[i]) {
+				t.Fatalf("mask=%b: shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	coder, err := NewCoder(4, 2)
+	if err != nil {
+		t.Fatalf("NewCoder: %v", err)
+	}
+	shards := make([][]byte, 6)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 8)
+	shards[2] = make([]byte, 8)
+	if err := coder.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err=%v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructShardSizeMismatch(t *testing.T) {
+	coder, _ := NewCoder(2, 1)
+	shards := [][]byte{make([]byte, 8), make([]byte, 9), nil}
+	if err := coder.Reconstruct(shards); !errors.Is(err, ErrShardSizeMismatch) {
+		t.Fatalf("err=%v, want ErrShardSizeMismatch", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	coder, _ := NewCoder(4, 2)
+	rng := rand.New(rand.NewPCG(7, 8))
+	data := randomShards(rng, 4, 32)
+	parity, err := coder.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	ok, err := coder.Verify(full)
+	if err != nil || !ok {
+		t.Fatalf("Verify clean block: ok=%v err=%v", ok, err)
+	}
+	full[2][5] ^= 0xff
+	ok, err = coder.Verify(full)
+	if err != nil || ok {
+		t.Fatalf("Verify corrupted block: ok=%v err=%v, want false", ok, err)
+	}
+}
+
+func TestCoderQuickProperty(t *testing.T) {
+	// Property: for random shapes, payloads and erasure patterns with at
+	// most `parity` losses, decode∘encode is the identity.
+	f := func(seed uint64, dRaw, pRaw, sizeRaw uint8) bool {
+		d := int(dRaw%12) + 1
+		p := int(pRaw % 8)
+		size := int(sizeRaw%100) + 1
+		coder, err := NewCoder(d, p)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 99))
+		data := randomShards(rng, d, size)
+		parity, err := coder.Encode(data)
+		if err != nil {
+			return false
+		}
+		full := append(append([][]byte{}, data...), parity...)
+		shards := make([][]byte, d+p)
+		for i := range shards {
+			shards[i] = bytes.Clone(full[i])
+		}
+		for _, i := range rng.Perm(d + p)[:p] {
+			shards[i] = nil
+		}
+		if err := coder.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], full[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomShards(rng *rand.Rand, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		for j := range out[i] {
+			out[i][j] = byte(rng.IntN(256))
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

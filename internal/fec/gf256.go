@@ -1,0 +1,91 @@
+// Package fec implements systematic Reed-Solomon erasure coding over
+// GF(2^8), the primitive the proactive-FEC rekey transport protocol (Yang
+// et al., as used in Section 2.2 of the paper) relies on: a block of k
+// source packets is extended with parity packets such that any k of the
+// transmitted packets reconstruct the block.
+package fec
+
+// gfPoly is the field-defining primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), the common choice for GF(2^8) erasure codes.
+const gfPoly = 0x11d
+
+// gfTables holds the exp/log tables for GF(2^8) arithmetic.
+type gfTables struct {
+	exp [512]byte // doubled so mul can skip the mod-255 reduction
+	log [256]byte
+}
+
+// tables is computed once at package initialization from the primitive
+// polynomial; the computation is pure and deterministic.
+var tables = buildTables()
+
+func buildTables() *gfTables {
+	t := &gfTables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+int(tables.log[b])]
+}
+
+// gfDiv divides a by b. Division by zero panics: it indicates a programming
+// error in matrix elimination, never bad input.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("fec: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+255-int(tables.log[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("fec: zero has no inverse in GF(256)")
+	}
+	return tables.exp[255-int(tables.log[a])]
+}
+
+// gfExp returns a^n for field element a.
+func gfExp(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	logA := int(tables.log[a])
+	return tables.exp[(logA*n)%255]
+}
+
+// mulSlice computes dst[i] ^= c·src[i] for all i — the inner loop of both
+// encoding and reconstruction.
+func mulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(tables.log[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= tables.exp[logC+int(tables.log[s])]
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular indicates a matrix that cannot be inverted — with a proper
+// Vandermonde construction this only happens on duplicated rows.
+var ErrSingular = errors.New("fec: singular matrix")
+
+// matrix is a dense byte matrix over GF(2^8).
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	backing := make([]byte, rows*cols)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// identityMatrix returns the n×n identity.
+func identityMatrix(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// vandermonde builds the rows×cols matrix with entry r^c (row element r,
+// power c). Any square submatrix formed from distinct rows is invertible.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m[r][c] = gfExp(byte(r), c)
+		}
+	}
+	return m
+}
+
+// mul returns the matrix product a·b.
+func (a matrix) mul(b matrix) matrix {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for k := 0; k < inner; k++ {
+			if a[r][k] == 0 {
+				continue
+			}
+			mulSlice(out[r], b[k], a[r][k])
+		}
+	}
+	return out
+}
+
+// subMatrix returns the matrix formed from the given row indices.
+func (a matrix) subMatrix(rows []int) matrix {
+	out := make(matrix, len(rows))
+	for i, r := range rows {
+		out[i] = a[r]
+	}
+	return out
+}
+
+// invert returns the inverse via Gauss-Jordan elimination. The receiver is
+// not modified.
+func (a matrix) invert() (matrix, error) {
+	n := len(a)
+	if n == 0 || len(a[0]) != n {
+		return nil, fmt.Errorf("fec: cannot invert %dx%d matrix", n, len(a[0]))
+	}
+	// Work on [a | I].
+	work := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], a[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		// Scale pivot row to 1.
+		if p := work[col][col]; p != 1 {
+			inv := gfInv(p)
+			for c := 0; c < 2*n; c++ {
+				work[col][c] = gfMul(work[col][c], inv)
+			}
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for c := 0; c < 2*n; c++ {
+				work[r][c] ^= gfMul(f, work[col][c])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out[i], work[i][n:])
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coder errors.
+var (
+	ErrInvalidShardCounts = errors.New("fec: invalid shard counts")
+	ErrShardSizeMismatch  = errors.New("fec: shards must be non-empty and equally sized")
+	ErrTooFewShards       = errors.New("fec: too few shards to reconstruct")
+)
+
+// Coder is a systematic Reed-Solomon erasure coder: Data source shards plus
+// Parity parity shards, any Data of which reconstruct the block.
+//
+// A Coder is immutable after construction and safe for concurrent use.
+type Coder struct {
+	data   int
+	parity int
+	// enc is the (data+parity)×data systematic encoding matrix: the top
+	// data rows are the identity, the rest generate parity.
+	enc matrix
+}
+
+// NewCoder builds a coder for the given shard counts. data+parity must not
+// exceed 256 (the field size).
+func NewCoder(data, parity int) (*Coder, error) {
+	if data < 1 || parity < 0 || data+parity > 256 {
+		return nil, fmt.Errorf("%w: data=%d parity=%d", ErrInvalidShardCounts, data, parity)
+	}
+	n := data + parity
+	v := vandermonde(n, data)
+	top, err := v.subMatrix(seq(0, data)).invert()
+	if err != nil {
+		return nil, fmt.Errorf("fec: building systematic matrix: %w", err)
+	}
+	return &Coder{data: data, parity: parity, enc: v.mul(top)}, nil
+}
+
+// DataShards returns the number of source shards per block.
+func (c *Coder) DataShards() int { return c.data }
+
+// ParityShards returns the number of parity shards per block.
+func (c *Coder) ParityShards() int { return c.parity }
+
+// TotalShards returns data+parity.
+func (c *Coder) TotalShards() int { return c.data + c.parity }
+
+// Encode computes the parity shards for a block of data shards. All data
+// shards must be the same non-zero length. The returned parity shards are
+// freshly allocated.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	if err := c.checkShards(data, c.data); err != nil {
+		return nil, err
+	}
+	size := len(data[0])
+	parity := make([][]byte, c.parity)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		row := c.enc[c.data+i]
+		for j, d := range data {
+			mulSlice(parity[i], d, row[j])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in missing shards in place. shards must have length
+// data+parity; missing shards are nil. At least DataShards() shards must be
+// present. After a successful call every slot is non-nil and consistent
+// with the original block.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d slots, want %d", ErrInvalidShardCounts, len(shards), c.TotalShards())
+	}
+	present := make([]int, 0, len(shards))
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return ErrShardSizeMismatch
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.data {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.data)
+	}
+
+	// Fast path: all data shards present — only recompute missing parity.
+	dataComplete := true
+	for i := 0; i < c.data; i++ {
+		if shards[i] == nil {
+			dataComplete = false
+			break
+		}
+	}
+	if !dataComplete {
+		// Solve for the data shards from the first `data` present shards.
+		rows := present[:c.data]
+		sub := c.enc.subMatrix(rows)
+		inv, err := sub.invert()
+		if err != nil {
+			return fmt.Errorf("fec: reconstruction matrix: %w", err)
+		}
+		recovered := make([][]byte, c.data)
+		for i := 0; i < c.data; i++ {
+			if shards[i] != nil {
+				continue // will be overwritten identically; skip the work
+			}
+			recovered[i] = make([]byte, size)
+			for j, r := range rows {
+				mulSlice(recovered[i], shards[r], inv[i][j])
+			}
+		}
+		for i := 0; i < c.data; i++ {
+			if shards[i] == nil {
+				shards[i] = recovered[i]
+			}
+		}
+	}
+
+	// Recompute any missing parity from the (now complete) data shards.
+	for i := 0; i < c.parity; i++ {
+		if shards[c.data+i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.enc[c.data+i]
+		for j := 0; j < c.data; j++ {
+			mulSlice(out, shards[j], row[j])
+		}
+		shards[c.data+i] = out
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards. All shards must be present.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShards(shards, c.TotalShards()); err != nil {
+		return false, err
+	}
+	parity, err := c.Encode(shards[:c.data])
+	if err != nil {
+		return false, err
+	}
+	for i, p := range parity {
+		got := shards[c.data+i]
+		if len(got) != len(p) {
+			return false, nil
+		}
+		for j := range p {
+			if p[j] != got[j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func (c *Coder) checkShards(shards [][]byte, want int) error {
+	if len(shards) != want {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrInvalidShardCounts, len(shards), want)
+	}
+	size := len(shards[0])
+	if size == 0 {
+		return ErrShardSizeMismatch
+	}
+	for _, s := range shards {
+		if len(s) != size {
+			return ErrShardSizeMismatch
+		}
+	}
+	return nil
+}
+
+func seq(from, to int) []int {
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}

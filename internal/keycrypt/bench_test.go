@@ -1,0 +1,74 @@
+package keycrypt
+
+import "testing"
+
+func BenchmarkWrap(b *testing.B) {
+	payload := Random(1, 0)
+	wrapper := Random(2, 0)
+	rng := NewDeterministicReader(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Wrap(payload, wrapper, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnwrap(b *testing.B) {
+	payload := Random(1, 0)
+	wrapper := Random(2, 0)
+	w, err := Wrap(payload, wrapper, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unwrap(w, wrapper); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrappedMarshalRoundTrip(b *testing.B) {
+	w, err := Wrap(Random(1, 0), Random(2, 0), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalWrapped(w.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealOpen1KiB(b *testing.B) {
+	k := Random(3, 0)
+	msg := make([]byte, 1024)
+	rng := NewDeterministicReader(2)
+	b.SetBytes(int64(len(msg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := Seal(k, msg, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Open(k, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	parent := Random(4, 0)
+	for i := 0; i < b.N; i++ {
+		_ = Derive(parent, "bench", KeyID(i), 0)
+	}
+}
+
+func BenchmarkOFTBlindMix(b *testing.B) {
+	l, r := Random(5, 0), Random(6, 0)
+	for i := 0; i < b.N; i++ {
+		_ = Mix(7, Version(i), Blind(l), Blind(r))
+	}
+}

@@ -1,0 +1,62 @@
+package keycrypt
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// digest computes HMAC-SHA256(label, data) truncated to 32 bytes. It is the
+// single one-way primitive all derivation in this package is built on.
+func digest(data, label []byte) [32]byte {
+	mac := hmac.New(sha256.New, label)
+	mac.Write(data)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Derive produces a child key from parent by a labeled one-way derivation
+// (HKDF-expand style, single block). The child inherits the supplied ID and
+// version. Knowing the child reveals nothing about the parent.
+func Derive(parent Key, label string, id KeyID, version Version) Key {
+	info := make([]byte, 0, len(label)+12)
+	info = append(info, label...)
+	info = binary.BigEndian.AppendUint64(info, uint64(id))
+	info = binary.BigEndian.AppendUint32(info, uint32(version))
+	d := digest(info, parent.bits[:])
+	k := Key{ID: id, Version: version}
+	copy(k.bits[:], d[:])
+	return k
+}
+
+// Blind applies the OFT "blinding" one-way function g(·) to a key. In a
+// one-way function tree every interior key is computed as
+// Mix(Blind(left), Blind(right), ...); members learn the blinded versions of
+// their siblings' keys, never the unblinded ones.
+func Blind(k Key) Key {
+	d := digest(k.bits[:], []byte("oft-blind"))
+	out := Key{ID: k.ID, Version: k.Version}
+	copy(out.bits[:], d[:])
+	return out
+}
+
+// Mix combines one or more (blinded) child keys into a parent key, the OFT
+// mixing function f(·). The result is assigned the given ID and version.
+// Mix is deterministic in the order of its inputs.
+func Mix(id KeyID, version Version, children ...Key) Key {
+	h := sha256.New()
+	h.Write([]byte("oft-mix"))
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(id))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(version))
+	h.Write(hdr[:])
+	for _, c := range children {
+		h.Write(c.bits[:])
+	}
+	var out Key
+	out.ID = id
+	out.Version = version
+	copy(out.bits[:], h.Sum(nil))
+	return out
+}

@@ -1,0 +1,64 @@
+package keycrypt
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Seal encrypts arbitrary application data under k (typically the group
+// data-encryption key) with AES-256-GCM. The output embeds the key ID and
+// version so receivers can locate the right key, plus the nonce; it is
+// self-contained for Open.
+func Seal(k Key, plaintext []byte, rng io.Reader) ([]byte, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var nonce [nonceSize]byte
+	if _, err := io.ReadFull(rng, nonce[:]); err != nil {
+		return nil, fmt.Errorf("keycrypt: reading nonce: %w", err)
+	}
+	aead, err := newGCM(k)
+	if err != nil {
+		return nil, err
+	}
+	header := make([]byte, 0, 12+nonceSize)
+	header = binary.BigEndian.AppendUint64(header, uint64(k.ID))
+	header = binary.BigEndian.AppendUint32(header, uint32(k.Version))
+	out := append(header, nonce[:]...)
+	return aead.Seal(out, nonce[:], plaintext, header), nil
+}
+
+// SealedKeyInfo reports which key (ID and version) a sealed blob was
+// encrypted under, without decrypting it.
+func SealedKeyInfo(blob []byte) (KeyID, Version, error) {
+	if len(blob) < 12+nonceSize+gcmTag {
+		return 0, 0, ErrMalformed
+	}
+	return KeyID(binary.BigEndian.Uint64(blob[0:8])), Version(binary.BigEndian.Uint32(blob[8:12])), nil
+}
+
+// Open decrypts a blob produced by Seal. The key's ID and version must
+// match the blob's header.
+func Open(k Key, blob []byte) ([]byte, error) {
+	id, ver, err := SealedKeyInfo(blob)
+	if err != nil {
+		return nil, err
+	}
+	if id != k.ID || ver != k.Version {
+		return nil, fmt.Errorf("%w: blob sealed under %v.v%d, have %v.v%d",
+			ErrAuthFailure, id, ver, k.ID, k.Version)
+	}
+	aead, err := newGCM(k)
+	if err != nil {
+		return nil, err
+	}
+	header := blob[:12]
+	nonce := blob[12 : 12+nonceSize]
+	pt, err := aead.Open(nil, nonce, blob[12+nonceSize:], header)
+	if err != nil {
+		return nil, ErrAuthFailure
+	}
+	return pt, nil
+}

@@ -1,0 +1,71 @@
+package keycrypt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := Random(5, 2)
+	msg := []byte("pay-per-view frame 0001")
+	blob, err := Seal(k, msg, NewDeterministicReader(1))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := Open(k, blob)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestSealedKeyInfo(t *testing.T) {
+	k := Random(9, 4)
+	blob, err := Seal(k, []byte("x"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	id, ver, err := SealedKeyInfo(blob)
+	if err != nil {
+		t.Fatalf("SealedKeyInfo: %v", err)
+	}
+	if id != 9 || ver != 4 {
+		t.Fatalf("info = %v.v%d, want k9.v4", id, ver)
+	}
+	if _, _, err := SealedKeyInfo([]byte("short")); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short blob: err=%v", err)
+	}
+}
+
+func TestOpenWrongKeyOrVersionFails(t *testing.T) {
+	k := Random(5, 2)
+	blob, err := Seal(k, []byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := Open(Random(5, 3), blob); !errors.Is(err, ErrAuthFailure) {
+		t.Fatalf("newer version opened old data: err=%v", err)
+	}
+	if _, err := Open(Random(6, 2), blob); !errors.Is(err, ErrAuthFailure) {
+		t.Fatalf("different key opened data: err=%v", err)
+	}
+	forged := Random(5, 2) // right slot, wrong material
+	if _, err := Open(forged, blob); !errors.Is(err, ErrAuthFailure) {
+		t.Fatalf("forged material opened data: err=%v", err)
+	}
+}
+
+func TestOpenDetectsTamper(t *testing.T) {
+	k := Random(7, 0)
+	blob, err := Seal(k, []byte("hello group"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	blob[len(blob)-1] ^= 0x01
+	if _, err := Open(k, blob); !errors.Is(err, ErrAuthFailure) {
+		t.Fatalf("tampered blob opened: err=%v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package keycrypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wrapping errors.
+var (
+	// ErrAuthFailure indicates the ciphertext failed authentication: either
+	// it was corrupted in transit or the wrong unwrapping key was used.
+	ErrAuthFailure = errors.New("keycrypt: key unwrap authentication failure")
+	// ErrMalformed indicates a wrapped-key blob is structurally invalid.
+	ErrMalformed = errors.New("keycrypt: malformed wrapped key")
+)
+
+const (
+	nonceSize = 12
+	gcmTag    = 16
+	// wrappedHeader is KeyID(8) + Version(4) for the payload key, then
+	// KeyID(8) + Version(4) for the wrapping key.
+	wrappedHeader = 24
+	// WrappedSize is the on-the-wire size of one wrapped key: header,
+	// nonce, ciphertext (KeySize) and GCM tag. Transport-layer packing
+	// computes packet capacities from this constant.
+	WrappedSize = wrappedHeader + nonceSize + KeySize + gcmTag
+)
+
+// WrappedKey is one encrypted key as carried in a rekey message: the payload
+// key (identified by PayloadID/PayloadVersion) encrypted under the wrapping
+// key (identified by WrapperID/WrapperVersion).
+//
+// Receivers use the wrapper identity to decide whether they hold the key
+// needed to unwrap the payload — this is the "sparseness" property rekey
+// transport protocols exploit.
+type WrappedKey struct {
+	PayloadID      KeyID
+	PayloadVersion Version
+	WrapperID      KeyID
+	WrapperVersion Version
+	nonce          [nonceSize]byte
+	ct             [KeySize + gcmTag]byte
+}
+
+// Wrap encrypts payload under wrapper using AES-256-GCM. The random source
+// rng supplies the nonce; nil means crypto/rand.Reader.
+func Wrap(payload, wrapper Key, rng io.Reader) (WrappedKey, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	w := WrappedKey{
+		PayloadID:      payload.ID,
+		PayloadVersion: payload.Version,
+		WrapperID:      wrapper.ID,
+		WrapperVersion: wrapper.Version,
+	}
+	if _, err := io.ReadFull(rng, w.nonce[:]); err != nil {
+		return WrappedKey{}, fmt.Errorf("keycrypt: reading nonce: %w", err)
+	}
+	aead, err := newGCM(wrapper)
+	if err != nil {
+		return WrappedKey{}, err
+	}
+	ad := additionalData(w)
+	ct := aead.Seal(nil, w.nonce[:], payload.bits[:], ad)
+	if len(ct) != len(w.ct) {
+		return WrappedKey{}, fmt.Errorf("keycrypt: unexpected ciphertext length %d", len(ct))
+	}
+	copy(w.ct[:], ct)
+	return w, nil
+}
+
+// Unwrap decrypts w under wrapper and returns the payload key. The wrapper's
+// ID and version must match the ones recorded in the wrapped blob.
+func Unwrap(w WrappedKey, wrapper Key) (Key, error) {
+	if wrapper.ID != w.WrapperID || wrapper.Version != w.WrapperVersion {
+		return Key{}, fmt.Errorf("%w: blob wants wrapper %s.v%d, got %s.v%d",
+			ErrAuthFailure, w.WrapperID, w.WrapperVersion, wrapper.ID, wrapper.Version)
+	}
+	aead, err := newGCM(wrapper)
+	if err != nil {
+		return Key{}, err
+	}
+	pt, err := aead.Open(nil, w.nonce[:], w.ct[:], additionalData(w))
+	if err != nil {
+		return Key{}, ErrAuthFailure
+	}
+	return NewKey(w.PayloadID, w.PayloadVersion, pt)
+}
+
+// Marshal serializes the wrapped key into exactly WrappedSize bytes.
+func (w WrappedKey) Marshal() []byte {
+	buf := make([]byte, 0, WrappedSize)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(w.PayloadID))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(w.PayloadVersion))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(w.WrapperID))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(w.WrapperVersion))
+	buf = append(buf, w.nonce[:]...)
+	buf = append(buf, w.ct[:]...)
+	return buf
+}
+
+// UnmarshalWrapped parses a blob produced by Marshal.
+func UnmarshalWrapped(b []byte) (WrappedKey, error) {
+	if len(b) != WrappedSize {
+		return WrappedKey{}, fmt.Errorf("%w: need %d bytes, got %d", ErrMalformed, WrappedSize, len(b))
+	}
+	var w WrappedKey
+	w.PayloadID = KeyID(binary.BigEndian.Uint64(b[0:8]))
+	w.PayloadVersion = Version(binary.BigEndian.Uint32(b[8:12]))
+	w.WrapperID = KeyID(binary.BigEndian.Uint64(b[12:20]))
+	w.WrapperVersion = Version(binary.BigEndian.Uint32(b[20:24]))
+	copy(w.nonce[:], b[24:24+nonceSize])
+	copy(w.ct[:], b[24+nonceSize:])
+	return w, nil
+}
+
+func newGCM(k Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k.bits[:])
+	if err != nil {
+		return nil, fmt.Errorf("keycrypt: building AES cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("keycrypt: building GCM: %w", err)
+	}
+	return aead, nil
+}
+
+// additionalData binds the header fields into the AEAD so an attacker cannot
+// re-label a wrapped key as belonging to a different tree node or version.
+func additionalData(w WrappedKey) []byte {
+	ad := make([]byte, 0, wrappedHeader)
+	ad = binary.BigEndian.AppendUint64(ad, uint64(w.PayloadID))
+	ad = binary.BigEndian.AppendUint32(ad, uint32(w.PayloadVersion))
+	ad = binary.BigEndian.AppendUint64(ad, uint64(w.WrapperID))
+	ad = binary.BigEndian.AppendUint32(ad, uint32(w.WrapperVersion))
+	return ad
+}

@@ -1,0 +1,419 @@
+package keytree
+
+import (
+	"fmt"
+	"sort"
+
+	"groupkey/internal/keycrypt"
+)
+
+// Batch describes the membership changes accumulated over one rekey
+// interval: members joining and members departing. A member must not appear
+// twice, nor both join and depart in the same batch (the key server filters
+// members whose whole lifetime fits inside one interval — they are never
+// admitted).
+type Batch struct {
+	Joins  []MemberID
+	Leaves []MemberID
+}
+
+// IsEmpty reports whether the batch contains no membership change.
+func (b Batch) IsEmpty() bool { return len(b.Joins) == 0 && len(b.Leaves) == 0 }
+
+// ItemKind classifies how a rekey payload item is keyed.
+type ItemKind int
+
+const (
+	// ChildWrap is an updated key encrypted under one of its children —
+	// the departure-driven case of group-oriented rekeying.
+	ChildWrap ItemKind = iota + 1
+	// OldKeyWrap is an updated key encrypted under its own previous
+	// version — the cheap join-only case (one wrap instead of d).
+	OldKeyWrap
+	// JoinerWrap is a path key encrypted under a joining member's
+	// individual key.
+	JoinerWrap
+	// BlindWrap is an OFT blinded key encrypted under the sibling
+	// subtree's computed key (see oft.go).
+	BlindWrap
+	// LeafRefresh is a fresh OFT leaf secret encrypted under the same
+	// leaf's previous secret.
+	LeafRefresh
+)
+
+// String implements fmt.Stringer.
+func (k ItemKind) String() string {
+	switch k {
+	case ChildWrap:
+		return "child-wrap"
+	case OldKeyWrap:
+		return "oldkey-wrap"
+	case JoinerWrap:
+		return "joiner-wrap"
+	case BlindWrap:
+		return "blind-wrap"
+	case LeafRefresh:
+		return "leaf-refresh"
+	default:
+		return fmt.Sprintf("ItemKind(%d)", int(k))
+	}
+}
+
+// Item is one encrypted key in a rekey payload, with the routing metadata
+// reliable rekey transport protocols need: which members still require it
+// (the sparseness property) and how deep the payload key sits in the tree.
+type Item struct {
+	Wrapped keycrypt.WrappedKey
+	Kind    ItemKind
+	// Level is the depth of the payload key's node: 0 for the tree root,
+	// increasing toward the leaves. Transport protocols weight low-level
+	// (close-to-root) keys more heavily because more members need them.
+	Level int
+	// Receivers lists the members that need this item, ascending.
+	Receivers []MemberID
+}
+
+// Payload is the output of one batched rekey operation.
+type Payload struct {
+	// Epoch is the rekey sequence number, stamped by the key server.
+	Epoch uint64
+	// Items are the multicast rekey items: child wraps and old-key wraps
+	// for current members.
+	Items []Item
+	// JoinerItems carry the full key path to each joining member, wrapped
+	// under its individual key. Depending on deployment these ride the same
+	// multicast message (as in Wong et al.'s group-oriented rekeying) or go
+	// out by unicast; they are kept separate so experiments can count
+	// multicast bandwidth the way the paper's analytic model does.
+	JoinerItems []Item
+}
+
+// MulticastKeyCount is the number of encrypted keys multicast to current
+// members — the "rekeying cost (#keys)" metric of the paper's figures.
+func (p *Payload) MulticastKeyCount() int { return len(p.Items) }
+
+// TotalKeyCount counts every encrypted key including joiner path deliveries.
+func (p *Payload) TotalKeyCount() int { return len(p.Items) + len(p.JoinerItems) }
+
+// AllItems returns multicast items followed by joiner items.
+func (p *Payload) AllItems() []Item {
+	out := make([]Item, 0, len(p.Items)+len(p.JoinerItems))
+	out = append(out, p.Items...)
+	out = append(out, p.JoinerItems...)
+	return out
+}
+
+// dirtyInfo tracks why a node needs redistribution during a batch.
+type dirtyInfo struct {
+	// departure is true when a member that knew this key departed (or was
+	// replaced), forcing d child wraps. False means join-only taint.
+	departure bool
+	// oldKey is the node's key before the batch, used for OldKeyWrap.
+	oldKey keycrypt.Key
+	// isNew marks interior nodes created during this batch (leaf splits);
+	// they have no previous version and no prior holders.
+	isNew bool
+}
+
+// Rekey applies a batch of membership changes and produces the rekey
+// payload under group-oriented rekeying:
+//
+//   - Joins are paired with departures first, so joiners fill vacated leaf
+//     slots and the tree shape stays balanced (the J=L regime analyzed in
+//     the paper's Appendix A). Surplus joins grow the tree; surplus
+//     departures shrink it.
+//   - Every key known to a departed member is refreshed and re-encrypted
+//     under each of its surviving children.
+//   - Keys tainted only by joins are refreshed and encrypted once under
+//     their own previous version.
+//   - Each joiner additionally receives its whole key path wrapped under
+//     its individual key.
+//
+// Rekey mutates the tree. On error the tree is unchanged.
+func (t *Tree) Rekey(b Batch) (*Payload, error) {
+	if err := t.validateBatch(b); err != nil {
+		return nil, err
+	}
+
+	dirty := make(map[*Node]*dirtyInfo)
+	joiners := make(map[MemberID]bool, len(b.Joins))
+	for _, m := range b.Joins {
+		joiners[m] = true
+	}
+
+	mark := func(n *Node, departure bool) {
+		for ; n != nil; n = n.parent {
+			info, ok := dirty[n]
+			if !ok {
+				info = &dirtyInfo{oldKey: n.key}
+				dirty[n] = info
+			}
+			info.departure = info.departure || departure
+		}
+	}
+
+	// Phase 1: replacements — joiners take the leaf slots of departures.
+	pairs := min(len(b.Joins), len(b.Leaves))
+	for i := 0; i < pairs; i++ {
+		leaf := t.leaves[b.Leaves[i]]
+		delete(t.leaves, b.Leaves[i])
+		fresh, err := t.freshKey()
+		if err != nil {
+			return nil, err
+		}
+		leaf.key = fresh
+		leaf.member = b.Joins[i]
+		t.leaves[b.Joins[i]] = leaf
+		mark(leaf.parent, true)
+		t.stats.Joins++
+		t.stats.Departures++
+	}
+
+	// Phase 2: surplus departures shrink the tree.
+	for _, m := range b.Leaves[pairs:] {
+		anc, err := t.removeLeaf(m)
+		if err != nil {
+			return nil, err // unreachable: validated above
+		}
+		mark(anc, true)
+		t.stats.Departures++
+	}
+
+	// Phase 3: surplus joins grow the tree.
+	for _, m := range b.Joins[pairs:] {
+		leaf, created, err := t.insertLeafTracked(m)
+		if err != nil {
+			return nil, err
+		}
+		if created != nil {
+			dirty[created] = &dirtyInfo{isNew: true, departure: true}
+			mark(created.parent, false)
+		} else {
+			mark(leaf.parent, false)
+		}
+		t.stats.Joins++
+	}
+
+	// Prune dirty entries for nodes spliced out of the tree by removals.
+	for n := range dirty {
+		if !t.attached(n) || n.IsLeaf() {
+			delete(dirty, n)
+		}
+	}
+
+	// Phase 4: refresh all pre-existing dirty keys.
+	for n, info := range dirty {
+		if info.isNew {
+			continue
+		}
+		if err := t.refresh(n); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 5: emit wraps, deepest nodes first for readable payloads.
+	nodes := make([]*Node, 0, len(dirty))
+	for n := range dirty {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := nodes[i].Depth(), nodes[j].Depth()
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i].key.ID < nodes[j].key.ID
+	})
+
+	p := &Payload{}
+	for _, n := range nodes {
+		info := dirty[n]
+		level := n.Depth()
+		if info.departure || info.isNew {
+			for _, c := range n.children {
+				receivers := t.receiversUnder(c, joiners)
+				if len(receivers) == 0 {
+					// Every member under c is a joiner of this batch and
+					// receives the key through its JoinerWrap path instead;
+					// multicasting this wrap would carry zero information.
+					continue
+				}
+				w, err := keycrypt.Wrap(n.key, c.key, t.gen.Rand)
+				if err != nil {
+					return nil, fmt.Errorf("keytree: wrapping %s under %s: %w", n.key.ID, c.key.ID, err)
+				}
+				p.Items = append(p.Items, Item{
+					Wrapped:   w,
+					Kind:      ChildWrap,
+					Level:     level,
+					Receivers: receivers,
+				})
+			}
+		} else {
+			receivers := t.receiversUnder(n, joiners)
+			if len(receivers) == 0 {
+				continue
+			}
+			w, err := keycrypt.Wrap(n.key, info.oldKey, t.gen.Rand)
+			if err != nil {
+				return nil, fmt.Errorf("keytree: wrapping %s under old version: %w", n.key.ID, err)
+			}
+			p.Items = append(p.Items, Item{
+				Wrapped:   w,
+				Kind:      OldKeyWrap,
+				Level:     level,
+				Receivers: receivers,
+			})
+		}
+	}
+
+	// Phase 6: joiner path deliveries.
+	joinerIDs := make([]MemberID, 0, len(joiners))
+	for m := range joiners {
+		joinerIDs = append(joinerIDs, m)
+	}
+	sort.Slice(joinerIDs, func(i, j int) bool { return joinerIDs[i] < joinerIDs[j] })
+	for _, m := range joinerIDs {
+		leaf := t.leaves[m]
+		for n := leaf.parent; n != nil; n = n.parent {
+			w, err := keycrypt.Wrap(n.key, leaf.key, t.gen.Rand)
+			if err != nil {
+				return nil, fmt.Errorf("keytree: wrapping path key for joiner %d: %w", m, err)
+			}
+			p.JoinerItems = append(p.JoinerItems, Item{
+				Wrapped:   w,
+				Kind:      JoinerWrap,
+				Level:     n.Depth(),
+				Receivers: []MemberID{m},
+			})
+		}
+	}
+
+	t.stats.KeysWrapped += p.TotalKeyCount()
+	t.stats.Rekeys++
+	return p, nil
+}
+
+// Join admits a single member immediately (non-batched rekeying). It is a
+// convenience wrapper around Rekey.
+func (t *Tree) Join(m MemberID) (*Payload, error) {
+	return t.Rekey(Batch{Joins: []MemberID{m}})
+}
+
+// Leave evicts a single member immediately (non-batched rekeying).
+func (t *Tree) Leave(m MemberID) (*Payload, error) {
+	return t.Rekey(Batch{Leaves: []MemberID{m}})
+}
+
+func (t *Tree) validateBatch(b Batch) error {
+	seen := make(map[MemberID]bool, len(b.Joins)+len(b.Leaves))
+	for _, m := range b.Joins {
+		if m == 0 {
+			return ErrZeroMember
+		}
+		if seen[m] {
+			return fmt.Errorf("%w: member %d listed twice", ErrBatchConflict, m)
+		}
+		seen[m] = true
+		if t.Contains(m) {
+			return fmt.Errorf("%w: %d", ErrMemberExists, m)
+		}
+	}
+	for _, m := range b.Leaves {
+		if m == 0 {
+			return ErrZeroMember
+		}
+		if seen[m] {
+			return fmt.Errorf("%w: member %d both joins and leaves", ErrBatchConflict, m)
+		}
+		seen[m] = true
+		if !t.Contains(m) {
+			return fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+		}
+	}
+	return nil
+}
+
+// insertLeafTracked is insertLeaf but also reports the interior node created
+// by a leaf split, if any.
+func (t *Tree) insertLeafTracked(m MemberID) (leaf, createdInterior *Node, err error) {
+	// Re-implementation of insertLeaf that surfaces the split node; the
+	// simple variant delegates here.
+	key, err := t.freshKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	leaf = &Node{key: key, member: m, leaves: 1}
+
+	if t.root == nil {
+		t.root = leaf
+		t.leaves[m] = leaf
+		return leaf, nil, nil
+	}
+
+	n := t.root
+	for {
+		if n.IsLeaf() {
+			interiorKey, err := t.freshKey()
+			if err != nil {
+				return nil, nil, err
+			}
+			interior := &Node{
+				key:      interiorKey,
+				parent:   n.parent,
+				children: []*Node{n, leaf},
+				leaves:   n.leaves + 1,
+			}
+			if n.parent == nil {
+				t.root = interior
+			} else {
+				replaceChild(n.parent, n, interior)
+			}
+			n.parent = interior
+			leaf.parent = interior
+			for p := interior.parent; p != nil; p = p.parent {
+				p.leaves++
+			}
+			t.leaves[m] = leaf
+			return leaf, interior, nil
+		}
+		if len(n.children) < t.degree {
+			leaf.parent = n
+			n.children = append(n.children, leaf)
+			for p := n; p != nil; p = p.parent {
+				p.leaves++
+			}
+			t.leaves[m] = leaf
+			return leaf, nil, nil
+		}
+		best := n.children[0]
+		for _, c := range n.children[1:] {
+			if c.leaves < best.leaves {
+				best = c
+			}
+		}
+		n = best
+	}
+}
+
+// attached reports whether n is still reachable from the tree root.
+func (t *Tree) attached(n *Node) bool {
+	for ; n != nil; n = n.parent {
+		if n == t.root {
+			return true
+		}
+	}
+	return false
+}
+
+// receiversUnder collects the members under n, excluding the given joiners
+// (who receive their keys through JoinerWrap items instead).
+func (t *Tree) receiversUnder(n *Node, exclude map[MemberID]bool) []MemberID {
+	out := make([]MemberID, 0, n.leaves)
+	walk(n, func(x *Node) {
+		if x.member != 0 && !exclude[x.member] {
+			out = append(out, x.member)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

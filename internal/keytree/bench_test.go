@@ -1,0 +1,127 @@
+package keytree
+
+import (
+	"fmt"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+func benchTree(b *testing.B, degree, n int) *Tree {
+	b.Helper()
+	tr, err := New(degree, WithRand(keycrypt.NewDeterministicReader(uint64(n))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := Batch{}
+	for i := 1; i <= n; i++ {
+		batch.Joins = append(batch.Joins, MemberID(i))
+	}
+	if _, err := tr.Rekey(batch); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkJoinLeaveCycle(b *testing.B) {
+	for _, n := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := benchTree(b, 4, n)
+			next := MemberID(n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Join(next); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tr.Leave(next); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+		})
+	}
+}
+
+func BenchmarkBatchRekey(b *testing.B) {
+	for _, tc := range []struct{ n, l int }{
+		{1024, 16}, {4096, 64}, {65536, 256},
+	} {
+		b.Run(fmt.Sprintf("n=%d_l=%d", tc.n, tc.l), func(b *testing.B) {
+			tr := benchTree(b, 4, tc.n)
+			next := MemberID(tc.n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				members := tr.Members()
+				batch := Batch{}
+				for j := 0; j < tc.l; j++ {
+					batch.Leaves = append(batch.Leaves, members[(j*997)%len(members)])
+					batch.Joins = append(batch.Joins, next)
+					next++
+				}
+				p, err := tr.Rekey(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(p.MulticastKeyCount()), "keys/batch")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPathLookup(b *testing.B) {
+	tr := benchTree(b, 4, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Path(MemberID(i%65536 + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOFTBatchRekey(b *testing.B) {
+	for _, tc := range []struct{ n, l int }{
+		{1024, 16}, {4096, 64},
+	} {
+		b.Run(fmt.Sprintf("n=%d_l=%d", tc.n, tc.l), func(b *testing.B) {
+			tr, err := NewOFT(WithRand(keycrypt.NewDeterministicReader(uint64(tc.n))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := Batch{}
+			for i := 1; i <= tc.n; i++ {
+				batch.Joins = append(batch.Joins, MemberID(i))
+			}
+			if _, err := tr.Rekey(batch); err != nil {
+				b.Fatal(err)
+			}
+			next := MemberID(tc.n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				members := tr.Members()
+				rb := Batch{}
+				for j := 0; j < tc.l; j++ {
+					rb.Leaves = append(rb.Leaves, members[(j*997)%len(members)])
+					rb.Joins = append(rb.Joins, next)
+					next++
+				}
+				p, err := tr.Rekey(rb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(p.MulticastKeyCount()), "keys/batch")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExpectedRekeyCost(b *testing.B) {
+	tr := benchTree(b, 4, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.ExpectedRekeyCost(256)
+	}
+}

@@ -1,0 +1,230 @@
+package keytree
+
+import (
+	"fmt"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+// checkInvariants verifies structural soundness of the tree:
+//
+//  1. parent/child pointers are mutually consistent,
+//  2. per-node leaf counts equal the real number of member leaves below,
+//  3. interior nodes have between 2 and degree children (no chains),
+//  4. every member in the leaf index is attached, and every attached member
+//     leaf is in the index,
+//  5. leaf nodes carry members, interior nodes do not,
+//  6. all key IDs are unique.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := invariantErr(tr); err != nil {
+		t.Fatalf("tree invariant violated: %v", err)
+	}
+}
+
+func invariantErr(tr *Tree) error {
+	if tr.root == nil {
+		if len(tr.leaves) != 0 {
+			return fmt.Errorf("nil root but %d indexed leaves", len(tr.leaves))
+		}
+		return nil
+	}
+	if tr.root.parent != nil {
+		return fmt.Errorf("root has a parent")
+	}
+	seenMembers := make(map[MemberID]bool)
+	seenKeyIDs := make(map[keycrypt.KeyID]bool)
+	var errOut error
+	var visit func(n *Node) int
+	visit = func(n *Node) int {
+		if errOut != nil {
+			return 0
+		}
+		if seenKeyIDs[n.key.ID] {
+			errOut = fmt.Errorf("duplicate key ID %v", n.key.ID)
+			return 0
+		}
+		seenKeyIDs[n.key.ID] = true
+		if n.IsLeaf() {
+			if n.member == 0 {
+				errOut = fmt.Errorf("leaf without member (key %v)", n.key.ID)
+				return 0
+			}
+			if n.leaves != 1 {
+				errOut = fmt.Errorf("leaf %d has leaves=%d", n.member, n.leaves)
+			}
+			if idx, ok := tr.leaves[n.member]; !ok || idx != n {
+				errOut = fmt.Errorf("leaf for member %d not indexed correctly", n.member)
+			}
+			seenMembers[n.member] = true
+			return 1
+		}
+		if n.member != 0 {
+			errOut = fmt.Errorf("interior node carries member %d", n.member)
+			return 0
+		}
+		if len(n.children) < 2 || len(n.children) > tr.degree {
+			errOut = fmt.Errorf("interior node has %d children (degree %d)", len(n.children), tr.degree)
+			return 0
+		}
+		total := 0
+		for _, c := range n.children {
+			if c.parent != n {
+				errOut = fmt.Errorf("child of key %v has wrong parent pointer", n.key.ID)
+				return 0
+			}
+			total += visit(c)
+		}
+		if total != n.leaves {
+			errOut = fmt.Errorf("node %v leaves=%d but subtree holds %d", n.key.ID, n.leaves, total)
+		}
+		return total
+	}
+	visit(tr.root)
+	if errOut != nil {
+		return errOut
+	}
+	if len(seenMembers) != len(tr.leaves) {
+		return fmt.Errorf("index has %d members, tree has %d", len(tr.leaves), len(seenMembers))
+	}
+	return nil
+}
+
+// memberView simulates a group member's key store for cryptographic
+// verification of rekey payloads: it starts from the member's known keys and
+// applies payload items to fixpoint, exactly as a real receiver would.
+type memberView struct {
+	id   MemberID
+	keys map[keycrypt.KeyID]keycrypt.Key
+}
+
+func newMemberView(id MemberID, path []keycrypt.Key) *memberView {
+	v := &memberView{id: id, keys: make(map[keycrypt.KeyID]keycrypt.Key, len(path))}
+	for _, k := range path {
+		v.keys[k.ID] = k
+	}
+	return v
+}
+
+// apply decrypts everything it can from the payload, iterating until no
+// further item unwraps. Returns the number of items decrypted.
+func (v *memberView) apply(p *Payload) int {
+	items := p.AllItems()
+	decrypted := 0
+	for {
+		progress := false
+		for _, it := range items {
+			w := it.Wrapped
+			have, ok := v.keys[w.WrapperID]
+			if !ok || have.Version != w.WrapperVersion {
+				continue
+			}
+			cur, haveCur := v.keys[w.PayloadID]
+			if haveCur && cur.Version >= w.PayloadVersion {
+				continue
+			}
+			got, err := keycrypt.Unwrap(w, have)
+			if err != nil {
+				continue
+			}
+			v.keys[got.ID] = got
+			decrypted++
+			progress = true
+		}
+		if !progress {
+			return decrypted
+		}
+	}
+}
+
+// canRecover reports whether the view holds the given key exactly.
+func (v *memberView) canRecover(k keycrypt.Key) bool {
+	have, ok := v.keys[k.ID]
+	return ok && have.Equal(k)
+}
+
+// snapshotViews builds a memberView for every current member of the tree.
+func snapshotViews(t *testing.T, tr *Tree) map[MemberID]*memberView {
+	t.Helper()
+	views := make(map[MemberID]*memberView, tr.Size())
+	for _, m := range tr.Members() {
+		path, err := tr.Path(m)
+		if err != nil {
+			t.Fatalf("Path(%d): %v", m, err)
+		}
+		views[m] = newMemberView(m, path)
+	}
+	return views
+}
+
+// verifyRekeyRound checks the full cryptographic contract of one Rekey call:
+// pre-batch member views plus the payload must yield every survivor its new
+// path; departed members must recover no new key; joiners must recover their
+// paths from their individual key alone.
+func verifyRekeyRound(t *testing.T, tr *Tree, pre map[MemberID]*memberView, b Batch, p *Payload) {
+	t.Helper()
+	departed := make(map[MemberID]bool, len(b.Leaves))
+	for _, m := range b.Leaves {
+		departed[m] = true
+	}
+	joined := make(map[MemberID]bool, len(b.Joins))
+	for _, m := range b.Joins {
+		joined[m] = true
+	}
+
+	newRoot, err := tr.RootKey()
+	if err != nil && tr.Size() > 0 {
+		t.Fatalf("RootKey: %v", err)
+	}
+
+	// Survivors recover their complete new path.
+	for m, view := range pre {
+		if departed[m] {
+			continue
+		}
+		view.apply(p)
+		path, err := tr.Path(m)
+		if err != nil {
+			t.Fatalf("Path(%d): %v", m, err)
+		}
+		for _, k := range path {
+			if !view.canRecover(k) {
+				t.Fatalf("survivor %d cannot recover path key %v after rekey", m, k)
+			}
+		}
+	}
+
+	// Departed members recover nothing new — in particular not the root.
+	for m, view := range pre {
+		if !departed[m] {
+			continue
+		}
+		n := view.apply(p)
+		if n != 0 {
+			t.Fatalf("departed member %d decrypted %d rekey items (forward secrecy broken)", m, n)
+		}
+		if tr.Size() > 0 && view.canRecover(newRoot) {
+			t.Fatalf("departed member %d recovered the new group key", m)
+		}
+	}
+
+	// Joiners bootstrap from their individual key only.
+	for m := range joined {
+		leaf, err := tr.Leaf(m)
+		if err != nil {
+			t.Fatalf("Leaf(%d): %v", m, err)
+		}
+		view := newMemberView(m, []keycrypt.Key{leaf.Key()})
+		view.apply(p)
+		path, err := tr.Path(m)
+		if err != nil {
+			t.Fatalf("Path(%d): %v", m, err)
+		}
+		for _, k := range path {
+			if !view.canRecover(k) {
+				t.Fatalf("joiner %d cannot recover path key %v", m, k)
+			}
+		}
+	}
+}

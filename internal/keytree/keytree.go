@@ -1,0 +1,316 @@
+// Package keytree implements the logical key hierarchy (LKH) data structure
+// used by scalable group-rekeying schemes (Wallner et al., Wong et al.).
+//
+// A Tree is a d-ary hierarchy of symmetric keys maintained by the key server.
+// Leaves are individual keys shared between one member and the server;
+// interior nodes are auxiliary key-encryption keys; the root is the subtree's
+// group key (or, when the tree is used as a partition, the partition key).
+// Every member holds exactly the keys on the path from its leaf to the root,
+// so a membership change invalidates one root-to-leaf path.
+//
+// The package supports both immediate (per-event) rekeying and periodic
+// batched rekeying (Setia et al., Yang et al.): joins, leaves and migrations
+// accumulated over a rekey interval are applied in one pass, and overlapping
+// path updates are paid for once. Rekey payloads follow group-oriented
+// rekeying: each updated key is encrypted under each of its children.
+package keytree
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"groupkey/internal/keycrypt"
+)
+
+// MemberID identifies a group member. IDs are assigned by the caller
+// (typically the key server's registration path) and must be nonzero.
+type MemberID uint64
+
+// Tree errors.
+var (
+	ErrMemberExists     = errors.New("keytree: member already present")
+	ErrMemberUnknown    = errors.New("keytree: no such member")
+	ErrInvalidDegree    = errors.New("keytree: tree degree must be at least 2")
+	ErrZeroMember       = errors.New("keytree: member ID must be nonzero")
+	ErrEmptyTree        = errors.New("keytree: tree is empty")
+	ErrBatchConflict    = errors.New("keytree: member appears in conflicting batch operations")
+	ErrExhaustedEntropy = errors.New("keytree: key generation failed")
+)
+
+// Node is one key slot in the hierarchy. Interior nodes hold auxiliary keys;
+// leaf nodes hold member individual keys and carry a nonzero Member field.
+type Node struct {
+	key      keycrypt.Key
+	parent   *Node
+	children []*Node
+	member   MemberID // nonzero iff leaf representing a member
+	leaves   int      // number of member leaves in this subtree
+}
+
+// Key returns the node's current key.
+func (n *Node) Key() keycrypt.Key { return n.key }
+
+// Member returns the member occupying the leaf, or zero for interior nodes.
+func (n *Node) Member() MemberID { return n.member }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// Leaves returns the number of member leaves under the node.
+func (n *Node) Leaves() int { return n.leaves }
+
+// Children returns the node's children slice. Callers must not mutate it.
+func (n *Node) Children() []*Node { return n.children }
+
+// Depth returns the number of edges from the root to this node.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Tree is a d-ary logical key tree. It is not safe for concurrent use; the
+// key server serializes access (see internal/core).
+type Tree struct {
+	degree int
+	root   *Node
+	leaves map[MemberID]*Node
+	gen    keycrypt.Generator
+	nextID keycrypt.KeyID
+
+	// stats accumulated across the tree's lifetime.
+	stats Stats
+}
+
+// Stats counts work done by a tree across its lifetime. All counters are
+// monotone.
+type Stats struct {
+	Joins         int // members added
+	Departures    int // members removed
+	KeysWrapped   int // encrypted keys emitted in rekey payloads
+	KeysRefreshed int // key slots given fresh material
+	Rekeys        int // batch rekey operations executed
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithRand sets the entropy source used to mint keys. nil (the default)
+// means crypto/rand. Simulations inject keycrypt.NewDeterministicReader for
+// reproducibility.
+func WithRand(r io.Reader) Option {
+	return func(t *Tree) { t.gen.Rand = r }
+}
+
+// WithFirstKeyID sets the first key ID the tree allocates. Multi-tree
+// schemes give each tree a disjoint ID space.
+func WithFirstKeyID(id keycrypt.KeyID) Option {
+	return func(t *Tree) { t.nextID = id }
+}
+
+// New creates an empty key tree of the given degree (fan-out d ≥ 2).
+func New(degree int, opts ...Option) (*Tree, error) {
+	if degree < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidDegree, degree)
+	}
+	t := &Tree{
+		degree: degree,
+		leaves: make(map[MemberID]*Node),
+		nextID: 1,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t, nil
+}
+
+// Degree returns the tree fan-out d.
+func (t *Tree) Degree() int { return t.degree }
+
+// Size returns the number of members in the tree.
+func (t *Tree) Size() int { return len(t.leaves) }
+
+// Root returns the root node, or nil when the tree is empty. When the tree
+// hosts a whole group, the root key is the data-encryption key; when it
+// hosts a partition, the root key is the partition key.
+func (t *Tree) Root() *Node { return t.root }
+
+// RootKey returns the current root key.
+func (t *Tree) RootKey() (keycrypt.Key, error) {
+	if t.root == nil {
+		return keycrypt.Key{}, ErrEmptyTree
+	}
+	return t.root.key, nil
+}
+
+// Stats returns lifetime counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// RefreshRoot replaces the root key with fresh material at the next
+// version without touching the rest of the tree — the primitive behind
+// scheduled group-key rotation.
+func (t *Tree) RefreshRoot() error {
+	if t.root == nil {
+		return ErrEmptyTree
+	}
+	return t.refresh(t.root)
+}
+
+// Rand exposes the tree's entropy source so callers can wrap keys with the
+// same (possibly deterministic) randomness the tree uses.
+func (t *Tree) Rand() io.Reader { return t.gen.Rand }
+
+// Height returns the number of edges on the longest root-to-leaf path.
+// An empty tree has height -1; a single leaf has height 0.
+func (t *Tree) Height() int {
+	return height(t.root)
+}
+
+func height(n *Node) int {
+	if n == nil {
+		return -1
+	}
+	h := 0
+	for _, c := range n.children {
+		if ch := height(c) + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Contains reports whether the member is present.
+func (t *Tree) Contains(m MemberID) bool {
+	_, ok := t.leaves[m]
+	return ok
+}
+
+// Members returns all member IDs in ascending order.
+func (t *Tree) Members() []MemberID {
+	out := make([]MemberID, 0, len(t.leaves))
+	for m := range t.leaves {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaf returns the leaf node of a member.
+func (t *Tree) Leaf(m MemberID) (*Node, error) {
+	n, ok := t.leaves[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+	}
+	return n, nil
+}
+
+// Path returns the keys a member holds: its individual key first, then each
+// ancestor key up to and including the root.
+func (t *Tree) Path(m MemberID) ([]keycrypt.Key, error) {
+	leaf, err := t.Leaf(m)
+	if err != nil {
+		return nil, err
+	}
+	var keys []keycrypt.Key
+	for n := leaf; n != nil; n = n.parent {
+		keys = append(keys, n.key)
+	}
+	return keys, nil
+}
+
+// freshKey mints a new key for a brand-new slot.
+func (t *Tree) freshKey() (keycrypt.Key, error) {
+	id := t.nextID
+	t.nextID++
+	k, err := t.gen.New(id, 0)
+	if err != nil {
+		return keycrypt.Key{}, fmt.Errorf("%w: %v", ErrExhaustedEntropy, err)
+	}
+	t.stats.KeysRefreshed++
+	return k, nil
+}
+
+// refresh replaces a node's key with fresh material at the next version.
+func (t *Tree) refresh(n *Node) error {
+	k, err := t.gen.Refresh(n.key)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrExhaustedEntropy, err)
+	}
+	n.key = k
+	t.stats.KeysRefreshed++
+	return nil
+}
+
+// removeLeaf detaches the member's leaf and splices out any interior node
+// left with a single child. It returns the lowest surviving ancestor whose
+// key set is compromised by the departure (nil when the tree became empty).
+func (t *Tree) removeLeaf(m MemberID) (*Node, error) {
+	leaf, ok := t.leaves[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrMemberUnknown, m)
+	}
+	delete(t.leaves, m)
+
+	parent := leaf.parent
+	if parent == nil {
+		t.root = nil
+		return nil, nil
+	}
+	removeChild(parent, leaf)
+	leaf.parent = nil
+	for p := parent; p != nil; p = p.parent {
+		p.leaves--
+	}
+	if len(parent.children) == 1 {
+		// Splice: promote the only remaining child into the parent's slot,
+		// and fully detach the spliced node — batch processing tests
+		// reachability through parent pointers.
+		only := parent.children[0]
+		grand := parent.parent
+		parent.parent, parent.children = nil, nil
+		if grand == nil {
+			only.parent = nil
+			t.root = only
+			return only, nil
+		}
+		replaceChild(grand, parent, only)
+		only.parent = grand
+		return grand, nil
+	}
+	return parent, nil
+}
+
+func replaceChild(parent, old, new *Node) {
+	for i, c := range parent.children {
+		if c == old {
+			parent.children[i] = new
+			return
+		}
+	}
+	panic("keytree: replaceChild: old node not a child of parent")
+}
+
+func removeChild(parent, child *Node) {
+	for i, c := range parent.children {
+		if c == child {
+			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+			return
+		}
+	}
+	panic("keytree: removeChild: node not a child of parent")
+}
+
+// walk visits every node in the subtree rooted at n in pre-order.
+func walk(n *Node, visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range n.children {
+		walk(c, visit)
+	}
+}

@@ -1,0 +1,307 @@
+package keytree
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+// newTestTree builds a deterministic tree for tests.
+func newTestTree(t *testing.T, degree int, seed uint64) *Tree {
+	t.Helper()
+	tr, err := New(degree, WithRand(keycrypt.NewDeterministicReader(seed)))
+	if err != nil {
+		t.Fatalf("New(%d): %v", degree, err)
+	}
+	return tr
+}
+
+// populate admits members 1..n in one batch and returns the tree.
+func populate(t *testing.T, tr *Tree, n int) {
+	t.Helper()
+	b := Batch{}
+	for i := 1; i <= n; i++ {
+		b.Joins = append(b.Joins, MemberID(i))
+	}
+	if _, err := tr.Rekey(b); err != nil {
+		t.Fatalf("populate %d members: %v", n, err)
+	}
+}
+
+func TestNewRejectsBadDegree(t *testing.T) {
+	for _, d := range []int{-1, 0, 1} {
+		if _, err := New(d); !errors.Is(err, ErrInvalidDegree) {
+			t.Errorf("New(%d): err=%v, want ErrInvalidDegree", d, err)
+		}
+	}
+}
+
+func TestEmptyTreeBasics(t *testing.T) {
+	tr := newTestTree(t, 4, 1)
+	if tr.Size() != 0 {
+		t.Errorf("Size=%d, want 0", tr.Size())
+	}
+	if tr.Height() != -1 {
+		t.Errorf("Height=%d, want -1", tr.Height())
+	}
+	if _, err := tr.RootKey(); !errors.Is(err, ErrEmptyTree) {
+		t.Errorf("RootKey on empty tree: err=%v, want ErrEmptyTree", err)
+	}
+	if _, err := tr.Path(1); !errors.Is(err, ErrMemberUnknown) {
+		t.Errorf("Path on empty tree: err=%v, want ErrMemberUnknown", err)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestSingleMember(t *testing.T) {
+	tr := newTestTree(t, 4, 2)
+	populate(t, tr, 1)
+	checkInvariants(t, tr)
+	if tr.Size() != 1 {
+		t.Fatalf("Size=%d, want 1", tr.Size())
+	}
+	if tr.Height() != 0 {
+		t.Errorf("Height=%d, want 0 (root is the leaf)", tr.Height())
+	}
+	root, err := tr.RootKey()
+	if err != nil {
+		t.Fatalf("RootKey: %v", err)
+	}
+	leaf, err := tr.Leaf(1)
+	if err != nil {
+		t.Fatalf("Leaf: %v", err)
+	}
+	if !root.Equal(leaf.Key()) {
+		t.Error("single-member tree: root key should be the member's leaf key")
+	}
+}
+
+func TestGrowthStaysBalanced(t *testing.T) {
+	tests := []struct {
+		degree int
+		n      int
+	}{
+		{2, 2}, {2, 3}, {2, 64}, {2, 100},
+		{4, 4}, {4, 5}, {4, 16}, {4, 256}, {4, 1000},
+		{8, 64}, {8, 513},
+		{16, 300},
+	}
+	for _, tt := range tests {
+		tr := newTestTree(t, tt.degree, uint64(tt.degree*100000+tt.n))
+		for i := 1; i <= tt.n; i++ {
+			if _, err := tr.Join(MemberID(i)); err != nil {
+				t.Fatalf("d=%d Join(%d): %v", tt.degree, i, err)
+			}
+		}
+		checkInvariants(t, tr)
+		if tr.Size() != tt.n {
+			t.Fatalf("d=%d: Size=%d, want %d", tt.degree, tr.Size(), tt.n)
+		}
+		// Height must stay within a constant factor of the balanced
+		// optimum: one extra level of slack for in-progress splits.
+		want := int(math.Ceil(math.Log(float64(tt.n))/math.Log(float64(tt.degree)))) + 1
+		if tt.n == 1 {
+			want = 0
+		}
+		if h := tr.Height(); h > want {
+			t.Errorf("d=%d n=%d: height %d exceeds balanced bound %d", tt.degree, tt.n, h, want)
+		}
+	}
+}
+
+func TestPathRunsLeafToRoot(t *testing.T) {
+	tr := newTestTree(t, 4, 3)
+	populate(t, tr, 64)
+	checkInvariants(t, tr)
+	path, err := tr.Path(17)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("path too short: %d", len(path))
+	}
+	leaf, _ := tr.Leaf(17)
+	if !path[0].Equal(leaf.Key()) {
+		t.Error("path[0] should be the leaf key")
+	}
+	root, _ := tr.RootKey()
+	if !path[len(path)-1].Equal(root) {
+		t.Error("path end should be the root key")
+	}
+	// Path length == depth of leaf + 1.
+	if got, want := len(path), leaf.Depth()+1; got != want {
+		t.Errorf("path length %d, want %d", got, want)
+	}
+}
+
+func TestLeaveShrinksAndSplices(t *testing.T) {
+	tr := newTestTree(t, 2, 4)
+	populate(t, tr, 8)
+	for _, m := range []MemberID{3, 7, 1, 8} {
+		if _, err := tr.Leave(m); err != nil {
+			t.Fatalf("Leave(%d): %v", m, err)
+		}
+		checkInvariants(t, tr)
+		if tr.Contains(m) {
+			t.Fatalf("member %d still present after Leave", m)
+		}
+	}
+	if tr.Size() != 4 {
+		t.Fatalf("Size=%d, want 4", tr.Size())
+	}
+}
+
+func TestLeaveLastMemberEmptiesTree(t *testing.T) {
+	tr := newTestTree(t, 4, 5)
+	populate(t, tr, 1)
+	p, err := tr.Leave(1)
+	if err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if tr.Size() != 0 || tr.Root() != nil {
+		t.Fatal("tree not empty after last member left")
+	}
+	if p.MulticastKeyCount() != 0 {
+		t.Errorf("emptying rekey produced %d multicast keys, want 0", p.MulticastKeyCount())
+	}
+	checkInvariants(t, tr)
+	// Tree is reusable afterwards.
+	populate(t, tr, 5)
+	checkInvariants(t, tr)
+}
+
+func TestJoinDuplicateRejected(t *testing.T) {
+	tr := newTestTree(t, 4, 6)
+	populate(t, tr, 4)
+	if _, err := tr.Join(2); !errors.Is(err, ErrMemberExists) {
+		t.Fatalf("duplicate Join: err=%v, want ErrMemberExists", err)
+	}
+}
+
+func TestLeaveUnknownRejected(t *testing.T) {
+	tr := newTestTree(t, 4, 7)
+	populate(t, tr, 4)
+	if _, err := tr.Leave(99); !errors.Is(err, ErrMemberUnknown) {
+		t.Fatalf("unknown Leave: err=%v, want ErrMemberUnknown", err)
+	}
+}
+
+func TestZeroMemberRejected(t *testing.T) {
+	tr := newTestTree(t, 4, 8)
+	if _, err := tr.Join(0); !errors.Is(err, ErrZeroMember) {
+		t.Fatalf("Join(0): err=%v, want ErrZeroMember", err)
+	}
+}
+
+func TestBatchConflictRejected(t *testing.T) {
+	tr := newTestTree(t, 4, 9)
+	populate(t, tr, 4)
+	_, err := tr.Rekey(Batch{Joins: []MemberID{10}, Leaves: []MemberID{10}})
+	if !errors.Is(err, ErrBatchConflict) {
+		t.Fatalf("join+leave same member: err=%v, want ErrBatchConflict", err)
+	}
+	_, err = tr.Rekey(Batch{Joins: []MemberID{11, 11}})
+	if !errors.Is(err, ErrBatchConflict) {
+		t.Fatalf("double join: err=%v, want ErrBatchConflict", err)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	tr := newTestTree(t, 3, 10)
+	for _, m := range []MemberID{5, 1, 9, 3, 7} {
+		if _, err := tr.Join(m); err != nil {
+			t.Fatalf("Join(%d): %v", m, err)
+		}
+	}
+	got := tr.Members()
+	want := []MemberID{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Members()=%v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members()=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplacementKeepsShape(t *testing.T) {
+	// With J == L the tree shape must not change: joiners fill vacated
+	// slots (the regime of the paper's Appendix A model).
+	tr := newTestTree(t, 4, 11)
+	populate(t, tr, 256)
+	h0 := tr.Height()
+	b := Batch{
+		Joins:  []MemberID{1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008},
+		Leaves: []MemberID{10, 20, 30, 40, 50, 60, 70, 80},
+	}
+	if _, err := tr.Rekey(b); err != nil {
+		t.Fatalf("Rekey: %v", err)
+	}
+	checkInvariants(t, tr)
+	if tr.Size() != 256 {
+		t.Fatalf("Size=%d, want 256", tr.Size())
+	}
+	if tr.Height() != h0 {
+		t.Errorf("J=L rekey changed height %d -> %d", h0, tr.Height())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	tr := newTestTree(t, 4, 12)
+	populate(t, tr, 10)
+	if _, err := tr.Leave(3); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	s := tr.Stats()
+	if s.Joins != 10 {
+		t.Errorf("Stats.Joins=%d, want 10", s.Joins)
+	}
+	if s.Departures != 1 {
+		t.Errorf("Stats.Departures=%d, want 1", s.Departures)
+	}
+	if s.Rekeys != 2 {
+		t.Errorf("Stats.Rekeys=%d, want 2", s.Rekeys)
+	}
+	if s.KeysWrapped == 0 || s.KeysRefreshed == 0 {
+		t.Error("Stats key counters did not accumulate")
+	}
+}
+
+func TestChurnStressInvariants(t *testing.T) {
+	// Long random-ish churn run; invariants must hold throughout.
+	tr := newTestTree(t, 4, 13)
+	next := MemberID(1)
+	present := []MemberID{}
+	rng := keycrypt.NewDeterministicReader(77)
+	randByte := func() int {
+		var b [1]byte
+		rng.Read(b[:])
+		return int(b[0])
+	}
+	for step := 0; step < 400; step++ {
+		if len(present) == 0 || randByte() < 140 {
+			if _, err := tr.Join(next); err != nil {
+				t.Fatalf("step %d Join(%d): %v", step, next, err)
+			}
+			present = append(present, next)
+			next++
+		} else {
+			i := randByte() % len(present)
+			m := present[i]
+			present = append(present[:i], present[i+1:]...)
+			if _, err := tr.Leave(m); err != nil {
+				t.Fatalf("step %d Leave(%d): %v", step, m, err)
+			}
+		}
+		if step%20 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Size() != len(present) {
+		t.Fatalf("Size=%d, want %d", tr.Size(), len(present))
+	}
+}

@@ -1,0 +1,342 @@
+package keytree
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+// oftHarness drives an OFT together with real member-side state and
+// verifies the cryptographic contract after every batch.
+type oftHarness struct {
+	t       *testing.T
+	tree    *OFT
+	clients map[MemberID]*OFTMember
+}
+
+func newOFTHarness(t *testing.T, seed uint64) *oftHarness {
+	t.Helper()
+	tree, err := NewOFT(WithRand(keycrypt.NewDeterministicReader(seed)))
+	if err != nil {
+		t.Fatalf("NewOFT: %v", err)
+	}
+	return &oftHarness{t: t, tree: tree, clients: make(map[MemberID]*OFTMember)}
+}
+
+func (h *oftHarness) process(b Batch) *OFTPayload {
+	h.t.Helper()
+	p, err := h.tree.Rekey(b)
+	if err != nil {
+		h.t.Fatalf("OFT Rekey: %v", err)
+	}
+
+	// Departed members must gain nothing and lose the group key.
+	for _, m := range b.Leaves {
+		c := h.clients[m]
+		if c == nil {
+			h.t.Fatalf("harness out of sync: no client for %d", m)
+		}
+		if used := c.Apply(p); used != 0 {
+			h.t.Fatalf("departed member %d consumed %d payload items", m, used)
+		}
+		delete(h.clients, m)
+	}
+
+	// Joiners bootstrap from their leaf secret alone.
+	for _, m := range b.Joins {
+		secret, err := h.tree.LeafSecret(m)
+		if err != nil {
+			h.t.Fatalf("LeafSecret(%d): %v", m, err)
+		}
+		h.clients[m] = NewOFTMember(m, secret)
+	}
+
+	// Everyone applies and must compute the server's group key.
+	for id, c := range h.clients {
+		c.Apply(p)
+		if h.tree.Size() == 0 {
+			continue
+		}
+		want, err := h.tree.GroupKey()
+		if err != nil {
+			h.t.Fatalf("GroupKey: %v", err)
+		}
+		got, ok := c.GroupKey()
+		if !ok {
+			h.t.Fatalf("member %d cannot compute the group key after batch %+v", id, b)
+		}
+		if !got.Equal(want) {
+			h.t.Fatalf("member %d computed group key %v, server has %v", id, got, want)
+		}
+	}
+
+	// Departed members must not compute the new group key.
+	if h.tree.Size() > 0 {
+		want, _ := h.tree.GroupKey()
+		for _, m := range b.Leaves {
+			_ = m // clients already deleted; checked via Apply==0 above
+		}
+		_ = want
+	}
+	return p
+}
+
+func ids(ns ...int) []MemberID {
+	out := make([]MemberID, len(ns))
+	for i, n := range ns {
+		out[i] = MemberID(n)
+	}
+	return out
+}
+
+func TestOFTSingleMember(t *testing.T) {
+	h := newOFTHarness(t, 1)
+	h.process(Batch{Joins: ids(1)})
+	if h.tree.Size() != 1 || h.tree.Height() != 0 {
+		t.Fatalf("size=%d height=%d, want 1/0", h.tree.Size(), h.tree.Height())
+	}
+	gk, err := h.tree.GroupKey()
+	if err != nil {
+		t.Fatalf("GroupKey: %v", err)
+	}
+	got, ok := h.clients[1].GroupKey()
+	if !ok || !got.Equal(gk) {
+		t.Fatal("singleton member disagrees on group key")
+	}
+}
+
+func TestOFTGrowAndAgree(t *testing.T) {
+	h := newOFTHarness(t, 2)
+	h.process(Batch{Joins: ids(1, 2, 3, 4, 5, 6, 7, 8)})
+	if h.tree.Size() != 8 {
+		t.Fatalf("size=%d, want 8", h.tree.Size())
+	}
+	// Balanced growth: 8 members in a binary tree should reach height 3.
+	if h.tree.Height() != 3 {
+		t.Fatalf("height=%d, want 3", h.tree.Height())
+	}
+	// Incremental joins agree too.
+	h.process(Batch{Joins: ids(9)})
+	h.process(Batch{Joins: ids(10, 11)})
+	if h.tree.Size() != 11 {
+		t.Fatalf("size=%d, want 11", h.tree.Size())
+	}
+}
+
+func TestOFTDepartureForwardSecrecy(t *testing.T) {
+	h := newOFTHarness(t, 3)
+	h.process(Batch{Joins: ids(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)})
+	departing := h.clients[5]
+	oldGK, _ := h.tree.GroupKey()
+
+	p := h.process(Batch{Leaves: ids(5)})
+	newGK, _ := h.tree.GroupKey()
+	if newGK.Equal(oldGK) {
+		t.Fatal("group key unchanged after departure")
+	}
+	// The harness already asserted Apply(p)==0 for the departed member;
+	// double-check it cannot compute the new root even with the payload.
+	departing.Apply(p)
+	if got, ok := departing.GroupKey(); ok && got.Equal(newGK) {
+		t.Fatal("departed member computed the new group key")
+	}
+}
+
+func TestOFTJoinBackwardSecrecy(t *testing.T) {
+	h := newOFTHarness(t, 4)
+	h.process(Batch{Joins: ids(1, 2, 3, 4)})
+	oldGK, _ := h.tree.GroupKey()
+
+	h.process(Batch{Joins: ids(5)})
+	joiner := h.clients[5]
+	if joiner.Has(oldGK) {
+		t.Fatal("joiner computed the pre-join group key")
+	}
+}
+
+func TestOFTReplacementKeepsShape(t *testing.T) {
+	h := newOFTHarness(t, 5)
+	h.process(Batch{Joins: ids(1, 2, 3, 4, 5, 6, 7, 8)})
+	height := h.tree.Height()
+	h.process(Batch{Joins: ids(101, 102), Leaves: ids(2, 7)})
+	if h.tree.Size() != 8 {
+		t.Fatalf("size=%d, want 8", h.tree.Size())
+	}
+	if h.tree.Height() != height {
+		t.Fatalf("J=L rekey changed height %d -> %d", height, h.tree.Height())
+	}
+}
+
+func TestOFTDepartureCostHalvesLKH(t *testing.T) {
+	// The OFT selling point: one blinded key per level instead of LKH's
+	// two child wraps per level (binary trees).
+	const n = 64
+	// LKH baseline at degree 2.
+	lkh := newTestTree(t, 2, 60)
+	populate(t, lkh, n)
+	lp, err := lkh.Rekey(Batch{Leaves: []MemberID{30}})
+	if err != nil {
+		t.Fatalf("LKH Rekey: %v", err)
+	}
+	// OFT.
+	h := newOFTHarness(t, 61)
+	joins := Batch{}
+	for i := 1; i <= n; i++ {
+		joins.Joins = append(joins.Joins, MemberID(i))
+	}
+	h.process(joins)
+	op := h.process(Batch{Leaves: ids(30)})
+
+	lkhCost := lp.MulticastKeyCount()
+	oftCost := op.MulticastKeyCount()
+	if oftCost >= lkhCost {
+		t.Fatalf("OFT departure cost %d not below LKH-binary cost %d", oftCost, lkhCost)
+	}
+	// Roughly h+1 items vs 2(h-1): allow slack for the splice but demand a
+	// real reduction.
+	if float64(oftCost) > 0.8*float64(lkhCost) {
+		t.Fatalf("OFT cost %d should be well below LKH %d (paper: about half)", oftCost, lkhCost)
+	}
+}
+
+func TestOFTBatchedDeparturesShareCost(t *testing.T) {
+	// Path sharing in OFT happens when the departures are close in the
+	// tree (distant leaves share only the root, whose blind is never
+	// transmitted), so evict two leaves that are siblings.
+	build := func() *oftHarness {
+		h := newOFTHarness(t, 62)
+		b := Batch{}
+		for i := 1; i <= 128; i++ {
+			b.Joins = append(b.Joins, MemberID(i))
+		}
+		h.process(b)
+		return h
+	}
+	siblings := func(h *oftHarness) (MemberID, MemberID) {
+		for m, leaf := range h.tree.leaves {
+			if sib := leaf.sibling(); sib != nil && sib.isLeaf() {
+				return m, sib.member
+			}
+		}
+		t.Fatal("no sibling leaf pair in a 128-member tree")
+		return 0, 0
+	}
+
+	solo := build()
+	a, b := siblings(solo)
+	p1 := solo.process(Batch{Leaves: []MemberID{a}})
+	p2 := solo.process(Batch{Leaves: []MemberID{b}})
+	sum := p1.MulticastKeyCount() + p2.MulticastKeyCount()
+
+	batched := build()
+	a2, b2 := siblings(batched)
+	pb := batched.process(Batch{Leaves: []MemberID{a2, b2}})
+	if pb.MulticastKeyCount() >= sum {
+		t.Fatalf("batched sibling departures cost %d, not below sequential %d", pb.MulticastKeyCount(), sum)
+	}
+}
+
+func TestOFTValidation(t *testing.T) {
+	tree, err := NewOFT(WithRand(keycrypt.NewDeterministicReader(63)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Rekey(Batch{Leaves: ids(9)}); !errors.Is(err, ErrMemberUnknown) {
+		t.Errorf("unknown leaver: err=%v", err)
+	}
+	if _, err := tree.Rekey(Batch{Joins: ids(1, 1)}); !errors.Is(err, ErrBatchConflict) {
+		t.Errorf("duplicate join: err=%v", err)
+	}
+	if _, err := tree.Rekey(Batch{Joins: []MemberID{0}}); !errors.Is(err, ErrZeroMember) {
+		t.Errorf("zero member: err=%v", err)
+	}
+	if _, err := tree.GroupKey(); !errors.Is(err, ErrEmptyTree) {
+		t.Errorf("empty group key: err=%v", err)
+	}
+}
+
+func TestOFTEmptyAfterAllLeave(t *testing.T) {
+	h := newOFTHarness(t, 64)
+	h.process(Batch{Joins: ids(1, 2, 3)})
+	h.process(Batch{Leaves: ids(1, 2, 3)})
+	if h.tree.Size() != 0 {
+		t.Fatalf("size=%d, want 0", h.tree.Size())
+	}
+	// Reusable afterwards.
+	h.process(Batch{Joins: ids(10, 11)})
+	if h.tree.Size() != 2 {
+		t.Fatalf("size=%d, want 2", h.tree.Size())
+	}
+}
+
+func TestOFTChurnSoak(t *testing.T) {
+	h := newOFTHarness(t, 65)
+	next := 1
+	var present []int
+	rng := keycrypt.NewDeterministicReader(66)
+	rb := func(n int) int {
+		var b [1]byte
+		rng.Read(b[:])
+		return int(b[0]) % n
+	}
+	for epoch := 0; epoch < 40; epoch++ {
+		b := Batch{}
+		for i := 0; i < rb(5); i++ {
+			b.Joins = append(b.Joins, MemberID(next))
+			present = append(present, next)
+			next++
+		}
+		for i := 0; i < rb(4) && len(present) > len(b.Joins); i++ {
+			idx := rb(len(present))
+			m := present[idx]
+			skip := false
+			for _, j := range b.Joins {
+				if j == MemberID(m) {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			already := false
+			for _, l := range b.Leaves {
+				if l == MemberID(m) {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			b.Leaves = append(b.Leaves, MemberID(m))
+			present = append(present[:idx], present[idx+1:]...)
+		}
+		h.process(b)
+		if h.tree.Size() != len(present) {
+			t.Fatalf("epoch %d: size=%d, want %d", epoch, h.tree.Size(), len(present))
+		}
+	}
+	// The balanced insertion policy keeps height logarithmic.
+	if n := h.tree.Size(); n > 2 {
+		bound := int(2*math.Log2(float64(n))) + 2
+		if h.tree.Height() > bound {
+			t.Fatalf("height %d exceeds 2·log2(%d)+2 = %d", h.tree.Height(), n, bound)
+		}
+	}
+}
+
+func TestOFTStatsAccumulate(t *testing.T) {
+	h := newOFTHarness(t, 67)
+	h.process(Batch{Joins: ids(1, 2, 3, 4)})
+	h.process(Batch{Leaves: ids(2)})
+	s := h.tree.stats
+	if s.Joins != 4 || s.Departures != 1 || s.Rekeys != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.KeysWrapped == 0 || s.KeysRefreshed == 0 {
+		t.Fatal("key counters did not accumulate")
+	}
+}

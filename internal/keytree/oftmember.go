@@ -1,0 +1,138 @@
+package keytree
+
+import (
+	"groupkey/internal/keycrypt"
+)
+
+// OFTMember is the receiver side of a one-way function tree: it holds its
+// own leaf secret, its path structure, and the blinded keys of the
+// siblings along the path, and recomputes every path key — including the
+// group key — locally. This is the defining property of OFT: the server
+// never transmits unblinded interior keys at all.
+type OFTMember struct {
+	id     MemberID
+	leaf   keycrypt.Key
+	path   []OFTPathEntry
+	blinds map[keycrypt.KeyID]keycrypt.Key // sibling blinds, latest version
+}
+
+// NewOFTMember bootstraps a member from its registration package: the
+// member ID and leaf secret handed over the secure registration channel.
+// Path structure and sibling blinds arrive with the first rekey payload.
+func NewOFTMember(id MemberID, leaf keycrypt.Key) *OFTMember {
+	return &OFTMember{
+		id:     id,
+		leaf:   leaf,
+		blinds: make(map[keycrypt.KeyID]keycrypt.Key),
+	}
+}
+
+// ID returns the member identity.
+func (m *OFTMember) ID() MemberID { return m.id }
+
+// Apply consumes a rekey payload: it installs any path re-sync addressed
+// to this member, absorbs leaf refreshes and new sibling blinds (decrypting
+// to a fixpoint — unwrapping a blind at one level may require first
+// computing the subtree key at a lower level), and returns the number of
+// items it used.
+func (m *OFTMember) Apply(p *OFTPayload) int {
+	if entries, ok := p.Paths[m.id]; ok {
+		m.path = append([]OFTPathEntry(nil), entries...)
+	}
+	used := 0
+	consumed := make([]bool, len(p.Items))
+	for {
+		progress := false
+		chain := m.chainKeys()
+		for i, it := range p.Items {
+			if consumed[i] {
+				continue
+			}
+			w := it.Wrapped
+			switch it.Kind {
+			case LeafRefresh:
+				if w.WrapperID != m.leaf.ID || w.WrapperVersion != m.leaf.Version {
+					continue
+				}
+				got, err := keycrypt.Unwrap(w, m.leaf)
+				if err != nil {
+					continue
+				}
+				m.leaf = got
+				consumed[i] = true
+				used++
+				progress = true
+			case BlindWrap, JoinerWrap:
+				wrapper, ok := chain[w.WrapperID]
+				if !ok || wrapper.Version != w.WrapperVersion {
+					// The joiner bootstrap wraps under the leaf secret.
+					if w.WrapperID == m.leaf.ID && w.WrapperVersion == m.leaf.Version {
+						wrapper = m.leaf
+					} else {
+						continue
+					}
+				}
+				got, err := keycrypt.Unwrap(w, wrapper)
+				if err != nil {
+					continue
+				}
+				// Always adopt the delivered blind: interior versions are
+				// sums of child versions and can legitimately decrease when
+				// a splice swaps a subtree for a smaller one, so there is
+				// no monotone staleness test — the server only ever emits
+				// current values.
+				m.blinds[got.ID] = got
+				consumed[i] = true
+				used++
+				progress = true
+			}
+		}
+		if !progress {
+			return used
+		}
+	}
+}
+
+// chainKeys computes every key on the member's path it can currently
+// derive, keyed by node ID. The map includes the leaf secret and, when all
+// sibling blinds are present, the root group key.
+func (m *OFTMember) chainKeys() map[keycrypt.KeyID]keycrypt.Key {
+	out := map[keycrypt.KeyID]keycrypt.Key{m.leaf.ID: m.leaf}
+	cur := m.leaf
+	for _, e := range m.path {
+		sib, ok := m.blinds[e.Sibling]
+		if !ok {
+			break
+		}
+		version := cur.Version + sib.Version
+		var parent keycrypt.Key
+		if e.SiblingOnLeft {
+			parent = keycrypt.Mix(e.Parent, version, sib, keycrypt.Blind(cur))
+		} else {
+			parent = keycrypt.Mix(e.Parent, version, keycrypt.Blind(cur), sib)
+		}
+		out[parent.ID] = parent
+		cur = parent
+	}
+	return out
+}
+
+// GroupKey returns the root key the member currently computes, or false
+// when the member is missing blinds for some path level.
+func (m *OFTMember) GroupKey() (keycrypt.Key, bool) {
+	if len(m.path) == 0 {
+		// Singleton group: the leaf is the root.
+		return m.leaf, true
+	}
+	chain := m.chainKeys()
+	rootID := m.path[len(m.path)-1].Parent
+	k, ok := chain[rootID]
+	return k, ok
+}
+
+// Has reports whether the member currently computes exactly this key on
+// its path.
+func (m *OFTMember) Has(k keycrypt.Key) bool {
+	got, ok := m.chainKeys()[k.ID]
+	return ok && got.Equal(k)
+}

@@ -1,0 +1,63 @@
+package keytree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"groupkey/internal/analytic"
+)
+
+// TestPaperScaleTree exercises the tree at the paper's exact scale:
+// N = 65536 members, d = 4, a Table-1-sized batch of 256 departures with
+// 256 replacing joiners.
+func TestPaperScaleTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale build is slow")
+	}
+	tr := newTestTree(t, 4, 6553)
+	b := Batch{}
+	for i := 1; i <= 65536; i++ {
+		b.Joins = append(b.Joins, MemberID(i))
+	}
+	if _, err := tr.Rekey(b); err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+	if tr.Height() != 8 {
+		t.Fatalf("height=%d, want 8 (full 4-ary tree)", tr.Height())
+	}
+	checkInvariants(t, tr)
+
+	// White-box exact expectation vs the implementation-aware closed form
+	// at the paper's own (N, L): they must agree to float precision on a
+	// full balanced tree.
+	exact := tr.ExpectedRekeyCost(256)
+	closed := analytic.BatchRekeyCostImpl(65536, 256, 4)
+	if math.Abs(exact-closed)/closed > 1e-5 {
+		t.Fatalf("exact %v vs closed form %v at paper scale", exact, closed)
+	}
+
+	// One real batch of UNIFORMLY sampled departures lands within a few
+	// percent of the expectation (a single sample of a concentrated
+	// statistic; a stride-based selection would instead approach the
+	// worst-case spread).
+	rng := rand.New(rand.NewPCG(42, 43))
+	perm := rng.Perm(65536)
+	batch := Batch{}
+	for i := 0; i < 256; i++ {
+		batch.Leaves = append(batch.Leaves, MemberID(perm[i]+1))
+		batch.Joins = append(batch.Joins, MemberID(100000+i))
+	}
+	p, err := tr.Rekey(batch)
+	if err != nil {
+		t.Fatalf("paper-scale rekey: %v", err)
+	}
+	got := float64(p.MulticastKeyCount())
+	if math.Abs(got-exact)/exact > 0.05 {
+		t.Fatalf("one batch cost %v, expectation %v (>5%% off)", got, exact)
+	}
+	checkInvariants(t, tr)
+	if tr.Size() != 65536 {
+		t.Fatalf("Size=%d", tr.Size())
+	}
+}

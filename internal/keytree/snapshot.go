@@ -1,0 +1,189 @@
+package keytree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"groupkey/internal/keycrypt"
+)
+
+// Snapshot serializes the complete key-tree state — structure, key
+// material, ID allocator and counters — so a key server can persist its
+// state across restarts without forcing a whole-group rekey.
+//
+// The snapshot contains every secret in the tree. Callers own
+// encryption-at-rest (e.g. seal the blob under a KMS-held master key).
+
+// ErrBadSnapshot reports a malformed or truncated snapshot.
+var ErrBadSnapshot = errors.New("keytree: malformed snapshot")
+
+// snapshot format constants.
+const (
+	snapMagic   = "LKHT"
+	snapVersion = 1
+)
+
+// Snapshot serializes the tree.
+func (t *Tree) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	writeU32(&buf, snapVersion)
+	writeU32(&buf, uint32(t.degree))
+	writeU64(&buf, uint64(t.nextID))
+	for _, v := range []int{t.stats.Joins, t.stats.Departures, t.stats.KeysWrapped, t.stats.KeysRefreshed, t.stats.Rekeys} {
+		writeU64(&buf, uint64(v))
+	}
+	if t.root == nil {
+		writeU32(&buf, 0)
+		return buf.Bytes(), nil
+	}
+	writeU32(&buf, 1)
+	var write func(n *Node) error
+	write = func(n *Node) error {
+		writeU64(&buf, uint64(n.key.ID))
+		writeU32(&buf, uint32(n.key.Version))
+		buf.Write(n.key.Bytes())
+		writeU64(&buf, uint64(n.member))
+		if len(n.children) > 255 {
+			return fmt.Errorf("keytree: node fan-out %d unserializable", len(n.children))
+		}
+		buf.WriteByte(byte(len(n.children)))
+		for _, c := range n.children {
+			if err := write(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(t.root); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds a tree from a snapshot. Options (entropy source, ID
+// base) apply on top of the restored state; WithFirstKeyID is ignored in
+// favor of the snapshot's allocator position.
+func Restore(snapshot []byte, opts ...Option) (*Tree, error) {
+	r := &snapReader{data: snapshot}
+	if string(r.bytes(4)) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if v := r.u32(); v != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, v)
+	}
+	degree := int(r.u32())
+	if degree < 2 || degree > 255 {
+		return nil, fmt.Errorf("%w: degree %d", ErrBadSnapshot, degree)
+	}
+	t, err := New(degree, opts...)
+	if err != nil {
+		return nil, err
+	}
+	t.nextID = keycrypt.KeyID(r.u64())
+	t.stats.Joins = int(r.u64())
+	t.stats.Departures = int(r.u64())
+	t.stats.KeysWrapped = int(r.u64())
+	t.stats.KeysRefreshed = int(r.u64())
+	t.stats.Rekeys = int(r.u64())
+
+	hasRoot := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	if hasRoot == 0 {
+		return t, nil
+	}
+
+	var read func(depth int) (*Node, error)
+	read = func(depth int) (*Node, error) {
+		if depth > 64 {
+			return nil, fmt.Errorf("%w: tree deeper than 64 levels", ErrBadSnapshot)
+		}
+		id := keycrypt.KeyID(r.u64())
+		version := keycrypt.Version(r.u32())
+		material := r.bytes(keycrypt.KeySize)
+		memberID := MemberID(r.u64())
+		childCount := int(r.u8())
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: truncated node", ErrBadSnapshot)
+		}
+		key, err := keycrypt.NewKey(id, version, material)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		n := &Node{key: key, member: memberID}
+		if childCount == 0 {
+			if memberID == 0 {
+				return nil, fmt.Errorf("%w: leaf without member", ErrBadSnapshot)
+			}
+			if _, dup := t.leaves[memberID]; dup {
+				return nil, fmt.Errorf("%w: duplicate member %d", ErrBadSnapshot, memberID)
+			}
+			n.leaves = 1
+			t.leaves[memberID] = n
+			return n, nil
+		}
+		if memberID != 0 {
+			return nil, fmt.Errorf("%w: interior node carries member %d", ErrBadSnapshot, memberID)
+		}
+		if childCount > degree || childCount < 2 {
+			return nil, fmt.Errorf("%w: fan-out %d outside [2,%d]", ErrBadSnapshot, childCount, degree)
+		}
+		for i := 0; i < childCount; i++ {
+			c, err := read(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			c.parent = n
+			n.children = append(n.children, c)
+			n.leaves += c.leaves
+		}
+		return n, nil
+	}
+	root, err := read(0)
+	if err != nil {
+		return nil, err
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.rest())
+	}
+	t.root = root
+	return t, nil
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+// snapReader is a bounds-checked sequential reader.
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.data) {
+		r.err = ErrBadSnapshot
+		return make([]byte, n)
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *snapReader) u8() uint8   { return r.bytes(1)[0] }
+func (r *snapReader) u32() uint32 { return binary.BigEndian.Uint32(r.bytes(4)) }
+func (r *snapReader) u64() uint64 { return binary.BigEndian.Uint64(r.bytes(8)) }
+func (r *snapReader) rest() int   { return len(r.data) - r.off }

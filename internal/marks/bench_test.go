@@ -1,0 +1,41 @@
+package marks
+
+import (
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+func BenchmarkGrant(b *testing.B) {
+	s, err := NewServer(20, keycrypt.NewDeterministicReader(1)) // ~1M slots
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := s.Grant(12345, 987654)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = sub.NodeCount()
+	}
+	b.ReportMetric(float64(nodes), "seeds")
+}
+
+func BenchmarkSubscriberSlotKey(b *testing.B) {
+	s, err := NewServer(20, keycrypt.NewDeterministicReader(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := s.Grant(1000, 500000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sub.SlotKey(1000 + i%400000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package marks implements MARKS (Briscoe, NGC 1999), cited by the paper
+// (Section 1) as the zero-side-effect alternative for groups whose
+// membership changes are known in advance: the session is divided into
+// 2^h time slots, each with its own data key, and all slot keys hang off a
+// binary one-way seed tree. A subscriber paying for slots [a, b] receives
+// the minimal set of subtree seeds covering the interval — at most 2·h
+// seeds — and derives every slot key itself. Nobody is ever rekeyed:
+// expiry is implicit in time, which is why membership changes have "zero
+// side-effect" on other members.
+//
+// The trade-off against LKH (and the reason the paper's optimizations
+// still matter): MARKS cannot revoke early — a subscription, once granted,
+// lasts until its interval ends.
+package marks
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"groupkey/internal/keycrypt"
+)
+
+// Scheme errors.
+var (
+	ErrBadHeight       = errors.New("marks: height must be in [1, 31]")
+	ErrBadSlot         = errors.New("marks: slot out of range")
+	ErrBadInterval     = errors.New("marks: interval is empty or out of range")
+	ErrNotSubscribed   = errors.New("marks: slot outside the subscription")
+	ErrBadSubscription = errors.New("marks: malformed subscription")
+)
+
+type seed [32]byte
+
+func seedApply(s seed, tag string) seed {
+	mac := hmac.New(sha256.New, []byte(tag))
+	mac.Write(s[:])
+	var out seed
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+func seedLeft(s seed) seed  { return seedApply(s, "marks-left") }
+func seedRight(s seed) seed { return seedApply(s, "marks-right") }
+
+// slotKeyFrom turns a leaf seed into the slot's data key. The key ID is
+// the slot number offset into a reserved range so it cannot collide with
+// tree-scheme IDs.
+func slotKeyFrom(slot int, s seed) keycrypt.Key {
+	material := seedApply(s, "marks-key")
+	k, err := keycrypt.NewKey(keycrypt.KeyID(1<<48|uint64(slot)), 0, material[:])
+	if err != nil {
+		panic("marks: seed size mismatch") // impossible: both 32 bytes
+	}
+	return k
+}
+
+// Server is the key originator: it holds the root seed and issues
+// subscriptions. Safe for concurrent use after construction (all methods
+// are read-only derivations).
+type Server struct {
+	height int
+	root   seed
+}
+
+// NewServer creates a session of 2^height slots. rng nil means crypto/rand.
+func NewServer(height int, rng io.Reader) (*Server, error) {
+	if height < 1 || height > 31 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHeight, height)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	s := &Server{height: height}
+	if _, err := io.ReadFull(rng, s.root[:]); err != nil {
+		return nil, fmt.Errorf("marks: reading entropy: %w", err)
+	}
+	return s, nil
+}
+
+// Slots returns the number of time slots in the session.
+func (s *Server) Slots() int { return 1 << s.height }
+
+// nodeSeed derives the seed of a heap-indexed tree node (root = 1).
+func (s *Server) nodeSeed(node uint32) seed {
+	depth := bitLen(node)
+	cur := s.root
+	for d := depth - 1; d >= 0; d-- {
+		if (node>>uint(d))&1 == 0 {
+			cur = seedLeft(cur)
+		} else {
+			cur = seedRight(cur)
+		}
+	}
+	return cur
+}
+
+func bitLen(x uint32) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// SlotKey returns the data key of one slot (what the sender uses to seal
+// that slot's traffic).
+func (s *Server) SlotKey(slot int) (keycrypt.Key, error) {
+	if slot < 0 || slot >= s.Slots() {
+		return keycrypt.Key{}, fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, s.Slots())
+	}
+	leaf := uint32(1<<s.height + slot)
+	return slotKeyFrom(slot, s.nodeSeed(leaf)), nil
+}
+
+// SeedNode is one revealed subtree seed.
+type SeedNode struct {
+	Node uint32
+	Seed [32]byte
+}
+
+// Subscription is the key material for slots [From, To], inclusive.
+type Subscription struct {
+	From, To int
+	height   int
+	nodes    []SeedNode
+}
+
+// Grant issues the minimal seed cover for the interval [from, to]
+// (inclusive): the canonical segment decomposition, at most 2·height
+// seeds.
+func (s *Server) Grant(from, to int) (*Subscription, error) {
+	if from < 0 || to >= s.Slots() || from > to {
+		return nil, fmt.Errorf("%w: [%d, %d] of %d slots", ErrBadInterval, from, to, s.Slots())
+	}
+	sub := &Subscription{From: from, To: to, height: s.height}
+	// Standard segment-tree cover over leaf indexes [from+2^h, to+2^h].
+	lo := uint32(1<<s.height + from)
+	hi := uint32(1<<s.height + to)
+	for lo <= hi {
+		if lo&1 == 1 { // lo is a right child: it must be taken alone
+			sub.add(s, lo)
+			lo++
+		}
+		if hi&1 == 0 { // hi is a left child: taken alone
+			sub.add(s, hi)
+			if hi == 0 { // unreachable; guards underflow
+				break
+			}
+			hi--
+		}
+		if lo > hi {
+			break
+		}
+		lo >>= 1
+		hi >>= 1
+	}
+	sort.Slice(sub.nodes, func(i, j int) bool { return sub.nodes[i].Node < sub.nodes[j].Node })
+	return sub, nil
+}
+
+func (sub *Subscription) add(s *Server, node uint32) {
+	sd := s.nodeSeed(node)
+	sub.nodes = append(sub.nodes, SeedNode{Node: node, Seed: sd})
+}
+
+// NodeCount returns the number of revealed seeds — the MARKS keying-
+// material metric (≤ 2·height for any interval).
+func (sub *Subscription) NodeCount() int { return len(sub.nodes) }
+
+// SlotKey derives the data key for a slot inside the subscription.
+func (sub *Subscription) SlotKey(slot int) (keycrypt.Key, error) {
+	if slot < sub.From || slot > sub.To {
+		return keycrypt.Key{}, fmt.Errorf("%w: %d outside [%d, %d]", ErrNotSubscribed, slot, sub.From, sub.To)
+	}
+	leaf := uint32(1<<sub.height + slot)
+	for _, n := range sub.nodes {
+		if !covers(n.Node, leaf) {
+			continue
+		}
+		cur := seed(n.Seed)
+		depth := bitLen(leaf) - bitLen(n.Node)
+		for d := depth - 1; d >= 0; d-- {
+			if (leaf>>uint(d))&1 == 0 {
+				cur = seedLeft(cur)
+			} else {
+				cur = seedRight(cur)
+			}
+		}
+		return slotKeyFrom(slot, cur), nil
+	}
+	return keycrypt.Key{}, fmt.Errorf("%w: no covering seed for slot %d", ErrBadSubscription, slot)
+}
+
+// covers reports whether heap node a is an ancestor of (or equals) leaf d.
+func covers(a, d uint32) bool {
+	for bitLen(d) > bitLen(a) {
+		d >>= 1
+	}
+	return a == d
+}

@@ -1,0 +1,177 @@
+package marks
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"groupkey/internal/keycrypt"
+)
+
+func newTestServer(t *testing.T, height int, seedVal uint64) *Server {
+	t.Helper()
+	s, err := NewServer(height, keycrypt.NewDeterministicReader(seedVal))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
+func TestSubscriptionDerivesExactlyItsSlots(t *testing.T) {
+	s := newTestServer(t, 6, 1) // 64 slots
+	cases := [][2]int{
+		{0, 63}, // whole session
+		{0, 0},
+		{63, 63},
+		{1, 62},
+		{5, 11},
+		{32, 47}, // aligned subtree
+		{31, 32}, // spans the middle boundary
+	}
+	for _, c := range cases {
+		sub, err := s.Grant(c[0], c[1])
+		if err != nil {
+			t.Fatalf("Grant(%v): %v", c, err)
+		}
+		for slot := 0; slot < s.Slots(); slot++ {
+			want, err := s.SlotKey(slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sub.SlotKey(slot)
+			if slot < c[0] || slot > c[1] {
+				if !errors.Is(err, ErrNotSubscribed) {
+					t.Fatalf("interval %v slot %d: err=%v, want ErrNotSubscribed", c, slot, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("interval %v slot %d: %v", c, slot, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("interval %v slot %d: subscriber key differs from server key", c, slot)
+			}
+		}
+	}
+}
+
+func TestGrantCoverIsMinimal(t *testing.T) {
+	s := newTestServer(t, 8, 2) // 256 slots
+	// Whole session: exactly 1 seed (the root).
+	whole, err := s.Grant(0, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.NodeCount() != 1 {
+		t.Fatalf("whole session uses %d seeds, want 1 (the root)", whole.NodeCount())
+	}
+	// Aligned subtree: 1 seed.
+	aligned, _ := s.Grant(64, 127)
+	if aligned.NodeCount() != 1 {
+		t.Fatalf("aligned subtree uses %d seeds, want 1", aligned.NodeCount())
+	}
+	// Any interval: at most 2·height seeds.
+	worst, _ := s.Grant(1, 254)
+	if worst.NodeCount() > 2*8 {
+		t.Fatalf("worst-case interval uses %d seeds, bound is %d", worst.NodeCount(), 16)
+	}
+}
+
+func TestGrantQuickProperty(t *testing.T) {
+	s := newTestServer(t, 7, 3) // 128 slots
+	f := func(aRaw, bRaw uint8) bool {
+		a, b := int(aRaw%128), int(bRaw%128)
+		if a > b {
+			a, b = b, a
+		}
+		sub, err := s.Grant(a, b)
+		if err != nil {
+			return false
+		}
+		if sub.NodeCount() > 2*7 {
+			return false
+		}
+		// Spot-check the boundary and one interior slot.
+		for _, slot := range []int{a, b, (a + b) / 2} {
+			want, err := s.SlotKey(slot)
+			if err != nil {
+				return false
+			}
+			got, err := sub.SlotKey(slot)
+			if err != nil || !got.Equal(want) {
+				return false
+			}
+		}
+		// One slot strictly outside, when it exists.
+		if a > 0 {
+			if _, err := sub.SlotKey(a - 1); !errors.Is(err, ErrNotSubscribed) {
+				return false
+			}
+		}
+		if b < 127 {
+			if _, err := sub.SlotKey(b + 1); !errors.Is(err, ErrNotSubscribed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSideEffect(t *testing.T) {
+	// The scheme's defining property: granting and expiring other
+	// subscriptions changes nothing for an existing subscriber — there is
+	// no rekey message at all, keys depend only on the root seed.
+	s := newTestServer(t, 5, 4)
+	alice, err := s.Grant(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := alice.SlotKey(10)
+	for i := 0; i < 50; i++ {
+		if _, err := s.Grant(i%20, i%20+10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := alice.SlotKey(10)
+	if !before.Equal(after) {
+		t.Fatal("other grants perturbed an existing subscription")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewServer(0, nil); !errors.Is(err, ErrBadHeight) {
+		t.Errorf("height 0: err=%v", err)
+	}
+	s := newTestServer(t, 4, 5)
+	if _, err := s.SlotKey(16); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("slot out of range: err=%v", err)
+	}
+	if _, err := s.Grant(5, 4); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("inverted interval: err=%v", err)
+	}
+	if _, err := s.Grant(-1, 3); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("negative from: err=%v", err)
+	}
+	if _, err := s.Grant(0, 16); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("to out of range: err=%v", err)
+	}
+}
+
+func TestSlotKeysAreDistinct(t *testing.T) {
+	s := newTestServer(t, 5, 6)
+	seen := make(map[string]bool)
+	for slot := 0; slot < s.Slots(); slot++ {
+		k, err := s.SlotKey(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := k.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("slot %d key collides", slot)
+		}
+		seen[fp] = true
+	}
+}

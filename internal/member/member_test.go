@@ -1,0 +1,146 @@
+package member
+
+import (
+	"math"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+func wrap(t *testing.T, payload, wrapper keycrypt.Key) keytree.Item {
+	t.Helper()
+	w, err := keycrypt.Wrap(payload, wrapper, keycrypt.NewDeterministicReader(1))
+	if err != nil {
+		t.Fatalf("Wrap: %v", err)
+	}
+	return keytree.Item{Wrapped: w}
+}
+
+func TestApplyChainsOutOfOrder(t *testing.T) {
+	// individual → aux → root must resolve regardless of item order.
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(2)}
+	ind, _ := g.New(1, 0)
+	aux, _ := g.New(2, 0)
+	root, _ := g.New(3, 0)
+
+	m := New(7, ind)
+	items := []keytree.Item{
+		wrap(t, root, aux), // needs aux first
+		wrap(t, aux, ind),
+	}
+	learned := m.Apply(items)
+	if learned != 2 {
+		t.Fatalf("learned %d keys, want 2", learned)
+	}
+	if !m.Has(root) || !m.Has(aux) {
+		t.Fatal("member missing chained keys")
+	}
+}
+
+func TestApplyIgnoresForeignItems(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(3)}
+	ind, _ := g.New(1, 0)
+	other, _ := g.New(2, 0)
+	secret, _ := g.New(3, 0)
+
+	m := New(1, ind)
+	if learned := m.Apply([]keytree.Item{wrap(t, secret, other)}); learned != 0 {
+		t.Fatalf("learned %d foreign keys", learned)
+	}
+	if m.Has(secret) {
+		t.Fatal("member obtained a key it had no wrapper for")
+	}
+}
+
+func TestApplyVersionMonotonic(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(4)}
+	ind, _ := g.New(1, 0)
+	v2, _ := g.New(2, 2)
+	v1, _ := g.New(2, 1)
+
+	m := New(1, ind)
+	m.Apply([]keytree.Item{wrap(t, v2, ind)})
+	if !m.Has(v2) {
+		t.Fatal("v2 not learned")
+	}
+	// A stale version must not downgrade the slot.
+	if learned := m.Apply([]keytree.Item{wrap(t, v1, ind)}); learned != 0 {
+		t.Fatal("stale key version accepted")
+	}
+	if !m.Has(v2) {
+		t.Fatal("slot downgraded")
+	}
+}
+
+func TestNeedsSparseness(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(5)}
+	ind, _ := g.New(1, 0)
+	other, _ := g.New(2, 0)
+	k3, _ := g.New(3, 0)
+
+	m := New(1, ind)
+	mine := wrap(t, k3, ind)
+	foreign := wrap(t, k3, other)
+	if !m.Needs(mine) {
+		t.Error("member should need an item wrapped for it")
+	}
+	if m.Needs(foreign) {
+		t.Error("member should not need an item it cannot unwrap")
+	}
+	m.Apply([]keytree.Item{mine})
+	if m.Needs(mine) {
+		t.Error("member should not need an item twice")
+	}
+}
+
+func TestForget(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(6)}
+	ind, _ := g.New(1, 0)
+	m := New(1, ind)
+	if m.KeyCount() != 1 {
+		t.Fatalf("KeyCount=%d, want 1", m.KeyCount())
+	}
+	m.Forget(1)
+	if m.KeyCount() != 0 {
+		t.Fatal("Forget did not drop the key")
+	}
+	if _, ok := m.Key(1); ok {
+		t.Fatal("Key(1) still present")
+	}
+}
+
+func TestLossEstimation(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(7)}
+	ind, _ := g.New(1, 0)
+	m := New(1, ind)
+	if m.EstimatedLoss() != -1 {
+		t.Fatalf("EstimatedLoss with no data = %v, want -1", m.EstimatedLoss())
+	}
+	m.RecordExpected(100)
+	m.RecordReceived(80)
+	if got := m.EstimatedLoss(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("EstimatedLoss=%v, want 0.2", got)
+	}
+}
+
+func TestNeededItemsSparseness(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(8)}
+	ind, _ := g.New(1, 0)
+	other, _ := g.New(2, 0)
+	k3, _ := g.New(3, 0)
+	k4, _ := g.New(4, 0)
+
+	m := New(1, ind)
+	items := []keytree.Item{
+		wrap(t, k3, ind),   // needed
+		wrap(t, k4, other), // not ours
+	}
+	if got := m.NeededItems(items); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("NeededItems=%v, want [0]", got)
+	}
+	m.Apply(items)
+	if got := m.NeededItems(items); got != nil {
+		t.Fatalf("NeededItems after Apply=%v, want empty", got)
+	}
+}

@@ -1,0 +1,73 @@
+package member
+
+import (
+	"errors"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+func TestMemberSnapshotRoundTrip(t *testing.T) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(1)}
+	ind, _ := g.New(1, 0)
+	aux, _ := g.New(2, 3)
+	root, _ := g.New(3, 7)
+
+	m := New(42, ind)
+	w1, _ := keycrypt.Wrap(aux, ind, g.Rand)
+	w2, _ := keycrypt.Wrap(root, aux, g.Rand)
+	m.Apply([]keytree.Item{{Wrapped: w1}, {Wrapped: w2}})
+	m.RecordExpected(10)
+	m.RecordReceived(9)
+
+	got, err := Restore(m.Snapshot())
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got.ID() != 42 {
+		t.Fatalf("ID=%d, want 42", got.ID())
+	}
+	if got.KeyCount() != m.KeyCount() {
+		t.Fatalf("KeyCount %d, want %d", got.KeyCount(), m.KeyCount())
+	}
+	for _, k := range []keycrypt.Key{ind, aux, root} {
+		if !got.Has(k) {
+			t.Fatalf("restored member missing key %v", k)
+		}
+	}
+	if got.EstimatedLoss() != m.EstimatedLoss() {
+		t.Fatalf("loss estimate %v, want %v", got.EstimatedLoss(), m.EstimatedLoss())
+	}
+
+	// The restored member keeps working: it can unwrap a further rekey.
+	next, _ := g.New(3, 8)
+	w3, _ := keycrypt.Wrap(next, aux, g.Rand)
+	if n := got.Apply([]keytree.Item{{Wrapped: w3}}); n != 1 {
+		t.Fatalf("restored member applied %d items, want 1", n)
+	}
+	if !got.Has(next) {
+		t.Fatal("restored member did not learn the new root")
+	}
+}
+
+func TestMemberRestoreRejectsCorruption(t *testing.T) {
+	m := New(1, keycrypt.Random(1, 0))
+	blob := m.Snapshot()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), blob[4:]...),
+		"truncated": blob[:len(blob)-5],
+		"trailing":  append(append([]byte{}, blob...), 0xff),
+	}
+	for name, data := range cases {
+		if _, err := Restore(data); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err=%v, want ErrBadSnapshot", name, err)
+		}
+	}
+	bad := append([]byte{}, blob...)
+	bad[7] = 9 // version
+	if _, err := Restore(bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad version: err=%v", err)
+	}
+}

@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"groupkey/internal/keytree"
+)
+
+// keytreeMemberID shortens signatures in tests.
+type keytreeMemberID = keytree.MemberID
+
+func kid(i int) keytree.MemberID { return keytree.MemberID(i) }
+
+func TestBernoulliEmpiricalRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, p := range []float64{0, 0.02, 0.2, 0.9} {
+		b := Bernoulli{P: p}
+		lost := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if b.Lost(rng) {
+				lost++
+			}
+		}
+		got := float64(lost) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v): empirical rate %v", p, got)
+		}
+		if b.Rate() != p {
+			t.Errorf("Rate()=%v, want %v", b.Rate(), p)
+		}
+	}
+}
+
+func TestGilbertElliottStationaryRate(t *testing.T) {
+	ge, err := NewGilbertElliott(0.05, 0.4, 0.01, 0.5)
+	if err != nil {
+		t.Fatalf("NewGilbertElliott: %v", err)
+	}
+	want := ge.Rate() // π_B·0.5 + π_G·0.01 with π_B = 0.05/0.45
+	rng := rand.New(rand.NewPCG(2, 2))
+	lost := 0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		if ge.Lost(rng) {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical rate %v, stationary %v", got, want)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// With sticky states, losses must cluster: P(loss | previous loss)
+	// should clearly exceed the marginal loss rate.
+	ge, err := NewGilbertElliott(0.01, 0.1, 0.0, 0.8)
+	if err != nil {
+		t.Fatalf("NewGilbertElliott: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n = 400000
+	losses := make([]bool, n)
+	total := 0
+	for i := range losses {
+		losses[i] = ge.Lost(rng)
+		if losses[i] {
+			total++
+		}
+	}
+	marginal := float64(total) / n
+	afterLoss, lossPairs := 0, 0
+	for i := 1; i < n; i++ {
+		if losses[i-1] {
+			lossPairs++
+			if losses[i] {
+				afterLoss++
+			}
+		}
+	}
+	conditional := float64(afterLoss) / float64(lossPairs)
+	if conditional < 2*marginal {
+		t.Fatalf("no burstiness: P(loss|loss)=%v vs marginal %v", conditional, marginal)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := NewGilbertElliott(-0.1, 0.5, 0, 0.5); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewGilbertElliott(0, 0, 0, 0.5); err == nil {
+		t.Error("degenerate chain accepted")
+	}
+}
+
+func TestNetworkReceiverLifecycle(t *testing.T) {
+	n := New(5)
+	if err := n.AddReceiver(1, Bernoulli{P: 0.1}); err != nil {
+		t.Fatalf("AddReceiver: %v", err)
+	}
+	if err := n.AddReceiver(1, Bernoulli{P: 0.1}); !errors.Is(err, ErrReceiverExists) {
+		t.Fatalf("duplicate add: err=%v", err)
+	}
+	if !n.HasReceiver(1) || n.Size() != 1 {
+		t.Fatal("receiver not registered")
+	}
+	r, err := n.LossRate(1)
+	if err != nil || r != 0.1 {
+		t.Fatalf("LossRate=%v err=%v", r, err)
+	}
+	if err := n.RemoveReceiver(1); err != nil {
+		t.Fatalf("RemoveReceiver: %v", err)
+	}
+	if err := n.RemoveReceiver(1); !errors.Is(err, ErrReceiverUnknown) {
+		t.Fatalf("double remove: err=%v", err)
+	}
+	if _, err := n.LossRate(1); !errors.Is(err, ErrReceiverUnknown) {
+		t.Fatalf("LossRate of removed: err=%v", err)
+	}
+}
+
+func TestMulticastDeliveryRates(t *testing.T) {
+	n := New(6)
+	var lossy, clean []int
+	for i := 1; i <= 200; i++ {
+		p := 0.0
+		if i%2 == 0 {
+			p = 0.3
+			lossy = append(lossy, i)
+		} else {
+			clean = append(clean, i)
+		}
+		if err := n.AddReceiver(kid(i), Bernoulli{P: p}); err != nil {
+			t.Fatalf("AddReceiver: %v", err)
+		}
+	}
+	interested := make([]keytreeMemberID, 0, 200)
+	for i := 1; i <= 200; i++ {
+		interested = append(interested, kid(i))
+	}
+	gotClean, gotLossy := 0, 0
+	const rounds = 500
+	for r := 0; r < rounds; r++ {
+		got := n.Multicast(interested)
+		for _, i := range clean {
+			if got[kid(i)] {
+				gotClean++
+			}
+		}
+		for _, i := range lossy {
+			if got[kid(i)] {
+				gotLossy++
+			}
+		}
+	}
+	cleanRate := float64(gotClean) / float64(rounds*len(clean))
+	lossyRate := float64(gotLossy) / float64(rounds*len(lossy))
+	if cleanRate != 1 {
+		t.Errorf("clean receivers delivery rate %v, want 1", cleanRate)
+	}
+	if math.Abs(lossyRate-0.7) > 0.02 {
+		t.Errorf("lossy receivers delivery rate %v, want ≈0.7", lossyRate)
+	}
+	s := n.Stats()
+	if s.PacketsMulticast != rounds {
+		t.Errorf("PacketsMulticast=%d, want %d", s.PacketsMulticast, rounds)
+	}
+	if s.Deliveries == 0 || s.Drops == 0 {
+		t.Error("stats not accumulating")
+	}
+}
+
+func TestMulticastIgnoresUnregistered(t *testing.T) {
+	n := New(7)
+	if err := n.AddReceiver(1, Bernoulli{P: 0}); err != nil {
+		t.Fatalf("AddReceiver: %v", err)
+	}
+	got := n.Multicast([]keytreeMemberID{1, 99})
+	if !got[1] || got[99] {
+		t.Fatalf("got=%v, want only receiver 1", got)
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	n := New(8)
+	if err := n.AddReceiver(1, Bernoulli{P: 0}); err != nil {
+		t.Fatalf("AddReceiver: %v", err)
+	}
+	ok, err := n.Unicast(1)
+	if err != nil || !ok {
+		t.Fatalf("Unicast: ok=%v err=%v", ok, err)
+	}
+	if _, err := n.Unicast(2); !errors.Is(err, ErrReceiverUnknown) {
+		t.Fatalf("unknown unicast: err=%v", err)
+	}
+	if n.Stats().PacketsUnicast != 1 {
+		t.Errorf("PacketsUnicast=%d, want 1 (unknown receiver never transmitted)", n.Stats().PacketsUnicast)
+	}
+}
+
+func TestNetworkDeterministicBySeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		n := New(seed)
+		n.AddReceiver(1, Bernoulli{P: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			got := n.Multicast([]keytreeMemberID{1})
+			out = append(out, got[1])
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"time"
+
+	"groupkey/internal/adaptive"
+	"groupkey/internal/keytree"
+)
+
+// This file implements the Section 3.4 feedback loop on the live daemon:
+// the server records every member's join time, feeds completed lifetimes
+// into the churn estimator when members leave, and can be asked at any
+// point which key-tree organization the analytic model currently favors.
+
+// observeJoin records a member's admission time. Called under s.mu.
+func (s *Server) observeJoin(id keytree.MemberID) {
+	if s.joinedAt == nil {
+		s.joinedAt = make(map[keytree.MemberID]time.Time)
+	}
+	s.joinedAt[id] = s.now()
+}
+
+// observeLeave folds a departing member's lifetime into the estimator.
+// Called under s.mu.
+func (s *Server) observeLeave(id keytree.MemberID) {
+	joined, ok := s.joinedAt[id]
+	if !ok {
+		return
+	}
+	delete(s.joinedAt, id)
+	if s.estimator == nil {
+		s.estimator, _ = adaptive.NewEstimator(8192)
+	}
+	s.estimator.Observe(s.now().Sub(joined).Seconds())
+}
+
+// now returns the server clock (overridable in tests).
+func (s *Server) now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
+
+// ObservedDepartures returns how many member lifetimes the server has
+// collected for churn estimation.
+func (s *Server) ObservedDepartures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.estimator == nil {
+		return 0
+	}
+	return s.estimator.Count()
+}
+
+// Recommend runs the Section 3.4 adaptive policy against the lifetimes
+// observed so far: fit the two-class churn mixture, evaluate the analytic
+// model, and report the cheapest organization for the current group size.
+// It fails with adaptive.ErrTooFewSamples until enough members have left.
+func (s *Server) Recommend(tp time.Duration) (adaptive.Recommendation, error) {
+	s.mu.Lock()
+	est := s.estimator
+	size := float64(s.scheme.Size())
+	s.mu.Unlock()
+	if est == nil {
+		return adaptive.Recommendation{}, adaptive.ErrTooFewSamples
+	}
+	fit, err := est.Estimate()
+	if err != nil {
+		return adaptive.Recommendation{}, err
+	}
+	advisor := adaptive.DefaultAdvisor()
+	advisor.Tp = tp.Seconds()
+	return advisor.Recommend(size, fit)
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"groupkey/internal/adaptive"
+	"groupkey/internal/core"
+	"groupkey/internal/keytree"
+)
+
+// TestServerChurnObservationAndAdvice drives the daemon's scheme directly
+// with a synthetic clock: members join and leave with two-class lifetimes,
+// and after enough departures the server's advisor must fit the churn and
+// recommend a two-partition organization.
+func TestServerChurnObservationAndAdvice(t *testing.T) {
+	scheme := newScheme(t, 40)
+	srv := New(scheme, nil)
+
+	// Synthetic clock under test control.
+	now := time.Unix(1_000_000, 0)
+	srv.clock = func() time.Time { return now }
+
+	if _, err := srv.Recommend(time.Minute); !errors.Is(err, adaptive.ErrTooFewSamples) {
+		t.Fatalf("advice without observations: err=%v", err)
+	}
+
+	// Simulate churn through the observation hooks (the wire path is
+	// exercised elsewhere; here we need volume): 80% of members stay ~3
+	// minutes, 20% stay ~3 hours.
+	rng := rand.New(rand.NewPCG(41, 42))
+	next := keytree.MemberID(1)
+	type liveMember struct {
+		id    keytree.MemberID
+		until time.Time
+	}
+	var live []liveMember
+	srv.mu.Lock()
+	for step := 0; step < 3000; step++ {
+		now = now.Add(10 * time.Second)
+		// Arrivals.
+		for k := 0; k < 2; k++ {
+			mean := 180.0
+			if rng.Float64() > 0.8 {
+				mean = 10800.0
+			}
+			dur := time.Duration(rng.ExpFloat64() * mean * float64(time.Second))
+			srv.observeJoin(next)
+			live = append(live, liveMember{id: next, until: now.Add(dur)})
+			next++
+		}
+		// Departures.
+		kept := live[:0]
+		for _, m := range live {
+			if now.After(m.until) {
+				srv.observeLeave(m.id)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		live = kept
+	}
+	srv.mu.Unlock()
+
+	if srv.ObservedDepartures() < 100 {
+		t.Fatalf("only %d departures observed", srv.ObservedDepartures())
+	}
+
+	// Give the scheme a plausible size so the model has an N to work with.
+	h := newHarnessLike(t, scheme, 256)
+	_ = h
+	rec, err := srv.Recommend(time.Minute)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if rec.Scheme == adaptive.ChooseOneTree {
+		t.Fatalf("advisor kept one-keytree for 80%%-short churn: %v", rec)
+	}
+	if rec.Estimate.Alpha < 0.6 || rec.Estimate.Alpha > 0.95 {
+		t.Errorf("fitted alpha %v, want ≈0.8", rec.Estimate.Alpha)
+	}
+}
+
+// newHarnessLike bulk-admits members into a scheme (test sizing helper).
+func newHarnessLike(t *testing.T, s core.Scheme, n int) struct{} {
+	t.Helper()
+	b := core.Batch{}
+	for i := 0; i < n; i++ {
+		b.Joins = append(b.Joins, core.Join{ID: keytree.MemberID(1_000_000 + i)})
+	}
+	if _, err := s.ProcessBatch(b); err != nil {
+		t.Fatalf("sizing scheme: %v", err)
+	}
+	return struct{}{}
+}

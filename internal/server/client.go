@@ -1,0 +1,279 @@
+package server
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+	"groupkey/internal/member"
+	"groupkey/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrJoinTimeout = errors.New("server: join not acknowledged in time")
+	ErrNotWelcomed = errors.New("server: client not yet admitted")
+)
+
+// Client is a group member speaking the wire protocol. Create with Dial.
+type Client struct {
+	conn net.Conn
+
+	mu        sync.Mutex
+	mem       *member.Member
+	id        keytree.MemberID
+	serverKey ed25519.PublicKey
+	epoch     uint64
+	welcomed  chan struct{}
+	epochCh   chan struct{} // closed and replaced on every rekey
+	readErr   error
+	done      chan struct{}
+
+	data          chan []byte
+	undecryptable int
+	badSignatures int
+}
+
+// Dial connects to a key server, requests to join with the given metadata,
+// and waits (up to timeout) for admission — which happens at the server's
+// next rekey.
+func Dial(addr string, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+	}
+	return newClientOnConn(conn, req, timeout)
+}
+
+// newClientOnConn completes the join handshake over an established
+// connection (plain TCP or TLS).
+func newClientOnConn(conn net.Conn, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
+	c := &Client{
+		conn:     conn,
+		welcomed: make(chan struct{}),
+		epochCh:  make(chan struct{}),
+		done:     make(chan struct{}),
+		data:     make(chan []byte, 64),
+	}
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgJoin, req.Encode()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: sending join: %w", err)
+	}
+	go c.readLoop()
+
+	select {
+	case <-c.welcomed:
+		return c, nil
+	case <-c.done:
+		return nil, fmt.Errorf("server: connection closed before welcome: %w", c.err())
+	case <-time.After(timeout):
+		conn.Close()
+		return nil, ErrJoinTimeout
+	}
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		t, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		switch t {
+		case wire.MsgWelcome:
+			w, err := wire.DecodeSignedWelcome(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			if c.mem == nil {
+				c.id = w.Member
+				c.mem = member.New(w.Member, w.Key)
+				c.serverKey = w.ServerKey
+				close(c.welcomed)
+			}
+			c.mu.Unlock()
+		case wire.MsgRekey:
+			c.mu.Lock()
+			inner, err := wire.OpenSignedRekey(c.serverKey, payload)
+			if err != nil {
+				// Forged or corrupted: never apply; count and drop.
+				c.badSignatures++
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Unlock()
+			epoch, items, err := wire.DecodeRekey(inner)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			if c.mem != nil {
+				c.mem.Apply(items)
+			}
+			if epoch > c.epoch {
+				c.epoch = epoch
+			}
+			old := c.epochCh
+			c.epochCh = make(chan struct{})
+			close(old)
+			c.mu.Unlock()
+		case wire.MsgData:
+			c.mu.Lock()
+			inner, err := wire.OpenSignedRekey(c.serverKey, payload)
+			if err != nil {
+				c.badSignatures++
+				c.mu.Unlock()
+				continue
+			}
+			pt, err := c.tryOpenLocked(inner)
+			if err != nil {
+				c.undecryptable++
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Unlock()
+			select {
+			case c.data <- pt:
+			default: // slow consumer: drop rather than wedge the read loop
+			}
+		case wire.MsgError:
+			c.fail(fmt.Errorf("server rejected: %s", payload))
+			return
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// ID returns the member ID assigned by the server.
+func (c *Client) ID() keytree.MemberID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
+}
+
+// Epoch returns the latest rekey epoch the client has processed.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// WaitEpoch blocks until the client has processed a rekey with epoch ≥ min
+// or the timeout elapses.
+func (c *Client) WaitEpoch(min uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		if c.epoch >= min {
+			c.mu.Unlock()
+			return nil
+		}
+		ch := c.epochCh
+		c.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("server: epoch %d not reached in time (at %d)", min, c.Epoch())
+		}
+		select {
+		case <-ch:
+		case <-c.done:
+			return fmt.Errorf("server: connection closed waiting for epoch %d: %w", min, c.err())
+		case <-time.After(remaining):
+			return fmt.Errorf("server: epoch %d not reached in time (at %d)", min, c.Epoch())
+		}
+	}
+}
+
+// Data returns the stream of successfully decrypted application messages.
+func (c *Client) Data() <-chan []byte { return c.data }
+
+// Undecryptable reports how many data messages arrived that the client
+// could not decrypt (evidence of correct forward secrecy when observed on
+// departed members).
+func (c *Client) Undecryptable() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.undecryptable
+}
+
+// BadSignatures reports how many frames failed server-signature
+// verification and were discarded.
+func (c *Client) BadSignatures() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.badSignatures
+}
+
+// ServerKey returns the server's signing public key learned at welcome.
+func (c *Client) ServerKey() ed25519.PublicKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverKey
+}
+
+// TryOpen attempts to decrypt a sealed blob with the client's current keys.
+func (c *Client) TryOpen(blob []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tryOpenLocked(blob)
+}
+
+func (c *Client) tryOpenLocked(blob []byte) ([]byte, error) {
+	if c.mem == nil {
+		return nil, ErrNotWelcomed
+	}
+	id, ver, err := keycrypt.SealedKeyInfo(blob)
+	if err != nil {
+		return nil, err
+	}
+	k, ok := c.mem.Key(id)
+	if !ok || k.Version != ver {
+		return nil, keycrypt.ErrAuthFailure
+	}
+	return keycrypt.Open(k, blob)
+}
+
+// HasKey reports whether the client holds exactly the given key — used by
+// tests to verify key agreement with the server.
+func (c *Client) HasKey(k keycrypt.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mem != nil && c.mem.Has(k)
+}
+
+// Leave asks the server to evict this member at its next rekey.
+func (c *Client) Leave() error {
+	c.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return wire.WriteFrame(c.conn, wire.MsgLeave, nil)
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,399 @@
+// Package server runs a group key server over real TCP connections: members
+// join and leave over the wire protocol (internal/wire), the server batches
+// membership changes and rekeys periodically (or on demand) using any
+// key-management scheme from internal/core, and application data is
+// multicast sealed under the current group key.
+//
+// The fan-out is TCP unicast to every member — the forwarding plane is not
+// what the paper measures; rekey payload sizes are, and those are identical
+// to what an IP-multicast deployment would send.
+package server
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"groupkey/internal/adaptive"
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+	"groupkey/internal/wire"
+)
+
+// Server errors.
+var (
+	ErrClosed = errors.New("server: closed")
+)
+
+// writeTimeout bounds per-frame writes so a stalled client cannot wedge a
+// rekey broadcast.
+const writeTimeout = 5 * time.Second
+
+// Server is the group key server daemon. Create with New, start with
+// Serve, stop with Close.
+type Server struct {
+	scheme core.Scheme
+	rng    io.Reader
+	// signing keypair: every rekey and data frame is Ed25519-signed so
+	// members can authenticate the key server (group members share the
+	// data key, so GCM alone cannot provide source authentication).
+	signPriv ed25519.PrivateKey
+	signPub  ed25519.PublicKey
+
+	mu            sync.Mutex
+	ln            net.Listener
+	conns         map[keytree.MemberID]net.Conn
+	pendingJoins  []pendingJoin
+	pendingLeaves map[keytree.MemberID]bool
+	nextID        keytree.MemberID
+	closed        bool
+
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+
+	// Section 3.4 churn observation (see advise.go).
+	joinedAt  map[keytree.MemberID]time.Time
+	estimator *adaptive.Estimator
+	clock     func() time.Time // nil = time.Now; tests inject
+}
+
+type pendingJoin struct {
+	id   keytree.MemberID
+	meta core.MemberMeta
+	conn net.Conn
+}
+
+// New creates a server around a key-management scheme. rng supplies nonces
+// for data sealing and the signing keypair; nil means crypto/rand.
+func New(scheme core.Scheme, rng io.Reader) *Server {
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		// Only reachable with a broken injected reader; the system source
+		// never fails.
+		panic(fmt.Sprintf("server: generating signing key: %v", err))
+	}
+	return &Server{
+		scheme:        scheme,
+		rng:           rng,
+		signPriv:      priv,
+		signPub:       pub,
+		conns:         make(map[keytree.MemberID]net.Conn),
+		pendingLeaves: make(map[keytree.MemberID]bool),
+		nextID:        1,
+		stopCh:        make(chan struct{}),
+	}
+}
+
+// SigningKey returns the server's Ed25519 public key (also delivered in
+// every welcome).
+func (s *Server) SigningKey() ed25519.PublicKey { return s.signPub }
+
+// Serve starts accepting connections on ln. It returns immediately; the
+// accept loop runs until Close.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// handle serves one client connection's read side.
+func (s *Server) handle(conn net.Conn) {
+	var memberID keytree.MemberID
+	defer func() {
+		s.mu.Lock()
+		if memberID != 0 {
+			if _, ok := s.conns[memberID]; ok {
+				delete(s.conns, memberID)
+				if s.scheme.Contains(memberID) {
+					s.pendingLeaves[memberID] = true
+				}
+			} else {
+				// Vanished before the admitting rekey: withdraw the join.
+				for i, pj := range s.pendingJoins {
+					if pj.id == memberID {
+						s.pendingJoins = append(s.pendingJoins[:i], s.pendingJoins[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	for {
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch t {
+		case wire.MsgJoin:
+			req, err := wire.DecodeJoinRequest(payload)
+			if err != nil {
+				s.reject(conn, err)
+				return
+			}
+			s.mu.Lock()
+			if s.closed || memberID != 0 {
+				s.mu.Unlock()
+				s.reject(conn, errors.New("join rejected"))
+				return
+			}
+			memberID = s.nextID
+			s.nextID++
+			s.pendingJoins = append(s.pendingJoins, pendingJoin{
+				id:   memberID,
+				meta: core.MemberMeta{LossRate: req.LossRate, LongLived: req.LongLived},
+				conn: conn,
+			})
+			s.mu.Unlock()
+		case wire.MsgLeave:
+			s.mu.Lock()
+			if memberID != 0 && s.scheme.Contains(memberID) {
+				s.pendingLeaves[memberID] = true
+			}
+			s.mu.Unlock()
+		default:
+			s.reject(conn, fmt.Errorf("unexpected %v from client", t))
+			return
+		}
+	}
+}
+
+func (s *Server) reject(conn net.Conn, err error) {
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_ = wire.WriteFrame(conn, wire.MsgError, []byte(err.Error()))
+}
+
+// RekeyNow processes all pending joins and leaves as one batch, sends
+// welcomes to joiners, broadcasts the rekey payload to every connected
+// member and disconnects leavers. It returns the rekey (possibly empty).
+func (s *Server) RekeyNow() (*core.Rekey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+
+	b := core.Batch{}
+	joinConn := make(map[keytree.MemberID]net.Conn)
+	for _, pj := range s.pendingJoins {
+		if s.pendingLeaves[pj.id] {
+			// Joined and disconnected within one period: never admitted.
+			delete(s.pendingLeaves, pj.id)
+			continue
+		}
+		b.Joins = append(b.Joins, core.Join{ID: pj.id, Meta: pj.meta})
+		joinConn[pj.id] = pj.conn
+	}
+	for m := range s.pendingLeaves {
+		b.Leaves = append(b.Leaves, m)
+	}
+	s.pendingJoins = nil
+	s.pendingLeaves = make(map[keytree.MemberID]bool)
+
+	rekey, err := s.scheme.ProcessBatch(b)
+	if err != nil {
+		return nil, fmt.Errorf("server: rekey batch: %w", err)
+	}
+
+	// Feed the Section 3.4 churn estimator.
+	for _, j := range b.Joins {
+		s.observeJoin(j.ID)
+	}
+	for _, m := range b.Leaves {
+		s.observeLeave(m)
+	}
+
+	// Welcome joiners over their registration connections, including the
+	// signing public key they will verify all future frames against.
+	for id, conn := range joinConn {
+		welcome := wire.SignedWelcome{
+			Welcome:   wire.Welcome{Member: id, Key: rekey.Welcome[id]},
+			ServerKey: s.signPub,
+		}
+		if err := s.send(conn, wire.MsgWelcome, welcome.Encode()); err != nil {
+			// The joiner vanished mid-registration; evict next batch.
+			s.pendingLeaves[id] = true
+			continue
+		}
+		s.conns[id] = conn
+	}
+
+	// Broadcast the full rekey payload. Empty payloads still go out: the
+	// epoch announcement doubles as the rekey-interval heartbeat members
+	// use to detect missed rekeys.
+	if err := s.broadcastRekeyLocked(rekey); err != nil {
+		return nil, err
+	}
+
+	// Disconnect leavers.
+	for _, m := range b.Leaves {
+		if conn, ok := s.conns[m]; ok {
+			delete(s.conns, m)
+			conn.Close()
+		}
+	}
+	return rekey, nil
+}
+
+// broadcastRekeyLocked signs and fans out one rekey payload. Callers hold
+// s.mu.
+func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) error {
+	blob, err := wire.EncodeRekey(rekey.Epoch, rekey.AllItems())
+	if err != nil {
+		return err
+	}
+	blob = wire.SignRekey(s.signPriv, blob)
+	for id, conn := range s.conns {
+		if err := s.send(conn, wire.MsgRekey, blob); err != nil {
+			delete(s.conns, id)
+			if s.scheme.Contains(id) {
+				s.pendingLeaves[id] = true
+			}
+			conn.Close()
+		}
+	}
+	return nil
+}
+
+// RotateNow refreshes the group key without membership changes (scheduled
+// rotation) and broadcasts the one-item payload. It fails when the scheme
+// does not implement core.Rotator or the group is empty.
+func (s *Server) RotateNow() (*core.Rekey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	rot, ok := s.scheme.(core.Rotator)
+	if !ok {
+		return nil, fmt.Errorf("server: scheme %s cannot rotate", s.scheme.Name())
+	}
+	rekey, err := rot.Rotate()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.broadcastRekeyLocked(rekey); err != nil {
+		return nil, err
+	}
+	return rekey, nil
+}
+
+// StartPeriodic rekeys every interval until Close — the periodic batched
+// rekeying mode of Kronos/Yang et al. (Section 2.1.1).
+func (s *Server) StartPeriodic(interval time.Duration) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-ticker.C:
+				if _, err := s.RekeyNow(); err != nil && !errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Broadcast seals data under the current group key and sends it to every
+// connected member.
+func (s *Server) Broadcast(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	dek, err := s.scheme.GroupKey()
+	if err != nil {
+		return err
+	}
+	sealed, err := keycrypt.Seal(dek, data, s.rng)
+	if err != nil {
+		return err
+	}
+	// Sign the sealed frame: group members share the data key, so only the
+	// signature distinguishes the server from another member.
+	blob := wire.SignRekey(s.signPriv, sealed)
+	for id, conn := range s.conns {
+		if err := s.send(conn, wire.MsgData, blob); err != nil {
+			delete(s.conns, id)
+			if s.scheme.Contains(id) {
+				s.pendingLeaves[id] = true
+			}
+			conn.Close()
+		}
+	}
+	return nil
+}
+
+// Size returns the current admitted group size.
+func (s *Server) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheme.Size()
+}
+
+// send writes one frame with a deadline. Callers hold s.mu, which also
+// serializes frame writes per connection.
+func (s *Server) send(conn net.Conn, t wire.MsgType, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return wire.WriteFrame(conn, t, payload)
+}
+
+// Close stops the server: the listener and every connection are closed and
+// background goroutines joined.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stopCh)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = make(map[keytree.MemberID]net.Conn)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

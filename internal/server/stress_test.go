@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"groupkey/internal/wire"
+)
+
+// TestServerConcurrentChurnStress runs many clients joining, receiving
+// data and leaving concurrently while the server rekeys periodically —
+// the race-detector workout for the daemon.
+func TestServerConcurrentChurnStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test is slow")
+	}
+	scheme := newScheme(t, 30)
+	srv := startServer(t, scheme)
+	srv.StartPeriodic(20 * time.Millisecond)
+
+	feedDone := make(chan struct{})
+	go func() {
+		defer close(feedDone)
+		for i := 0; i < 50; i++ {
+			_ = srv.Broadcast([]byte("tick")) // no members yet is fine
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String(), wire.JoinRequest{LossRate: 0.02}, testTimeout)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			// Consume some data, then leave (half politely, half abruptly).
+			timer := time.After(time.Duration(10+i*5) * time.Millisecond)
+			for {
+				select {
+				case <-c.Data():
+				case <-timer:
+					if i%2 == 0 {
+						if err := c.Leave(); err != nil {
+							errs <- err
+						}
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client error: %v", err)
+	}
+	<-feedDone
+
+	// Let the periodic rekeyer flush the departures.
+	deadline := time.Now().Add(testTimeout)
+	for srv.Size() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("group did not drain: %d members left", srv.Size())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

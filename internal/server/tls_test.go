@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"crypto/x509"
+	"net"
+	"testing"
+	"time"
+
+	"groupkey/internal/wire"
+)
+
+func TestTLSEndToEnd(t *testing.T) {
+	scheme := newScheme(t, 50)
+	cert, leaf, err := GenerateTLSCert(nil)
+	if err != nil {
+		t.Fatalf("GenerateTLSCert: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(scheme, nil)
+	srv.ServeTLS(ln, cert)
+	t.Cleanup(func() { srv.Close() })
+
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+
+	type result struct {
+		c   *Client
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := DialTLS(ln.Addr().String(), wire.JoinRequest{}, testTimeout, pool)
+		ch <- result{c, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if _, err := srv.RekeyNow(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("DialTLS: %v", r.err)
+	}
+	defer r.c.Close()
+
+	// Full data path over TLS.
+	msg := []byte("over TLS")
+	if err := srv.Broadcast(msg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-r.c.Data():
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("no data over TLS")
+	}
+}
+
+func TestTLSRejectsUnpinnedServer(t *testing.T) {
+	scheme := newScheme(t, 51)
+	cert, _, err := GenerateTLSCert(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(scheme, nil)
+	srv.ServeTLS(ln, cert)
+	t.Cleanup(func() { srv.Close() })
+
+	// A pool pinning a DIFFERENT certificate: the handshake must fail.
+	otherCert, otherLeaf, err := GenerateTLSCert(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = otherCert
+	pool := x509.NewCertPool()
+	pool.AddCert(otherLeaf)
+	if _, err := DialTLS(ln.Addr().String(), wire.JoinRequest{}, 2*time.Second, pool); err == nil {
+		t.Fatal("handshake succeeded against an unpinned server certificate")
+	}
+}
+
+func TestPlaintextClientCannotJoinTLSServer(t *testing.T) {
+	scheme := newScheme(t, 52)
+	cert, _, err := GenerateTLSCert(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(scheme, nil)
+	srv.ServeTLS(ln, cert)
+	t.Cleanup(func() { srv.Close() })
+
+	if _, err := Dial(ln.Addr().String(), wire.JoinRequest{}, 2*time.Second); err == nil {
+		t.Fatal("plaintext client joined a TLS server")
+	}
+}

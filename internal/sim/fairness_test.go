@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"groupkey/internal/core"
+	"groupkey/internal/transport"
+	"groupkey/internal/workload"
+)
+
+// TestFairnessLossHomogenizedProtectsLowLossReceivers checks the Section
+// 4.4 fairness claim on the running system: under the loss-homogenized
+// organization, low-loss members receive fewer (redundant) packets than
+// under one mixed key tree, because the replication provoked by high-loss
+// members stays inside the high-loss tree's stream.
+func TestFairnessLossHomogenizedProtectsLowLossReceivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fairness sweep is slow")
+	}
+	const n, periods = 1024, 50
+	run := func(build func() (core.Scheme, error)) *Result {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := baseConfig(t, 31, n, periods, s)
+		cfg.Transport = transport.NewWKABKR(transport.DefaultConfig())
+		cfg.Loss = workload.PaperLossModel(0.2)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return res
+	}
+	one := run(func() (core.Scheme, error) { return core.NewOneTree(detRand(31)) })
+	hom := run(func() (core.Scheme, error) { return core.NewLossHomogenized([]float64{0.05}, detRand(31)) })
+
+	lowOne, okOne := one.FairnessByLossRate[0.02]
+	lowHom, okHom := hom.FairnessByLossRate[0.02]
+	if !okOne || !okHom {
+		t.Fatalf("missing low-loss class stats: one=%v hom=%v", one.FairnessByLossRate, hom.FairnessByLossRate)
+	}
+	if lowOne.Members == 0 || lowHom.Members == 0 {
+		t.Fatal("no low-loss members observed")
+	}
+	if lowHom.MeanPackets >= lowOne.MeanPackets {
+		t.Fatalf("low-loss members heard %.1f packets under loss-homogenized vs %.1f under one tree — fairness not improved",
+			lowHom.MeanPackets, lowOne.MeanPackets)
+	}
+	// Sanity: high-loss class present and receiving traffic in both.
+	if _, ok := one.FairnessByLossRate[0.2]; !ok {
+		t.Fatal("missing high-loss class stats")
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"groupkey/internal/core"
+	"groupkey/internal/transport"
+	"groupkey/internal/workload"
+)
+
+// TestMisreportedLossDegradesHomogenization is the Fig. 7 phenomenon on
+// the running system: the loss-homogenized organization only pays off when
+// join-time loss reports are accurate. With half the members reporting the
+// opposite class, placement is uninformative and the transport cost climbs
+// back toward (or past) the honest-report cost.
+func TestMisreportedLossDegradesHomogenization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("misreport sweep is slow")
+	}
+	const n, periods = 1024, 60
+	run := func(flipFraction float64) float64 {
+		s, err := core.NewLossHomogenized([]float64{0.05}, detRand(91))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(92, 93))
+		cfg := baseConfig(t, 91, n, periods, s)
+		cfg.Warmup = 20
+		cfg.Transport = transport.NewWKABKR(transport.DefaultConfig())
+		cfg.ReportLoss = func(info workload.MemberInfo) float64 {
+			if rng.Float64() >= flipFraction {
+				return info.LossRate
+			}
+			// Report the opposite class.
+			if info.LossRate >= 0.1 {
+				return 0.02
+			}
+			return 0.20
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("flip=%v: %v", flipFraction, err)
+		}
+		return res.MeanTransportKeys
+	}
+	honest := run(0)
+	scrambled := run(0.5)
+	if scrambled <= honest {
+		t.Fatalf("scrambled loss reports (%.1f keys) should cost more than honest reports (%.1f keys)",
+			scrambled, honest)
+	}
+	t.Logf("honest=%.1f scrambled=%.1f (+%.1f%%)", honest, scrambled, 100*(scrambled-honest)/honest)
+}

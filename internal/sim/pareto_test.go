@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"groupkey/internal/core"
+	"groupkey/internal/workload"
+)
+
+// TestTwoPartitionWinsUnderParetoChurn checks robustness of the Section 3
+// result to the duration model: the MBone measurements "roughly fit into an
+// exponential distribution or a Zipf distribution" (Section 3.3.1), and the
+// paper models only the exponential case. Here the short class is
+// heavy-tailed (Pareto) instead; the two-partition advantage must survive,
+// since it depends only on most members leaving early.
+func TestTwoPartitionWinsUnderParetoChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweep is slow")
+	}
+	durations := workload.TwoClass{
+		Alpha: 0.8,
+		Short: workload.Pareto{Xm: 45, Shape: 1.33}, // mean ≈ 181 s, heavy tail
+		Long:  workload.Exponential{M: 3 * 60 * 60},
+	}
+	const n, periods = 2048, 100
+	run := func(build func() (core.Scheme, error)) float64 {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Seed:      55,
+			GroupSize: n,
+			Periods:   periods,
+			Tp:        60,
+			Warmup:    30,
+			Durations: durations,
+			Loss:      workload.PaperLossModel(0.2),
+			Scheme:    s,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return res.MeanMulticastKeys
+	}
+	one := run(func() (core.Scheme, error) { return core.NewOneTree(detRand(55)) })
+	tt := run(func() (core.Scheme, error) { return core.NewTwoPartition(core.TT, 10, detRand(55)) })
+	qt := run(func() (core.Scheme, error) { return core.NewTwoPartition(core.QT, 10, detRand(55)) })
+
+	if tt >= one {
+		t.Errorf("TT (%.1f) should beat one-keytree (%.1f) under Pareto churn", tt, one)
+	}
+	if qt >= one {
+		t.Errorf("QT (%.1f) should beat one-keytree (%.1f) under Pareto churn", qt, one)
+	}
+	t.Logf("Pareto churn: one=%.1f tt=%.1f (%.1f%%) qt=%.1f (%.1f%%)",
+		one, tt, 100*(one-tt)/one, qt, 100*(one-qt)/one)
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"groupkey/internal/analytic"
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/transport"
+	"groupkey/internal/workload"
+)
+
+func baseConfig(t *testing.T, seed uint64, n, periods int, scheme core.Scheme) Config {
+	t.Helper()
+	return Config{
+		Seed:      seed,
+		GroupSize: n,
+		Periods:   periods,
+		Tp:        60,
+		Warmup:    periods / 4,
+		Durations: workload.PaperDefault(),
+		Loss:      workload.PaperLossModel(0.2),
+		Scheme:    scheme,
+	}
+}
+
+func detRand(seed uint64) core.Option {
+	return core.WithRand(keycrypt.NewDeterministicReader(seed))
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err=%v, want ErrBadConfig", err)
+	}
+	s, _ := core.NewOneTree(detRand(1))
+	cfg := baseConfig(t, 1, 0, 10, s)
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("groupSize=0: err=%v", err)
+	}
+}
+
+func TestRunOneTreeWithCryptoVerification(t *testing.T) {
+	s, err := core.NewOneTree(detRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 2, 200, 12, s)
+	cfg.VerifyCrypto = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Periods) != 12 {
+		t.Fatalf("got %d periods, want 12", len(res.Periods))
+	}
+	if res.MeanMulticastKeys <= 0 {
+		t.Fatal("no rekeying cost recorded")
+	}
+	if res.MeanGroupSize < 150 || res.MeanGroupSize > 260 {
+		t.Fatalf("mean group size %v drifted from 200", res.MeanGroupSize)
+	}
+}
+
+func TestRunTwoPartitionWithCryptoVerification(t *testing.T) {
+	for _, mode := range []core.PartitionMode{core.QT, core.TT, core.PT} {
+		s, err := core.NewTwoPartition(mode, 3, detRand(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := baseConfig(t, 3, 150, 10, s)
+		cfg.VerifyCrypto = true
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestRunLossHomogenizedWithCryptoVerification(t *testing.T) {
+	s, err := core.NewLossHomogenized([]float64{0.05}, detRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 4, 150, 10, s)
+	cfg.VerifyCrypto = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSimCrossValidatesAppendixA(t *testing.T) {
+	// The simulated per-period multicast cost of the one-keytree scheme
+	// must track the analytic Ne(N, J) within sampling noise. This is the
+	// core model-vs-system check.
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	const n = 1024
+	s, err := core.NewOneTree(detRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 5, n, 80, s)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	params := analytic.DefaultTwoPartitionParams()
+	params.N = n
+	st, err := params.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the implementation-aware closed form (the paper's Ne
+	// minus the replaced-subtree wraps this library never sends).
+	model := analytic.BatchRekeyCostImpl(res.MeanGroupSize, res.MeanLeaves, 4)
+	if e := SteadyStateError(res.MeanMulticastKeys, model); e > 0.10 {
+		t.Fatalf("sim mean %.1f vs impl model %.1f: error %.1f%% exceeds 10%%",
+			res.MeanMulticastKeys, model, 100*e)
+	}
+	// The simulated departure rate should also track the queueing model's J.
+	if e := SteadyStateError(res.MeanLeaves, st.J); e > 0.30 {
+		t.Fatalf("sim departures %.1f vs model J %.1f: error %.0f%%",
+			res.MeanLeaves, st.J, 100*e)
+	}
+}
+
+func TestSimTwoPartitionBeatsOneTree(t *testing.T) {
+	// Section 3's headline claim, checked on the running system: with a
+	// churn-heavy population (α=0.8) the two-partition schemes multicast
+	// fewer keys per period than the one-keytree baseline.
+	if testing.Short() {
+		t.Skip("comparison sweep is slow")
+	}
+	const n, periods = 2048, 100
+	run := func(build func() (core.Scheme, error)) float64 {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := baseConfig(t, 77, n, periods, s)
+		cfg.Warmup = 30 // past the migration fill-up
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return res.MeanMulticastKeys
+	}
+	one := run(func() (core.Scheme, error) { return core.NewOneTree(detRand(6)) })
+	tt := run(func() (core.Scheme, error) { return core.NewTwoPartition(core.TT, 10, detRand(6)) })
+	qt := run(func() (core.Scheme, error) { return core.NewTwoPartition(core.QT, 10, detRand(6)) })
+	pt := run(func() (core.Scheme, error) { return core.NewTwoPartition(core.PT, 10, detRand(6)) })
+
+	if tt >= one {
+		t.Errorf("TT (%.1f keys) should beat one-keytree (%.1f) at α=0.8", tt, one)
+	}
+	if qt >= one {
+		t.Errorf("QT (%.1f keys) should beat one-keytree (%.1f) at α=0.8", qt, one)
+	}
+	if pt >= tt || pt >= qt {
+		t.Errorf("PT (%.1f) should beat TT (%.1f) and QT (%.1f)", pt, tt, qt)
+	}
+}
+
+func TestSimTransportLossHomogenizedBeatsOneTree(t *testing.T) {
+	// Section 4's claim on the running system: under WKA-BKR transport
+	// with heterogeneous loss (20% of members at ph=20%), organizing trees
+	// by loss class reduces transmitted keys versus one mixed tree.
+	if testing.Short() {
+		t.Skip("transport sweep is slow")
+	}
+	const n, periods = 1024, 60
+	run := func(seed uint64, build func() (core.Scheme, error)) float64 {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := baseConfig(t, seed, n, periods, s)
+		cfg.Loss = workload.PaperLossModel(0.2)
+		tcfg := transport.DefaultConfig()
+		// The server estimates loss from join-time reports; here it knows
+		// the two classes.
+		tcfg.LossEstimate = nil
+		tcfg.DefaultLoss = 0.05
+		cfg.Transport = transport.NewWKABKR(tcfg)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return res.MeanTransportKeys
+	}
+	one := run(21, func() (core.Scheme, error) { return core.NewOneTree(detRand(21)) })
+	hom := run(21, func() (core.Scheme, error) {
+		return core.NewLossHomogenized([]float64{0.05}, detRand(21))
+	})
+	if hom >= one {
+		t.Fatalf("loss-homogenized transport cost %.1f should beat one-keytree %.1f", hom, one)
+	}
+}

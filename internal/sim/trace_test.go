@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"groupkey/internal/core"
+	"groupkey/internal/workload"
+)
+
+// TestTraceReplayReproducesRun is the strongest determinism check in the
+// suite: a run from a freshly generated workload, a run replaying the
+// in-memory trace, and a run replaying the trace after a serialization
+// round trip must produce identical period-by-period statistics.
+func TestTraceReplayReproducesRun(t *testing.T) {
+	const n, periods = 300, 20
+	session, err := workload.NewSession(workload.Config{
+		Seed:        77,
+		ArrivalRate: workload.ArrivalRateForGroupSize(n, workload.PaperDefault()),
+		Durations:   workload.PaperDefault(),
+		Loss:        workload.PaperLossModel(0.2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := session.Record(n, periods*60)
+
+	run := func(tr *workload.Trace) *Result {
+		s, err := core.NewOneTree(detRand(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Seed:    77,
+			Periods: periods,
+			Tp:      60,
+			Warmup:  5,
+			Scheme:  s,
+			Trace:   tr,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+
+	direct := run(trace)
+
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, trace); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	reloaded, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	replayed := run(reloaded)
+
+	if len(direct.Periods) != len(replayed.Periods) {
+		t.Fatalf("period counts differ: %d vs %d", len(direct.Periods), len(replayed.Periods))
+	}
+	for i := range direct.Periods {
+		if direct.Periods[i] != replayed.Periods[i] {
+			t.Fatalf("period %d diverged: %+v vs %+v", i, direct.Periods[i], replayed.Periods[i])
+		}
+	}
+	if direct.MeanMulticastKeys != replayed.MeanMulticastKeys {
+		t.Fatalf("aggregate diverged: %v vs %v", direct.MeanMulticastKeys, replayed.MeanMulticastKeys)
+	}
+}
+
+func TestTraceConfigValidation(t *testing.T) {
+	s, err := core.NewOneTree(detRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Periods: 10, Tp: 60, Scheme: s, Trace: &workload.Trace{}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

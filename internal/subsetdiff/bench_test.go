@@ -1,0 +1,72 @@
+package subsetdiff
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+func BenchmarkCover(b *testing.B) {
+	for _, r := range []int{4, 32, 128} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			s, err := NewServer(12, keycrypt.NewDeterministicReader(1)) // 4096 receivers
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(2, 3))
+			revoked := rng.Perm(s.Capacity())[:r]
+			var size int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cover, err := s.Cover(revoked)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(cover)
+			}
+			b.ReportMetric(float64(size), "subsets")
+		})
+	}
+}
+
+func BenchmarkReceiverDecrypt(b *testing.B) {
+	s, err := NewServer(12, keycrypt.NewDeterministicReader(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := keycrypt.Random(1, 0)
+	rng := rand.New(rand.NewPCG(5, 6))
+	bcast, err := s.Revoke(session, rng.Perm(s.Capacity())[:32])
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := s.ReceiverMaterial(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recv.Decrypt(bcast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceiverMaterial(b *testing.B) {
+	s, err := NewServer(16, keycrypt.NewDeterministicReader(7)) // 65536 receivers
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.ReceiverMaterial(i % s.Capacity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.StorageLabels()), "labels")
+		}
+	}
+}

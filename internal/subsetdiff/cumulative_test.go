@@ -1,0 +1,42 @@
+package subsetdiff
+
+import (
+	"errors"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+// TestCumulativeRevocation models real deployments: the revoked set only
+// grows (broken devices stay broken). Each broadcast carries the cover of
+// the CUMULATIVE set; earlier-revoked devices stay out, everyone else
+// keeps decrypting with factory material.
+func TestCumulativeRevocation(t *testing.T) {
+	s := newTestServer(t, 7, 20) // 128 receivers
+	var revoked []int
+	innocent, err := s.ReceiverMaterial(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstVictim, err := s.ReceiverMaterial(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		revoked = append(revoked, round*7, round*7+1)
+		session := keycrypt.Random(keycrypt.KeyID(1000+round), 0)
+		b, err := s.Revoke(session, revoked)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got, err := innocent.Decrypt(b); err != nil || !got.Equal(session) {
+			t.Fatalf("round %d: innocent receiver blocked: %v", round, err)
+		}
+		if _, err := firstVictim.Decrypt(b); !errors.Is(err, ErrRevoked) {
+			t.Fatalf("round %d: first victim regained access: %v", round, err)
+		}
+		if b.CoverSize() > 2*len(revoked)-1 {
+			t.Fatalf("round %d: cover %d exceeds bound %d", round, b.CoverSize(), 2*len(revoked)-1)
+		}
+	}
+}

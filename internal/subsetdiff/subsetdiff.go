@@ -1,0 +1,425 @@
+// Package subsetdiff implements the Subset-Difference revocation scheme of
+// Naor, Naor and Lotspiech (CRYPTO 2001), cited by the paper (Section 1,
+// [MNL01]) as the stateless-receiver alternative to logical key trees:
+// receivers never process rekey messages; instead every broadcast carries
+// the session key wrapped under a small cover of "subset keys", chosen so
+// that exactly the non-revoked receivers can derive one of them.
+//
+// The scheme works over a complete binary tree with the receivers at the
+// leaves. A subset S(i, j) contains the leaves under node i minus the
+// leaves under its descendant j. Each node i carries an independent random
+// label; walking from i toward j through left/right one-way functions
+// yields LABEL(i, j), and the subset key is a third one-way function of
+// that label. A receiver u stores, for every ancestor i, the labels of the
+// nodes hanging immediately off the path i→u — O(log² N) labels — from
+// which it can derive the key of any S(i, j) with u ∈ S(i, j), and of no
+// other.
+//
+// The cover-finding algorithm guarantees at most 2·r − 1 subsets for r
+// revoked receivers, independent of N and of revocation history — the
+// statelessness LKH cannot offer, bought with larger receiver storage.
+package subsetdiff
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"groupkey/internal/keycrypt"
+)
+
+// Scheme errors.
+var (
+	ErrBadHeight    = errors.New("subsetdiff: tree height must be in [1, 31]")
+	ErrBadLeaf      = errors.New("subsetdiff: leaf index out of range")
+	ErrRevoked      = errors.New("subsetdiff: receiver is revoked (no usable subset)")
+	ErrBadBroadcast = errors.New("subsetdiff: malformed broadcast")
+)
+
+// label is the 32-byte node label the one-way functions operate on.
+type label [32]byte
+
+// The three one-way functions of NNL: G_L and G_R derive child labels,
+// G_M derives the subset key from a label.
+func gLeft(l label) label  { return gApply(l, "sd-left") }
+func gRight(l label) label { return gApply(l, "sd-right") }
+func gKey(l label) label   { return gApply(l, "sd-key") }
+
+func gApply(l label, tag string) label {
+	mac := hmac.New(sha256.New, []byte(tag))
+	mac.Write(l[:])
+	var out label
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Subset identifies S(i, j): the leaves under node I minus those under J.
+// J == 0 denotes the full subtree under I (used only when nobody is
+// revoked, with I the root).
+type Subset struct {
+	I, J uint32
+}
+
+// String implements fmt.Stringer.
+func (s Subset) String() string {
+	if s.J == 0 {
+		return fmt.Sprintf("S(%d)", s.I)
+	}
+	return fmt.Sprintf("S(%d\\%d)", s.I, s.J)
+}
+
+// Broadcast is one revocation message: the session key wrapped under each
+// cover subset's key.
+type Broadcast struct {
+	Subsets []Subset
+	Wraps   []keycrypt.WrappedKey
+}
+
+// CoverSize returns the number of subsets — the NNL bandwidth metric.
+func (b *Broadcast) CoverSize() int { return len(b.Subsets) }
+
+// Server is the broadcast center: it knows every node label and computes
+// revocation covers. Not safe for concurrent use.
+type Server struct {
+	height int // tree height: N = 2^height leaves
+	labels []label
+	rng    io.Reader
+}
+
+// NewServer creates a server for 2^height receivers. rng nil means
+// crypto/rand.
+func NewServer(height int, rng io.Reader) (*Server, error) {
+	if height < 1 || height > 31 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHeight, height)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	nodes := 1 << (height + 1) // heap indices 1 .. 2^(h+1)-1
+	s := &Server{height: height, labels: make([]label, nodes), rng: rng}
+	for i := 1; i < nodes; i++ {
+		if _, err := io.ReadFull(rng, s.labels[i][:]); err != nil {
+			return nil, fmt.Errorf("subsetdiff: reading entropy: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Capacity returns the number of receiver slots (2^height).
+func (s *Server) Capacity() int { return 1 << s.height }
+
+// leafNode converts a leaf index (0-based) to its heap node index.
+func (s *Server) leafNode(leaf int) uint32 {
+	return uint32(1<<s.height + leaf)
+}
+
+// subsetLabel walks the label of node i down to j.
+func (s *Server) subsetLabel(i, j uint32) label {
+	l := s.labels[i]
+	if j == 0 {
+		return l
+	}
+	return walkLabel(l, i, j)
+}
+
+// walkLabel applies G_L/G_R along the path from node i to its descendant j.
+func walkLabel(l label, i, j uint32) label {
+	// The path bits from i to j are the bits of j below i's prefix.
+	depthI := bitLen(i)
+	depthJ := bitLen(j)
+	for d := depthJ - depthI - 1; d >= 0; d-- {
+		if (j>>uint(d))&1 == 0 {
+			l = gLeft(l)
+		} else {
+			l = gRight(l)
+		}
+	}
+	return l
+}
+
+func bitLen(x uint32) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// subsetKey turns a subset into a wrapping key. The key ID encodes (i, j)
+// so server and receiver agree without communication.
+func subsetKey(sub Subset, l label) keycrypt.Key {
+	id := keycrypt.KeyID(uint64(sub.I)<<32 | uint64(sub.J))
+	material := gKey(l)
+	k, err := keycrypt.NewKey(id, 0, material[:])
+	if err != nil {
+		panic("subsetdiff: label size mismatch") // impossible: both 32 bytes
+	}
+	return k
+}
+
+// Cover computes the NNL subset cover for the given revoked leaf indexes:
+// the non-revoked receivers are exactly the disjoint union of the returned
+// subsets, and len(cover) ≤ max(1, 2·len(revoked) − 1).
+func (s *Server) Cover(revoked []int) ([]Subset, error) {
+	n := s.Capacity()
+	seen := make(map[int]bool, len(revoked))
+	var steiner []uint32
+	for _, r := range revoked {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("%w: %d of %d", ErrBadLeaf, r, n)
+		}
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		steiner = append(steiner, s.leafNode(r))
+	}
+	if len(steiner) == 0 {
+		return []Subset{{I: 1, J: 0}}, nil
+	}
+	if len(steiner) == n {
+		return nil, nil // everyone revoked: empty cover
+	}
+
+	// T holds the current Steiner-tree leaves in ascending heap order
+	// (which equals left-to-right tree order for equal depths; the pairing
+	// below only relies on LCA relations, computed exactly).
+	T := append([]uint32(nil), steiner...)
+	sortNodes(T)
+
+	var cover []Subset
+	addChain := func(top, bottom uint32) {
+		// Cover the leaves under `top` except those under `bottom`.
+		if top != bottom {
+			cover = append(cover, Subset{I: top, J: bottom})
+		}
+	}
+
+	for len(T) > 1 {
+		// Find the pair of distinct T-leaves whose LCA is deepest; that
+		// LCA contains no other T-leaf.
+		bestA, bestB := -1, -1
+		bestDepth := -1
+		for a := 0; a < len(T); a++ {
+			for b := a + 1; b < len(T); b++ {
+				l := lca(T[a], T[b])
+				if d := bitLen(l); d > bestDepth {
+					bestDepth, bestA, bestB = d, a, b
+				}
+			}
+		}
+		vi, vj := T[bestA], T[bestB]
+		v := lca(vi, vj)
+		vl, vr := childToward(v, vi), childToward(v, vj)
+		if vl == vr {
+			// vi and vj are ordered arbitrarily; normalize sides.
+			panic("subsetdiff: degenerate pair")
+		}
+		addChain(vl, vi)
+		addChain(vr, vj)
+		// Replace vi, vj by v.
+		T = append(T[:bestB], T[bestB+1:]...)
+		T = append(T[:bestA], T[bestA+1:]...)
+		T = append(T, v)
+		sortNodes(T)
+	}
+	if T[0] != 1 {
+		addChain(1, T[0])
+	}
+	return cover, nil
+}
+
+func sortNodes(t []uint32) {
+	sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+}
+
+// lca returns the lowest common ancestor of two heap-indexed nodes.
+func lca(a, b uint32) uint32 {
+	for bitLen(a) > bitLen(b) {
+		a >>= 1
+	}
+	for bitLen(b) > bitLen(a) {
+		b >>= 1
+	}
+	for a != b {
+		a >>= 1
+		b >>= 1
+	}
+	return a
+}
+
+// childToward returns the child of v on the path to its descendant d.
+func childToward(v, d uint32) uint32 {
+	for bitLen(d) > bitLen(v)+1 {
+		d >>= 1
+	}
+	return d
+}
+
+// Revoke builds the broadcast that delivers sessionKey to every receiver
+// except the revoked ones.
+func (s *Server) Revoke(sessionKey keycrypt.Key, revoked []int) (*Broadcast, error) {
+	cover, err := s.Cover(revoked)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broadcast{Subsets: cover}
+	for _, sub := range cover {
+		k := subsetKey(sub, s.subsetLabel(sub.I, sub.J))
+		w, err := keycrypt.Wrap(sessionKey, k, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		b.Wraps = append(b.Wraps, w)
+	}
+	return b, nil
+}
+
+// Receiver is one stateless device's key material.
+type Receiver struct {
+	height int
+	leaf   uint32
+	// offPath maps (ancestor i, first off-path node s) to LABEL(i → s):
+	// everything the receiver needs to derive any subset key covering it.
+	offPath map[[2]uint32]label
+	// rootFull is the key for the no-revocation broadcast.
+	rootFull label
+}
+
+// ReceiverMaterial builds the material for the given leaf (0-based). In a
+// deployment this is embedded in the device at manufacture time.
+func (s *Server) ReceiverMaterial(leaf int) (*Receiver, error) {
+	if leaf < 0 || leaf >= s.Capacity() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadLeaf, leaf, s.Capacity())
+	}
+	u := s.leafNode(leaf)
+	r := &Receiver{
+		height:   s.height,
+		leaf:     u,
+		offPath:  make(map[[2]uint32]label),
+		rootFull: s.labels[1],
+	}
+	// For every proper ancestor i of u and every node p strictly between i
+	// and u (exclusive of i, inclusive of u), the sibling of p hangs off
+	// the path; store LABEL(i → sibling(p)).
+	for i := u >> 1; i >= 1; i >>= 1 {
+		for p := u; p > i; p >>= 1 {
+			sib := p ^ 1
+			r.offPath[[2]uint32{i, sib}] = walkLabel(s.labels[i], i, sib)
+		}
+		if i == 1 {
+			break
+		}
+	}
+	return r, nil
+}
+
+// StorageLabels returns the number of labels the receiver stores —
+// O(log² N), the NNL storage metric.
+func (r *Receiver) StorageLabels() int { return len(r.offPath) + 1 }
+
+// isAncestorOrSelf reports whether a is an ancestor of (or equal to) d.
+func isAncestorOrSelf(a, d uint32) bool {
+	for bitLen(d) > bitLen(a) {
+		d >>= 1
+	}
+	return a == d
+}
+
+// Decrypt finds the cover subset containing this receiver, derives its
+// key, and unwraps the session key. It fails with ErrRevoked when no
+// subset covers the receiver.
+func (r *Receiver) Decrypt(b *Broadcast) (keycrypt.Key, error) {
+	if len(b.Subsets) != len(b.Wraps) {
+		return keycrypt.Key{}, ErrBadBroadcast
+	}
+	for idx, sub := range b.Subsets {
+		k, ok := r.deriveSubsetKey(sub)
+		if !ok {
+			continue
+		}
+		got, err := keycrypt.Unwrap(b.Wraps[idx], k)
+		if err != nil {
+			return keycrypt.Key{}, fmt.Errorf("subsetdiff: unwrap under %v: %w", sub, err)
+		}
+		return got, nil
+	}
+	return keycrypt.Key{}, ErrRevoked
+}
+
+// deriveSubsetKey derives the key for sub if the receiver belongs to it.
+func (r *Receiver) deriveSubsetKey(sub Subset) (keycrypt.Key, bool) {
+	if !isAncestorOrSelf(sub.I, r.leaf) {
+		return keycrypt.Key{}, false
+	}
+	if sub.J == 0 {
+		if sub.I != 1 {
+			return keycrypt.Key{}, false // full subsets are root-only
+		}
+		return subsetKey(sub, r.rootFull), true
+	}
+	if isAncestorOrSelf(sub.J, r.leaf) {
+		return keycrypt.Key{}, false // receiver is excluded by this subset
+	}
+	// Walk from I toward J; the first node off the receiver's path has a
+	// stored label, from which the rest of the walk derives.
+	path := pathDown(sub.I, sub.J)
+	for step, node := range path {
+		if isAncestorOrSelf(node, r.leaf) {
+			continue
+		}
+		l, ok := r.offPath[[2]uint32{sub.I, node}]
+		if !ok {
+			return keycrypt.Key{}, false
+		}
+		for _, next := range path[step+1:] {
+			if next>>1 != node {
+				return keycrypt.Key{}, false // malformed path; unreachable
+			}
+			if next&1 == 0 {
+				l = gLeft(l)
+			} else {
+				l = gRight(l)
+			}
+			node = next
+		}
+		return subsetKey(sub, l), true
+	}
+	return keycrypt.Key{}, false
+}
+
+// pathDown lists the nodes strictly between i and j (exclusive of i,
+// inclusive of j), top-down.
+func pathDown(i, j uint32) []uint32 {
+	var rev []uint32
+	for n := j; n > i; n >>= 1 {
+		rev = append(rev, n)
+	}
+	out := make([]uint32, 0, len(rev))
+	for k := len(rev) - 1; k >= 0; k-- {
+		out = append(out, rev[k])
+	}
+	return out
+}
+
+// MarshalSubset serializes a subset (8 bytes) — convenience for transports.
+func MarshalSubset(s Subset) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint32(out[0:4], s.I)
+	binary.BigEndian.PutUint32(out[4:8], s.J)
+	return out
+}
+
+// UnmarshalSubset parses MarshalSubset output.
+func UnmarshalSubset(b []byte) (Subset, error) {
+	if len(b) != 8 {
+		return Subset{}, ErrBadBroadcast
+	}
+	return Subset{I: binary.BigEndian.Uint32(b[0:4]), J: binary.BigEndian.Uint32(b[4:8])}, nil
+}

@@ -1,0 +1,267 @@
+package subsetdiff
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"groupkey/internal/keycrypt"
+)
+
+func newTestServer(t *testing.T, height int, seed uint64) *Server {
+	t.Helper()
+	s, err := NewServer(height, keycrypt.NewDeterministicReader(seed))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
+// coverMembers expands a cover into the set of covered leaf indexes.
+func coverMembers(t *testing.T, s *Server, cover []Subset) map[int]int {
+	t.Helper()
+	counts := make(map[int]int)
+	for _, sub := range cover {
+		for leaf := 0; leaf < s.Capacity(); leaf++ {
+			node := s.leafNode(leaf)
+			if !isAncestorOrSelf(sub.I, node) {
+				continue
+			}
+			if sub.J != 0 && isAncestorOrSelf(sub.J, node) {
+				continue
+			}
+			counts[leaf]++
+		}
+	}
+	return counts
+}
+
+func TestCoverPartitionsNonRevoked(t *testing.T) {
+	s := newTestServer(t, 5, 1) // 32 receivers
+	cases := [][]int{
+		{},
+		{0},
+		{31},
+		{0, 31},
+		{5},
+		{4, 5}, // siblings
+		{0, 1, 2, 3},
+		{7, 11, 13, 29},
+		{0, 2, 4, 6, 8, 10, 12, 14},
+	}
+	for _, revoked := range cases {
+		cover, err := s.Cover(revoked)
+		if err != nil {
+			t.Fatalf("Cover(%v): %v", revoked, err)
+		}
+		counts := coverMembers(t, s, cover)
+		revokedSet := make(map[int]bool)
+		for _, r := range revoked {
+			revokedSet[r] = true
+		}
+		for leaf := 0; leaf < s.Capacity(); leaf++ {
+			switch {
+			case revokedSet[leaf] && counts[leaf] != 0:
+				t.Errorf("revoked %d covered %d times by %v", leaf, counts[leaf], cover)
+			case !revokedSet[leaf] && counts[leaf] != 1:
+				t.Errorf("non-revoked %d covered %d times by %v (revoked %v)", leaf, counts[leaf], cover, revoked)
+			}
+		}
+		if max := 2*len(revoked) - 1; len(revoked) > 0 && len(cover) > max {
+			t.Errorf("cover size %d exceeds 2r-1=%d for %v", len(cover), max, revoked)
+		}
+	}
+}
+
+func TestCoverQuickPartitionProperty(t *testing.T) {
+	s := newTestServer(t, 6, 2) // 64 receivers
+	f := func(seed uint64, rRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		r := int(rRaw % 40)
+		perm := rng.Perm(s.Capacity())
+		revoked := perm[:r]
+		cover, err := s.Cover(revoked)
+		if err != nil {
+			return false
+		}
+		counts := make(map[int]int)
+		for _, sub := range cover {
+			for leaf := 0; leaf < s.Capacity(); leaf++ {
+				node := s.leafNode(leaf)
+				if isAncestorOrSelf(sub.I, node) && (sub.J == 0 || !isAncestorOrSelf(sub.J, node)) {
+					counts[leaf]++
+				}
+			}
+		}
+		revokedSet := make(map[int]bool, r)
+		for _, x := range revoked {
+			revokedSet[x] = true
+		}
+		for leaf := 0; leaf < s.Capacity(); leaf++ {
+			if revokedSet[leaf] {
+				if counts[leaf] != 0 {
+					return false
+				}
+			} else if counts[leaf] != 1 {
+				return false
+			}
+		}
+		if r > 0 && len(cover) > 2*r-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverAllRevoked(t *testing.T) {
+	s := newTestServer(t, 3, 3)
+	all := make([]int, s.Capacity())
+	for i := range all {
+		all[i] = i
+	}
+	cover, err := s.Cover(all)
+	if err != nil {
+		t.Fatalf("Cover: %v", err)
+	}
+	if len(cover) != 0 {
+		t.Fatalf("cover=%v, want empty when everyone is revoked", cover)
+	}
+}
+
+func TestRevokeEndToEnd(t *testing.T) {
+	s := newTestServer(t, 6, 4)
+	session := keycrypt.Random(9999, 1)
+	revoked := []int{3, 17, 42}
+	b, err := s.Revoke(session, revoked)
+	if err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	revokedSet := map[int]bool{3: true, 17: true, 42: true}
+	for leaf := 0; leaf < s.Capacity(); leaf++ {
+		r, err := s.ReceiverMaterial(leaf)
+		if err != nil {
+			t.Fatalf("ReceiverMaterial(%d): %v", leaf, err)
+		}
+		got, err := r.Decrypt(b)
+		if revokedSet[leaf] {
+			if !errors.Is(err, ErrRevoked) {
+				t.Fatalf("revoked leaf %d: err=%v, want ErrRevoked", leaf, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("leaf %d: Decrypt: %v", leaf, err)
+		}
+		if !got.Equal(session) {
+			t.Fatalf("leaf %d derived the wrong session key", leaf)
+		}
+	}
+}
+
+func TestRevokeNobody(t *testing.T) {
+	s := newTestServer(t, 4, 5)
+	session := keycrypt.Random(1, 0)
+	b, err := s.Revoke(session, nil)
+	if err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if b.CoverSize() != 1 {
+		t.Fatalf("cover size %d for empty revocation, want 1", b.CoverSize())
+	}
+	r, _ := s.ReceiverMaterial(7)
+	got, err := r.Decrypt(b)
+	if err != nil || !got.Equal(session) {
+		t.Fatalf("Decrypt: %v", err)
+	}
+}
+
+// TestStatelessness is the scheme's selling point: a receiver that slept
+// through arbitrarily many revocations decrypts the current broadcast with
+// its factory material.
+func TestStatelessness(t *testing.T) {
+	s := newTestServer(t, 5, 6)
+	sleeper, err := s.ReceiverMaterial(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastB *Broadcast
+	var lastKey keycrypt.Key
+	for round := 0; round < 10; round++ {
+		lastKey = keycrypt.Random(keycrypt.KeyID(100+round), 0)
+		lastB, err = s.Revoke(lastKey, []int{round, round + 8})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	got, err := sleeper.Decrypt(lastB)
+	if err != nil {
+		t.Fatalf("sleeper Decrypt: %v", err)
+	}
+	if !got.Equal(lastKey) {
+		t.Fatal("sleeper derived the wrong key")
+	}
+}
+
+func TestReceiverStorageIsLogSquared(t *testing.T) {
+	for _, h := range []int{4, 8, 12} {
+		s := newTestServer(t, h, uint64(10+h))
+		r, err := s.ReceiverMaterial(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h*(h+1)/2 + 1 // Σ path lengths + the root-full label
+		if r.StorageLabels() != want {
+			t.Errorf("h=%d: storage %d labels, want %d", h, r.StorageLabels(), want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewServer(0, nil); !errors.Is(err, ErrBadHeight) {
+		t.Errorf("height 0: err=%v", err)
+	}
+	if _, err := NewServer(32, nil); !errors.Is(err, ErrBadHeight) {
+		t.Errorf("height 32: err=%v", err)
+	}
+	s := newTestServer(t, 3, 7)
+	if _, err := s.Cover([]int{99}); !errors.Is(err, ErrBadLeaf) {
+		t.Errorf("bad leaf: err=%v", err)
+	}
+	if _, err := s.ReceiverMaterial(-1); !errors.Is(err, ErrBadLeaf) {
+		t.Errorf("bad receiver: err=%v", err)
+	}
+}
+
+func TestSubsetMarshalRoundTrip(t *testing.T) {
+	sub := Subset{I: 5, J: 21}
+	got, err := UnmarshalSubset(MarshalSubset(sub))
+	if err != nil || got != sub {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+	if _, err := UnmarshalSubset([]byte{1}); !errors.Is(err, ErrBadBroadcast) {
+		t.Fatalf("short: err=%v", err)
+	}
+}
+
+// TestCoverVsLKHTradeoff quantifies the comparison the paper's Section 1
+// survey implies: Subset-Difference sends ≤ 2r−1 wraps regardless of group
+// size, while stateful LKH pays ~d·r·log_d(N) for the same revocation —
+// but LKH receivers store O(log N) keys versus SD's O(log² N) labels.
+func TestCoverVsLKHTradeoff(t *testing.T) {
+	s := newTestServer(t, 10, 8) // 1024 receivers
+	rng := rand.New(rand.NewPCG(9, 9))
+	revoked := rng.Perm(1024)[:16]
+	cover, err := s.Cover(revoked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) > 31 {
+		t.Fatalf("SD cover %d subsets for 16 revocations, bound is 31", len(cover))
+	}
+	// LKH batch for the same revocation: about d·log_d(N)·overlap ≫ 31.
+	// (Quantified precisely by analytic.BatchRekeyCost(1024, 16, 4) ≈ 139.)
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"sort"
+
+	"groupkey/internal/keytree"
+)
+
+// PackOrder selects the order in which keys are assigned to packets
+// (Section 2.2.1: WKA packs keys "in a breadth-first or a depth-first
+// fashion").
+type PackOrder int
+
+const (
+	// BreadthFirst packs level by level from the root down, so one packet
+	// tends to carry keys many receivers need — high-value packets.
+	BreadthFirst PackOrder = iota + 1
+	// DepthFirst packs path by path, clustering one subtree's keys into
+	// the same packets, so each receiver's keys concentrate in few packets.
+	DepthFirst
+)
+
+// String implements fmt.Stringer.
+func (o PackOrder) String() string {
+	switch o {
+	case BreadthFirst:
+		return "breadth-first"
+	case DepthFirst:
+		return "depth-first"
+	default:
+		return "unknown-order"
+	}
+}
+
+// packet is one multicast rekey packet: a list of item indexes.
+type packet struct {
+	items []int
+}
+
+// interestedUnion returns the receivers that still need at least one item
+// of the packet.
+func (p packet) interestedUnion(rs *receiverState) []keytree.MemberID {
+	seen := make(map[keytree.MemberID]bool)
+	for _, i := range p.items {
+		for r, items := range rs.need {
+			if items[i] {
+				seen[r] = true
+			}
+		}
+	}
+	out := make([]keytree.MemberID, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// orderItems returns the given item indexes sorted for packing.
+func orderItems(items []keytree.Item, idx []int, order PackOrder) []int {
+	out := append([]int(nil), idx...)
+	switch order {
+	case DepthFirst:
+		// Cluster by wrapping key: wrapper IDs are allocated in tree
+		// insertion order, so nearby subtrees share nearby IDs and one
+		// receiver's path keys end up adjacent.
+		sort.SliceStable(out, func(a, b int) bool {
+			wa, wb := items[out[a]].Wrapped.WrapperID, items[out[b]].Wrapped.WrapperID
+			if wa != wb {
+				return wa < wb
+			}
+			return out[a] < out[b]
+		})
+	default: // BreadthFirst
+		sort.SliceStable(out, func(a, b int) bool {
+			la, lb := items[out[a]].Level, items[out[b]].Level
+			if la != lb {
+				return la < lb
+			}
+			return out[a] < out[b]
+		})
+	}
+	return out
+}
+
+// packReplicated deals the given (item, weight) assignments into packets of
+// the given capacity such that replicas of one item always land in distinct
+// packets (a replica in the same packet is worthless against loss).
+//
+// It uses round-robin dealing over P = max(maxWeight, ⌈totalSlots/capacity⌉)
+// packets: copies of one item occupy consecutive deal positions and hence
+// consecutive packets mod P, so distinctness holds whenever weight ≤ P —
+// guaranteed by the choice of P. Round-robin also balances load, keeping
+// every packet within capacity.
+func packReplicated(ordered []int, weight map[int]int, capacity int) []packet {
+	maxW, total := 0, 0
+	for _, idx := range ordered {
+		w := weight[idx]
+		if w < 1 {
+			w = 1
+		}
+		if w > maxW {
+			maxW = w
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+	numPackets := (total + capacity - 1) / capacity
+	if numPackets < maxW {
+		numPackets = maxW
+	}
+	packets := make([]packet, numPackets)
+	cursor := 0
+	for _, idx := range ordered {
+		w := weight[idx]
+		if w < 1 {
+			w = 1
+		}
+		for c := 0; c < w; c++ {
+			packets[cursor%numPackets].items = append(packets[cursor%numPackets].items, idx)
+			cursor++
+		}
+	}
+	return packets
+}
+
+// packPlain packs items once each into packets of the given capacity.
+func packPlain(ordered []int, capacity int) []packet {
+	var packets []packet
+	for start := 0; start < len(ordered); start += capacity {
+		end := start + capacity
+		if end > len(ordered) {
+			end = len(ordered)
+		}
+		packets = append(packets, packet{items: append([]int(nil), ordered[start:end]...)})
+	}
+	return packets
+}
+
+// keyCount sums the keys carried by the packets.
+func keyCount(packets []packet) int {
+	n := 0
+	for _, p := range packets {
+		n += len(p.items)
+	}
+	return n
+}

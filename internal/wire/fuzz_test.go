@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must never
+// panic or over-allocate, and any frame it accepts must round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, MsgJoin, JoinRequest{LossRate: 0.1}.Encode())
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, byte(MsgLeave)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&out)
+		if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("frame round trip diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeRekey throws arbitrary bytes at the rekey decoder: no panics,
+// and accepted payloads re-encode to the same bytes.
+func FuzzDecodeRekey(f *testing.F) {
+	g := keycrypt.Generator{Rand: keycrypt.NewDeterministicReader(1)}
+	payload, _ := g.New(1, 0)
+	wrapper, _ := g.New(2, 0)
+	w, _ := keycrypt.Wrap(payload, wrapper, g.Rand)
+	blob, _ := EncodeRekey(3, []keytree.Item{{Wrapped: w, Kind: keytree.ChildWrap, Level: 1}})
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, items, err := DecodeRekey(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeRekey(epoch, items)
+		if err != nil {
+			t.Fatalf("accepted rekey failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("rekey round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeWelcome exercises the registration decoder.
+func FuzzDecodeWelcome(f *testing.F) {
+	f.Add(Welcome{Member: 1, Key: keycrypt.Random(2, 3)}.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := DecodeWelcome(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(w.Encode(), data) {
+			t.Fatal("welcome round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+func testKeypair(t *testing.T, seed uint64) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(keycrypt.NewDeterministicReader(seed))
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return pub, priv
+}
+
+func TestSignedRekeyRoundTrip(t *testing.T) {
+	pub, priv := testKeypair(t, 1)
+	payload := []byte("epoch-and-items")
+	blob := SignRekey(priv, payload)
+	got, err := OpenSignedRekey(pub, blob)
+	if err != nil {
+		t.Fatalf("OpenSignedRekey: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+func TestSignedRekeyRejectsForgery(t *testing.T) {
+	pub, priv := testKeypair(t, 2)
+	_, wrongPriv := testKeypair(t, 3)
+	payload := []byte("rekey payload")
+
+	forged := SignRekey(wrongPriv, payload)
+	if _, err := OpenSignedRekey(pub, forged); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged signature: err=%v", err)
+	}
+
+	// Bit-flip anywhere must fail verification.
+	blob := SignRekey(priv, payload)
+	for _, i := range []int{0, 32, 63, 64, len(blob) - 1} {
+		mutated := bytes.Clone(blob)
+		mutated[i] ^= 0x01
+		if _, err := OpenSignedRekey(pub, mutated); err == nil {
+			t.Fatalf("bit flip at %d went undetected", i)
+		}
+	}
+
+	if _, err := OpenSignedRekey(pub, []byte("short")); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short blob: err=%v", err)
+	}
+}
+
+func TestSignedWelcomeRoundTrip(t *testing.T) {
+	pub, _ := testKeypair(t, 4)
+	sw := SignedWelcome{
+		Welcome:   Welcome{Member: 7, Key: keycrypt.Random(70, 2)},
+		ServerKey: pub,
+	}
+	got, err := DecodeSignedWelcome(sw.Encode())
+	if err != nil {
+		t.Fatalf("DecodeSignedWelcome: %v", err)
+	}
+	if got.Member != 7 || !got.Key.Equal(sw.Key) || !bytes.Equal(got.ServerKey, pub) {
+		t.Fatal("signed welcome round trip mismatch")
+	}
+}
+
+func TestSignedWelcomeMalformed(t *testing.T) {
+	if _, err := DecodeSignedWelcome([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short: err=%v", err)
+	}
+	pub, _ := testKeypair(t, 5)
+	sw := SignedWelcome{Welcome: Welcome{Member: 1, Key: keycrypt.Random(1, 0)}, ServerKey: pub}
+	blob := sw.Encode()
+	// Lie about the key length.
+	blob[20+32+3] = 7
+	if _, err := DecodeSignedWelcome(blob); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad key length: err=%v", err)
+	}
+}

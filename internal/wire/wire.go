@@ -1,0 +1,220 @@
+// Package wire defines the framed binary protocol spoken between the group
+// key server daemon and its members: length-prefixed frames carrying join
+// and leave requests, registration welcomes, rekey payloads and sealed
+// application data.
+//
+// The protocol assumes the underlying transport provides confidentiality
+// for the registration exchange (in production the join handshake runs over
+// TLS or IPsec; rekey payloads themselves are self-protecting — every key
+// travels wrapped under another key).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrMalformed     = errors.New("wire: malformed message")
+)
+
+// MaxFrameSize bounds a frame's payload (rekey payloads for very large
+// groups dominate; 16 MiB is ample).
+const MaxFrameSize = 16 << 20
+
+// MsgType identifies a frame's payload encoding.
+type MsgType uint8
+
+const (
+	// MsgJoin is a client's join request (payload: member metadata).
+	MsgJoin MsgType = iota + 1
+	// MsgLeave is a client's leave request (no payload).
+	MsgLeave
+	// MsgWelcome is the server's registration package: the assigned member
+	// ID and individual key (payload confidential by transport assumption).
+	MsgWelcome
+	// MsgRekey carries one rekey payload: epoch plus encrypted key items.
+	MsgRekey
+	// MsgData carries application data sealed under the group key.
+	MsgData
+	// MsgError carries a human-readable rejection.
+	MsgError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgJoin:
+		return "join"
+	case MsgLeave:
+		return "leave"
+	case MsgWelcome:
+		return "welcome"
+	case MsgRekey:
+		return "rekey"
+	case MsgData:
+		return "data"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// WriteFrame writes one frame: uint32 length, uint8 type, payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err // io.EOF propagates untouched for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+	}
+	if n > MaxFrameSize+1 {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return MsgType(body[0]), body[1:], nil
+}
+
+// JoinRequest is the metadata a joining member reports (Section 4.2: loss
+// rate for tree placement; class hint for the PT oracle).
+type JoinRequest struct {
+	LossRate  float64 // negative means unknown
+	LongLived bool
+}
+
+// Encode serializes the request.
+func (j JoinRequest) Encode() []byte {
+	out := make([]byte, 9)
+	binary.BigEndian.PutUint64(out, math.Float64bits(j.LossRate))
+	if j.LongLived {
+		out[8] = 1
+	}
+	return out
+}
+
+// DecodeJoinRequest parses a MsgJoin payload.
+func DecodeJoinRequest(b []byte) (JoinRequest, error) {
+	if len(b) != 9 {
+		return JoinRequest{}, fmt.Errorf("%w: join payload %d bytes", ErrMalformed, len(b))
+	}
+	return JoinRequest{
+		LossRate:  math.Float64frombits(binary.BigEndian.Uint64(b)),
+		LongLived: b[8] == 1,
+	}, nil
+}
+
+// Welcome is the registration package.
+type Welcome struct {
+	Member keytree.MemberID
+	Key    keycrypt.Key
+}
+
+// Encode serializes the welcome: member(8) + keyID(8) + version(4) +
+// material(32).
+func (w Welcome) Encode() []byte {
+	out := make([]byte, 0, 20+keycrypt.KeySize)
+	out = binary.BigEndian.AppendUint64(out, uint64(w.Member))
+	out = binary.BigEndian.AppendUint64(out, uint64(w.Key.ID))
+	out = binary.BigEndian.AppendUint32(out, uint32(w.Key.Version))
+	out = append(out, w.Key.Bytes()...)
+	return out
+}
+
+// DecodeWelcome parses a MsgWelcome payload.
+func DecodeWelcome(b []byte) (Welcome, error) {
+	if len(b) != 20+keycrypt.KeySize {
+		return Welcome{}, fmt.Errorf("%w: welcome payload %d bytes", ErrMalformed, len(b))
+	}
+	key, err := keycrypt.NewKey(
+		keycrypt.KeyID(binary.BigEndian.Uint64(b[8:16])),
+		keycrypt.Version(binary.BigEndian.Uint32(b[16:20])),
+		b[20:],
+	)
+	if err != nil {
+		return Welcome{}, err
+	}
+	return Welcome{Member: keytree.MemberID(binary.BigEndian.Uint64(b[0:8])), Key: key}, nil
+}
+
+// itemSize is the wire size of one rekey item: kind(1) + level(2) +
+// wrapped key blob.
+const itemSize = 3 + keycrypt.WrappedSize
+
+// EncodeRekey serializes a rekey payload: epoch(8) + count(4) + items.
+// Receiver lists are not transmitted — receivers decide relevance by the
+// sparseness test (can I unwrap it?).
+func EncodeRekey(epoch uint64, items []keytree.Item) ([]byte, error) {
+	if len(items) > (MaxFrameSize-12)/itemSize {
+		return nil, fmt.Errorf("%w: %d items", ErrFrameTooLarge, len(items))
+	}
+	out := make([]byte, 0, 12+len(items)*itemSize)
+	out = binary.BigEndian.AppendUint64(out, epoch)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(items)))
+	for _, it := range items {
+		if it.Level < 0 || it.Level > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: level %d", ErrMalformed, it.Level)
+		}
+		out = append(out, byte(it.Kind))
+		out = binary.BigEndian.AppendUint16(out, uint16(it.Level))
+		out = append(out, it.Wrapped.Marshal()...)
+	}
+	return out, nil
+}
+
+// DecodeRekey parses a MsgRekey payload.
+func DecodeRekey(b []byte) (epoch uint64, items []keytree.Item, err error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("%w: rekey payload %d bytes", ErrMalformed, len(b))
+	}
+	epoch = binary.BigEndian.Uint64(b[0:8])
+	count := int(binary.BigEndian.Uint32(b[8:12]))
+	rest := b[12:]
+	if len(rest) != count*itemSize {
+		return 0, nil, fmt.Errorf("%w: %d items but %d payload bytes", ErrMalformed, count, len(rest))
+	}
+	items = make([]keytree.Item, 0, count)
+	for i := 0; i < count; i++ {
+		chunk := rest[i*itemSize : (i+1)*itemSize]
+		w, err := keycrypt.UnmarshalWrapped(chunk[3:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire: item %d: %w", i, err)
+		}
+		items = append(items, keytree.Item{
+			Kind:    keytree.ItemKind(chunk[0]),
+			Level:   int(binary.BigEndian.Uint16(chunk[1:3])),
+			Wrapped: w,
+		})
+	}
+	return epoch, items, nil
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"groupkey/internal/keytree"
+)
+
+// Trace bundles everything needed to replay a membership workload exactly:
+// the primed initial population, the timestamped event stream, and the
+// per-member ground truth. Traces serialize to a line-oriented text format
+// so experiments can be archived and re-run bit-for-bit.
+type Trace struct {
+	Primed  []MemberInfo
+	Events  []Event
+	Members map[keytree.MemberID]MemberInfo
+}
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// Record primes the session with n members, generates events up to the
+// horizon, and packages the whole run as a Trace.
+func (s *Session) Record(n int, horizon float64) *Trace {
+	primed := s.Prime(n)
+	events := s.Events(horizon)
+	return &Trace{Primed: primed, Events: events, Members: s.Members()}
+}
+
+// WriteTrace serializes a trace. The format is line-oriented:
+//
+//	trace-v1
+//	m <id> <class> <joinTime> <duration> <lossRate> <primed>
+//	e <time> <kind> <member>
+//
+// Member lines come first (sorted by id), then event lines in time order.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "trace-v1"); err != nil {
+		return err
+	}
+	ids := make([]keytree.MemberID, 0, len(tr.Members))
+	for id := range tr.Members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := tr.Members[id]
+		primed := 0
+		if m.Primed {
+			primed = 1
+		}
+		if _, err := fmt.Fprintf(bw, "m %d %d %g %g %g %d\n",
+			m.ID, int(m.Class), m.JoinTime, m.Duration, m.LossRate, primed); err != nil {
+			return err
+		}
+	}
+	for _, e := range tr.Events {
+		if _, err := fmt.Fprintf(bw, "e %g %d %d\n", e.Time, int(e.Kind), e.Member); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrBadTrace)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "trace-v1" {
+		return nil, fmt.Errorf("%w: unknown header %q", ErrBadTrace, got)
+	}
+	tr := &Trace{Members: make(map[keytree.MemberID]MemberInfo)}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "m":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("%w: line %d: member needs 6 fields", ErrBadTrace, line)
+			}
+			id, err1 := strconv.ParseUint(fields[1], 10, 64)
+			class, err2 := strconv.Atoi(fields[2])
+			joinT, err3 := strconv.ParseFloat(fields[3], 64)
+			dur, err4 := strconv.ParseFloat(fields[4], 64)
+			loss, err5 := strconv.ParseFloat(fields[5], 64)
+			primed, err6 := strconv.Atoi(fields[6])
+			if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, err)
+			}
+			info := MemberInfo{
+				ID:       keytree.MemberID(id),
+				Class:    Class(class),
+				JoinTime: joinT,
+				Duration: dur,
+				LossRate: loss,
+				Primed:   primed == 1,
+			}
+			tr.Members[info.ID] = info
+			if info.Primed {
+				tr.Primed = append(tr.Primed, info)
+			}
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: event needs 3 fields", ErrBadTrace, line)
+			}
+			ts, err1 := strconv.ParseFloat(fields[1], 64)
+			kind, err2 := strconv.Atoi(fields[2])
+			member, err3 := strconv.ParseUint(fields[3], 10, 64)
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, err)
+			}
+			if EventKind(kind) != EventJoin && EventKind(kind) != EventLeave {
+				return nil, fmt.Errorf("%w: line %d: unknown event kind %d", ErrBadTrace, line, kind)
+			}
+			tr.Events = append(tr.Events, Event{
+				Time:   ts,
+				Kind:   EventKind(kind),
+				Member: keytree.MemberID(member),
+			})
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown record %q", ErrBadTrace, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Validate referential integrity: every event references a known member.
+	for _, e := range tr.Events {
+		if _, ok := tr.Members[e.Member]; !ok {
+			return nil, fmt.Errorf("%w: event references unknown member %d", ErrBadTrace, e.Member)
+		}
+	}
+	return tr, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func recordTrace(t *testing.T, seed uint64, n int, horizon float64) *Trace {
+	t.Helper()
+	s, err := NewSession(Config{
+		Seed:        seed,
+		ArrivalRate: ArrivalRateForGroupSize(float64(n), PaperDefault()),
+		Durations:   PaperDefault(),
+		Loss:        PaperLossModel(0.2),
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return s.Record(n, horizon)
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := recordTrace(t, 1, 200, 1800)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+	if len(got.Members) != len(tr.Members) {
+		t.Fatalf("members %d, want %d", len(got.Members), len(tr.Members))
+	}
+	for id, want := range tr.Members {
+		if got.Members[id] != want {
+			t.Fatalf("member %d mismatch: %+v vs %+v", id, got.Members[id], want)
+		}
+	}
+	if len(got.Primed) != len(tr.Primed) {
+		t.Fatalf("primed %d, want %d", len(got.Primed), len(tr.Primed))
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-trace\n",
+		"trace-v1\nx 1 2 3\n",
+		"trace-v1\nm 1 1\n",
+		"trace-v1\ne 10 1 5\n", // event for unknown member
+		"trace-v1\nm 1 1 0 10 0.02 1\ne 10 9 1\n", // bad event kind
+		"trace-v1\nm abc 1 0 10 0.02 1\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err=%v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+func TestTracePrimedConsistency(t *testing.T) {
+	tr := recordTrace(t, 2, 100, 600)
+	if len(tr.Primed) != 100 {
+		t.Fatalf("primed %d, want 100", len(tr.Primed))
+	}
+	for _, p := range tr.Primed {
+		if !p.Primed {
+			t.Fatalf("primed member %d not flagged", p.ID)
+		}
+		if got := tr.Members[p.ID]; got != p {
+			t.Fatalf("primed member %d not in member map", p.ID)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package workload generates the membership dynamics that drive group
+// rekeying experiments: Poisson member arrivals with membership durations
+// drawn from the paper's two-class model (Section 3.3.1) — a mixture of a
+// short-duration and a long-duration exponential — or from a heavy-tailed
+// Pareto ("Zipf-like") distribution, matching the MBone measurements of
+// Almeroth and Ammar the paper builds on.
+//
+// A Session produces a timestamped event trace (joins and leaves) plus
+// per-member metadata (duration class, packet-loss rate), and the trace can
+// be folded into per-period batches for periodic batched rekeying.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"groupkey/internal/keytree"
+)
+
+// Class labels a member's duration class in the two-class model.
+type Class int
+
+const (
+	// ClassShort is Cs: short membership durations (mean Ms).
+	ClassShort Class = iota + 1
+	// ClassLong is Cl: long membership durations (mean Ml).
+	ClassLong
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassShort:
+		return "short"
+	case ClassLong:
+		return "long"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Dist samples membership durations in seconds.
+type Dist interface {
+	Sample(rng *rand.Rand) float64
+	Mean() float64
+}
+
+// Exponential is an exponential duration distribution.
+type Exponential struct {
+	// M is the mean duration in seconds.
+	M float64
+}
+
+// Sample draws a duration.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.M }
+
+// Mean returns the distribution mean.
+func (e Exponential) Mean() float64 { return e.M }
+
+// Pareto is a heavy-tailed duration distribution (the "Zipf distribution"
+// fit of the MBone measurements): P[T > t] = (Xm/t)^Shape for t ≥ Xm.
+// Shape must exceed 1 for the mean to exist.
+type Pareto struct {
+	Xm    float64 // scale: minimum duration, seconds
+	Shape float64 // tail index, > 1
+}
+
+// Sample draws a duration by inverse transform.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Xm * math.Pow(u, -1/p.Shape)
+}
+
+// Mean returns Xm·shape/(shape−1).
+func (p Pareto) Mean() float64 {
+	if p.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm * p.Shape / (p.Shape - 1)
+}
+
+// TwoClass is the paper's membership-duration model: a fraction Alpha of
+// joins come from the short class, the rest from the long class.
+type TwoClass struct {
+	Alpha float64
+	Short Dist
+	Long  Dist
+}
+
+// SampleClass draws a class and a duration for one arriving member.
+func (tc TwoClass) SampleClass(rng *rand.Rand) (Class, float64) {
+	if rng.Float64() < tc.Alpha {
+		return ClassShort, tc.Short.Sample(rng)
+	}
+	return ClassLong, tc.Long.Sample(rng)
+}
+
+// Mean returns the overall mean duration of arriving members.
+func (tc TwoClass) Mean() float64 {
+	return tc.Alpha*tc.Short.Mean() + (1-tc.Alpha)*tc.Long.Mean()
+}
+
+// PaperDefault returns the Table 1 duration model: α=0.8, Ms=3 min,
+// Ml=3 h, both exponential.
+func PaperDefault() TwoClass {
+	return TwoClass{
+		Alpha: 0.8,
+		Short: Exponential{M: 3 * 60},
+		Long:  Exponential{M: 3 * 60 * 60},
+	}
+}
+
+// MBoneSession returns a two-class model loosely calibrated to the MBone
+// session Almeroth and Ammar report (Section 3.1): mean duration ≈ 5 hours
+// while the median is only minutes, i.e. most members leave quickly and a
+// minority stays very long.
+func MBoneSession() TwoClass {
+	return TwoClass{
+		Alpha: 0.8,
+		Short: Exponential{M: 7 * 60},         // short visits, minutes
+		Long:  Exponential{M: 24*3600 + 1752}, // tail calibrated so the mix means 5 h
+	}
+}
+
+// ArrivalRateForGroupSize returns the Poisson arrival rate (members/second)
+// that sustains a steady-state group of n members under the given duration
+// model, by Little's law: n = λ·E[D].
+func ArrivalRateForGroupSize(n float64, d TwoClass) float64 {
+	return n / d.Mean()
+}
+
+// EventKind distinguishes joins from leaves.
+type EventKind int
+
+const (
+	// EventJoin is a member arrival.
+	EventJoin EventKind = iota + 1
+	// EventLeave is a member departure.
+	EventLeave
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one timestamped membership change.
+type Event struct {
+	Time   float64 // seconds since session start
+	Kind   EventKind
+	Member keytree.MemberID
+}
+
+// MemberInfo carries the per-member ground truth the experiments need.
+type MemberInfo struct {
+	ID       keytree.MemberID
+	Class    Class
+	JoinTime float64 // seconds; 0 and Primed=true for initial members
+	Duration float64 // seconds
+	LossRate float64 // packet-loss probability of this member's link
+	Primed   bool    // true for members present at session start
+}
+
+// LossModel assigns per-member packet-loss rates: a fraction HighFraction
+// of members experience HighLoss, the rest LowLoss (Section 4.3).
+type LossModel struct {
+	HighFraction float64
+	HighLoss     float64
+	LowLoss      float64
+}
+
+// PaperLossModel returns the Section 4.3 defaults: 20% loss for the high
+// class, 2% for the low class.
+func PaperLossModel(highFraction float64) LossModel {
+	return LossModel{HighFraction: highFraction, HighLoss: 0.20, LowLoss: 0.02}
+}
+
+// Sample assigns a loss rate to one member.
+func (lm LossModel) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < lm.HighFraction {
+		return lm.HighLoss
+	}
+	return lm.LowLoss
+}
+
+// Config parameterizes a Session.
+type Config struct {
+	Seed        uint64
+	ArrivalRate float64 // Poisson arrivals per second (the base rate)
+	Durations   TwoClass
+	Loss        LossModel
+
+	// RateFn optionally modulates the arrival rate over time — diurnal
+	// audiences, prime-time spikes. The instantaneous rate at time t is
+	// ArrivalRate·RateFn(t); values must lie in [0, RateCeil]. nil means a
+	// homogeneous Poisson process.
+	RateFn func(t float64) float64
+	// RateCeil bounds RateFn for the thinning sampler (default 1).
+	RateCeil float64
+}
+
+// DiurnalRate returns a rate modulation oscillating around 1 with the
+// given amplitude (0..1) and period in seconds — peak audience at t=period/4.
+// Use with RateCeil = 1+amplitude.
+func DiurnalRate(amplitude, period float64) func(float64) float64 {
+	return func(t float64) float64 {
+		return 1 + amplitude*math.Sin(2*math.Pi*t/period)
+	}
+}
+
+// Session generates a membership trace. It is not safe for concurrent use.
+type Session struct {
+	cfg     Config
+	rng     *rand.Rand
+	nextID  keytree.MemberID
+	members map[keytree.MemberID]MemberInfo
+	// pending departures of primed members, merged into the trace.
+	pending []Event
+}
+
+// NewSession creates a trace generator.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.ArrivalRate < 0 {
+		return nil, fmt.Errorf("workload: negative arrival rate %v", cfg.ArrivalRate)
+	}
+	if cfg.Durations.Short == nil || cfg.Durations.Long == nil {
+		return nil, fmt.Errorf("workload: duration model incomplete")
+	}
+	if cfg.Durations.Alpha < 0 || cfg.Durations.Alpha > 1 {
+		return nil, fmt.Errorf("workload: alpha=%v out of range", cfg.Durations.Alpha)
+	}
+	return &Session{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		nextID:  1,
+		members: make(map[keytree.MemberID]MemberInfo),
+	}, nil
+}
+
+// Prime installs n members present at time zero, with class composition
+// given by Little's law (class share proportional to α_c·M_c) and residual
+// lifetimes drawn memorylessly. It returns their infos and schedules their
+// departures into the trace.
+func (s *Session) Prime(n int) []MemberInfo {
+	tc := s.cfg.Durations
+	shortWeight := tc.Alpha * tc.Short.Mean()
+	longWeight := (1 - tc.Alpha) * tc.Long.Mean()
+	pShort := 0.0
+	if shortWeight+longWeight > 0 {
+		pShort = shortWeight / (shortWeight + longWeight)
+	}
+	out := make([]MemberInfo, 0, n)
+	for i := 0; i < n; i++ {
+		var class Class
+		var dur float64
+		if s.rng.Float64() < pShort {
+			class = ClassShort
+			dur = tc.Short.Sample(s.rng)
+		} else {
+			class = ClassLong
+			dur = tc.Long.Sample(s.rng)
+		}
+		info := MemberInfo{
+			ID:       s.nextID,
+			Class:    class,
+			JoinTime: 0,
+			Duration: dur,
+			LossRate: s.cfg.Loss.Sample(s.rng),
+			Primed:   true,
+		}
+		s.nextID++
+		s.members[info.ID] = info
+		s.pending = append(s.pending, Event{Time: dur, Kind: EventLeave, Member: info.ID})
+		out = append(out, info)
+	}
+	return out
+}
+
+// Events generates the trace on (0, horizon]: Poisson arrivals, each with a
+// sampled duration, plus all departures falling inside the horizon
+// (including those of primed members). The returned slice is time-sorted.
+func (s *Session) Events(horizon float64) []Event {
+	events := make([]Event, 0, len(s.pending))
+	for _, e := range s.pending {
+		if e.Time <= horizon {
+			events = append(events, e)
+		}
+	}
+	if s.cfg.ArrivalRate > 0 {
+		// With a RateFn, sample by thinning: candidates at the ceiling rate
+		// ArrivalRate·RateCeil, each accepted with probability
+		// RateFn(t)/RateCeil.
+		ceil := s.cfg.RateCeil
+		if ceil <= 0 {
+			ceil = 1
+		}
+		candidateRate := s.cfg.ArrivalRate
+		if s.cfg.RateFn != nil {
+			candidateRate *= ceil
+		}
+		t := 0.0
+		for {
+			t += s.rng.ExpFloat64() / candidateRate
+			if t > horizon {
+				break
+			}
+			if s.cfg.RateFn != nil {
+				accept := s.cfg.RateFn(t) / ceil
+				if accept < 0 || accept > 1 {
+					accept = math.Max(0, math.Min(1, accept))
+				}
+				if s.rng.Float64() >= accept {
+					continue
+				}
+			}
+			class, dur := s.cfg.Durations.SampleClass(s.rng)
+			info := MemberInfo{
+				ID:       s.nextID,
+				Class:    class,
+				JoinTime: t,
+				Duration: dur,
+				LossRate: s.cfg.Loss.Sample(s.rng),
+			}
+			s.nextID++
+			s.members[info.ID] = info
+			events = append(events, Event{Time: t, Kind: EventJoin, Member: info.ID})
+			if end := t + dur; end <= horizon {
+				events = append(events, Event{Time: end, Kind: EventLeave, Member: info.ID})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events
+}
+
+// Member returns the metadata of a generated member.
+func (s *Session) Member(id keytree.MemberID) (MemberInfo, bool) {
+	info, ok := s.members[id]
+	return info, ok
+}
+
+// Members returns metadata for every member the session has generated.
+func (s *Session) Members() map[keytree.MemberID]MemberInfo {
+	out := make(map[keytree.MemberID]MemberInfo, len(s.members))
+	for k, v := range s.members {
+		out[k] = v
+	}
+	return out
+}
+
+// PeriodBatches folds a time-sorted event trace into per-period rekey
+// batches of length tp, dropping member lifetimes wholly contained in one
+// period (they are never admitted — the standard periodic-rekeying rule,
+// which also keeps a batch free of join+leave conflicts).
+func PeriodBatches(events []Event, tp, horizon float64) []keytree.Batch {
+	if tp <= 0 || horizon <= 0 {
+		return nil
+	}
+	n := int(math.Ceil(horizon / tp))
+	batches := make([]keytree.Batch, n)
+	period := func(t float64) int {
+		p := int(t / tp)
+		if p >= n {
+			p = n - 1
+		}
+		return p
+	}
+	joinPeriod := make(map[keytree.MemberID]int)
+	for _, e := range events {
+		p := period(e.Time)
+		switch e.Kind {
+		case EventJoin:
+			joinPeriod[e.Member] = p
+			batches[p].Joins = append(batches[p].Joins, e.Member)
+		case EventLeave:
+			if jp, ok := joinPeriod[e.Member]; ok && jp == p {
+				// Joined and left within one period: never admitted.
+				js := batches[p].Joins
+				for i, m := range js {
+					if m == e.Member {
+						batches[p].Joins = append(js[:i], js[i+1:]...)
+						break
+					}
+				}
+				delete(joinPeriod, e.Member)
+				continue
+			}
+			batches[p].Leaves = append(batches[p].Leaves, e.Member)
+		}
+	}
+	return batches
+}

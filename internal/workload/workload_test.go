@@ -1,0 +1,414 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"groupkey/internal/keytree"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed+1))
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := testRNG(1)
+	e := Exponential{M: 180}
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng)
+	}
+	got := sum / n
+	if math.Abs(got-180)/180 > 0.02 {
+		t.Fatalf("empirical mean %v, want ≈180", got)
+	}
+	if e.Mean() != 180 {
+		t.Fatalf("Mean()=%v, want 180", e.Mean())
+	}
+}
+
+func TestParetoSampleProperties(t *testing.T) {
+	rng := testRNG(2)
+	p := Pareto{Xm: 60, Shape: 2}
+	sum := 0.0
+	const n = 500000
+	for i := 0; i < n; i++ {
+		x := p.Sample(rng)
+		if x < p.Xm {
+			t.Fatalf("Pareto sample %v below scale %v", x, p.Xm)
+		}
+		sum += x
+	}
+	got := sum / n
+	want := p.Mean() // 120
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("empirical mean %v, want ≈%v", got, want)
+	}
+	if !math.IsInf(Pareto{Xm: 1, Shape: 1}.Mean(), 1) {
+		t.Error("shape ≤ 1 should have infinite mean")
+	}
+}
+
+func TestTwoClassComposition(t *testing.T) {
+	rng := testRNG(3)
+	tc := PaperDefault()
+	short := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		class, dur := tc.SampleClass(rng)
+		if dur < 0 {
+			t.Fatal("negative duration")
+		}
+		if class == ClassShort {
+			short++
+		}
+	}
+	frac := float64(short) / n
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Fatalf("short-class fraction %v, want ≈0.8", frac)
+	}
+	wantMean := 0.8*180 + 0.2*10800
+	if !closeRel(tc.Mean(), wantMean, 1e-12) {
+		t.Fatalf("Mean()=%v, want %v", tc.Mean(), wantMean)
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestMBoneSessionShape(t *testing.T) {
+	// Almeroth–Ammar shape: mean hours, median minutes.
+	tc := MBoneSession()
+	mean := tc.Mean()
+	if mean < 4*3600 || mean > 6*3600 {
+		t.Fatalf("MBone mean %v s, want ≈5 h", mean)
+	}
+	// Empirical median.
+	rng := testRNG(4)
+	var durs []float64
+	for i := 0; i < 50001; i++ {
+		_, d := tc.SampleClass(rng)
+		durs = append(durs, d)
+	}
+	median := quickSelectMedian(durs)
+	if median > 30*60 {
+		t.Fatalf("MBone median %v s, want minutes, not hours", median)
+	}
+}
+
+func quickSelectMedian(xs []float64) float64 {
+	// Simple nth-element via sort; fine for tests.
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestArrivalRateLittlesLaw(t *testing.T) {
+	tc := PaperDefault()
+	n := 65536.0
+	lambda := ArrivalRateForGroupSize(n, tc)
+	if !closeRel(lambda*tc.Mean(), n, 1e-12) {
+		t.Fatalf("λ·E[D]=%v, want N=%v", lambda*tc.Mean(), n)
+	}
+}
+
+func TestSessionSteadyStateGroupSize(t *testing.T) {
+	// Prime N members and run: the live population should hover near N.
+	tc := PaperDefault()
+	const n = 2000
+	cfg := Config{
+		Seed:        7,
+		ArrivalRate: ArrivalRateForGroupSize(n, tc),
+		Durations:   tc,
+		Loss:        PaperLossModel(0.2),
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Prime(n)
+	horizon := 3600.0
+	events := s.Events(horizon)
+
+	live := n
+	minLive, maxLive := live, live
+	prev := -1.0
+	for _, e := range events {
+		if e.Time < prev {
+			t.Fatal("events not time-sorted")
+		}
+		prev = e.Time
+		switch e.Kind {
+		case EventJoin:
+			live++
+		case EventLeave:
+			live--
+		}
+		if live < minLive {
+			minLive = live
+		}
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	if minLive < n*3/4 || maxLive > n*5/4 {
+		t.Fatalf("population wandered to [%d, %d], want near %d", minLive, maxLive, n)
+	}
+}
+
+func TestSessionLossAssignment(t *testing.T) {
+	cfg := Config{
+		Seed:        9,
+		ArrivalRate: 0,
+		Durations:   PaperDefault(),
+		Loss:        PaperLossModel(0.3),
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	infos := s.Prime(20000)
+	high := 0
+	for _, m := range infos {
+		switch m.LossRate {
+		case 0.20:
+			high++
+		case 0.02:
+		default:
+			t.Fatalf("unexpected loss rate %v", m.LossRate)
+		}
+	}
+	frac := float64(high) / float64(len(infos))
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("high-loss fraction %v, want ≈0.3", frac)
+	}
+}
+
+func TestSessionDeterministicBySeed(t *testing.T) {
+	build := func(seed uint64) []Event {
+		cfg := Config{Seed: seed, ArrivalRate: 0.5, Durations: PaperDefault(), Loss: PaperLossModel(0.2)}
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		s.Prime(50)
+		return s.Events(600)
+	}
+	a := build(42)
+	b := build(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different trace lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, traces diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := build(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(Config{ArrivalRate: -1, Durations: PaperDefault()}); err == nil {
+		t.Error("negative arrival rate accepted")
+	}
+	if _, err := NewSession(Config{Durations: TwoClass{Alpha: 0.5}}); err == nil {
+		t.Error("nil distributions accepted")
+	}
+	bad := PaperDefault()
+	bad.Alpha = 2
+	if _, err := NewSession(Config{Durations: bad}); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+}
+
+func TestPeriodBatchesBasic(t *testing.T) {
+	events := []Event{
+		{Time: 10, Kind: EventJoin, Member: 1},
+		{Time: 70, Kind: EventJoin, Member: 2},
+		{Time: 75, Kind: EventLeave, Member: 1},
+		{Time: 130, Kind: EventLeave, Member: 2},
+	}
+	batches := PeriodBatches(events, 60, 180)
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches, want 3", len(batches))
+	}
+	if len(batches[0].Joins) != 1 || batches[0].Joins[0] != 1 {
+		t.Errorf("period 0 joins = %v, want [1]", batches[0].Joins)
+	}
+	if len(batches[1].Joins) != 1 || batches[1].Joins[0] != 2 {
+		t.Errorf("period 1 joins = %v, want [2]", batches[1].Joins)
+	}
+	if len(batches[1].Leaves) != 1 || batches[1].Leaves[0] != 1 {
+		t.Errorf("period 1 leaves = %v, want [1]", batches[1].Leaves)
+	}
+	if len(batches[2].Leaves) != 1 || batches[2].Leaves[0] != 2 {
+		t.Errorf("period 2 leaves = %v, want [2]", batches[2].Leaves)
+	}
+}
+
+func TestPeriodBatchesDropsFlashMembers(t *testing.T) {
+	// A member joining and leaving within one period is never admitted.
+	events := []Event{
+		{Time: 10, Kind: EventJoin, Member: 1},
+		{Time: 20, Kind: EventLeave, Member: 1},
+		{Time: 30, Kind: EventJoin, Member: 2},
+	}
+	batches := PeriodBatches(events, 60, 60)
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(batches))
+	}
+	if len(batches[0].Joins) != 1 || batches[0].Joins[0] != 2 {
+		t.Errorf("joins = %v, want [2]", batches[0].Joins)
+	}
+	if len(batches[0].Leaves) != 0 {
+		t.Errorf("leaves = %v, want empty", batches[0].Leaves)
+	}
+}
+
+func TestPeriodBatchesNeverConflict(t *testing.T) {
+	// Property: batches produced from any generated trace never contain a
+	// member in both Joins and Leaves of the same batch, and every leave
+	// refers to a previously admitted member.
+	f := func(seed uint64, rateRaw uint8) bool {
+		rate := float64(rateRaw%50)/10 + 0.1
+		cfg := Config{Seed: seed, ArrivalRate: rate, Durations: PaperDefault(), Loss: PaperLossModel(0.2)}
+		s, err := NewSession(cfg)
+		if err != nil {
+			return false
+		}
+		s.Prime(100)
+		horizon := 1200.0
+		batches := PeriodBatches(s.Events(horizon), 60, horizon)
+		admitted := make(map[keytree.MemberID]bool, 100)
+		for i := 1; i <= 100; i++ {
+			admitted[keytree.MemberID(i)] = true
+		}
+		for _, b := range batches {
+			inBatch := make(map[keytree.MemberID]bool)
+			for _, m := range b.Joins {
+				if inBatch[m] || admitted[m] {
+					return false
+				}
+				inBatch[m] = true
+			}
+			for _, m := range b.Leaves {
+				if inBatch[m] || !admitted[m] {
+					return false
+				}
+				inBatch[m] = true
+			}
+			for _, m := range b.Joins {
+				admitted[m] = true
+			}
+			for _, m := range b.Leaves {
+				delete(admitted, m)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodBatchesDegenerate(t *testing.T) {
+	if got := PeriodBatches(nil, 0, 100); got != nil {
+		t.Error("tp=0 should return nil")
+	}
+	if got := PeriodBatches(nil, 60, 0); got != nil {
+		t.Error("horizon=0 should return nil")
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	// With a sinusoidal rate of period 2000s and amplitude 0.8, the peak
+	// half-period (centered at t=500) must see far more arrivals than the
+	// trough half-period (centered at t=1500).
+	const period = 2000.0
+	cfg := Config{
+		Seed:        21,
+		ArrivalRate: 2.0,
+		Durations:   PaperDefault(),
+		Loss:        PaperLossModel(0.2),
+		RateFn:      DiurnalRate(0.8, period),
+		RateCeil:    1.8,
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	events := s.Events(period)
+	peak, trough := 0, 0
+	for _, e := range events {
+		if e.Kind != EventJoin {
+			continue
+		}
+		if e.Time < period/2 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak+trough == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	// Expected ratio: ∫(1+0.8 sin) over first half vs second half =
+	// (1000+509.3)/(1000−509.3) ≈ 3.1.
+	ratio := float64(peak) / float64(trough)
+	if ratio < 2.2 || ratio > 4.2 {
+		t.Fatalf("peak/trough arrival ratio %.2f, want ≈3.1", ratio)
+	}
+	// Total volume stays near the base rate × horizon (the modulation
+	// averages to 1).
+	total := float64(peak + trough)
+	if total < 0.85*2.0*period || total > 1.15*2.0*period {
+		t.Fatalf("total arrivals %v, want ≈%v", total, 2.0*period)
+	}
+}
+
+func TestRateFnClampsOvershoot(t *testing.T) {
+	// A RateFn exceeding RateCeil is clamped rather than breaking the
+	// thinning sampler.
+	cfg := Config{
+		Seed:        22,
+		ArrivalRate: 1.0,
+		Durations:   PaperDefault(),
+		Loss:        PaperLossModel(0.2),
+		RateFn:      func(float64) float64 { return 5 }, // lies above ceil
+		RateCeil:    1,
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := 0
+	for _, e := range s.Events(1000) {
+		if e.Kind == EventJoin {
+			joins++
+		}
+	}
+	// Accept probability clamps to 1: effectively rate = ArrivalRate.
+	if joins < 850 || joins > 1150 {
+		t.Fatalf("joins=%d, want ≈1000", joins)
+	}
+}
