@@ -13,12 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"groupkey/internal/core"
+	"groupkey/internal/metrics"
 	"groupkey/internal/server"
 )
 
@@ -39,6 +41,7 @@ func run(args []string) error {
 	advise := fs.Duration("advise", 0, "interval for logging the adaptive scheme advisor (0 disables)")
 	rotate := fs.Duration("rotate", 0, "interval for scheduled group-key rotation (0 disables)")
 	tlsCertOut := fs.String("tls-cert-out", "", "serve TLS with a fresh self-signed certificate, writing its PEM here for clients to pin")
+	metricsAddr := fs.String("metrics", "", "HTTP listen address for /metrics and /metrics.json (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +71,23 @@ func run(args []string) error {
 		return err
 	}
 	srv := server.New(scheme, nil)
+
+	metricsLabel := "off"
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		tracer := metrics.NewRekeyTracer(256)
+		srv.Instrument(server.NewMetrics(reg, tracer))
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: metrics.Handler(reg, tracer)}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		metricsLabel = "http://" + mln.Addr().String() + "/metrics"
+	}
+
 	transportLabel := "tcp"
 	if *tlsCertOut != "" {
 		cert, leaf, err := server.GenerateTLSCert(nil)
@@ -84,8 +104,9 @@ func run(args []string) error {
 		srv.Serve(ln)
 	}
 	srv.StartPeriodic(*period)
-	fmt.Printf("keyserverd: scheme=%s listening on %s over %s, rekeying every %v\n",
-		scheme.Name(), ln.Addr(), transportLabel, *period)
+	startedAt := time.Now()
+	fmt.Printf("keyserverd: scheme=%s k=%d period=%v listening on %s over %s, metrics=%s\n",
+		scheme.Name(), *k, *period, ln.Addr(), transportLabel, metricsLabel)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -138,6 +159,7 @@ func run(args []string) error {
 	}
 
 	<-stop
-	fmt.Println("keyserverd: shutting down")
+	fmt.Printf("keyserverd: shutting down after %v, %d rekeys, peak %d members\n",
+		time.Since(startedAt).Round(time.Second), srv.TotalRekeys(), srv.PeakMembers())
 	return srv.Close()
 }

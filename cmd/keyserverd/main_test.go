@@ -9,4 +9,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-listen", "999.999.999.999:1"}); err == nil {
 		t.Error("unlistenable address accepted")
 	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-metrics", "999.999.999.999:1"}); err == nil {
+		t.Error("unlistenable metrics address accepted")
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"groupkey/internal/core"
 	"groupkey/internal/keycrypt"
+	"groupkey/internal/metrics"
 	"groupkey/internal/sim"
 	"groupkey/internal/transport"
 	"groupkey/internal/workload"
@@ -75,16 +76,24 @@ func run(args []string) error {
 	}
 
 	var proto transport.Protocol
+	reg := metrics.NewRegistry()
+	tmet := transport.NewMetrics(reg)
 	tcfg := transport.DefaultConfig()
 	tcfg.DefaultLoss = 0.05
 	switch *transportName {
 	case "none":
 	case "wkabkr":
-		proto = transport.NewWKABKR(tcfg)
+		p := transport.NewWKABKR(tcfg)
+		p.Metrics = tmet
+		proto = p
 	case "multisend":
-		proto = transport.NewMultiSend(tcfg, 2)
+		p := transport.NewMultiSend(tcfg, 2)
+		p.Metrics = tmet
+		proto = p
 	case "fec":
-		proto = transport.NewProactiveFEC(tcfg)
+		p := transport.NewProactiveFEC(tcfg)
+		p.Metrics = tmet
+		proto = p
 	default:
 		return fmt.Errorf("unknown transport %q", *transportName)
 	}
@@ -160,6 +169,29 @@ func run(args []string) error {
 	fmt.Printf("mean multicast keys:    %8.1f\n", res.MeanMulticastKeys)
 	if proto != nil {
 		fmt.Printf("mean transport keys:    %8.1f\n", res.MeanTransportKeys)
+	}
+
+	// Per-period distributions: means hide the heavy tail that sizes the
+	// server's multicast budget, so summarize the histograms too.
+	keysHist := metrics.NewHistogram(metrics.ExponentialBuckets(1, 2, 16))
+	for _, p := range res.Periods {
+		keysHist.Observe(float64(p.MulticastKeys))
+	}
+	fmt.Printf("multicast keys/period:  %s\n", keysHist.Summary())
+	if proto != nil {
+		tkeysHist := metrics.NewHistogram(metrics.ExponentialBuckets(1, 2, 16))
+		for _, p := range res.Periods {
+			tkeysHist.Observe(float64(p.TransportKeys))
+		}
+		fmt.Printf("transport keys/period:  %s\n", tkeysHist.Summary())
+		fmt.Printf("delivery rounds:        %s\n", tmet.Rounds.Summary())
+		if *transportName == "wkabkr" {
+			fmt.Printf("replication weight:     %s\n", tmet.ReplicationWeight.Summary())
+		}
+		if *transportName == "fec" {
+			fmt.Printf("parity keys sent:       %d\n", tmet.ParityKeys.Value())
+		}
+		fmt.Printf("NACKs processed:        %d\n", tmet.NACKs.Value())
 	}
 	return nil
 }

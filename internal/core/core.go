@@ -147,6 +147,9 @@ type Scheme interface {
 	Size() int
 	// Members lists current members in ascending order.
 	Members() []keytree.MemberID
+	// Stats returns cumulative rekey counters and the current partition
+	// sizes for observability; it never mutates the scheme.
+	Stats() SchemeStats
 }
 
 // Option configures scheme construction.

@@ -63,6 +63,7 @@ type MultiTree struct {
 	gen    keycrypt.Generator
 	dek    keycrypt.Key
 	epoch  uint64
+	statCounters
 }
 
 var _ Scheme = (*MultiTree)(nil)
@@ -142,6 +143,7 @@ func (s *MultiTree) ProcessBatch(b Batch) (*Rekey, error) {
 	s.epoch++
 	r := &Rekey{Epoch: s.epoch, Welcome: make(map[keytree.MemberID]keycrypt.Key, len(b.Joins))}
 	if b.IsEmpty() {
+		s.note(r)
 		return r, nil
 	}
 
@@ -255,6 +257,7 @@ func (s *MultiTree) ProcessBatch(b Batch) (*Rekey, error) {
 			r.Streams = append(r.Streams, st)
 		}
 	}
+	s.note(r)
 	return r, nil
 }
 
@@ -287,6 +290,15 @@ func (s *MultiTree) Contains(m keytree.MemberID) bool {
 
 // Size implements Scheme.
 func (s *MultiTree) Size() int { return len(s.home) }
+
+// Stats implements Scheme.
+func (s *MultiTree) Stats() SchemeStats {
+	parts := make([]PartitionStat, len(s.trees))
+	for i, tr := range s.trees {
+		parts[i] = PartitionStat{Label: fmt.Sprintf("tree-%d", i), Size: tr.Size()}
+	}
+	return s.stats(parts...)
+}
 
 // Members implements Scheme.
 func (s *MultiTree) Members() []keytree.MemberID {

@@ -17,6 +17,7 @@ type Naive struct {
 	members map[keytree.MemberID]keycrypt.Key // individual keys
 	nextID  keycrypt.KeyID
 	epoch   uint64
+	statCounters
 }
 
 var _ Scheme = (*Naive)(nil)
@@ -51,6 +52,7 @@ func (s *Naive) ProcessBatch(b Batch) (*Rekey, error) {
 	s.epoch++
 	r := &Rekey{Epoch: s.epoch, Welcome: make(map[keytree.MemberID]keycrypt.Key, len(b.Joins))}
 	if b.IsEmpty() {
+		s.note(r)
 		return r, nil
 	}
 
@@ -121,6 +123,7 @@ func (s *Naive) ProcessBatch(b Batch) (*Rekey, error) {
 	}
 	stream.Audience = sortedMembers(s.members)
 	r.Streams = append(r.Streams, stream)
+	s.note(r)
 	return r, nil
 }
 
@@ -152,3 +155,8 @@ func (s *Naive) Size() int { return len(s.members) }
 
 // Members implements Scheme.
 func (s *Naive) Members() []keytree.MemberID { return sortedMembers(s.members) }
+
+// Stats implements Scheme.
+func (s *Naive) Stats() SchemeStats {
+	return s.stats(PartitionStat{Label: "group", Size: len(s.members)})
+}

@@ -12,6 +12,7 @@ import (
 type OneTree struct {
 	tree  *keytree.Tree
 	epoch uint64
+	statCounters
 }
 
 var _ Scheme = (*OneTree)(nil)
@@ -63,6 +64,7 @@ func (s *OneTree) ProcessBatch(b Batch) (*Rekey, error) {
 		}
 		r.Welcome[j.ID] = leaf.Key()
 	}
+	s.note(r)
 	return r, nil
 }
 
@@ -92,6 +94,11 @@ func (s *OneTree) Size() int { return s.tree.Size() }
 
 // Members implements Scheme.
 func (s *OneTree) Members() []keytree.MemberID { return s.tree.Members() }
+
+// Stats implements Scheme.
+func (s *OneTree) Stats() SchemeStats {
+	return s.stats(PartitionStat{Label: "group", Size: s.tree.Size()})
+}
 
 // Tree exposes the underlying key tree for white-box experiments.
 func (s *OneTree) Tree() *keytree.Tree { return s.tree }

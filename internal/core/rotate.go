@@ -64,7 +64,12 @@ func (s *OneTree) Rotate() (*Rekey, error) {
 	}
 	s.epoch++
 	gen := keycrypt.Generator{Rand: s.tree.Rand()}
-	return rotateWrapped(s.epoch, next, old, s.tree.Members(), gen)
+	r, err := rotateWrapped(s.epoch, next, old, s.tree.Members(), gen)
+	if err != nil {
+		return nil, err
+	}
+	s.note(r)
+	return r, nil
 }
 
 // Rotate implements Rotator.
@@ -79,7 +84,12 @@ func (s *Naive) Rotate() (*Rekey, error) {
 	}
 	s.dek = next
 	s.epoch++
-	return rotateWrapped(s.epoch, next, old, s.Members(), s.gen)
+	r, err := rotateWrapped(s.epoch, next, old, s.Members(), s.gen)
+	if err != nil {
+		return nil, err
+	}
+	s.note(r)
+	return r, nil
 }
 
 // Rotate implements Rotator.
@@ -94,7 +104,12 @@ func (s *TwoPartition) Rotate() (*Rekey, error) {
 	}
 	s.dek = next
 	s.epoch++
-	return rotateWrapped(s.epoch, next, old, s.Members(), s.gen)
+	r, err := rotateWrapped(s.epoch, next, old, s.Members(), s.gen)
+	if err != nil {
+		return nil, err
+	}
+	s.note(r)
+	return r, nil
 }
 
 // Rotate implements Rotator.
@@ -109,5 +124,10 @@ func (s *MultiTree) Rotate() (*Rekey, error) {
 	}
 	s.dek = next
 	s.epoch++
-	return rotateWrapped(s.epoch, next, old, s.Members(), s.gen)
+	r, err := rotateWrapped(s.epoch, next, old, s.Members(), s.gen)
+	if err != nil {
+		return nil, err
+	}
+	s.note(r)
+	return r, nil
 }

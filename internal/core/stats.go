@@ -1,0 +1,53 @@
+package core
+
+// Observability: every Scheme exports cumulative rekey counters and its
+// current partition layout through Stats(). The server mirrors these into
+// internal/metrics gauges (one per partition label), which is how the
+// paper's S/L partition sizes and per-scheme encryption counts become live
+// time series instead of offline recomputations.
+
+// PartitionStat is the current size of one partition or key tree.
+type PartitionStat struct {
+	// Label names the partition ("s"/"l" for two-partition schemes,
+	// "tree-N" for multi-tree schemes, "group" for single-structure ones).
+	Label string
+	// Size is the partition's current membership.
+	Size int
+}
+
+// SchemeStats is a scheme's observability snapshot.
+type SchemeStats struct {
+	// Rekeys counts payload-producing operations since creation: batches
+	// processed (empty ones included — the epoch still advances) plus
+	// scheduled rotations.
+	Rekeys uint64
+	// KeysEncrypted is the cumulative number of encrypted keys emitted
+	// across those payloads, multicast and joiner items both — the
+	// paper's rekeying-cost metric, integrated over the scheme's life.
+	KeysEncrypted uint64
+	// Partitions is the current partition layout, in a stable order.
+	Partitions []PartitionStat
+}
+
+// statCounters accumulates the cumulative half of SchemeStats. Schemes
+// embed it and note every payload they emit; like the rest of a Scheme it
+// is not concurrency-safe (the server serializes batches).
+type statCounters struct {
+	rekeys        uint64
+	keysEncrypted uint64
+}
+
+// note records one emitted payload.
+func (c *statCounters) note(r *Rekey) {
+	c.rekeys++
+	c.keysEncrypted += uint64(r.TotalKeyCount())
+}
+
+// stats assembles a SchemeStats around the counters.
+func (c *statCounters) stats(partitions ...PartitionStat) SchemeStats {
+	return SchemeStats{
+		Rekeys:        c.rekeys,
+		KeysEncrypted: c.keysEncrypted,
+		Partitions:    partitions,
+	}
+}

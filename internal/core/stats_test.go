@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// joinN builds a batch joining members [first, first+n).
+func joinN(first, n int) Batch {
+	var b Batch
+	for i := 0; i < n; i++ {
+		b.Joins = append(b.Joins, Join{ID: keytree.MemberID(first + i)})
+	}
+	return b
+}
+
+func TestStatsAllSchemes(t *testing.T) {
+	rnd := WithRand(keycrypt.NewDeterministicReader(7))
+	build := map[string]func() (Scheme, error){
+		"onetree":   func() (Scheme, error) { return NewOneTree(rnd) },
+		"naive":     func() (Scheme, error) { return NewNaive(rnd) },
+		"tt":        func() (Scheme, error) { return NewTwoPartition(TT, 2, rnd) },
+		"qt":        func() (Scheme, error) { return NewTwoPartition(QT, 2, rnd) },
+		"losshomog": func() (Scheme, error) { return NewLossHomogenized([]float64{0.05}, rnd) },
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			s, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := s.Stats(); st.Rekeys != 0 || st.KeysEncrypted != 0 {
+				t.Fatalf("fresh scheme stats nonzero: %+v", st)
+			}
+			if _, err := s.ProcessBatch(joinN(1, 8)); err != nil {
+				t.Fatal(err)
+			}
+			r, err := s.ProcessBatch(Batch{Leaves: []keytree.MemberID{3}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Rekeys != 2 {
+				t.Errorf("rekeys = %d, want 2", st.Rekeys)
+			}
+			if st.KeysEncrypted == 0 {
+				t.Error("keys encrypted = 0 after join+leave batches")
+			}
+			if r.TotalKeyCount() == 0 {
+				t.Error("leave batch emitted no keys")
+			}
+			total := 0
+			for _, p := range st.Partitions {
+				if p.Label == "" {
+					t.Errorf("unnamed partition: %+v", p)
+				}
+				total += p.Size
+			}
+			if total != s.Size() {
+				t.Errorf("partition sizes sum to %d, scheme size %d", total, s.Size())
+			}
+		})
+	}
+}
+
+func TestStatsCountsRotation(t *testing.T) {
+	s, err := NewTwoPartition(TT, 2, WithRand(keycrypt.NewDeterministicReader(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProcessBatch(joinN(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if _, err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.Rekeys != before.Rekeys+1 {
+		t.Errorf("rotation not counted: %d -> %d", before.Rekeys, after.Rekeys)
+	}
+	if after.KeysEncrypted != before.KeysEncrypted+1 {
+		t.Errorf("rotation keys: %d -> %d, want +1", before.KeysEncrypted, after.KeysEncrypted)
+	}
+}
+
+func TestStatsPartitionLabels(t *testing.T) {
+	s, err := NewTwoPartition(TT, 10, WithRand(keycrypt.NewDeterministicReader(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProcessBatch(joinN(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Partitions) != 2 || st.Partitions[0].Label != "s" || st.Partitions[1].Label != "l" {
+		t.Fatalf("two-partition labels wrong: %+v", st.Partitions)
+	}
+	if st.Partitions[0].Size != 5 || st.Partitions[1].Size != 0 {
+		t.Fatalf("fresh joiners should sit in S: %+v", st.Partitions)
+	}
+
+	mt, err := NewLossHomogenized([]float64{0.05}, WithRand(keycrypt.NewDeterministicReader(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Batch{Joins: []Join{
+		{ID: 1, Meta: MemberMeta{LossRate: 0.01}},
+		{ID: 2, Meta: MemberMeta{LossRate: 0.2}},
+	}}
+	if _, err := mt.ProcessBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	st = mt.Stats()
+	if len(st.Partitions) != 2 || st.Partitions[0].Label != "tree-0" || st.Partitions[1].Label != "tree-1" {
+		t.Fatalf("multi-tree labels wrong: %+v", st.Partitions)
+	}
+	if st.Partitions[0].Size != 1 || st.Partitions[1].Size != 1 {
+		t.Fatalf("loss classes misrouted: %+v", st.Partitions)
+	}
+}

@@ -66,6 +66,8 @@ type TwoPartition struct {
 	nextQueueID keycrypt.KeyID
 
 	ltree *keytree.Tree
+
+	statCounters
 }
 
 var _ Scheme = (*TwoPartition)(nil)
@@ -388,6 +390,7 @@ func (s *TwoPartition) ProcessBatch(b Batch) (*Rekey, error) {
 			r.Streams = append(r.Streams, st)
 		}
 	}
+	s.note(r)
 	return r, nil
 }
 
@@ -445,6 +448,14 @@ func (s *TwoPartition) Contains(m keytree.MemberID) bool {
 
 // Size implements Scheme.
 func (s *TwoPartition) Size() int { return s.SPartitionSize() + s.ltree.Size() }
+
+// Stats implements Scheme.
+func (s *TwoPartition) Stats() SchemeStats {
+	return s.stats(
+		PartitionStat{Label: "s", Size: s.SPartitionSize()},
+		PartitionStat{Label: "l", Size: s.LPartitionSize()},
+	)
+}
 
 // Members implements Scheme.
 func (s *TwoPartition) Members() []keytree.MemberID {

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a float the way the Prometheus text format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeLabelValue applies the text-format escaping rules for label
+// values: backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// labelString renders {a="x",b="y"}, with extra appended after the
+// series' own labels (used for the histogram le label). Empty when there
+// are no labels at all.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastName := ""
+	for _, s := range r.snapshot() {
+		if s.name != lastName {
+			if s.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, strings.ReplaceAll(s.help, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+			lastName = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, labelString(s.labels), s.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, labelString(s.labels), formatFloat(s.gauge.Value()))
+		case kindHistogram:
+			h := s.hist
+			counts := h.bucketCounts()
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name,
+					labelString(s.labels, Label{Name: "le", Value: formatFloat(bound)}), cum)
+			}
+			cum += counts[len(h.bounds)]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name,
+				labelString(s.labels, Label{Name: "le", Value: "+Inf"}), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, labelString(s.labels), formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, labelString(s.labels), h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonSeries is the JSON rendering of one series. Counter and gauge use
+// Value; histograms report the digest plus cumulative buckets.
+type jsonSeries struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	Value *float64 `json:"value,omitempty"`
+
+	Count   *uint64      `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Mean    *float64     `json:"mean,omitempty"`
+	Min     *float64     `json:"min,omitempty"`
+	Max     *float64     `json:"max,omitempty"`
+	P50     *float64     `json:"p50,omitempty"`
+	P95     *float64     `json:"p95,omitempty"`
+	P99     *float64     `json:"p99,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+// jsonBucket is one cumulative histogram bucket; LE is "+Inf" for the
+// last.
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// WriteJSON renders every registered series as a JSON array, sorted by
+// name for stable output.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make([]jsonSeries, 0)
+	f := func(v float64) *float64 { return &v }
+	for _, s := range r.snapshot() {
+		js := jsonSeries{Name: s.name, Type: s.kind.String(), Help: s.help}
+		if len(s.labels) > 0 {
+			js.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				js.Labels[l.Name] = l.Value
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			js.Value = f(float64(s.counter.Value()))
+		case kindGauge:
+			js.Value = f(s.gauge.Value())
+		case kindHistogram:
+			h := s.hist
+			sum := h.Summary()
+			n := sum.Count
+			js.Count = &n
+			js.Sum, js.Mean = f(sum.Sum), f(sum.Mean)
+			js.Min, js.Max = f(sum.Min), f(sum.Max)
+			js.P50, js.P95, js.P99 = f(sum.P50), f(sum.P95), f(sum.P99)
+			counts := h.bucketCounts()
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += counts[i]
+				js.Buckets = append(js.Buckets, jsonBucket{LE: formatFloat(bound), Count: cum})
+			}
+			cum += counts[len(h.bounds)]
+			js.Buckets = append(js.Buckets, jsonBucket{LE: "+Inf", Count: cum})
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildGoldenRegistry populates a registry with one of each instrument,
+// with fixed values, for the encoding golden tests.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("groupkey_rekeys_total", "Rekey batches processed.").Add(3)
+	r.Gauge("groupkey_members", "Current admitted group size.").Set(12)
+	r.Gauge("groupkey_partition_members", "Members per partition.",
+		Label{Name: "partition", Value: "s"}).Set(4)
+	r.Gauge("groupkey_partition_members", "Members per partition.",
+		Label{Name: "partition", Value: "l"}).Set(8)
+	h := r.Histogram("groupkey_rekey_duration_seconds", "Rekey latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(2)
+	return r
+}
+
+const goldenPrometheus = `# HELP groupkey_members Current admitted group size.
+# TYPE groupkey_members gauge
+groupkey_members 12
+# HELP groupkey_partition_members Members per partition.
+# TYPE groupkey_partition_members gauge
+groupkey_partition_members{partition="l"} 8
+groupkey_partition_members{partition="s"} 4
+# HELP groupkey_rekey_duration_seconds Rekey latency.
+# TYPE groupkey_rekey_duration_seconds histogram
+groupkey_rekey_duration_seconds_bucket{le="0.01"} 1
+groupkey_rekey_duration_seconds_bucket{le="0.1"} 3
+groupkey_rekey_duration_seconds_bucket{le="1"} 3
+groupkey_rekey_duration_seconds_bucket{le="+Inf"} 4
+groupkey_rekey_duration_seconds_sum 2.105
+groupkey_rekey_duration_seconds_count 4
+# HELP groupkey_rekeys_total Rekey batches processed.
+# TYPE groupkey_rekeys_total counter
+groupkey_rekeys_total 3
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenPrometheus {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenPrometheus)
+	}
+}
+
+const goldenJSON = `[
+  {
+    "name": "groupkey_members",
+    "type": "gauge",
+    "help": "Current admitted group size.",
+    "value": 12
+  },
+  {
+    "name": "groupkey_partition_members",
+    "type": "gauge",
+    "help": "Members per partition.",
+    "labels": {
+      "partition": "l"
+    },
+    "value": 8
+  },
+  {
+    "name": "groupkey_partition_members",
+    "type": "gauge",
+    "help": "Members per partition.",
+    "labels": {
+      "partition": "s"
+    },
+    "value": 4
+  },
+  {
+    "name": "groupkey_rekey_duration_seconds",
+    "type": "histogram",
+    "help": "Rekey latency.",
+    "count": 4,
+    "sum": 2.105,
+    "mean": 0.52625,
+    "min": 0.005,
+    "max": 2,
+    "p50": 0.05500000000000001,
+    "p95": 2,
+    "p99": 2,
+    "buckets": [
+      {
+        "le": "0.01",
+        "count": 1
+      },
+      {
+        "le": "0.1",
+        "count": 3
+      },
+      {
+        "le": "1",
+        "count": 3
+      },
+      {
+        "le": "+Inf",
+        "count": 4
+      }
+    ]
+  },
+  {
+    "name": "groupkey_rekeys_total",
+    "type": "counter",
+    "help": "Rekey batches processed.",
+    "value": 3
+  }
+]
+`
+
+func TestJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildGoldenRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenJSON {
+		t.Errorf("json mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenJSON)
+	}
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryHammer exercises every instrument and both renderers from
+// many goroutines at once; run under -race it proves the registry is safe
+// to scrape while the server's hot paths update it.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewRekeyTracer(64)
+	const (
+		workers = 8
+		ops     = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				r.Counter("hammer_total", "").Inc()
+				r.Counter("hammer_bytes_total", "").Add(64)
+				r.Gauge("hammer_gauge", "").Set(float64(i))
+				r.Gauge("hammer_shift", "").Add(1)
+				r.Gauge("hammer_part", "", Label{Name: "p", Value: string(rune('a' + w))}).Set(float64(i))
+				r.Histogram("hammer_seconds", "", DefBuckets).Observe(float64(i%100) / 100)
+				tr.Record(RekeyEvent{Epoch: uint64(i)})
+				if i%100 == 0 {
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+					if err := r.WriteJSON(io.Discard); err != nil {
+						t.Errorf("WriteJSON: %v", err)
+						return
+					}
+					if err := tr.WriteJSON(io.Discard); err != nil {
+						t.Errorf("tracer WriteJSON: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hammer_total", "").Value(); got != workers*ops {
+		t.Errorf("hammer_total = %d, want %d", got, workers*ops)
+	}
+	if got := r.Counter("hammer_bytes_total", "").Value(); got != workers*ops*64 {
+		t.Errorf("hammer_bytes_total = %d, want %d", got, workers*ops*64)
+	}
+	if got := r.Gauge("hammer_shift", "").Value(); got != workers*ops {
+		t.Errorf("hammer_shift = %v, want %d", got, workers*ops)
+	}
+	h := r.Histogram("hammer_seconds", "", nil)
+	if got := h.Count(); got != workers*ops {
+		t.Errorf("histogram count = %d, want %d", got, workers*ops)
+	}
+	var cum uint64
+	for _, c := range h.bucketCounts() {
+		cum += c
+	}
+	if cum != workers*ops {
+		t.Errorf("bucket counts sum to %d, want %d", cum, workers*ops)
+	}
+	if got := tr.Total(); got != workers*ops {
+		t.Errorf("tracer total = %d, want %d", got, workers*ops)
+	}
+	if got := len(tr.Events()); got != 64 {
+		t.Errorf("tracer retained %d events, want 64", got)
+	}
+}

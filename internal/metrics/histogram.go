@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds (seconds), matching the
+// Prometheus client default — a good fit for rekey latencies.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// LinearBuckets returns count bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds starting at start, each factor
+// times the previous — the right shape for key counts and byte volumes
+// that span orders of magnitude.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into fixed buckets and keeps sum, count,
+// min and max, so renders can report both Prometheus cumulative buckets
+// and p50/p95/p99 estimates. All methods are safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; a +Inf bucket is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+	min    atomicFloat
+	max    atomicFloat
+}
+
+// atomicFloat is a CAS-updated float64.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// lower moves the float down to v if v is smaller.
+func (f *atomicFloat) lower(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// raise moves the float up to v if v is larger.
+func (f *atomicFloat) raise(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds; nil or empty means DefBuckets. Duplicate bounds are merged.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	h := &Histogram{
+		bounds: dedup,
+		counts: make([]atomic.Uint64, len(dedup)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.lower(v)
+	h.max.raise(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.min.load()
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return h.max.load()
+}
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// bucketCounts snapshots the per-bucket counts (last entry is the +Inf
+// bucket).
+func (h *Histogram) bucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank — the same estimate a
+// Prometheus histogram_quantile() would produce. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.bucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts[:len(h.bounds)] {
+		cum += float64(c)
+		if cum >= rank && c > 0 {
+			hi := h.bounds[i]
+			lo := h.min.load()
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := (rank - (cum - float64(c))) / float64(c)
+			// Interpolation can overshoot the observed range when the
+			// bucket is wider than the data in it; clamp to max.
+			return math.Min(lo+frac*(hi-lo), h.max.load())
+		}
+	}
+	// Target rank lies in the +Inf bucket: the max is the best estimate.
+	return h.max.load()
+}
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count uint64
+	Sum   float64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Summary digests the histogram.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the digest as one aligned report line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

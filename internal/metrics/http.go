@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry (and optionally a rekey tracer) over HTTP:
+//
+//	GET /metrics       Prometheus text exposition format
+//	GET /metrics.json  the same series rendered as JSON
+//	GET /rekeys.json   the tracer's recent rekey events (404 if no tracer)
+//
+// Rendering never blocks metric updates, so scraping a busy server is
+// safe.
+func Handler(reg *Registry, tracer *RekeyTracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/rekeys.json", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if tracer == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracer.WriteJSON(w)
+	})
+	return mux
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := buildGoldenRegistry()
+	tr := NewRekeyTracer(4)
+	tr.Record(RekeyEvent{Scheme: "two-partition-tt", Joins: 2, KeysEncrypted: 7})
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s body: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if body != goldenPrometheus {
+		t.Errorf("/metrics body mismatch:\n%s", body)
+	}
+
+	code, ctype, body = get("/metrics.json")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json status %d type %q", code, ctype)
+	}
+	var series []map[string]any
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if len(series) != 5 {
+		t.Errorf("/metrics.json has %d series, want 5", len(series))
+	}
+
+	code, _, body = get("/rekeys.json")
+	if code != http.StatusOK {
+		t.Fatalf("/rekeys.json status %d", code)
+	}
+	var evs []RekeyEvent
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/rekeys.json not valid JSON: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Scheme != "two-partition-tt" || evs[0].KeysEncrypted != 7 {
+		t.Errorf("/rekeys.json events wrong: %+v", evs)
+	}
+
+	// No tracer: /rekeys.json 404s, the rest still serve.
+	bare := httptest.NewServer(Handler(reg, nil))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/rekeys.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/rekeys.json without tracer: status %d, want 404", resp.StatusCode)
+	}
+
+	// Non-GET is rejected.
+	resp, err = http.Post(srv.URL+"/metrics", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: status %d, want 405", resp.StatusCode)
+	}
+}

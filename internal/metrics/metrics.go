@@ -1,0 +1,246 @@
+// Package metrics is a dependency-free observability subsystem for the
+// key server and its libraries: atomic counters and gauges, fixed-bucket
+// histograms with quantile summaries, and a Registry that renders every
+// registered series in Prometheus text exposition format and as JSON.
+//
+// The paper's evaluation is entirely about per-rekey cost — encrypted keys
+// multicast, partition sizes, transport replication — quantities that
+// internal/analytic recomputes offline. This package exports them as live
+// time series instead, so a running keyserverd can be scraped (see
+// Handler) and a simulation sweep can print latency/bandwidth percentiles
+// without post-processing.
+//
+// All instruments are safe for concurrent use. Rendering is lock-free with
+// respect to updates: a scrape observes each atomic independently, which
+// is the standard Prometheus consistency model.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series. Series with
+// the same name but different label sets are distinct (e.g. one
+// groupkey_partition_members gauge per partition).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a standalone counter (use Registry.Counter for an
+// exported one).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// NewGauge returns a standalone gauge (use Registry.Gauge for an exported
+// one).
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind discriminates the series types held by a Registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// series is one registered (name, labels) instrument.
+type series struct {
+	name   string
+	help   string
+	labels []Label // sorted by name
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named instruments and renders them. The zero value is not
+// usable; create with NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// seriesKey builds the map key for a (name, sorted labels) pair.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// validName is the Prometheus metric/label name grammar (colons excluded:
+// they are reserved for recording rules).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the existing series or registers a new one built by mk.
+// Registering the same (name, labels) with a different kind panics: that
+// is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, mk func() *series) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, l := range sorted {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	key := seriesKey(name, sorted)
+
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		s, ok = r.series[key]
+		if !ok {
+			s = mk()
+			s.name, s.help, s.kind, s.labels = name, help, kind, sorted
+			r.series[key] = s
+		}
+		r.mu.Unlock()
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("metrics: %q already registered as %v, requested as %v", key, s.kind, kind))
+	}
+	return s
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func() *series {
+		return &series{counter: NewCounter()}
+	})
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func() *series {
+		return &series{gauge: NewGauge()}
+	})
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it on first use with the given bucket upper bounds (nil means
+// DefBuckets). Bounds passed on later lookups of an existing histogram are
+// ignored.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels, func() *series {
+		return &series{hist: NewHistogram(bounds)}
+	})
+	return s.hist
+}
+
+// snapshot returns every series sorted by name then label set — the
+// stable rendering order, with all series of one name contiguous so HELP
+// and TYPE headers are emitted once per name.
+func (r *Registry) snapshot() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey("", out[i].labels) < seriesKey("", out[j].labels)
+	})
+	return out
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Set(10)
+	g.Add(-2.5)
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramBucketsAndSummary(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 7, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 33 {
+		t.Fatalf("sum = %v, want 33", h.Sum())
+	}
+	if h.Min() != 0.5 || h.Max() != 20 {
+		t.Fatalf("min/max = %v/%v, want 0.5/20", h.Min(), h.Max())
+	}
+	counts := h.bucketCounts()
+	want := []uint64{2, 1, 1, 1, 1} // (≤1)=2, (1,2]=1, (2,5]=1, (5,10]=1, +Inf=1
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	s := h.Summary()
+	if s.P50 <= 0 || s.P50 > 5 {
+		t.Errorf("p50 = %v, want in (0, 5]", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Errorf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+	if s.Mean != 5.5 {
+		t.Errorf("mean = %v, want 5.5", s.Mean)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(1, 2, 10))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i % 97))
+	}
+	prev := math.Inf(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v gave %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Fatalf("q1 %v > max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Summary()
+	if s.Count != 0 || s.P50 != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty histogram summary not all zero: %+v", s)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 5, 4)
+	if want := []float64{0, 5, 10, 15}; !equalFloats(lin, want) {
+		t.Errorf("LinearBuckets = %v, want %v", lin, want)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if want := []float64{1, 10, 100}; !equalFloats(exp, want) {
+		t.Errorf("ExponentialBuckets = %v, want %v", exp, want)
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c1.Inc()
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	// Distinct label sets are distinct series.
+	a := r.Gauge("part", "", Label{Name: "p", Value: "s"})
+	b := r.Gauge("part", "", Label{Name: "p", Value: "l"})
+	if a == b {
+		t.Fatal("distinct labels returned the same gauge")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("h", "", nil, Label{Name: "a", Value: "1"}, Label{Name: "b", Value: "2"})
+	h2 := r.Histogram("h", "", nil, Label{Name: "b", Value: "2"}, Label{Name: "a", Value: "1"})
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestRegistryBadNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid metric name")
+		}
+	}()
+	r.Counter("bad name!", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "", Label{Name: "v", Value: "a\"b\\c\nd"}).Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `g{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestRekeyTracerRing(t *testing.T) {
+	tr := NewRekeyTracer(3)
+	for i := 1; i <= 5; i++ {
+		tr.Record(RekeyEvent{Epoch: uint64(i)})
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(evs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Seq != want || evs[i].Epoch != want {
+			t.Fatalf("event %d = seq %d epoch %d, want %d", i, evs[i].Seq, evs[i].Epoch, want)
+		}
+	}
+}
+
+func TestRekeyTracerPartial(t *testing.T) {
+	tr := NewRekeyTracer(8)
+	tr.Record(RekeyEvent{})
+	tr.Record(RekeyEvent{})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("partial ring wrong: %+v", evs)
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// RekeyEvent is one structured trace record of a rekey operation — the
+// per-batch quantities the paper's analysis is built on, captured live.
+type RekeyEvent struct {
+	// Seq is the tracer-assigned sequence number (1 for the first event).
+	Seq uint64 `json:"seq"`
+	// Time is when the rekey completed.
+	Time time.Time `json:"time"`
+	// Scheme is the key-management scheme name.
+	Scheme string `json:"scheme"`
+	// Epoch is the scheme's rekey epoch.
+	Epoch uint64 `json:"epoch"`
+	// Joins and Leaves are the batch's membership changes.
+	Joins  int `json:"joins"`
+	Leaves int `json:"leaves"`
+	// Members is the group size after the batch.
+	Members int `json:"members"`
+	// KeysEncrypted counts encrypted keys in the payload (multicast +
+	// joiner items) — the paper's rekeying-cost metric.
+	KeysEncrypted int `json:"keys_encrypted"`
+	// Bytes is the broadcast volume actually written to members.
+	Bytes int `json:"bytes"`
+	// DurationSeconds covers batch processing through broadcast.
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// RekeyTracer keeps the last N rekey events in a ring buffer, so a live
+// server can answer "what did the recent rekeys cost" without logs. Safe
+// for concurrent use.
+type RekeyTracer struct {
+	mu    sync.Mutex
+	buf   []RekeyEvent
+	next  int // ring write position
+	total uint64
+}
+
+// defaultTraceDepth is used when NewRekeyTracer gets a capacity < 1.
+const defaultTraceDepth = 128
+
+// NewRekeyTracer returns a tracer retaining the last capacity events
+// (defaultTraceDepth when capacity < 1).
+func NewRekeyTracer(capacity int) *RekeyTracer {
+	if capacity < 1 {
+		capacity = defaultTraceDepth
+	}
+	return &RekeyTracer{buf: make([]RekeyEvent, 0, capacity)}
+}
+
+// Record appends one event, stamping its sequence number, and evicts the
+// oldest when full.
+func (t *RekeyTracer) Record(ev RekeyEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	ev.Seq = t.total
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % len(t.buf)
+}
+
+// Total returns how many events have been recorded since creation,
+// including evicted ones.
+func (t *RekeyTracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events, oldest first.
+func (t *RekeyTracer) Events() []RekeyEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RekeyEvent, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	// Full ring: the oldest event sits at the write position.
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// WriteJSON renders the retained events (oldest first) as a JSON array.
+func (t *RekeyTracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Events())
+}

@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"groupkey/internal/metrics"
+)
+
+// Metrics bundles the data-plane instruments: transmitted packets,
+// per-receiver delivery outcomes, and the distribution of receiver loss
+// rates as links are registered. Attach with Network.Instrument; a nil
+// *Metrics is a valid no-op.
+type Metrics struct {
+	MulticastPackets *metrics.Counter
+	UnicastPackets   *metrics.Counter
+	Deliveries       *metrics.Counter
+	Drops            *metrics.Counter
+	ReceiverLossRate *metrics.Histogram
+}
+
+// NewMetrics registers the netsim series on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		MulticastPackets: reg.Counter("groupkey_net_multicast_packets_total",
+			"Packets multicast to the group (one per transmission, not per receiver)."),
+		UnicastPackets: reg.Counter("groupkey_net_unicast_packets_total",
+			"Packets unicast to individual receivers."),
+		Deliveries: reg.Counter("groupkey_net_deliveries_total",
+			"Per-receiver successful packet receptions."),
+		Drops: reg.Counter("groupkey_net_drops_total",
+			"Per-receiver packet losses."),
+		ReceiverLossRate: reg.Histogram("groupkey_net_receiver_loss_rate",
+			"Long-run loss rate of each registered receiver link.",
+			[]float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8}),
+	}
+}
+
+func (m *Metrics) noteMulticast(delivered, dropped int) {
+	if m == nil {
+		return
+	}
+	m.MulticastPackets.Inc()
+	m.Deliveries.Add(uint64(delivered))
+	m.Drops.Add(uint64(dropped))
+}
+
+func (m *Metrics) noteUnicast(delivered bool) {
+	if m == nil {
+		return
+	}
+	m.UnicastPackets.Inc()
+	if delivered {
+		m.Deliveries.Inc()
+	} else {
+		m.Drops.Inc()
+	}
+}
+
+func (m *Metrics) noteReceiver(lossRate float64) {
+	if m == nil {
+		return
+	}
+	m.ReceiverLossRate.Observe(lossRate)
+}
+
+// Instrument attaches metrics to the network. Pass nil to detach.
+func (n *Network) Instrument(m *Metrics) { n.metrics = m }

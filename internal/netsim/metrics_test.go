@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+
+	"groupkey/internal/keytree"
+	"groupkey/internal/metrics"
+)
+
+func TestNetworkMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	n := New(7)
+	n.Instrument(m)
+
+	rates := []float64{0, 0.5, 1}
+	var ids []keytree.MemberID
+	for i, p := range rates {
+		id := keytree.MemberID(i + 1)
+		if err := n.AddReceiver(id, Bernoulli{P: p}); err != nil {
+			t.Fatalf("AddReceiver: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	if got := m.ReceiverLossRate.Count(); got != uint64(len(rates)) {
+		t.Errorf("ReceiverLossRate count=%d, want %d", got, len(rates))
+	}
+	if got := m.ReceiverLossRate.Max(); got != 1 {
+		t.Errorf("ReceiverLossRate max=%v, want 1", got)
+	}
+
+	const packets = 50
+	for i := 0; i < packets; i++ {
+		n.Multicast(ids)
+	}
+	if got := m.MulticastPackets.Value(); got != packets {
+		t.Errorf("MulticastPackets=%d, want %d", got, packets)
+	}
+	// Metrics must agree with the network's own counters.
+	st := n.Stats()
+	if got := m.Deliveries.Value(); got != uint64(st.Deliveries) {
+		t.Errorf("Deliveries=%d, want %d", got, st.Deliveries)
+	}
+	if got := m.Drops.Value(); got != uint64(st.Drops) {
+		t.Errorf("Drops=%d, want %d", got, st.Drops)
+	}
+	// The p=1 receiver drops everything; the p=0 receiver drops nothing.
+	if m.Drops.Value() < packets {
+		t.Errorf("Drops=%d, want >= %d from the p=1 link", m.Drops.Value(), packets)
+	}
+	if m.Deliveries.Value() < packets {
+		t.Errorf("Deliveries=%d, want >= %d from the p=0 link", m.Deliveries.Value(), packets)
+	}
+
+	ok, err := n.Unicast(ids[0]) // p=0: always delivered
+	if err != nil || !ok {
+		t.Fatalf("Unicast: ok=%v err=%v", ok, err)
+	}
+	if got := m.UnicastPackets.Value(); got != 1 {
+		t.Errorf("UnicastPackets=%d, want 1", got)
+	}
+}
+
+func TestNetworkUninstrumented(t *testing.T) {
+	n := New(1)
+	if err := n.AddReceiver(1, Bernoulli{P: 0}); err != nil {
+		t.Fatalf("AddReceiver: %v", err)
+	}
+	n.Multicast([]keytree.MemberID{1})
+	if _, err := n.Unicast(1); err != nil {
+		t.Fatalf("Unicast: %v", err)
+	}
+	if got := n.Stats().PacketsMulticast; got != 1 {
+		t.Errorf("PacketsMulticast=%d, want 1", got)
+	}
+}

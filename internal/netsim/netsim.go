@@ -122,6 +122,7 @@ type Network struct {
 	// perReceiver persists across RemoveReceiver so post-run fairness
 	// analysis covers departed members too.
 	perReceiver map[keytree.MemberID]*ReceiverStats
+	metrics     *Metrics
 }
 
 // New creates a network with a deterministic seed.
@@ -157,6 +158,7 @@ func (n *Network) AddReceiver(id keytree.MemberID, loss LossProcess) error {
 		return fmt.Errorf("%w: %d", ErrReceiverExists, id)
 	}
 	n.receivers[id] = loss
+	n.metrics.noteReceiver(loss.Rate())
 	return nil
 }
 
@@ -195,6 +197,7 @@ func (n *Network) LossRate(id keytree.MemberID) (float64, error) {
 func (n *Network) Multicast(interested []keytree.MemberID) map[keytree.MemberID]bool {
 	n.stats.PacketsMulticast++
 	got := make(map[keytree.MemberID]bool, len(interested))
+	dropped := 0
 	for _, id := range interested {
 		lp, ok := n.receivers[id]
 		if !ok {
@@ -203,12 +206,14 @@ func (n *Network) Multicast(interested []keytree.MemberID) map[keytree.MemberID]
 		if lp.Lost(n.rng) {
 			n.stats.Drops++
 			n.recvStats(id).Dropped++
+			dropped++
 			continue
 		}
 		n.stats.Deliveries++
 		n.recvStats(id).Delivered++
 		got[id] = true
 	}
+	n.metrics.noteMulticast(len(got), dropped)
 	return got
 }
 
@@ -222,10 +227,12 @@ func (n *Network) Unicast(id keytree.MemberID) (bool, error) {
 	if lp.Lost(n.rng) {
 		n.stats.Drops++
 		n.recvStats(id).Dropped++
+		n.metrics.noteUnicast(false)
 		return false, nil
 	}
 	n.stats.Deliveries++
 	n.recvStats(id).Delivered++
+	n.metrics.noteUnicast(true)
 	return true, nil
 }
 

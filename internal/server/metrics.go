@@ -1,0 +1,135 @@
+package server
+
+import (
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/metrics"
+)
+
+// Metrics bundles every instrument the key server exports. Create one
+// with NewMetrics and attach it with (*Server).Instrument before Serve;
+// all methods are nil-receiver safe so an uninstrumented server pays only
+// a nil check per event.
+type Metrics struct {
+	reg    *metrics.Registry
+	tracer *metrics.RekeyTracer
+
+	members        *metrics.Gauge
+	connections    *metrics.Gauge
+	joins          *metrics.Counter
+	leaves         *metrics.Counter
+	rekeys         *metrics.Counter
+	keysEncrypted  *metrics.Counter
+	rekeyDuration  *metrics.Histogram
+	broadcastBytes *metrics.Counter
+	rejected       *metrics.Counter
+}
+
+// NewMetrics registers the server's series on reg. tracer may be nil to
+// disable rekey tracing.
+func NewMetrics(reg *metrics.Registry, tracer *metrics.RekeyTracer) *Metrics {
+	return &Metrics{
+		reg:    reg,
+		tracer: tracer,
+		members: reg.Gauge("groupkey_members",
+			"Current admitted group size."),
+		connections: reg.Gauge("groupkey_connections",
+			"Currently connected member transports."),
+		joins: reg.Counter("groupkey_joins_total",
+			"Members admitted since start."),
+		leaves: reg.Counter("groupkey_leaves_total",
+			"Members departed since start."),
+		rekeys: reg.Counter("groupkey_rekeys_total",
+			"Rekey operations performed (batches and rotations)."),
+		keysEncrypted: reg.Counter("groupkey_rekey_keys_encrypted_total",
+			"Encrypted keys emitted across all rekey payloads."),
+		rekeyDuration: reg.Histogram("groupkey_rekey_duration_seconds",
+			"Latency of one rekey: batch processing through broadcast.", nil),
+		broadcastBytes: reg.Counter("groupkey_broadcast_bytes_total",
+			"Bytes written to members for rekey and data broadcasts."),
+		rejected: reg.Counter("groupkey_rejected_registrations_total",
+			"Connections rejected during registration."),
+	}
+}
+
+// noteRekey records one completed rekey: counters, latency, partition
+// gauges and a trace event.
+func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, bytes int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.rekeys.Inc()
+	m.joins.Add(uint64(joins))
+	m.leaves.Add(uint64(leaves))
+	m.keysEncrypted.Add(uint64(r.TotalKeyCount()))
+	m.rekeyDuration.Observe(d.Seconds())
+	m.broadcastBytes.Add(uint64(bytes))
+	st := scheme.Stats()
+	m.members.Set(float64(scheme.Size()))
+	for _, p := range st.Partitions {
+		m.reg.Gauge("groupkey_partition_members",
+			"Current members per scheme partition.",
+			metrics.Label{Name: "partition", Value: p.Label}).Set(float64(p.Size))
+	}
+	if m.tracer != nil {
+		m.tracer.Record(metrics.RekeyEvent{
+			Time:            time.Now(),
+			Scheme:          scheme.Name(),
+			Epoch:           r.Epoch,
+			Joins:           joins,
+			Leaves:          leaves,
+			Members:         scheme.Size(),
+			KeysEncrypted:   r.TotalKeyCount(),
+			Bytes:           bytes,
+			DurationSeconds: d.Seconds(),
+		})
+	}
+}
+
+// noteBroadcast records the bytes of one data broadcast.
+func (m *Metrics) noteBroadcast(bytes int) {
+	if m == nil {
+		return
+	}
+	m.broadcastBytes.Add(uint64(bytes))
+}
+
+// noteRejected records one rejected registration.
+func (m *Metrics) noteRejected() {
+	if m == nil {
+		return
+	}
+	m.rejected.Inc()
+}
+
+// setConnections mirrors the connection-table size.
+func (m *Metrics) setConnections(n int) {
+	if m == nil {
+		return
+	}
+	m.connections.Set(float64(n))
+}
+
+// Instrument attaches the metrics bundle; call before Serve. Passing nil
+// detaches.
+func (s *Server) Instrument(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}
+
+// TotalRekeys reports how many rekey operations (batches and rotations)
+// the server has performed.
+func (s *Server) TotalRekeys() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalRekeys
+}
+
+// PeakMembers reports the largest admitted group size seen.
+func (s *Server) PeakMembers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakMembers
+}

@@ -60,6 +60,12 @@ type Server struct {
 	joinedAt  map[keytree.MemberID]time.Time
 	estimator *adaptive.Estimator
 	clock     func() time.Time // nil = time.Now; tests inject
+
+	// Observability (see metrics.go). metrics may be nil; the lifetime
+	// counters are kept regardless for the shutdown summary.
+	metrics     *Metrics
+	totalRekeys uint64
+	peakMembers int
 }
 
 type pendingJoin struct {
@@ -134,6 +140,7 @@ func (s *Server) handle(conn net.Conn) {
 		if memberID != 0 {
 			if _, ok := s.conns[memberID]; ok {
 				delete(s.conns, memberID)
+				s.metrics.setConnections(len(s.conns))
 				if s.scheme.Contains(memberID) {
 					s.pendingLeaves[memberID] = true
 				}
@@ -191,6 +198,9 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) reject(conn net.Conn, err error) {
+	s.mu.Lock()
+	s.metrics.noteRejected()
+	s.mu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	_ = wire.WriteFrame(conn, wire.MsgError, []byte(err.Error()))
 }
@@ -205,6 +215,7 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 		return nil, ErrClosed
 	}
 
+	start := time.Now()
 	b := core.Batch{}
 	joinConn := make(map[keytree.MemberID]net.Conn)
 	for _, pj := range s.pendingJoins {
@@ -253,7 +264,8 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 	// Broadcast the full rekey payload. Empty payloads still go out: the
 	// epoch announcement doubles as the rekey-interval heartbeat members
 	// use to detect missed rekeys.
-	if err := s.broadcastRekeyLocked(rekey); err != nil {
+	sent, err := s.broadcastRekeyLocked(rekey)
+	if err != nil {
 		return nil, err
 	}
 
@@ -264,17 +276,30 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 			conn.Close()
 		}
 	}
+	s.noteRekeyLocked(rekey, len(b.Joins), len(b.Leaves), sent, time.Since(start))
 	return rekey, nil
 }
 
-// broadcastRekeyLocked signs and fans out one rekey payload. Callers hold
-// s.mu.
-func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) error {
+// noteRekeyLocked updates the lifetime counters and (if instrumented) the
+// exported metrics after one rekey. Callers hold s.mu.
+func (s *Server) noteRekeyLocked(rekey *core.Rekey, joins, leaves, bytes int, d time.Duration) {
+	s.totalRekeys++
+	if n := s.scheme.Size(); n > s.peakMembers {
+		s.peakMembers = n
+	}
+	s.metrics.noteRekey(s.scheme, rekey, joins, leaves, bytes, d)
+	s.metrics.setConnections(len(s.conns))
+}
+
+// broadcastRekeyLocked signs and fans out one rekey payload, returning
+// the bytes actually written. Callers hold s.mu.
+func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) (int, error) {
 	blob, err := wire.EncodeRekey(rekey.Epoch, rekey.AllItems())
 	if err != nil {
-		return err
+		return 0, err
 	}
 	blob = wire.SignRekey(s.signPriv, blob)
+	sent := 0
 	for id, conn := range s.conns {
 		if err := s.send(conn, wire.MsgRekey, blob); err != nil {
 			delete(s.conns, id)
@@ -282,9 +307,11 @@ func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) error {
 				s.pendingLeaves[id] = true
 			}
 			conn.Close()
+			continue
 		}
+		sent += len(blob)
 	}
-	return nil
+	return sent, nil
 }
 
 // RotateNow refreshes the group key without membership changes (scheduled
@@ -300,13 +327,16 @@ func (s *Server) RotateNow() (*core.Rekey, error) {
 	if !ok {
 		return nil, fmt.Errorf("server: scheme %s cannot rotate", s.scheme.Name())
 	}
+	start := time.Now()
 	rekey, err := rot.Rotate()
 	if err != nil {
 		return nil, err
 	}
-	if err := s.broadcastRekeyLocked(rekey); err != nil {
+	sent, err := s.broadcastRekeyLocked(rekey)
+	if err != nil {
 		return nil, err
 	}
+	s.noteRekeyLocked(rekey, 0, 0, sent, time.Since(start))
 	return rekey, nil
 }
 
@@ -350,6 +380,7 @@ func (s *Server) Broadcast(data []byte) error {
 	// Sign the sealed frame: group members share the data key, so only the
 	// signature distinguishes the server from another member.
 	blob := wire.SignRekey(s.signPriv, sealed)
+	sent := 0
 	for id, conn := range s.conns {
 		if err := s.send(conn, wire.MsgData, blob); err != nil {
 			delete(s.conns, id)
@@ -357,8 +388,12 @@ func (s *Server) Broadcast(data []byte) error {
 				s.pendingLeaves[id] = true
 			}
 			conn.Close()
+			continue
 		}
+		sent += len(blob)
 	}
+	s.metrics.noteBroadcast(sent)
+	s.metrics.setConnections(len(s.conns))
 	return nil
 }
 
@@ -393,6 +428,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.conns = make(map[keytree.MemberID]net.Conn)
+	s.metrics.setConnections(0)
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil

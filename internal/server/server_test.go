@@ -71,12 +71,16 @@ func TestJoinAndBroadcast(t *testing.T) {
 		t.Fatalf("server size %d, want 4", srv.Size())
 	}
 
-	// Every client agrees on the group key with the server.
+	// Every client agrees on the group key with the server, once it has
+	// caught up with the rekeys triggered by the later joins.
 	dek, err := scheme.GroupKey()
 	if err != nil {
 		t.Fatalf("GroupKey: %v", err)
 	}
 	for i, c := range clients {
+		if err := c.WaitEpoch(4, testTimeout); err != nil {
+			t.Fatalf("client %d WaitEpoch: %v", i, err)
+		}
 		if !c.HasKey(dek) {
 			t.Fatalf("client %d lacks the group key", i)
 		}

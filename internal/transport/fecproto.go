@@ -28,6 +28,9 @@ type ProactiveFEC struct {
 	Rho float64
 	// Order is the packing order (breadth-first by default).
 	Order PackOrder
+	// Metrics, when non-nil, receives per-delivery costs and parity
+	// overhead.
+	Metrics *Metrics
 }
 
 // NewProactiveFEC returns the protocol with blocks of 8 source packets and
@@ -167,6 +170,7 @@ func (pf *ProactiveFEC) Deliver(items []keytree.Item, net *netsim.Network) (Resu
 	}
 
 	var res Result
+	defer func() { pf.Metrics.observeResult(res) }()
 	keysPerShard := pf.Config.KeysPerPacket
 
 	// transmitShard multicasts one shard of one block to the receivers
@@ -181,6 +185,9 @@ func (pf *ProactiveFEC) Deliver(items []keytree.Item, net *netsim.Network) (Resu
 		}
 		got := net.Multicast(interested)
 		res.PacketsSent++
+		if shardIdx >= b.k {
+			pf.Metrics.addParityKeys(keysPerShard)
+		}
 		for r := range got {
 			fr := recvState[r][bi]
 			fr.gotShards[shardIdx] = true

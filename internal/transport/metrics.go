@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"groupkey/internal/metrics"
+)
+
+// Metrics bundles the transport-layer instruments: delivery rounds,
+// transmitted volume, NACK feedback, WKA replication weights and FEC
+// parity overhead. Attach one to a protocol's Metrics field; a nil
+// *Metrics is a valid no-op, so protocols observe unconditionally.
+type Metrics struct {
+	Rounds            *metrics.Histogram
+	KeysSent          *metrics.Counter
+	PacketsSent       *metrics.Counter
+	NACKs             *metrics.Counter
+	RetransmittedKeys *metrics.Counter
+	ReplicationWeight *metrics.Histogram
+	ParityKeys        *metrics.Counter
+}
+
+// NewMetrics registers the transport series on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Rounds: reg.Histogram("groupkey_transport_rounds",
+			"Multicast rounds needed to deliver one rekey payload.",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		KeysSent: reg.Counter("groupkey_transport_keys_sent_total",
+			"Encrypted-key slots transmitted, replicas and parity included."),
+		PacketsSent: reg.Counter("groupkey_transport_packets_sent_total",
+			"Multicast packets transmitted across all rounds."),
+		NACKs: reg.Counter("groupkey_transport_nacks_total",
+			"Negative acknowledgements processed by the key server."),
+		RetransmittedKeys: reg.Counter("groupkey_transport_retransmitted_keys_total",
+			"Encrypted-key slots sent in rounds after the first."),
+		ReplicationWeight: reg.Histogram("groupkey_wkabkr_replication_weight",
+			"Per-key proactive replication weight chosen by WKA.",
+			[]float64{1, 2, 3, 4, 5, 6, 8, 12, 16}),
+		ParityKeys: reg.Counter("groupkey_fec_parity_keys_total",
+			"Encrypted-key slots of proactive-FEC parity transmitted."),
+	}
+}
+
+// observeResult records the aggregate cost of one delivery. Called on
+// failure too: the bandwidth was spent either way.
+func (m *Metrics) observeResult(res Result) {
+	if m == nil {
+		return
+	}
+	if res.Rounds > 0 {
+		m.Rounds.Observe(float64(res.Rounds))
+	}
+	m.KeysSent.Add(uint64(res.KeysSent))
+	m.PacketsSent.Add(uint64(res.PacketsSent))
+	m.NACKs.Add(uint64(res.NACKs))
+	if len(res.KeysPerRound) > 1 {
+		for _, keys := range res.KeysPerRound[1:] {
+			m.RetransmittedKeys.Add(uint64(keys))
+		}
+	}
+}
+
+// observeWeight records one key's WKA replication weight.
+func (m *Metrics) observeWeight(w int) {
+	if m == nil {
+		return
+	}
+	m.ReplicationWeight.Observe(float64(w))
+}
+
+// addParityKeys records FEC parity volume (in key slots).
+func (m *Metrics) addParityKeys(n int) {
+	if m == nil {
+		return
+	}
+	m.ParityKeys.Add(uint64(n))
+}

@@ -17,6 +17,8 @@ type MultiSend struct {
 	Replication int
 	// Order is the packing order (breadth-first by default).
 	Order PackOrder
+	// Metrics, when non-nil, receives per-delivery costs.
+	Metrics *Metrics
 }
 
 // NewMultiSend returns the protocol with the given uniform replication.
@@ -42,6 +44,7 @@ func (ms *MultiSend) Deliver(items []keytree.Item, net *netsim.Network) (Result,
 
 	rs := newReceiverState(items, net)
 	var res Result
+	defer func() { ms.Metrics.observeResult(res) }()
 	for round := 0; round < ms.Config.MaxRounds; round++ {
 		if rs.satisfied() {
 			res.Delivered = true

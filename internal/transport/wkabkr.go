@@ -25,6 +25,9 @@ type WKABKR struct {
 	Order PackOrder
 	// MaxWeight caps per-key proactive replication.
 	MaxWeight int
+	// Metrics, when non-nil, receives per-delivery costs and per-key
+	// replication weights.
+	Metrics *Metrics
 }
 
 // NewWKABKR returns the protocol with standard settings: breadth-first
@@ -52,6 +55,7 @@ func (w *WKABKR) Deliver(items []keytree.Item, net *netsim.Network) (Result, err
 
 	rs := newReceiverState(items, net)
 	var res Result
+	defer func() { w.Metrics.observeResult(res) }()
 	for round := 0; round < w.Config.MaxRounds; round++ {
 		if rs.satisfied() {
 			res.Delivered = true
@@ -72,6 +76,7 @@ func (w *WKABKR) Deliver(items []keytree.Item, net *netsim.Network) (Result, err
 				wgt = maxWeight
 			}
 			weights[i] = wgt
+			w.Metrics.observeWeight(wgt)
 		}
 		ordered := orderItems(items, pending, order)
 		packets := packReplicated(ordered, weights, w.Config.KeysPerPacket)
