@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -42,23 +43,25 @@ func run(args []string) error {
 	rotate := fs.Duration("rotate", 0, "interval for scheduled group-key rotation (0 disables)")
 	tlsCertOut := fs.String("tls-cert-out", "", "serve TLS with a fresh self-signed certificate, writing its PEM here for clients to pin")
 	metricsAddr := fs.String("metrics", "", "HTTP listen address for /metrics and /metrics.json (empty disables)")
+	rekeyWorkers := fs.Int("rekey-workers", 0, "wrap-emission workers per rekey (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	workers := core.WithRekeyWorkers(*rekeyWorkers)
 	var scheme core.Scheme
 	var err error
 	switch *schemeName {
 	case "onetree":
-		scheme, err = core.NewOneTree()
+		scheme, err = core.NewOneTree(workers)
 	case "qt":
-		scheme, err = core.NewTwoPartition(core.QT, *k)
+		scheme, err = core.NewTwoPartition(core.QT, *k, workers)
 	case "tt":
-		scheme, err = core.NewTwoPartition(core.TT, *k)
+		scheme, err = core.NewTwoPartition(core.TT, *k, workers)
 	case "pt":
-		scheme, err = core.NewTwoPartition(core.PT, *k)
+		scheme, err = core.NewTwoPartition(core.PT, *k, workers)
 	case "losshomog":
-		scheme, err = core.NewLossHomogenized([]float64{0.05})
+		scheme, err = core.NewLossHomogenized([]float64{0.05}, workers)
 	default:
 		return fmt.Errorf("unknown scheme %q", *schemeName)
 	}
@@ -76,7 +79,13 @@ func run(args []string) error {
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()
 		tracer := metrics.NewRekeyTracer(256)
-		srv.Instrument(server.NewMetrics(reg, tracer))
+		m := server.NewMetrics(reg, tracer)
+		resolved := *rekeyWorkers
+		if resolved <= 0 {
+			resolved = runtime.GOMAXPROCS(0)
+		}
+		m.SetWrapWorkers(resolved)
+		srv.Instrument(m)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			ln.Close()

@@ -6,8 +6,9 @@
 //	lkhbench -exp fig4                # one experiment
 //	lkhbench -exp sim -n 2048         # model-vs-simulation cross-validation
 //	lkhbench -exp fig6 -format csv    # machine-readable output
+//	lkhbench -exp perf                # rekey-throughput benchmark + BENCH_rekey.json
 //
-// Experiments: table1 fig3 fig4 fig5 fig6 fig7 fec sim all.
+// Experiments: table1 fig3 fig4 fig5 fig6 fig7 fec sim perf all.
 package main
 
 import (
@@ -28,12 +29,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lkhbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: table1, fig3..fig7, fec, multiclass, advise, oft, interval, problkh, related, sim, fairness, all")
+	exp := fs.String("exp", "all", "experiment id: table1, fig3..fig7, fec, multiclass, advise, oft, interval, problkh, related, sim, fairness, perf, all")
 	format := fs.String("format", "text", "output format: text, csv, or chart (ASCII figure)")
 	n := fs.Int("n", 2048, "group size for simulation cross-validation")
 	periods := fs.Int("periods", 80, "rekey periods for simulation cross-validation")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	outDir := fs.String("o", "", "also write <id>.txt and <id>.csv artifacts into this directory")
+	benchOut := fs.String("bench-out", "BENCH_rekey.json", "where -exp perf writes its JSON report")
+	workers := fs.Int("rekey-workers", 0, "wrap workers for -exp perf (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +86,19 @@ func run(args []string) error {
 			return err
 		}
 		tables = append(tables, t1)
+	case "perf":
+		cfg := experiments.DefaultPerfConfig()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		t, report, err := experiments.RekeyPerf(cfg)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WritePerfReport(*benchOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lkhbench: wrote %s\n", *benchOut)
+		tables = append(tables, t)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

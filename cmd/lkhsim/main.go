@@ -40,6 +40,7 @@ func run(args []string) error {
 	alpha := fs.Float64("alpha", 0.8, "fraction of short-duration joins")
 	high := fs.Float64("high", 0.2, "fraction of high-loss members")
 	seed := fs.Uint64("seed", 1, "random seed")
+	rekeyWorkers := fs.Int("rekey-workers", 0, "wrap-emission workers per rekey (0 = GOMAXPROCS, 1 = serial)")
 	verbose := fs.Bool("v", false, "print per-period rows")
 	saveTrace := fs.String("save-trace", "", "record the workload trace to this file")
 	loadTrace := fs.String("load-trace", "", "replay a previously saved workload trace")
@@ -51,23 +52,24 @@ func run(args []string) error {
 	}
 
 	rnd := core.WithRand(keycrypt.NewDeterministicReader(*seed))
+	workers := core.WithRekeyWorkers(*rekeyWorkers)
 	var scheme core.Scheme
 	var err error
 	switch *schemeName {
 	case "onetree":
-		scheme, err = core.NewOneTree(rnd)
+		scheme, err = core.NewOneTree(rnd, workers)
 	case "naive":
 		scheme, err = core.NewNaive(rnd)
 	case "qt":
-		scheme, err = core.NewTwoPartition(core.QT, *k, rnd)
+		scheme, err = core.NewTwoPartition(core.QT, *k, rnd, workers)
 	case "tt":
-		scheme, err = core.NewTwoPartition(core.TT, *k, rnd)
+		scheme, err = core.NewTwoPartition(core.TT, *k, rnd, workers)
 	case "pt":
-		scheme, err = core.NewTwoPartition(core.PT, *k, rnd)
+		scheme, err = core.NewTwoPartition(core.PT, *k, rnd, workers)
 	case "losshomog":
-		scheme, err = core.NewLossHomogenized([]float64{0.05}, rnd)
+		scheme, err = core.NewLossHomogenized([]float64{0.05}, rnd, workers)
 	case "random2":
-		scheme, err = core.NewRandomMultiTree(2, rnd)
+		scheme, err = core.NewRandomMultiTree(2, rnd, workers)
 	default:
 		return fmt.Errorf("unknown scheme %q", *schemeName)
 	}
@@ -178,6 +180,13 @@ func run(args []string) error {
 		keysHist.Observe(float64(p.MulticastKeys))
 	}
 	fmt.Printf("multicast keys/period:  %s\n", keysHist.Summary())
+	throughputHist := metrics.NewHistogram(metrics.ExponentialBuckets(1024, 2, 16))
+	for _, p := range res.Periods {
+		if p.TotalKeys > 0 && p.RekeySeconds > 0 {
+			throughputHist.Observe(float64(p.TotalKeys) / p.RekeySeconds)
+		}
+	}
+	fmt.Printf("rekey keys/sec:         %s\n", throughputHist.Summary())
 	if proto != nil {
 		tkeysHist := metrics.NewHistogram(metrics.ExponentialBuckets(1, 2, 16))
 		for _, p := range res.Periods {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/keytree"
@@ -156,9 +157,10 @@ type Scheme interface {
 type Option func(*options)
 
 type options struct {
-	rand      io.Reader
-	degree    int
-	keyIDBase keycrypt.KeyID
+	rand         io.Reader
+	degree       int
+	keyIDBase    keycrypt.KeyID
+	rekeyWorkers int
 }
 
 // WithRand injects the entropy source (nil means crypto/rand); simulations
@@ -179,6 +181,90 @@ func WithDegree(d int) Option {
 // ones client-side.
 func WithKeyIDBase(base keycrypt.KeyID) Option {
 	return func(o *options) { o.keyIDBase = base }
+}
+
+// WithRekeyWorkers sizes the parallel rekey machinery: it is forwarded to
+// every key tree as keytree.WithWrapWorkers, and multi-tree schemes rekey
+// independent trees concurrently when the entropy source is crypto/rand
+// (an injected deterministic reader forces tree-level rekeys serial so the
+// entropy stream stays reproducible; within-tree emission remains parallel
+// and deterministic either way). n <= 0 (the default) means GOMAXPROCS;
+// n == 1 disables all concurrency.
+func WithRekeyWorkers(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			n = 0
+		}
+		o.rekeyWorkers = n
+	}
+}
+
+// treeConcurrency reports whether tree-level rekeys may run concurrently.
+func (o options) treeConcurrency() bool {
+	return o.rand == nil && o.rekeyWorkers != 1
+}
+
+// rekeyOne pairs a tree with its batch for rekeyTrees.
+type rekeyOne struct {
+	tree  *keytree.Tree
+	batch keytree.Batch
+}
+
+// rekeyTrees rekeys independent trees, concurrently when parallel is set
+// and at least two trees have work. Empty batches are skipped (their
+// payload slot stays nil). Results land at the same index as their input;
+// the first error wins and is returned after all goroutines finish.
+func rekeyTrees(parallel bool, work []rekeyOne) ([]*keytree.Payload, error) {
+	payloads := make([]*keytree.Payload, len(work))
+	busy := 0
+	for _, w := range work {
+		if !w.batch.IsEmpty() {
+			busy++
+		}
+	}
+	if !parallel || busy < 2 {
+		for i, w := range work {
+			if w.batch.IsEmpty() {
+				continue
+			}
+			p, err := w.tree.Rekey(w.batch)
+			if err != nil {
+				return nil, err
+			}
+			payloads[i] = p
+		}
+		return payloads, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for i := range work {
+		if work[i].batch.IsEmpty() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := work[i].tree.Rekey(work[i].batch)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			payloads[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return payloads, nil
 }
 
 func buildOptions(opts []Option) (options, error) {

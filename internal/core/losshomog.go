@@ -63,6 +63,9 @@ type MultiTree struct {
 	gen    keycrypt.Generator
 	dek    keycrypt.Key
 	epoch  uint64
+	// parallel allows independent trees to rekey concurrently (only when
+	// entropy comes from crypto/rand; see WithRekeyWorkers).
+	parallel bool
 	statCounters
 }
 
@@ -95,10 +98,11 @@ func newMultiTree(name string, trees int, assign TreeAssigner, opts ...Option) (
 		return nil, err
 	}
 	s := &MultiTree{
-		name:   name,
-		assign: assign,
-		home:   make(map[keytree.MemberID]int),
-		gen:    keycrypt.Generator{Rand: o.rand},
+		name:     name,
+		assign:   assign,
+		home:     make(map[keytree.MemberID]int),
+		gen:      keycrypt.Generator{Rand: o.rand},
+		parallel: o.treeConcurrency(),
 	}
 	dek, err := s.gen.New(o.keyIDBase+dekKeyID, 0)
 	if err != nil {
@@ -108,7 +112,8 @@ func newMultiTree(name string, trees int, assign TreeAssigner, opts ...Option) (
 	for i := 0; i < trees; i++ {
 		tr, err := keytree.New(o.degree,
 			keytree.WithRand(o.rand),
-			keytree.WithFirstKeyID(o.keyIDBase+multiTreeKeyIDBase*keycrypt.KeyID(i+1)))
+			keytree.WithFirstKeyID(o.keyIDBase+multiTreeKeyIDBase*keycrypt.KeyID(i+1)),
+			keytree.WithWrapWorkers(o.rekeyWorkers))
 		if err != nil {
 			return nil, err
 		}
@@ -163,6 +168,18 @@ func (s *MultiTree) ProcessBatch(b Batch) (*Rekey, error) {
 		delete(s.home, m)
 	}
 
+	// Rekey the trees — concurrently when allowed: each tree is an
+	// independent key hierarchy with its own entropy stream, so tree-level
+	// rekeys share no mutable state.
+	work := make([]rekeyOne, len(s.trees))
+	for i, kb := range perTree {
+		work[i] = rekeyOne{tree: s.trees[i], batch: kb}
+	}
+	payloads, err := rekeyTrees(s.parallel, work)
+	if err != nil {
+		return nil, err
+	}
+
 	joiners := excludeSet(b.Joins)
 	streams := make([]Stream, len(s.trees))
 	for i, kb := range perTree {
@@ -170,10 +187,7 @@ func (s *MultiTree) ProcessBatch(b Batch) (*Rekey, error) {
 		if kb.IsEmpty() {
 			continue
 		}
-		p, err := s.trees[i].Rekey(kb)
-		if err != nil {
-			return nil, err
-		}
+		p := payloads[i]
 		streams[i].Items = p.Items
 		streams[i].JoinerItems = p.JoinerItems
 		for _, m := range kb.Joins {

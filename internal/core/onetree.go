@@ -23,7 +23,8 @@ func NewOneTree(opts ...Option) (*OneTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+1))
+	tr, err := keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+1),
+		keytree.WithWrapWorkers(o.rekeyWorkers))
 	if err != nil {
 		return nil, err
 	}

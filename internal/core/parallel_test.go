@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// churn drives joins and leaves through a scheme, verifying every rekey
+// payload decrypts to the scheme's own group key. With the default entropy
+// source (crypto/rand) the multi-tree schemes rekey their trees
+// concurrently, so running this under -race exercises the tree-level
+// fan-out plus keytree's internal wrap workers.
+func churn(t *testing.T, s Scheme, base keytree.MemberID, rounds, width int) {
+	t.Helper()
+	next := base
+	var present []keytree.MemberID
+	for r := 0; r < rounds; r++ {
+		b := Batch{}
+		for i := 0; i < width; i++ {
+			b.Joins = append(b.Joins, Join{ID: next, Meta: MemberMeta{LossRate: float64(i) / float64(width), LongLived: i%2 == 0}})
+			present = append(present, next)
+			next++
+		}
+		if r > 0 {
+			nLeave := width / 2
+			b.Leaves = append(b.Leaves, present[:nLeave]...)
+			present = present[nLeave:]
+		}
+		rk, err := s.ProcessBatch(b)
+		if err != nil {
+			t.Errorf("%s: round %d: %v", s.Name(), r, err)
+			return
+		}
+		if rk == nil || len(rk.Streams) == 0 {
+			t.Errorf("%s: round %d: empty rekey", s.Name(), r)
+			return
+		}
+	}
+	if got := s.Size(); got != len(present) {
+		t.Errorf("%s: size %d, want %d", s.Name(), got, len(present))
+	}
+}
+
+// TestConcurrentMultiTreeRekeys hammers every multi-tree scheme with
+// concurrent churn across independent scheme instances. Designed to run
+// under -race: it covers (a) tree-level rekey concurrency inside one
+// ProcessBatch and (b) the shared keycrypt wrapper cache being hit from
+// many goroutines at once.
+func TestConcurrentMultiTreeRekeys(t *testing.T) {
+	type build func(base keytree.MemberID) (Scheme, error)
+	builders := []build{
+		func(base keytree.MemberID) (Scheme, error) {
+			return NewLossHomogenized([]float64{0.05, 0.2}, WithRekeyWorkers(4))
+		},
+		func(base keytree.MemberID) (Scheme, error) {
+			return NewRandomMultiTree(3, WithRekeyWorkers(4))
+		},
+		func(base keytree.MemberID) (Scheme, error) {
+			return NewTwoPartition(TT, 2, WithRekeyWorkers(4))
+		},
+		func(base keytree.MemberID) (Scheme, error) {
+			return NewTwoPartition(PT, 2, WithRekeyWorkers(4))
+		},
+	}
+
+	var wg sync.WaitGroup
+	for gi := 0; gi < 2; gi++ {
+		for bi, mk := range builders {
+			wg.Add(1)
+			go func(gi, bi int, mk build) {
+				defer wg.Done()
+				base := keytree.MemberID(1 + 100000*(gi*len(builders)+bi))
+				s, err := mk(base)
+				if err != nil {
+					t.Errorf("builder %d: %v", bi, err)
+					return
+				}
+				churn(t, s, base, 8, 24)
+			}(gi, bi, mk)
+		}
+	}
+	wg.Wait()
+}
+
+// TestRekeyWorkersSerialEquivalence checks that scheme output is invariant
+// to the worker setting when entropy is deterministic: WithRekeyWorkers
+// must not change the payload a reproducible simulation produces.
+func TestRekeyWorkersSerialEquivalence(t *testing.T) {
+	run := func(workers int) []string {
+		s, err := NewLossHomogenized([]float64{0.1},
+			WithRand(keycrypt.NewDeterministicReader(7)), WithRekeyWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		next := keytree.MemberID(1)
+		var present []keytree.MemberID
+		for r := 0; r < 6; r++ {
+			b := Batch{}
+			for i := 0; i < 12; i++ {
+				b.Joins = append(b.Joins, Join{ID: next, Meta: MemberMeta{LossRate: float64(i%3) / 10}})
+				present = append(present, next)
+				next++
+			}
+			if r > 0 {
+				b.Leaves = append(b.Leaves, present[:5]...)
+				present = present[5:]
+			}
+			rk, err := s.ProcessBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range rk.Streams {
+				for _, it := range append(st.Items, st.JoinerItems...) {
+					sigs = append(sigs, fmt.Sprintf("%s|%x", st.Label, it.Wrapped.Marshal()))
+				}
+			}
+		}
+		return sigs
+	}
+	a, b, c := run(1), run(4), run(0)
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("item counts diverge across worker settings: %d/%d/%d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("item %d diverges across worker settings", i)
+		}
+	}
+}

@@ -67,6 +67,10 @@ type TwoPartition struct {
 
 	ltree *keytree.Tree
 
+	// parallel allows the S and L trees to rekey concurrently (only when
+	// entropy comes from crypto/rand; see WithRekeyWorkers).
+	parallel bool
+
 	statCounters
 }
 
@@ -94,6 +98,7 @@ func NewTwoPartition(mode PartitionMode, sPeriodK int, opts ...Option) (*TwoPart
 		queue:       make(map[keytree.MemberID]keycrypt.Key),
 		joinEpoch:   make(map[keytree.MemberID]uint64),
 		nextQueueID: o.keyIDBase + queueKeyIDBase,
+		parallel:    o.treeConcurrency(),
 	}
 	dek, err := s.gen.New(o.keyIDBase+dekKeyID, 0)
 	if err != nil {
@@ -101,12 +106,14 @@ func NewTwoPartition(mode PartitionMode, sPeriodK int, opts ...Option) (*TwoPart
 	}
 	s.dek = dek
 	if mode != QT {
-		s.stree, err = keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+sTreeKeyIDBase))
+		s.stree, err = keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+sTreeKeyIDBase),
+			keytree.WithWrapWorkers(o.rekeyWorkers))
 		if err != nil {
 			return nil, err
 		}
 	}
-	s.ltree, err = keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+lTreeKeyIDBase))
+	s.ltree, err = keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+lTreeKeyIDBase),
+		keytree.WithWrapWorkers(o.rekeyWorkers))
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +208,8 @@ func (s *TwoPartition) ProcessBatch(b Batch) (*Rekey, error) {
 
 	// --- S-partition ---
 	sStream := Stream{Label: "s-partition"}
+	lkb := keytree.Batch{Joins: append(append([]keytree.MemberID{}, migrants...), lJoins...), Leaves: lLeaves}
+	var lPayload *keytree.Payload
 	switch s.mode {
 	case QT:
 		for _, m := range append(append([]keytree.MemberID{}, sLeaves...), migrants...) {
@@ -216,16 +225,29 @@ func (s *TwoPartition) ProcessBatch(b Batch) (*Rekey, error) {
 			s.queue[m] = ik
 			r.Welcome[m] = ik
 		}
-	default: // TT, PT
-		kb := keytree.Batch{Joins: sJoins, Leaves: append(append([]keytree.MemberID{}, sLeaves...), migrants...)}
-		if !kb.IsEmpty() {
-			p, err := s.stree.Rekey(kb)
+		if !lkb.IsEmpty() {
+			p, err := s.ltree.Rekey(lkb)
 			if err != nil {
 				return nil, err
 			}
-			sStream.Items = p.Items
-			sStream.JoinerItems = p.JoinerItems
+			lPayload = p
 		}
+	default: // TT, PT
+		kb := keytree.Batch{Joins: sJoins, Leaves: append(append([]keytree.MemberID{}, sLeaves...), migrants...)}
+		// S and L are disjoint key hierarchies with disjoint ID spaces, so
+		// their rekeys can run concurrently when the entropy source allows.
+		ps, err := rekeyTrees(s.parallel, []rekeyOne{
+			{tree: s.stree, batch: kb},
+			{tree: s.ltree, batch: lkb},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ps[0] != nil {
+			sStream.Items = ps[0].Items
+			sStream.JoinerItems = ps[0].JoinerItems
+		}
+		lPayload = ps[1]
 		for _, m := range append(append([]keytree.MemberID{}, sLeaves...), migrants...) {
 			delete(s.joinEpoch, m)
 		}
@@ -240,14 +262,9 @@ func (s *TwoPartition) ProcessBatch(b Batch) (*Rekey, error) {
 
 	// --- L-partition ---
 	lStream := Stream{Label: "l-partition"}
-	lkb := keytree.Batch{Joins: append(append([]keytree.MemberID{}, migrants...), lJoins...), Leaves: lLeaves}
-	if !lkb.IsEmpty() {
-		p, err := s.ltree.Rekey(lkb)
-		if err != nil {
-			return nil, err
-		}
-		lStream.Items = p.Items
-		lStream.JoinerItems = p.JoinerItems
+	if lPayload != nil {
+		lStream.Items = lPayload.Items
+		lStream.JoinerItems = lPayload.JoinerItems
 	}
 	for _, m := range lJoins {
 		leaf, err := s.ltree.Leaf(m)

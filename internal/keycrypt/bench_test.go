@@ -6,11 +6,97 @@ func BenchmarkWrap(b *testing.B) {
 	payload := Random(1, 0)
 	wrapper := Random(2, 0)
 	rng := NewDeterministicReader(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Wrap(payload, wrapper, rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWrapCold measures the uncached path: a fresh Wrapper per wrap
+// pays the AES-256 key schedule and GCM table setup every time. The gap to
+// BenchmarkWrap is what the schedule cache buys.
+func BenchmarkWrapCold(b *testing.B) {
+	payload := Random(1, 0)
+	wrapper := Random(2, 0)
+	rng := NewDeterministicReader(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewWrapper().Wrap(payload, wrapper, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrapNonce(b *testing.B) {
+	payload := Random(1, 0)
+	wrapper := Random(2, 0)
+	wr := NewWrapper()
+	var nonce [NonceSize]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonce[0] = byte(i) // keep GCM honest without touching an rng
+		if _, err := wr.WrapNonce(payload, wrapper, nonce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Allocation ceilings for the rekey hot path. These are hard regression
+// gates: the parallel emitter's throughput case rests on wraps not
+// allocating and marshalling costing exactly its output buffer.
+
+func TestWrapAllocs(t *testing.T) {
+	payload := Random(1, 0)
+	wrapper := Random(2, 0)
+	wr := NewWrapper()
+	var nonce [NonceSize]byte
+	if _, err := wr.WrapNonce(payload, wrapper, nonce); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		nonce[0]++
+		if _, err := wr.WrapNonce(payload, wrapper, nonce); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("cached WrapNonce allocates %.1f objects/op, want 0", got)
+	}
+}
+
+func TestMarshalAllocs(t *testing.T) {
+	w, err := Wrap(Random(1, 0), Random(2, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() { _ = w.Marshal() }); got > 1 {
+		t.Errorf("Marshal allocates %.1f objects/op, want <= 1", got)
+	}
+	buf := make([]byte, 0, WrappedSize)
+	if got := testing.AllocsPerRun(200, func() { _ = w.AppendTo(buf[:0]) }); got > 0 {
+		t.Errorf("AppendTo into presized buffer allocates %.1f objects/op, want 0", got)
+	}
+}
+
+func TestSealAllocs(t *testing.T) {
+	k := Random(3, 0)
+	msg := make([]byte, 256)
+	rng := NewDeterministicReader(2)
+	if _, err := Seal(k, msg, rng); err != nil { // warm the schedule cache
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := Seal(k, msg, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 1 {
+		t.Errorf("Seal allocates %.1f objects/op, want <= 1 (the output buffer)", got)
 	}
 }
 

@@ -10,11 +10,14 @@
 package keycrypt
 
 import (
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 )
 
@@ -141,14 +144,24 @@ func Random(id KeyID, version Version) Key {
 // non-stdlib dependencies. It must not be used for production key material.
 type DeterministicReader struct {
 	state [32]byte
-	buf   []byte
+	buf   [32]byte
+	used  int // bytes of buf already handed out
+	// step and out are the two refill HMACs, keyed once and Reset per use:
+	// the reader sits on rekey hot paths (every wrap nonce in a simulation
+	// comes through here), so refills must not allocate.
+	step hash.Hash
+	out  hash.Hash
 }
 
 // NewDeterministicReader seeds a deterministic stream.
 func NewDeterministicReader(seed uint64) *DeterministicReader {
 	var s [8]byte
 	binary.BigEndian.PutUint64(s[:], seed)
-	r := &DeterministicReader{}
+	r := &DeterministicReader{
+		used: 32, // buf starts empty
+		step: hmac.New(sha256.New, []byte("detrand-step")),
+		out:  hmac.New(sha256.New, []byte("detrand-out")),
+	}
 	r.state = digest(s[:], []byte("detrand-seed"))
 	return r
 }
@@ -157,15 +170,18 @@ func NewDeterministicReader(seed uint64) *DeterministicReader {
 func (r *DeterministicReader) Read(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
-		if len(r.buf) == 0 {
-			next := digest(r.state[:], []byte("detrand-step"))
-			r.state = next
-			out := digest(r.state[:], []byte("detrand-out"))
-			r.buf = out[:]
+		if r.used == len(r.buf) {
+			r.step.Reset()
+			r.step.Write(r.state[:])
+			r.step.Sum(r.state[:0])
+			r.out.Reset()
+			r.out.Write(r.state[:])
+			r.out.Sum(r.buf[:0])
+			r.used = 0
 		}
-		c := copy(p, r.buf)
+		c := copy(p, r.buf[r.used:])
 		p = p[c:]
-		r.buf = r.buf[c:]
+		r.used += c
 	}
 	return n, nil
 }

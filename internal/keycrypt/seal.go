@@ -15,19 +15,21 @@ func Seal(k Key, plaintext []byte, rng io.Reader) ([]byte, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
-	var nonce [nonceSize]byte
-	if _, err := io.ReadFull(rng, nonce[:]); err != nil {
-		return nil, fmt.Errorf("keycrypt: reading nonce: %w", err)
-	}
-	aead, err := newGCM(k)
+	aead, err := sharedWrapper.aead(k)
 	if err != nil {
 		return nil, err
 	}
-	header := make([]byte, 0, 12+nonceSize)
-	header = binary.BigEndian.AppendUint64(header, uint64(k.ID))
-	header = binary.BigEndian.AppendUint32(header, uint32(k.Version))
-	out := append(header, nonce[:]...)
-	return aead.Seal(out, nonce[:], plaintext, header), nil
+	// One exactly-sized allocation: header, nonce and ciphertext+tag all
+	// land in the returned buffer. The nonce is drawn straight into out and
+	// passed to GCM as a view, since a stack array would escape into the
+	// io.Reader and AEAD interface calls and cost an allocation each.
+	out := make([]byte, 12+nonceSize, 12+nonceSize+len(plaintext)+gcmTag)
+	binary.BigEndian.PutUint64(out[0:8], uint64(k.ID))
+	binary.BigEndian.PutUint32(out[8:12], uint32(k.Version))
+	if _, err := io.ReadFull(rng, out[12:12+nonceSize]); err != nil {
+		return nil, fmt.Errorf("keycrypt: reading nonce: %w", err)
+	}
+	return aead.Seal(out, out[12:12+nonceSize], plaintext, out[:12]), nil
 }
 
 // SealedKeyInfo reports which key (ID and version) a sealed blob was

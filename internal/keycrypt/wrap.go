@@ -3,7 +3,6 @@ package keycrypt
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -48,31 +47,11 @@ type WrappedKey struct {
 }
 
 // Wrap encrypts payload under wrapper using AES-256-GCM. The random source
-// rng supplies the nonce; nil means crypto/rand.Reader.
+// rng supplies the nonce; nil means crypto/rand.Reader. It delegates to a
+// package-shared Wrapper, so repeated wraps under the same key generation
+// reuse the cached AES key schedule.
 func Wrap(payload, wrapper Key, rng io.Reader) (WrappedKey, error) {
-	if rng == nil {
-		rng = rand.Reader
-	}
-	w := WrappedKey{
-		PayloadID:      payload.ID,
-		PayloadVersion: payload.Version,
-		WrapperID:      wrapper.ID,
-		WrapperVersion: wrapper.Version,
-	}
-	if _, err := io.ReadFull(rng, w.nonce[:]); err != nil {
-		return WrappedKey{}, fmt.Errorf("keycrypt: reading nonce: %w", err)
-	}
-	aead, err := newGCM(wrapper)
-	if err != nil {
-		return WrappedKey{}, err
-	}
-	ad := additionalData(w)
-	ct := aead.Seal(nil, w.nonce[:], payload.bits[:], ad)
-	if len(ct) != len(w.ct) {
-		return WrappedKey{}, fmt.Errorf("keycrypt: unexpected ciphertext length %d", len(ct))
-	}
-	copy(w.ct[:], ct)
-	return w, nil
+	return sharedWrapper.Wrap(payload, wrapper, rng)
 }
 
 // Unwrap decrypts w under wrapper and returns the payload key. The wrapper's
@@ -95,7 +74,13 @@ func Unwrap(w WrappedKey, wrapper Key) (Key, error) {
 
 // Marshal serializes the wrapped key into exactly WrappedSize bytes.
 func (w WrappedKey) Marshal() []byte {
-	buf := make([]byte, 0, WrappedSize)
+	return w.AppendTo(make([]byte, 0, WrappedSize))
+}
+
+// AppendTo appends the WrappedSize-byte encoding of the wrapped key to buf
+// and returns the extended slice. Batch encoders presize one buffer and
+// append every item into it instead of paying one allocation per Marshal.
+func (w WrappedKey) AppendTo(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(w.PayloadID))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(w.PayloadVersion))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(w.WrapperID))
@@ -135,10 +120,16 @@ func newGCM(k Key) (cipher.AEAD, error) {
 // additionalData binds the header fields into the AEAD so an attacker cannot
 // re-label a wrapped key as belonging to a different tree node or version.
 func additionalData(w WrappedKey) []byte {
-	ad := make([]byte, 0, wrappedHeader)
-	ad = binary.BigEndian.AppendUint64(ad, uint64(w.PayloadID))
-	ad = binary.BigEndian.AppendUint32(ad, uint32(w.PayloadVersion))
-	ad = binary.BigEndian.AppendUint64(ad, uint64(w.WrapperID))
-	ad = binary.BigEndian.AppendUint32(ad, uint32(w.WrapperVersion))
-	return ad
+	var ad [wrappedHeader]byte
+	fillAdditionalData(&ad, w)
+	return ad[:]
+}
+
+// fillAdditionalData writes the AEAD additional data into a caller-owned
+// buffer (hot paths pool it to stay allocation-free).
+func fillAdditionalData(ad *[wrappedHeader]byte, w WrappedKey) {
+	binary.BigEndian.PutUint64(ad[0:8], uint64(w.PayloadID))
+	binary.BigEndian.PutUint32(ad[8:12], uint32(w.PayloadVersion))
+	binary.BigEndian.PutUint64(ad[12:20], uint64(w.WrapperID))
+	binary.BigEndian.PutUint32(ad[20:24], uint32(w.WrapperVersion))
 }

@@ -1,0 +1,160 @@
+package keycrypt
+
+import (
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// NonceSize is the AES-GCM nonce size used for key wrapping. Rekey engines
+// that pre-draw nonces — so payload bytes stay deterministic no matter how
+// wrap emission is scheduled — size their job buffers with it.
+const NonceSize = nonceSize
+
+// maxWrapperEntries bounds a Wrapper's cache: sized for the recurring
+// wrapper population of a ~100k-member tree (interior keys ≈ N/(d-1)), at
+// roughly 1 KiB of expanded schedule per entry worst case. When an insert
+// would exceed it, a random quarter of the entries is dropped (map order):
+// recurring wrappers mostly survive while one-shot entries — joiner leaf
+// keys are wrapped under once and never seen again — churn out, which a
+// drop-everything policy would not allow.
+const maxWrapperEntries = 32768
+
+// Wrapper wraps keys like the package-level Wrap but caches one
+// cipher.AEAD per wrapping-key slot, so the AES-256 key schedule and GCM
+// table setup are paid once per key generation instead of once per emitted
+// wrap. A cached entry is used only while the cached key is bit-identical
+// to the requested one (ID, version and material, constant-time compared),
+// so a version bump — or an unrelated key reusing the same slot ID —
+// invalidates it naturally.
+//
+// A Wrapper is safe for concurrent use; cache hits take only a read lock.
+// Note that cached AEADs hold expanded key schedules in memory for as long
+// as the entry lives, the usual trade-off of any key-schedule cache.
+type Wrapper struct {
+	mu      sync.RWMutex
+	entries map[KeyID]*wrapperEntry
+}
+
+type wrapperEntry struct {
+	key  Key
+	aead cipher.AEAD
+}
+
+// NewWrapper returns an empty cache.
+func NewWrapper() *Wrapper {
+	return &Wrapper{entries: make(map[KeyID]*wrapperEntry)}
+}
+
+// aead returns the AEAD for the wrapping key, computing and caching the key
+// schedule on miss.
+func (wr *Wrapper) aead(wrapper Key) (cipher.AEAD, error) {
+	wr.mu.RLock()
+	e := wr.entries[wrapper.ID]
+	wr.mu.RUnlock()
+	if e != nil && e.key.Equal(wrapper) {
+		return e.aead, nil
+	}
+	aead, err := newGCM(wrapper)
+	if err != nil {
+		return nil, err
+	}
+	wr.mu.Lock()
+	if len(wr.entries) >= maxWrapperEntries {
+		drop := maxWrapperEntries / 4
+		for id := range wr.entries {
+			delete(wr.entries, id)
+			if drop--; drop == 0 {
+				break
+			}
+		}
+	}
+	wr.entries[wrapper.ID] = &wrapperEntry{key: wrapper, aead: aead}
+	wr.mu.Unlock()
+	return aead, nil
+}
+
+// Len returns the number of cached key schedules.
+func (wr *Wrapper) Len() int {
+	wr.mu.RLock()
+	defer wr.mu.RUnlock()
+	return len(wr.entries)
+}
+
+// Invalidate drops the cached schedule for a key slot, e.g. when the slot
+// is retired. Wrapping under a bumped version of the slot does not require
+// it: the key-equality check misses and replaces the entry on its own.
+func (wr *Wrapper) Invalidate(id KeyID) {
+	wr.mu.Lock()
+	delete(wr.entries, id)
+	wr.mu.Unlock()
+}
+
+// Wrap is the cached equivalent of the package-level Wrap: it draws a
+// nonce from rng (nil means crypto/rand.Reader) and encrypts payload under
+// wrapper.
+func (wr *Wrapper) Wrap(payload, wrapper Key, rng io.Reader) (WrappedKey, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var nonce [NonceSize]byte
+	if _, err := io.ReadFull(rng, nonce[:]); err != nil {
+		return WrappedKey{}, fmt.Errorf("keycrypt: reading nonce: %w", err)
+	}
+	return wr.WrapNonce(payload, wrapper, nonce)
+}
+
+// wrapScratch keeps the per-wrap working set off the heap: the additional
+// data, a copy of the payload material and the ciphertext all escape into
+// the AEAD interface call, so without pooling every wrap would allocate all
+// three.
+type wrapScratch struct {
+	ad    [wrappedHeader]byte
+	pt    [KeySize]byte
+	ct    [KeySize + gcmTag]byte
+	nonce [NonceSize]byte
+}
+
+var wrapScratchPool = sync.Pool{New: func() any { return new(wrapScratch) }}
+
+// WrapNonce encrypts payload under wrapper using the caller-supplied nonce.
+// It exists for emission engines that draw nonces in a canonical order
+// during a single-threaded planning pass and then fan the AES-GCM work out
+// over workers: given the same nonce, the output is byte-for-byte identical
+// to Wrap regardless of scheduling.
+//
+// The caller is responsible for nonce uniqueness per wrapping key, exactly
+// as with any externally-supplied GCM nonce.
+func (wr *Wrapper) WrapNonce(payload, wrapper Key, nonce [NonceSize]byte) (WrappedKey, error) {
+	aead, err := wr.aead(wrapper)
+	if err != nil {
+		return WrappedKey{}, err
+	}
+	w := WrappedKey{
+		PayloadID:      payload.ID,
+		PayloadVersion: payload.Version,
+		WrapperID:      wrapper.ID,
+		WrapperVersion: wrapper.Version,
+		nonce:          nonce,
+	}
+	s := wrapScratchPool.Get().(*wrapScratch)
+	fillAdditionalData(&s.ad, w)
+	copy(s.pt[:], payload.bits[:])
+	s.nonce = nonce // the stack copy would escape into the AEAD call
+	ct := aead.Seal(s.ct[:0], s.nonce[:], s.pt[:], s.ad[:])
+	if len(ct) != len(w.ct) {
+		wrapScratchPool.Put(s)
+		return WrappedKey{}, fmt.Errorf("keycrypt: unexpected ciphertext length %d", len(ct))
+	}
+	copy(w.ct[:], ct)
+	wrapScratchPool.Put(s)
+	return w, nil
+}
+
+// sharedWrapper backs the package-level Wrap and Seal so that every caller
+// of the plain API benefits from schedule caching. The full-key equality
+// check makes sharing across independent trees safe even when their key-ID
+// spaces collide.
+var sharedWrapper = NewWrapper()

@@ -2,6 +2,7 @@ package keytree
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"groupkey/internal/keycrypt"
@@ -201,16 +202,47 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 		}
 	}
 
-	// Phase 4: refresh all pre-existing dirty keys.
+	// Phase 4: refresh all pre-existing dirty keys, in key-ID order. Map
+	// iteration order would assign entropy to nodes differently on every
+	// run, making rekeys irreproducible under a deterministic reader.
+	refreshing := make([]*Node, 0, len(dirty))
 	for n, info := range dirty {
-		if info.isNew {
-			continue
+		if !info.isNew {
+			refreshing = append(refreshing, n)
 		}
+	}
+	sort.Slice(refreshing, func(i, j int) bool { return refreshing[i].key.ID < refreshing[j].key.ID })
+	for _, n := range refreshing {
 		if err := t.refresh(n); err != nil {
 			return nil, err
 		}
 	}
 
+	// Phases 5–6: emit the payload. The engine plans wrap jobs on this
+	// goroutine (drawing nonces in canonical order) and fans the AES-GCM
+	// work over a bounded pool; the legacy emitter is the serial baseline
+	// oracle kept for determinism tests and perf comparisons.
+	var p *Payload
+	var err error
+	if t.legacyRekey {
+		p, err = t.emitLegacy(dirty, joiners)
+	} else {
+		p, err = t.emitPlanned(dirty, joiners)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	t.stats.KeysWrapped += p.TotalKeyCount()
+	t.stats.Rekeys++
+	return p, nil
+}
+
+// emitLegacy is the pre-engine emitter: wraps are produced one at a time,
+// deepest nodes first, re-deriving receiver lists by subtree walk and the
+// AES key schedule per wrap. Its output defines the payload byte format
+// the engine must reproduce exactly.
+func (t *Tree) emitLegacy(dirty map[*Node]*dirtyInfo, joiners map[MemberID]bool) (*Payload, error) {
 	// Phase 5: emit wraps, deepest nodes first for readable payloads.
 	nodes := make([]*Node, 0, len(dirty))
 	for n := range dirty {
@@ -237,7 +269,7 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 					// multicasting this wrap would carry zero information.
 					continue
 				}
-				w, err := keycrypt.Wrap(n.key, c.key, t.gen.Rand)
+				w, err := wrapUncached(n.key, c.key, t.gen.Rand)
 				if err != nil {
 					return nil, fmt.Errorf("keytree: wrapping %s under %s: %w", n.key.ID, c.key.ID, err)
 				}
@@ -253,7 +285,7 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 			if len(receivers) == 0 {
 				continue
 			}
-			w, err := keycrypt.Wrap(n.key, info.oldKey, t.gen.Rand)
+			w, err := wrapUncached(n.key, info.oldKey, t.gen.Rand)
 			if err != nil {
 				return nil, fmt.Errorf("keytree: wrapping %s under old version: %w", n.key.ID, err)
 			}
@@ -275,7 +307,7 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 	for _, m := range joinerIDs {
 		leaf := t.leaves[m]
 		for n := leaf.parent; n != nil; n = n.parent {
-			w, err := keycrypt.Wrap(n.key, leaf.key, t.gen.Rand)
+			w, err := wrapUncached(n.key, leaf.key, t.gen.Rand)
 			if err != nil {
 				return nil, fmt.Errorf("keytree: wrapping path key for joiner %d: %w", m, err)
 			}
@@ -287,10 +319,14 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 			})
 		}
 	}
-
-	t.stats.KeysWrapped += p.TotalKeyCount()
-	t.stats.Rekeys++
 	return p, nil
+}
+
+// wrapUncached is the baseline wrap: a throwaway Wrapper per call keeps the
+// oracle's cost profile at the pre-engine level (one key schedule per wrap)
+// without duplicating keycrypt internals.
+func wrapUncached(payload, wrapper keycrypt.Key, rng io.Reader) (keycrypt.WrappedKey, error) {
+	return keycrypt.NewWrapper().Wrap(payload, wrapper, rng)
 }
 
 // Join admits a single member immediately (non-batched rekeying). It is a

@@ -2,14 +2,15 @@ package keytree
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"groupkey/internal/keycrypt"
 )
 
-func benchTree(b *testing.B, degree, n int) *Tree {
+func benchTree(b *testing.B, degree, n int, opts ...Option) *Tree {
 	b.Helper()
-	tr, err := New(degree, WithRand(keycrypt.NewDeterministicReader(uint64(n))))
+	tr, err := New(degree, append([]Option{WithRand(keycrypt.NewDeterministicReader(uint64(n)))}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -68,6 +69,92 @@ func BenchmarkBatchRekey(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBatchRekeyEngine vs BenchmarkBatchRekeyLegacy isolates what the
+// plan/emit engine (memoized receiver merging, cached AES schedules,
+// zero-alloc wraps, parallel emission) buys over the serial baseline at
+// identical batch shapes.
+func benchBatchRekeyVariant(b *testing.B, opts ...Option) {
+	for _, tc := range []struct{ n, l int }{
+		{4096, 64}, {65536, 256},
+	} {
+		b.Run(fmt.Sprintf("n=%d_l=%d", tc.n, tc.l), func(b *testing.B) {
+			tr := benchTree(b, 4, tc.n, opts...)
+			next := MemberID(tc.n + 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			keys := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // batch construction is harness cost, not rekey cost
+				members := tr.Members()
+				batch := Batch{}
+				for j := 0; j < tc.l; j++ {
+					batch.Leaves = append(batch.Leaves, members[(j*997)%len(members)])
+					batch.Joins = append(batch.Joins, next)
+					next++
+				}
+				b.StartTimer()
+				p, err := tr.Rekey(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys += p.TotalKeyCount()
+			}
+			b.ReportMetric(float64(keys)/b.Elapsed().Seconds(), "keys/sec")
+		})
+	}
+}
+
+func BenchmarkBatchRekeyEngine(b *testing.B) {
+	benchBatchRekeyVariant(b)
+}
+
+func BenchmarkBatchRekeyLegacy(b *testing.B) {
+	benchBatchRekeyVariant(b, WithLegacyRekey())
+}
+
+// BenchmarkSortDirtyNodes compares the engine's precomputed-depth sort
+// against the legacy comparator that re-walks parent chains (O(depth) per
+// comparison) on a realistic dirty set.
+func BenchmarkSortDirtyNodes(b *testing.B) {
+	tr := benchTree(b, 4, 65536)
+	members := tr.Members()
+	batch := Batch{}
+	for j := 0; j < 256; j++ {
+		batch.Leaves = append(batch.Leaves, members[(j*997)%len(members)])
+	}
+	// Rebuild the dirty set the way Rekey would, without emitting.
+	dirty := make(map[*Node]*dirtyInfo)
+	for _, m := range batch.Leaves {
+		for n := tr.leaves[m].parent; n != nil; n = n.parent {
+			if _, ok := dirty[n]; !ok {
+				dirty[n] = &dirtyInfo{oldKey: n.key, departure: true}
+			}
+		}
+	}
+	b.Run("precomputed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sortDirtyNodes(dirty)
+		}
+	})
+	b.Run("legacy-comparator", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nodes := make([]*Node, 0, len(dirty))
+			for n := range dirty {
+				nodes = append(nodes, n)
+			}
+			sort.Slice(nodes, func(i, j int) bool {
+				di, dj := nodes[i].Depth(), nodes[j].Depth()
+				if di != dj {
+					return di > dj
+				}
+				return nodes[i].key.ID < nodes[j].key.ID
+			})
+		}
+	})
 }
 
 func BenchmarkPathLookup(b *testing.B) {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"groupkey/internal/keycrypt"
@@ -74,13 +75,22 @@ func (n *Node) Depth() int {
 }
 
 // Tree is a d-ary logical key tree. It is not safe for concurrent use; the
-// key server serializes access (see internal/core).
+// key server serializes access (see internal/core). Rekey internally fans
+// wrap emission out over a worker pool (see WithWrapWorkers), but all tree
+// mutation stays on the calling goroutine.
 type Tree struct {
 	degree int
 	root   *Node
 	leaves map[MemberID]*Node
 	gen    keycrypt.Generator
 	nextID keycrypt.KeyID
+
+	// wrapper caches AES key schedules across rekeys; wrapWorkers sizes
+	// the emission pool (0 = GOMAXPROCS); legacyRekey forces the serial
+	// pre-engine emitter kept as a baseline oracle.
+	wrapper     *keycrypt.Wrapper
+	wrapWorkers int
+	legacyRekey bool
 
 	// stats accumulated across the tree's lifetime.
 	stats Stats
@@ -112,20 +122,52 @@ func WithFirstKeyID(id keycrypt.KeyID) Option {
 	return func(t *Tree) { t.nextID = id }
 }
 
+// WithWrapWorkers sets how many goroutines Rekey uses to emit AES-GCM
+// wraps. n <= 0 (the default) resolves to runtime.GOMAXPROCS(0); n == 1
+// emits inline on the calling goroutine. Payload bytes are identical for
+// every worker count: nonces are drawn in canonical order during the
+// single-threaded planning pass and results land in pre-assigned slots.
+func WithWrapWorkers(n int) Option {
+	return func(t *Tree) {
+		if n < 0 {
+			n = 0
+		}
+		t.wrapWorkers = n
+	}
+}
+
+// WithLegacyRekey routes Rekey through the pre-engine serial emitter (one
+// keycrypt.Wrap per item, no planning pass, no schedule reuse across a
+// node's wraps). It exists as the baseline oracle: determinism tests assert
+// the engine's payloads are byte-identical to it, and `lkhbench -exp perf`
+// measures the engine's speedup against it.
+func WithLegacyRekey() Option {
+	return func(t *Tree) { t.legacyRekey = true }
+}
+
 // New creates an empty key tree of the given degree (fan-out d ≥ 2).
 func New(degree int, opts ...Option) (*Tree, error) {
 	if degree < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrInvalidDegree, degree)
 	}
 	t := &Tree{
-		degree: degree,
-		leaves: make(map[MemberID]*Node),
-		nextID: 1,
+		degree:  degree,
+		leaves:  make(map[MemberID]*Node),
+		nextID:  1,
+		wrapper: keycrypt.NewWrapper(),
 	}
 	for _, o := range opts {
 		o(t)
 	}
 	return t, nil
+}
+
+// WrapWorkers returns the resolved wrap-emission worker count.
+func (t *Tree) WrapWorkers() int {
+	if t.wrapWorkers > 0 {
+		return t.wrapWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Degree returns the tree fan-out d.

@@ -22,6 +22,8 @@ type Metrics struct {
 	rekeys         *metrics.Counter
 	keysEncrypted  *metrics.Counter
 	rekeyDuration  *metrics.Histogram
+	wrapThroughput *metrics.Histogram
+	wrapWorkers    *metrics.Gauge
 	broadcastBytes *metrics.Counter
 	rejected       *metrics.Counter
 }
@@ -46,6 +48,11 @@ func NewMetrics(reg *metrics.Registry, tracer *metrics.RekeyTracer) *Metrics {
 			"Encrypted keys emitted across all rekey payloads."),
 		rekeyDuration: reg.Histogram("groupkey_rekey_duration_seconds",
 			"Latency of one rekey: batch processing through broadcast.", nil),
+		wrapThroughput: reg.Histogram("groupkey_rekey_wrap_keys_per_second",
+			"Wrap throughput of one rekey: encrypted keys emitted over its duration.",
+			metrics.ExponentialBuckets(1024, 2, 16)),
+		wrapWorkers: reg.Gauge("groupkey_rekey_wrap_workers",
+			"Configured wrap-emission worker count (0 before SetWrapWorkers)."),
 		broadcastBytes: reg.Counter("groupkey_broadcast_bytes_total",
 			"Bytes written to members for rekey and data broadcasts."),
 		rejected: reg.Counter("groupkey_rejected_registrations_total",
@@ -64,6 +71,9 @@ func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, by
 	m.leaves.Add(uint64(leaves))
 	m.keysEncrypted.Add(uint64(r.TotalKeyCount()))
 	m.rekeyDuration.Observe(d.Seconds())
+	if keys := r.TotalKeyCount(); keys > 0 && d > 0 {
+		m.wrapThroughput.Observe(float64(keys) / d.Seconds())
+	}
 	m.broadcastBytes.Add(uint64(bytes))
 	st := scheme.Stats()
 	m.members.Set(float64(scheme.Size()))
@@ -85,6 +95,15 @@ func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, by
 			DurationSeconds: d.Seconds(),
 		})
 	}
+}
+
+// SetWrapWorkers publishes the rekey engine's configured wrap-emission
+// worker count (as resolved by the scheme: 0 means GOMAXPROCS).
+func (m *Metrics) SetWrapWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.wrapWorkers.Set(float64(n))
 }
 
 // noteBroadcast records the bytes of one data broadcast.

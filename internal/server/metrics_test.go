@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -65,6 +66,7 @@ func TestServerMetricsEndToEnd(t *testing.T) {
 
 	srv := startServer(t, scheme)
 	srv.Instrument(m)
+	m.SetWrapWorkers(runtime.GOMAXPROCS(0))
 	ts := httptest.NewServer(metrics.Handler(reg, tracer))
 	defer ts.Close()
 
@@ -107,6 +109,12 @@ func TestServerMetricsEndToEnd(t *testing.T) {
 	}
 	if got := sample(t, body, "groupkey_broadcast_bytes_total"); got <= 0 {
 		t.Errorf("groupkey_broadcast_bytes_total=%v, want > 0", got)
+	}
+	if got := sample(t, body, "groupkey_rekey_wrap_keys_per_second_count"); got != 3 {
+		t.Errorf("groupkey_rekey_wrap_keys_per_second_count=%v, want 3", got)
+	}
+	if got := sample(t, body, "groupkey_rekey_wrap_workers"); got != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("groupkey_rekey_wrap_workers=%v, want %d", got, runtime.GOMAXPROCS(0))
 	}
 	// TT scheme exposes its S and L partitions; together they hold alice.
 	s := sample(t, body, `groupkey_partition_members{partition="s"}`)

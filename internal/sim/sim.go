@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"groupkey/internal/core"
 	"groupkey/internal/keytree"
@@ -97,6 +98,7 @@ type PeriodStats struct {
 	TransportKeys int // keys actually transmitted incl. replication/retx
 	TransportPkts int
 	Rounds        int
+	RekeySeconds  float64 // wall-clock time of the scheme's ProcessBatch call
 }
 
 // FairnessStats aggregates the rekey packets heard by one loss class —
@@ -193,6 +195,7 @@ func Run(cfg Config) (*Result, error) {
 			b.Joins = append(b.Joins, joinFor(info, report))
 		}
 
+		rekeyStart := time.Now()
 		rekey, err := cfg.Scheme.ProcessBatch(b)
 		if err != nil {
 			return nil, fmt.Errorf("sim: epoch %d: %w", rekeyEpoch(rekey), err)
@@ -205,6 +208,7 @@ func Run(cfg Config) (*Result, error) {
 			GroupSize:     cfg.Scheme.Size(),
 			MulticastKeys: rekey.MulticastKeyCount(),
 			TotalKeys:     rekey.TotalKeyCount(),
+			RekeySeconds:  time.Since(rekeyStart).Seconds(),
 		}
 
 		// Network membership follows group membership.

@@ -61,8 +61,11 @@ func TestTraceReplayReproducesRun(t *testing.T) {
 		t.Fatalf("period counts differ: %d vs %d", len(direct.Periods), len(replayed.Periods))
 	}
 	for i := range direct.Periods {
-		if direct.Periods[i] != replayed.Periods[i] {
-			t.Fatalf("period %d diverged: %+v vs %+v", i, direct.Periods[i], replayed.Periods[i])
+		// Wall-clock rekey timing is not reproducible; everything else is.
+		a, b := direct.Periods[i], replayed.Periods[i]
+		a.RekeySeconds, b.RekeySeconds = 0, 0
+		if a != b {
+			t.Fatalf("period %d diverged: %+v vs %+v", i, a, b)
 		}
 	}
 	if direct.MeanMulticastKeys != replayed.MeanMulticastKeys {

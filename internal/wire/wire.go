@@ -187,7 +187,7 @@ func EncodeRekey(epoch uint64, items []keytree.Item) ([]byte, error) {
 		}
 		out = append(out, byte(it.Kind))
 		out = binary.BigEndian.AppendUint16(out, uint16(it.Level))
-		out = append(out, it.Wrapped.Marshal()...)
+		out = it.Wrapped.AppendTo(out)
 	}
 	return out, nil
 }
