@@ -48,11 +48,14 @@ examples:
 	$(GO) run ./examples/adaptive
 	$(GO) run ./examples/stateless
 
-# Short fuzzing pass over the wire protocol decoders.
+# Short fuzzing pass over the wire protocol and durability decoders.
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeRekey -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeWelcome -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeMembershipBatch -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=10s ./internal/store/
+	$(GO) test -fuzz=FuzzRestore -fuzztime=10s ./internal/core/
 
 clean:
 	$(GO) clean ./...

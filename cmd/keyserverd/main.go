@@ -6,6 +6,12 @@
 // Usage:
 //
 //	keyserverd -listen 127.0.0.1:7600 -scheme tt -k 10 -period 5s -feed 2s
+//
+// With -state-dir the daemon journals every membership batch to a
+// write-ahead log and snapshots encrypted scheme state, so a crash or
+// restart recovers the exact group keys without a whole-group rekey:
+//
+//	keyserverd -state-dir /var/lib/groupkey -fsync always -snapshot-every 64
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"groupkey/internal/core"
 	"groupkey/internal/metrics"
 	"groupkey/internal/server"
+	"groupkey/internal/store"
 )
 
 func main() {
@@ -35,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("keyserverd", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7600", "TCP listen address")
-	schemeName := fs.String("scheme", "onetree", "onetree, qt, tt, pt, losshomog")
+	schemeName := fs.String("scheme", "onetree", "onetree, naive, qt, tt, pt, losshomog")
 	k := fs.Int("k", 10, "S-period in rekey periods for qt/tt")
 	period := fs.Duration("period", 5*time.Second, "rekey period Tp")
 	feed := fs.Duration("feed", 0, "interval of the demo data feed (0 disables)")
@@ -44,41 +51,91 @@ func run(args []string) error {
 	tlsCertOut := fs.String("tls-cert-out", "", "serve TLS with a fresh self-signed certificate, writing its PEM here for clients to pin")
 	metricsAddr := fs.String("metrics", "", "HTTP listen address for /metrics and /metrics.json (empty disables)")
 	rekeyWorkers := fs.Int("rekey-workers", 0, "wrap-emission workers per rekey (0 = GOMAXPROCS, 1 = serial)")
+	stateDir := fs.String("state-dir", "", "durable state directory: WAL + encrypted snapshots (empty = in-memory only)")
+	stateKey := fs.String("state-key", "", "hex master key file for snapshot encryption (default <state-dir>/master.key, auto-generated)")
+	fsyncMode := fs.String("fsync", "always", "WAL durability: always, interval or never")
+	snapshotEvery := fs.Int("snapshot-every", 64, "snapshot after this many journaled operations (0 = only on shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	workers := core.WithRekeyWorkers(*rekeyWorkers)
-	var scheme core.Scheme
-	var err error
-	switch *schemeName {
-	case "onetree":
-		scheme, err = core.NewOneTree(workers)
-	case "qt":
-		scheme, err = core.NewTwoPartition(core.QT, *k, workers)
-	case "tt":
-		scheme, err = core.NewTwoPartition(core.TT, *k, workers)
-	case "pt":
-		scheme, err = core.NewTwoPartition(core.PT, *k, workers)
-	case "losshomog":
-		scheme, err = core.NewLossHomogenized([]float64{0.05}, workers)
-	default:
-		return fmt.Errorf("unknown scheme %q", *schemeName)
-	}
+	cfg, err := store.ParseSchemeConfig(*schemeName, *k)
 	if err != nil {
 		return err
+	}
+	workers := core.WithRekeyWorkers(*rekeyWorkers)
+
+	// The metrics registry is created up front so the store can register
+	// its durability series before recovery runs.
+	var reg *metrics.Registry
+	var tracer *metrics.RekeyTracer
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		tracer = metrics.NewRekeyTracer(256)
+	}
+
+	// Durable mode: recover (or create) the scheme on the state store and
+	// reuse the persisted signing key. In-memory mode: build the scheme
+	// directly, as before.
+	var scheme core.Scheme
+	var srv *server.Server
+	var st *store.Store
+	if *stateDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		var storeMetrics *store.Metrics
+		if reg != nil {
+			storeMetrics = store.NewMetrics(reg)
+		}
+		st, err = store.Open(*stateDir, store.Options{
+			Fsync:         policy,
+			KeyFile:       *stateKey,
+			Metrics:       storeMetrics,
+			SchemeOptions: []core.Option{workers},
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		res, err := st.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *stateDir, err)
+		}
+		if res.Scheme != nil {
+			scheme = res.Scheme
+			fmt.Printf("keyserverd: recovered %s from %s: %d members, snapshot seq %d, replayed %d batches + %d rotations, truncated %d torn bytes\n",
+				scheme.Name(), *stateDir, scheme.Size(), res.SnapshotSeq,
+				res.ReplayedBatches, res.ReplayedRotations, res.TruncatedBytes)
+		} else {
+			scheme, err = st.Create(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("keyserverd: created %s state in %s (fsync=%s)\n", scheme.Name(), *stateDir, policy)
+		}
+		srv = server.NewWithKey(scheme, nil, st.SigningKey())
+		srv.Persist(st, *snapshotEvery)
+		srv.SetNextID(res.NextID)
+		if err := srv.SetLastRekey(res.LastRekey); err != nil {
+			return err
+		}
+	} else {
+		scheme, err = cfg.Build(workers)
+		if err != nil {
+			return err
+		}
+		srv = server.New(scheme, nil)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	srv := server.New(scheme, nil)
 
 	metricsLabel := "off"
-	if *metricsAddr != "" {
-		reg := metrics.NewRegistry()
-		tracer := metrics.NewRekeyTracer(256)
+	if reg != nil {
 		m := server.NewMetrics(reg, tracer)
 		resolved := *rekeyWorkers
 		if resolved <= 0 {

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	memberclient -server 127.0.0.1:7600 -loss 0.02 -stay 30s
+//
+// With -state the client persists its key store after every rekey and
+// resumes the same membership on the next start — surviving both its own
+// restarts and server restarts — instead of re-joining. Ctrl-C then
+// detaches without leaving the group; -stay expiry still leaves properly
+// and removes the state file.
 package main
 
 import (
@@ -35,31 +41,73 @@ func run(args []string) error {
 	stay := fs.Duration("stay", 0, "leave after this duration (0 = until Ctrl-C)")
 	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long to wait for admission")
 	tlsCert := fs.String("tls-cert", "", "PEM certificate to pin; connect over TLS when set")
+	statePath := fs.String("state", "", "file persisting the member's keys for session resumption (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	req := wire.JoinRequest{LossRate: *loss, LongLived: *longLived}
-	var c *server.Client
-	var err error
+	var pool *x509.CertPool
 	if *tlsCert != "" {
-		pemBytes, rerr := os.ReadFile(*tlsCert)
-		if rerr != nil {
-			return rerr
+		pemBytes, err := os.ReadFile(*tlsCert)
+		if err != nil {
+			return err
 		}
-		pool := x509.NewCertPool()
+		pool = x509.NewCertPool()
 		if !pool.AppendCertsFromPEM(pemBytes) {
 			return fmt.Errorf("no certificate found in %s", *tlsCert)
 		}
-		c, err = server.DialTLS(*addr, req, *joinTimeout, pool)
-	} else {
-		c, err = server.Dial(*addr, req, *joinTimeout)
 	}
-	if err != nil {
-		return err
+
+	// Resume from saved state when possible; fall back to a fresh join
+	// (the saved membership may have been evicted while we were away).
+	var c *server.Client
+	var err error
+	resumed := false
+	if *statePath != "" {
+		if state, rerr := os.ReadFile(*statePath); rerr == nil {
+			if pool != nil {
+				c, err = server.ResumeDialTLS(*addr, state, *joinTimeout, pool)
+			} else {
+				c, err = server.ResumeDial(*addr, state, *joinTimeout)
+			}
+			if err == nil {
+				resumed = true
+			} else {
+				fmt.Printf("memberclient: resume failed (%v), joining fresh\n", err)
+			}
+		}
+	}
+	if c == nil {
+		req := wire.JoinRequest{LossRate: *loss, LongLived: *longLived}
+		if pool != nil {
+			c, err = server.DialTLS(*addr, req, *joinTimeout, pool)
+		} else {
+			c, err = server.Dial(*addr, req, *joinTimeout)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	defer c.Close()
-	fmt.Printf("memberclient: admitted as member %d at epoch %d\n", c.ID(), c.Epoch())
+	verb := "admitted"
+	if resumed {
+		verb = "resumed"
+	}
+	fmt.Printf("memberclient: %s as member %d at epoch %d\n", verb, c.ID(), c.Epoch())
+
+	saveState := func() {
+		if *statePath == "" {
+			return
+		}
+		state, serr := c.State()
+		if serr != nil {
+			return
+		}
+		if werr := os.WriteFile(*statePath, state, 0o600); werr != nil {
+			fmt.Printf("memberclient: saving state: %v\n", werr)
+		}
+	}
+	saveState()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -67,18 +115,42 @@ func run(args []string) error {
 	if *stay > 0 {
 		leaveAt = time.After(*stay)
 	}
+	// Persist the key store periodically so a crash between rekeys loses
+	// at most the newest epoch (the resume handshake re-delivers it).
+	var saveTick <-chan time.Time
+	if *statePath != "" {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		saveTick = t.C
+	}
 
+	lastEpoch := c.Epoch()
 	for {
 		select {
 		case msg, ok := <-c.Data():
 			if !ok {
+				saveState()
 				return nil
 			}
 			fmt.Printf("data: %s\n", msg)
+		case <-saveTick:
+			if e := c.Epoch(); e != lastEpoch {
+				lastEpoch = e
+				saveState()
+			}
 		case <-leaveAt:
 			fmt.Println("memberclient: leaving")
-			return c.Leave()
+			err := c.Leave()
+			if *statePath != "" {
+				os.Remove(*statePath)
+			}
+			return err
 		case <-stop:
+			if *statePath != "" {
+				saveState()
+				fmt.Println("memberclient: detaching (state saved; restart to resume)")
+				return nil
+			}
 			fmt.Println("memberclient: leaving")
 			return c.Leave()
 		}

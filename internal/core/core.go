@@ -151,6 +151,12 @@ type Scheme interface {
 	// Stats returns cumulative rekey counters and the current partition
 	// sizes for observability; it never mutates the scheme.
 	Stats() SchemeStats
+	// Snapshot serializes the scheme's complete state — key material,
+	// membership structure, epoch and counters — so a key server can
+	// restart without a whole-group rekey. The blob contains every group
+	// secret; callers own encryption at rest (internal/store seals it with
+	// AES-GCM). RestoreScheme rebuilds any scheme from its blob.
+	Snapshot() ([]byte, error)
 }
 
 // Option configures scheme construction.

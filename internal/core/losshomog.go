@@ -11,53 +11,35 @@ import (
 // multiTreeKeyIDBase spaces out per-tree key ID ranges.
 const multiTreeKeyIDBase keycrypt.KeyID = 1 << 44
 
-// TreeAssigner routes a joining member to one of the scheme's key trees.
-type TreeAssigner func(j Join, trees int) int
+// multiTreeKind selects the member-to-tree assignment policy. The policy
+// is a serializable value, not a closure, so scheme snapshots capture it
+// (the round-robin cursor included) and recovery replays assignments
+// identically.
+type multiTreeKind uint8
 
-// LossClassAssigner builds the Section 4.2 policy: trees are labeled by
-// ascending loss-rate upper bounds, and a joiner goes to the first tree
-// whose bound covers its reported loss rate (the last tree catches
-// everything, including unknown rates — conservative: unknown members are
-// treated as lossy until proven otherwise).
-//
-// bounds has length trees−1; e.g. with two trees and bounds = [0.05],
-// members reporting ≤5% loss go to tree 0, all others to tree 1.
-func LossClassAssigner(bounds []float64) TreeAssigner {
-	return func(j Join, trees int) int {
-		if j.Meta.LossRate < 0 {
-			return trees - 1
-		}
-		for i, b := range bounds {
-			if i >= trees-1 {
-				break
-			}
-			if j.Meta.LossRate <= b {
-				return i
-			}
-		}
-		return trees - 1
-	}
-}
-
-// RandomAssigner places joiners round-robin — statistically equivalent to
-// the random placement of the Fig. 6 control scheme, but deterministic.
-func RandomAssigner() TreeAssigner {
-	n := 0
-	return func(_ Join, trees int) int {
-		n++
-		return (n - 1) % trees
-	}
-}
+const (
+	// assignLossClass is the Section 4.2 policy: trees are labeled by
+	// ascending loss-rate upper bounds, and a joiner goes to the first tree
+	// whose bound covers its reported loss rate (the last tree catches
+	// everything, including unknown rates — conservative: unknown members
+	// are treated as lossy until proven otherwise).
+	assignLossClass multiTreeKind = iota + 1
+	// assignRoundRobin places joiners round-robin — statistically
+	// equivalent to the random placement of the Fig. 6 control scheme, but
+	// deterministic.
+	assignRoundRobin
+)
 
 // MultiTree is a key server maintaining several key trees beneath one group
-// key, with a pluggable member-to-tree assignment policy. With
-// LossClassAssigner it is the paper's loss-homogenized organization
-// (Section 4.2); with RandomAssigner it is the two-random-keytree control
-// of Fig. 6. Members never move between trees once placed (Section 4.2:
-// the moving overhead would cancel the benefit).
+// key. Built by NewLossHomogenized it is the paper's loss-homogenized
+// organization (Section 4.2); built by NewRandomMultiTree it is the
+// two-random-keytree control of Fig. 6. Members never move between trees
+// once placed (Section 4.2: the moving overhead would cancel the benefit).
 type MultiTree struct {
 	name   string
-	assign TreeAssigner
+	kind   multiTreeKind
+	bounds []float64 // ascending loss-rate upper bounds (assignLossClass)
+	rrNext uint64    // next round-robin slot (assignRoundRobin)
 	trees  []*keytree.Tree
 	home   map[keytree.MemberID]int // member → tree index
 	gen    keycrypt.Generator
@@ -73,23 +55,58 @@ var _ Scheme = (*MultiTree)(nil)
 
 // NewLossHomogenized builds the Section 4 scheme with one tree per loss
 // class. bounds are ascending loss-rate upper bounds; len(bounds)+1 trees
-// are created.
+// are created. With two trees and bounds = [0.05], members reporting ≤5%
+// loss go to tree 0, all others to tree 1.
 func NewLossHomogenized(bounds []float64, opts ...Option) (*MultiTree, error) {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			return nil, fmt.Errorf("%w: loss bounds not ascending: %v", ErrBadConfig, bounds)
 		}
 	}
-	return newMultiTree("loss-homogenized", len(bounds)+1, LossClassAssigner(bounds), opts...)
+	s, err := newMultiTree("loss-homogenized", len(bounds)+1, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.kind = assignLossClass
+	s.bounds = append([]float64(nil), bounds...)
+	return s, nil
 }
 
 // NewRandomMultiTree builds the Fig. 6 control: trees with random member
 // placement.
 func NewRandomMultiTree(trees int, opts ...Option) (*MultiTree, error) {
-	return newMultiTree("random-multitree", trees, RandomAssigner(), opts...)
+	s, err := newMultiTree("random-multitree", trees, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.kind = assignRoundRobin
+	return s, nil
 }
 
-func newMultiTree(name string, trees int, assign TreeAssigner, opts ...Option) (*MultiTree, error) {
+// assignTree routes one joiner according to the scheme's policy.
+func (s *MultiTree) assignTree(j Join) int {
+	switch s.kind {
+	case assignRoundRobin:
+		i := int(s.rrNext % uint64(len(s.trees)))
+		s.rrNext++
+		return i
+	default: // assignLossClass
+		if j.Meta.LossRate < 0 {
+			return len(s.trees) - 1
+		}
+		for i, b := range s.bounds {
+			if i >= len(s.trees)-1 {
+				break
+			}
+			if j.Meta.LossRate <= b {
+				return i
+			}
+		}
+		return len(s.trees) - 1
+	}
+}
+
+func newMultiTree(name string, trees int, opts ...Option) (*MultiTree, error) {
 	if trees < 1 {
 		return nil, fmt.Errorf("%w: trees=%d", ErrBadConfig, trees)
 	}
@@ -99,7 +116,6 @@ func newMultiTree(name string, trees int, assign TreeAssigner, opts ...Option) (
 	}
 	s := &MultiTree{
 		name:     name,
-		assign:   assign,
 		home:     make(map[keytree.MemberID]int),
 		gen:      keycrypt.Generator{Rand: o.rand},
 		parallel: o.treeConcurrency(),
@@ -155,10 +171,7 @@ func (s *MultiTree) ProcessBatch(b Batch) (*Rekey, error) {
 	// Split the batch per tree.
 	perTree := make([]keytree.Batch, len(s.trees))
 	for _, j := range b.Joins {
-		i := s.assign(j, len(s.trees))
-		if i < 0 || i >= len(s.trees) {
-			return nil, fmt.Errorf("%w: assigner returned tree %d of %d", ErrBadConfig, i, len(s.trees))
-		}
+		i := s.assignTree(j)
 		s.home[j.ID] = i
 		perTree[i].Joins = append(perTree[i].Joins, j.ID)
 	}

@@ -157,12 +157,21 @@ type DeterministicReader struct {
 func NewDeterministicReader(seed uint64) *DeterministicReader {
 	var s [8]byte
 	binary.BigEndian.PutUint64(s[:], seed)
+	return NewSeededReader(s[:])
+}
+
+// NewSeededReader seeds a deterministic stream from arbitrary seed bytes.
+// NewDeterministicReader is the fixed-width uint64 convenience; the durable
+// state store journals a fresh 32-byte crypto/rand seed per applied batch
+// and replays key generation through a reader seeded with it, which is what
+// makes crash recovery reproduce pre-crash key material exactly.
+func NewSeededReader(seed []byte) *DeterministicReader {
 	r := &DeterministicReader{
 		used: 32, // buf starts empty
 		step: hmac.New(sha256.New, []byte("detrand-step")),
 		out:  hmac.New(sha256.New, []byte("detrand-out")),
 	}
-	r.state = digest(s[:], []byte("detrand-seed"))
+	r.state = digest(seed, []byte("detrand-seed"))
 	return r
 }
 

@@ -28,11 +28,21 @@ type Client struct {
 	mem       *member.Member
 	id        keytree.MemberID
 	serverKey ed25519.PublicKey
-	epoch     uint64
-	welcomed  chan struct{}
-	epochCh   chan struct{} // closed and replaced on every rekey
-	readErr   error
-	done      chan struct{}
+	// indiv is the member's current individual (leaf) key, tracked across
+	// rekeys for session resumption (see resume.go).
+	indiv  keycrypt.Key
+	joined bool
+	epoch  uint64
+	// joinEpoch is the epoch of the rekey that admitted this member (set
+	// on the first applied rekey, or from the saved state on resume). It
+	// gates migration detection: the join payload's key chain is wrapped
+	// under the member's own leaf and must not be read as a hand-off.
+	joinEpoch uint64
+
+	welcomed chan struct{}
+	epochCh  chan struct{} // closed and replaced on every rekey
+	readErr  error
+	done     chan struct{}
 
 	data          chan []byte
 	undecryptable int
@@ -96,10 +106,21 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.mu.Lock()
-			if c.mem == nil {
-				c.id = w.Member
-				c.mem = member.New(w.Member, w.Key)
-				c.serverKey = w.ServerKey
+			if !c.joined {
+				if c.mem == nil {
+					// Fresh join: adopt identity and pin the server key.
+					c.id = w.Member
+					c.mem = member.New(w.Member, w.Key)
+					c.serverKey = w.ServerKey
+				} else if !c.serverKey.Equal(ed25519.PublicKey(w.ServerKey)) {
+					// Resume ack from a server that does not hold our pinned
+					// key: refuse to talk to it.
+					c.mu.Unlock()
+					c.fail(errors.New("server: resume welcome signed by unknown server key"))
+					return
+				}
+				c.indiv = w.Key
+				c.joined = true
 				close(c.welcomed)
 			}
 			c.mu.Unlock()
@@ -121,6 +142,13 @@ func (c *Client) readLoop() {
 			c.mu.Lock()
 			if c.mem != nil {
 				c.mem.Apply(items)
+				if c.joinEpoch == 0 {
+					c.joinEpoch = epoch
+				}
+				// A leaf hand-off can only arrive in a rekey newer than both
+				// our join and everything already processed (the resume ack
+				// re-delivers the last rekey verbatim).
+				c.trackIndividualLocked(items, epoch > c.epoch && epoch > c.joinEpoch)
 			}
 			if epoch > c.epoch {
 				c.epoch = epoch

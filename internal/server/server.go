@@ -11,6 +11,7 @@ package server
 
 import (
 	"crypto/ed25519"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,22 @@ import (
 var (
 	ErrClosed = errors.New("server: closed")
 )
+
+// Persister is the durability hook the server drives (implemented by
+// store.Store; the interface lives here so the server does not import the
+// store). The contract is journal-before-apply: the server calls
+// JournalBatch/JournalRotate first, then mutates the scheme, then
+// broadcasts — so a crash at any instant can be replayed to the exact
+// pre-crash key material.
+type Persister interface {
+	// JournalBatch journals one membership batch (empty heartbeats
+	// included) and reseeds the scheme's entropy source.
+	JournalBatch(b core.Batch) error
+	// JournalRotate journals one scheduled rotation.
+	JournalRotate() error
+	// SaveSnapshot persists the scheme state and compacts the journal.
+	SaveSnapshot(sc core.Scheme, nextID keytree.MemberID) error
+}
 
 // writeTimeout bounds per-frame writes so a stalled client cannot wedge a
 // rekey broadcast.
@@ -66,6 +83,14 @@ type Server struct {
 	metrics     *Metrics
 	totalRekeys uint64
 	peakMembers int
+
+	// Durability (see Persist). lastRekeyBlob is the signed frame of the
+	// newest rekey, re-sent to resuming members to close the
+	// journal-before-broadcast crash window.
+	persister     Persister
+	snapshotEvery int
+	opsSinceSnap  int
+	lastRekeyBlob []byte
 }
 
 type pendingJoin struct {
@@ -77,22 +102,66 @@ type pendingJoin struct {
 // New creates a server around a key-management scheme. rng supplies nonces
 // for data sealing and the signing keypair; nil means crypto/rand.
 func New(scheme core.Scheme, rng io.Reader) *Server {
-	pub, priv, err := ed25519.GenerateKey(rng)
+	_, priv, err := ed25519.GenerateKey(rng)
 	if err != nil {
 		// Only reachable with a broken injected reader; the system source
 		// never fails.
 		panic(fmt.Sprintf("server: generating signing key: %v", err))
 	}
+	return NewWithKey(scheme, rng, priv)
+}
+
+// NewWithKey creates a server with an externally owned signing key — a
+// durable server keeps the key in its state directory so resumed members'
+// pinned server key stays valid across restarts.
+func NewWithKey(scheme core.Scheme, rng io.Reader, priv ed25519.PrivateKey) *Server {
 	return &Server{
 		scheme:        scheme,
 		rng:           rng,
 		signPriv:      priv,
-		signPub:       pub,
+		signPub:       priv.Public().(ed25519.PublicKey),
 		conns:         make(map[keytree.MemberID]net.Conn),
 		pendingLeaves: make(map[keytree.MemberID]bool),
 		nextID:        1,
 		stopCh:        make(chan struct{}),
 	}
+}
+
+// Persist attaches the durability hook: every batch and rotation is
+// journaled before it is applied, and a snapshot is saved every
+// snapshotEvery journaled operations (0 = only on Close).
+func (s *Server) Persist(p Persister, snapshotEvery int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persister = p
+	s.snapshotEvery = snapshotEvery
+}
+
+// SetNextID overrides the next member ID to assign; recovery calls this
+// so restarted servers never reissue an ID a previous life handed out.
+func (s *Server) SetNextID(id keytree.MemberID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id > s.nextID {
+		s.nextID = id
+	}
+}
+
+// SetLastRekey primes the resume re-delivery buffer with a recovered
+// rekey, so members reconnecting after a crash that hit between journal
+// and broadcast still receive the payload the lost instance derived.
+func (s *Server) SetLastRekey(r *core.Rekey) error {
+	if r == nil {
+		return nil
+	}
+	blob, err := wire.EncodeRekey(r.Epoch, r.AllItems())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastRekeyBlob = wire.SignRekey(s.signPriv, blob)
+	return nil
 }
 
 // SigningKey returns the server's Ed25519 public key (also delivered in
@@ -190,11 +259,71 @@ func (s *Server) handle(conn net.Conn) {
 				s.pendingLeaves[memberID] = true
 			}
 			s.mu.Unlock()
+		case wire.MsgResume:
+			req, err := wire.DecodeResumeRequest(payload)
+			if err != nil {
+				s.reject(conn, err)
+				return
+			}
+			if !s.resume(conn, req, &memberID) {
+				return
+			}
 		default:
 			s.reject(conn, fmt.Errorf("unexpected %v from client", t))
 			return
 		}
 	}
+}
+
+// resume re-attaches a member that survived a server restart (or its own).
+// The proof is the member's ID sealed under its current individual key —
+// only the genuine member (and the server) holds that key, so a valid
+// proof authenticates without a whole-group rekey. On success the server
+// re-sends the signed welcome (re-pinning the server key) and the newest
+// rekey frame, closing the journal-before-broadcast crash window: a rekey
+// that was journaled but never broadcast reaches the member here. Like
+// MsgWelcome, the reply carries the individual key in the clear and so
+// rides the same confidential-registration-channel assumption (use TLS).
+func (s *Server) resume(conn net.Conn, req wire.ResumeRequest, memberID *keytree.MemberID) bool {
+	s.mu.Lock()
+	if s.closed || *memberID != 0 || !s.scheme.Contains(req.Member) {
+		s.mu.Unlock()
+		s.reject(conn, errors.New("resume rejected"))
+		return false
+	}
+	if _, dup := s.conns[req.Member]; dup {
+		s.mu.Unlock()
+		s.reject(conn, errors.New("resume rejected: member already connected"))
+		return false
+	}
+	keys, err := s.scheme.MemberKeys(req.Member)
+	if err != nil || len(keys) == 0 {
+		s.mu.Unlock()
+		s.reject(conn, errors.New("resume rejected"))
+		return false
+	}
+	leaf := keys[0]
+	pt, err := keycrypt.Open(leaf, req.Proof)
+	if err != nil || len(pt) != 8 || keytree.MemberID(binary.BigEndian.Uint64(pt)) != req.Member {
+		s.mu.Unlock()
+		s.reject(conn, errors.New("resume rejected: bad proof"))
+		return false
+	}
+	*memberID = req.Member
+	// A disconnect queued this member for eviction; reconnecting revokes it.
+	delete(s.pendingLeaves, req.Member)
+	s.conns[req.Member] = conn
+	s.metrics.setConnections(len(s.conns))
+	welcome := wire.SignedWelcome{
+		Welcome:   wire.Welcome{Member: req.Member, Key: leaf},
+		ServerKey: s.signPub,
+	}
+	ok := s.send(conn, wire.MsgWelcome, welcome.Encode()) == nil
+	if ok && s.lastRekeyBlob != nil {
+		ok = s.send(conn, wire.MsgRekey, s.lastRekeyBlob) == nil
+	}
+	s.mu.Unlock()
+	return ok
 }
 
 func (s *Server) reject(conn net.Conn, err error) {
@@ -229,6 +358,16 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 	}
 	for m := range s.pendingLeaves {
 		b.Leaves = append(b.Leaves, m)
+	}
+
+	// Journal before apply: if the append fails the pending lists are
+	// intact and nothing has mutated, so the operator can retry; if it
+	// succeeds, recovery can replay the batch under its journaled seed
+	// even though this process may die on the very next instruction.
+	if s.persister != nil {
+		if err := s.persister.JournalBatch(b); err != nil {
+			return nil, fmt.Errorf("server: journaling batch: %w", err)
+		}
 	}
 	s.pendingJoins = nil
 	s.pendingLeaves = make(map[keytree.MemberID]bool)
@@ -277,7 +416,27 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 		}
 	}
 	s.noteRekeyLocked(rekey, len(b.Joins), len(b.Leaves), sent, time.Since(start))
+	if err := s.maybeSnapshotLocked(); err != nil {
+		return rekey, err
+	}
 	return rekey, nil
+}
+
+// maybeSnapshotLocked saves a snapshot once snapshotEvery journaled
+// operations have accumulated. Callers hold s.mu.
+func (s *Server) maybeSnapshotLocked() error {
+	if s.persister == nil || s.snapshotEvery <= 0 {
+		return nil
+	}
+	s.opsSinceSnap++
+	if s.opsSinceSnap < s.snapshotEvery {
+		return nil
+	}
+	if err := s.persister.SaveSnapshot(s.scheme, s.nextID); err != nil {
+		return fmt.Errorf("server: saving snapshot: %w", err)
+	}
+	s.opsSinceSnap = 0
+	return nil
 }
 
 // noteRekeyLocked updates the lifetime counters and (if instrumented) the
@@ -299,6 +458,7 @@ func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) (int, error) {
 		return 0, err
 	}
 	blob = wire.SignRekey(s.signPriv, blob)
+	s.lastRekeyBlob = blob
 	sent := 0
 	for id, conn := range s.conns {
 		if err := s.send(conn, wire.MsgRekey, blob); err != nil {
@@ -328,6 +488,11 @@ func (s *Server) RotateNow() (*core.Rekey, error) {
 		return nil, fmt.Errorf("server: scheme %s cannot rotate", s.scheme.Name())
 	}
 	start := time.Now()
+	if s.persister != nil {
+		if err := s.persister.JournalRotate(); err != nil {
+			return nil, fmt.Errorf("server: journaling rotation: %w", err)
+		}
+	}
 	rekey, err := rot.Rotate()
 	if err != nil {
 		return nil, err
@@ -337,6 +502,9 @@ func (s *Server) RotateNow() (*core.Rekey, error) {
 		return nil, err
 	}
 	s.noteRekeyLocked(rekey, 0, 0, sent, time.Since(start))
+	if err := s.maybeSnapshotLocked(); err != nil {
+		return rekey, err
+	}
 	return rekey, nil
 }
 
@@ -412,12 +580,18 @@ func (s *Server) send(conn net.Conn, t wire.MsgType, payload []byte) error {
 }
 
 // Close stops the server: the listener and every connection are closed and
-// background goroutines joined.
+// background goroutines joined. With a persister attached, a final
+// snapshot is saved first so a graceful shutdown restarts with zero WAL
+// replay.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
+	}
+	var snapErr error
+	if s.persister != nil {
+		snapErr = s.persister.SaveSnapshot(s.scheme, s.nextID)
 	}
 	s.closed = true
 	close(s.stopCh)
@@ -431,5 +605,5 @@ func (s *Server) Close() error {
 	s.metrics.setConnections(0)
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return snapErr
 }

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
+)
+
+// Snapshot files hold the complete scheme state — every group secret —
+// so they are sealed with AES-GCM under the store's master key before
+// touching disk. A snapshot named snap-<seq>.gks captures the state after
+// applying WAL record <seq>; recovery loads the newest valid one and
+// replays only later records.
+//
+// Sealed layout (keycrypt.Seal framing):
+//
+//	plaintext = magic "GKSN" | version(4) | seq(8) | nextID(8) | scheme blob
+const (
+	snapPrefix  = "snap-"
+	snapSuffix  = ".gks"
+	snapMagic   = "GKSN"
+	snapVersion = 1
+	// snapKeep is how many snapshot generations survive pruning: the
+	// newest plus one fallback in case the newest is torn by a crash
+	// during a later save (the rename is atomic, but belts and braces).
+	snapKeep = 2
+)
+
+// masterKeyID is the key ID the at-rest master key is registered under;
+// it shares no range with scheme-allocated key IDs.
+const masterKeyID keycrypt.KeyID = 0x4d535452 // "MSTR"
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix))
+}
+
+// snapshotFiles lists snapshot paths, newest (highest seq) first.
+func snapshotFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix) {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	return out, nil
+}
+
+// encodeSnapshotPlain builds the plaintext to be sealed.
+func encodeSnapshotPlain(seq uint64, nextID keytree.MemberID, blob []byte) []byte {
+	out := make([]byte, 0, 4+4+8+8+len(blob))
+	out = append(out, snapMagic...)
+	out = binary.BigEndian.AppendUint32(out, snapVersion)
+	out = binary.BigEndian.AppendUint64(out, seq)
+	out = binary.BigEndian.AppendUint64(out, uint64(nextID))
+	return append(out, blob...)
+}
+
+// decodeSnapshotPlain parses a decrypted snapshot.
+func decodeSnapshotPlain(b []byte) (seq uint64, nextID keytree.MemberID, blob []byte, err error) {
+	if len(b) < 4+4+8+8 || string(b[:4]) != snapMagic {
+		return 0, 0, nil, fmt.Errorf("store: not a snapshot")
+	}
+	if v := binary.BigEndian.Uint32(b[4:8]); v != snapVersion {
+		return 0, 0, nil, fmt.Errorf("store: snapshot version %d not supported", v)
+	}
+	seq = binary.BigEndian.Uint64(b[8:16])
+	nextID = keytree.MemberID(binary.BigEndian.Uint64(b[16:24]))
+	return seq, nextID, b[24:], nil
+}
+
+// writeSnapshotFile seals plain under master and lands it atomically:
+// temp file in the same directory, fsync, rename, directory fsync. A
+// crash at any point leaves either the old set of snapshots or the old
+// set plus a complete new one — never a torn file under the final name.
+func writeSnapshotFile(dir string, seq uint64, master keycrypt.Key, plain []byte) (int, error) {
+	sealed, err := keycrypt.Seal(master, plain, rand.Reader)
+	if err != nil {
+		return 0, fmt.Errorf("store: sealing snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, snapPrefix+"tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(sealed); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), snapPath(dir, seq)); err != nil {
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return len(sealed), nil
+}
+
+// pruneSnapshots deletes all but the snapKeep newest snapshot files.
+func pruneSnapshots(dir string) error {
+	files, err := snapshotFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, p := range files[min(len(files), snapKeep):] {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

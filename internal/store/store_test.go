@@ -1,0 +1,495 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keytree"
+)
+
+func openStore(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// journalAndApply drives the server's journal-before-apply contract.
+func journalAndApply(t *testing.T, st *Store, sc core.Scheme, b core.Batch) *core.Rekey {
+	t.Helper()
+	if err := st.JournalBatch(b); err != nil {
+		t.Fatalf("JournalBatch: %v", err)
+	}
+	r, err := sc.ProcessBatch(b)
+	if err != nil {
+		t.Fatalf("ProcessBatch: %v", err)
+	}
+	return r
+}
+
+func snap(t *testing.T, sc core.Scheme) []byte {
+	t.Helper()
+	blob, err := sc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// referenceRun journals a scripted history (create + batches + a rotation
+// + an empty heartbeat) and returns the scheme plus the state blob after
+// every operation: states[i] is the scheme state once i operations have
+// been applied on top of the create.
+func referenceRun(t *testing.T, st *Store, cfg SchemeConfig, nBatches int, seed int64) (core.Scheme, [][]byte, keytree.MemberID) {
+	t.Helper()
+	sc, err := st.Create(cfg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	states := [][]byte{snap(t, sc)}
+	rng := rand.New(rand.NewSource(seed))
+	nextID := keytree.MemberID(1)
+	present := []keytree.MemberID{}
+	for i := 0; i < nBatches; i++ {
+		var b core.Batch
+		switch {
+		case i == nBatches/2:
+			// Heartbeat: epoch and migration clocks advance, nothing else.
+		case i == nBatches/2+1 && len(present) > 0:
+			// Scheduled rotation instead of a batch.
+			if err := st.JournalRotate(); err != nil {
+				t.Fatalf("JournalRotate: %v", err)
+			}
+			if _, err := sc.(core.Rotator).Rotate(); err != nil {
+				t.Fatalf("Rotate: %v", err)
+			}
+			states = append(states, snap(t, sc))
+			continue
+		default:
+			nJoin := 1 + rng.Intn(3)
+			for j := 0; j < nJoin; j++ {
+				b.Joins = append(b.Joins, core.Join{ID: nextID, Meta: core.MemberMeta{
+					LossRate: []float64{-1, 0.002, 0.2}[rng.Intn(3)],
+				}})
+				nextID++
+			}
+			if len(present) > 2 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(present))
+				b.Leaves = append(b.Leaves, present[k])
+				present = append(present[:k], present[k+1:]...)
+			}
+		}
+		journalAndApply(t, st, sc, b)
+		for _, j := range b.Joins {
+			present = append(present, j.ID)
+		}
+		states = append(states, snap(t, sc))
+	}
+	return sc, states, nextID
+}
+
+func schemeConfigs() []SchemeConfig {
+	return []SchemeConfig{
+		{Kind: SchemeOneTree},
+		{Kind: SchemeNaive},
+		{Kind: SchemeTT, SPeriodK: 2},
+		{Kind: SchemeQT, SPeriodK: 1},
+		{Kind: SchemeLossHomog, LossBounds: []float64{0.05}},
+		{Kind: SchemeRandomMultiTree, Trees: 2},
+	}
+}
+
+// TestStoreRecoverReplaysToIdenticalState is the core durability claim:
+// close the store with NO snapshot (the crash case) and recovery must
+// rebuild byte-identical scheme state — same keys, same epoch, same
+// counters — purely from the WAL's seeded replay.
+func TestStoreRecoverReplaysToIdenticalState(t *testing.T) {
+	for _, cfg := range schemeConfigs() {
+		t.Run(cfg.Kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st := openStore(t, dir, Options{})
+			if res, err := st.Recover(); err != nil || res.Scheme != nil {
+				t.Fatalf("fresh recover: scheme=%v err=%v", res.Scheme, err)
+			}
+			sc, states, wantNextID := referenceRun(t, st, cfg, 8, 12345)
+			want := snap(t, sc)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st2 := openStore(t, dir, Options{})
+			res, err := st2.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if res.Scheme == nil {
+				t.Fatal("recovered nil scheme")
+			}
+			if got := snap(t, res.Scheme); !bytes.Equal(got, want) {
+				t.Fatalf("recovered state differs: %d vs %d bytes", len(got), len(want))
+			}
+			if res.NextID < wantNextID {
+				t.Fatalf("NextID %d would reuse issued IDs (want ≥ %d)", res.NextID, wantNextID)
+			}
+			if res.ReplayedBatches+res.ReplayedRotations != len(states)-1 {
+				t.Fatalf("replayed %d+%d ops, want %d", res.ReplayedBatches, res.ReplayedRotations, len(states)-1)
+			}
+			if res.LastRekey == nil {
+				t.Fatal("no LastRekey recovered")
+			}
+
+			// The recovered store keeps journaling: a second life, then a
+			// third, all byte-identical.
+			journalAndApply(t, st2, res.Scheme, core.Batch{
+				Joins: []core.Join{{ID: res.NextID, Meta: core.MemberMeta{LossRate: 0.01}}},
+			})
+			want2 := snap(t, res.Scheme)
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st3 := openStore(t, dir, Options{})
+			res3, err := st3.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snap(t, res3.Scheme); !bytes.Equal(got, want2) {
+				t.Fatal("second restart diverged")
+			}
+			if err := st3.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStoreSnapshotCompactsAndRecovers saves a snapshot mid-history: the
+// WAL shrinks, old snapshots are pruned, and recovery = snapshot load +
+// replay of only the tail.
+func TestStoreSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{SegmentBytes: 512})
+	if _, err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sc, _, _ := referenceRun(t, st, SchemeConfig{Kind: SchemeOneTree}, 6, 777)
+	segsBefore, _ := segments(dir)
+	if err := st.SaveSnapshot(sc, 100); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	segsAfter, _ := segments(dir)
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("snapshot did not compact the WAL: %d -> %d segments", len(segsBefore), len(segsAfter))
+	}
+	// Two more operations after the snapshot.
+	journalAndApply(t, st, sc, core.Batch{Joins: []core.Join{{ID: 100}}})
+	journalAndApply(t, st, sc, core.Batch{Joins: []core.Join{{ID: 101}}})
+	want := snap(t, sc)
+	snapSeq := st.snapSeq
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, Options{})
+	res, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.SnapshotSeq != snapSeq {
+		t.Fatalf("recovered from snapshot seq %d, want %d", res.SnapshotSeq, snapSeq)
+	}
+	if res.ReplayedBatches != 2 {
+		t.Fatalf("replayed %d batches, want only the 2 past the snapshot", res.ReplayedBatches)
+	}
+	if got := snap(t, res.Scheme); !bytes.Equal(got, want) {
+		t.Fatal("snapshot+replay state differs from pre-restart state")
+	}
+	if res.NextID != 102 {
+		t.Fatalf("NextID %d, want 102", res.NextID)
+	}
+	// Save twice more: pruning keeps at most snapKeep snapshot files.
+	if err := st2.SaveSnapshot(res.Scheme, res.NextID); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.SaveSnapshot(res.Scheme, res.NextID); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := snapshotFiles(dir)
+	if len(files) > snapKeep {
+		t.Fatalf("%d snapshot files survive pruning, want ≤ %d", len(files), snapKeep)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreCrashInjection kills the WAL at random points — truncations
+// and byte flips in random segments — and requires recovery to land
+// exactly on the state after the last surviving operation, for every
+// trial. The scan of the corrupted directory provides the oracle for how
+// many operations survive; replay must reproduce precisely that prefix.
+func TestStoreCrashInjection(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		cfg      SchemeConfig
+		snapshot bool // save a mid-history snapshot before corrupting
+	}{
+		{"onetree-wal-only", SchemeConfig{Kind: SchemeOneTree}, false},
+		{"tt-wal-only", SchemeConfig{Kind: SchemeTT, SPeriodK: 2}, false},
+		{"onetree-with-snapshot", SchemeConfig{Kind: SchemeOneTree}, true},
+		{"losshomog-with-snapshot", SchemeConfig{Kind: SchemeLossHomog, LossBounds: []float64{0.05}}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refDir := t.TempDir()
+			// Small segments spread the history over several files so the
+			// create record sits alone in the first segment and corruption
+			// trials can target any later one.
+			st := openStore(t, refDir, Options{SegmentBytes: 512})
+			if _, err := st.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			sc, states, _ := referenceRun(t, st, tc.cfg, 10, 999)
+			snapOps := 0
+			if tc.snapshot {
+				// The snapshot covers the history so far; later corruption can
+				// never push recovery below this floor.
+				if err := st.SaveSnapshot(sc, 1000); err != nil {
+					t.Fatal(err)
+				}
+				snapOps = len(states) - 1
+				journalAndApply(t, st, sc, core.Batch{Joins: []core.Join{{ID: 1000}}})
+				states = append(states, snap(t, sc))
+				journalAndApply(t, st, sc, core.Batch{Joins: []core.Join{{ID: 1001}}})
+				states = append(states, snap(t, sc))
+			}
+			snapSeq := st.snapSeq
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(4242))
+			trials := 25
+			for trial := 0; trial < trials; trial++ {
+				dir := t.TempDir()
+				copyDir(t, refDir, dir)
+				segs, err := segments(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Corrupt a random point in a random segment past the first
+				// (the create record must survive for the WAL-only cases;
+				// killing it is a separate test below).
+				lo := 1
+				if tc.snapshot {
+					lo = 0 // snapshot floor makes even segment 0 fair game
+				}
+				if lo >= len(segs) {
+					t.Fatalf("history too short: %d segments", len(segs))
+				}
+				si := lo + rng.Intn(len(segs)-lo)
+				data, err := os.ReadFile(segs[si])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(data) == 0 {
+					continue
+				}
+				off := rng.Intn(len(data))
+				if rng.Intn(2) == 0 {
+					data = data[:off] // torn tail
+				} else {
+					data = append([]byte(nil), data...)
+					data[off] ^= 0x40 // bit flip
+				}
+				if err := os.WriteFile(segs[si], data, 0o600); err != nil {
+					t.Fatal(err)
+				}
+
+				// Oracle: how many operations survive the corruption?
+				scan, err := scanWAL(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops := snapOps
+				for _, r := range scan.records {
+					if r.seq > snapSeq && (r.kind == recBatch || r.kind == recRotate) {
+						ops++
+					}
+				}
+
+				st2 := openStore(t, dir, Options{})
+				res, err := st2.Recover()
+				if err != nil {
+					t.Fatalf("trial %d (seg %d off %d): Recover: %v", trial, si, off, err)
+				}
+				if res.Scheme == nil {
+					t.Fatalf("trial %d: recovered nil scheme with create intact", trial)
+				}
+				got := snap(t, res.Scheme)
+				if !bytes.Equal(got, states[ops]) {
+					t.Fatalf("trial %d (seg %d off %d): recovered state is not the %d-op prefix state",
+						trial, si, off, ops)
+				}
+				// The survivor keeps working: journal one more batch.
+				journalAndApply(t, st2, res.Scheme, core.Batch{Joins: []core.Join{{ID: res.NextID}}})
+				if err := st2.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreCreateRecordCorrupted: with no snapshot and a destroyed create
+// record, there is nothing to recover — the store must come up empty
+// rather than guess.
+func TestStoreCreateRecordCorrupted(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{})
+	if _, err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	referenceRun(t, st, SchemeConfig{Kind: SchemeOneTree}, 3, 55)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segments(dir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[9] ^= 0xff // inside the create record body
+	if err := os.WriteFile(segs[0], data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, Options{})
+	res, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.Scheme != nil {
+		t.Fatal("recovered a scheme from a log whose create record is gone")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreFsyncPolicies exercises the interval and never paths end to
+// end (a process restart — unlike a power failure — loses nothing under
+// any policy, since the data is in the kernel).
+func TestStoreFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st := openStore(t, dir, Options{Fsync: policy, FsyncEvery: 5 * time.Millisecond})
+			if _, err := st.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			sc, _, _ := referenceRun(t, st, SchemeConfig{Kind: SchemeNaive}, 4, 31)
+			want := snap(t, sc)
+			if policy == FsyncInterval {
+				time.Sleep(30 * time.Millisecond) // let the background syncer run
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2 := openStore(t, dir, Options{})
+			res, err := st2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snap(t, res.Scheme); !bytes.Equal(got, want) {
+				t.Fatal("state diverged across restart")
+			}
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStoreEntropyGuard: key material must never come from outside a
+// journaled operation, or replay could not reproduce it.
+func TestStoreEntropyGuard(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{})
+	if _, err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Rand().Read(make([]byte, 16)); err == nil {
+		t.Fatal("entropy read outside a journaled operation succeeded")
+	}
+	if err := st.JournalBatch(core.Batch{}); err == nil {
+		t.Fatal("journal before Create succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreKeyFiles: master and signing keys are created 0600 and loaded
+// back unchanged, and the reloaded master key opens the sealed snapshot.
+func TestStoreKeyFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{})
+	if _, err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sc, _, _ := referenceRun(t, st, SchemeConfig{Kind: SchemeOneTree}, 3, 9)
+	want := snap(t, sc)
+	sig1 := st.SigningKey()
+	if err := st.SaveSnapshot(sc, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"master.key", "signing.key"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Mode().Perm() != 0o600 {
+			t.Fatalf("%s has mode %v, want 0600", name, fi.Mode().Perm())
+		}
+	}
+
+	st2 := openStore(t, dir, Options{})
+	if !st2.SigningKey().Equal(sig1) {
+		t.Fatal("signing key changed across restart")
+	}
+	res, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap(t, res.Scheme); !bytes.Equal(got, want) {
+		t.Fatal("snapshot-based recovery diverged")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

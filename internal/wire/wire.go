@@ -47,6 +47,12 @@ const (
 	MsgData
 	// MsgError carries a human-readable rejection.
 	MsgError
+	// MsgResume is a restarting client's re-attachment request: the member
+	// ID plus a proof of possession of the member's current individual key
+	// (payload confidential by the same transport assumption as MsgWelcome).
+	// A successfully resumed member keeps its keys and its place in the key
+	// tree — no re-join, no rekey.
+	MsgResume
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +70,8 @@ func (t MsgType) String() string {
 		return "data"
 	case MsgError:
 		return "error"
+	case MsgResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -165,6 +173,99 @@ func DecodeWelcome(b []byte) (Welcome, error) {
 		return Welcome{}, err
 	}
 	return Welcome{Member: keytree.MemberID(binary.BigEndian.Uint64(b[0:8])), Key: key}, nil
+}
+
+// MemberJoin pairs an assigned member ID with the join metadata it
+// reported — one joiner of a journaled membership batch.
+type MemberJoin struct {
+	Member keytree.MemberID
+	Req    JoinRequest
+}
+
+// memberJoinSize is member(8) + JoinRequest(9).
+const memberJoinSize = 8 + 9
+
+// EncodeMembershipBatch serializes one applied membership batch for the
+// durable write-ahead log: joins count(4) + entries, then leaves count(4) +
+// member IDs. The entry order is preserved — recovery replays batches in
+// exactly the order the live server applied them.
+func EncodeMembershipBatch(joins []MemberJoin, leaves []keytree.MemberID) []byte {
+	out := make([]byte, 0, 8+len(joins)*memberJoinSize+len(leaves)*8)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(joins)))
+	for _, j := range joins {
+		out = binary.BigEndian.AppendUint64(out, uint64(j.Member))
+		out = append(out, j.Req.Encode()...)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(leaves)))
+	for _, m := range leaves {
+		out = binary.BigEndian.AppendUint64(out, uint64(m))
+	}
+	return out
+}
+
+// DecodeMembershipBatch parses a blob produced by EncodeMembershipBatch.
+func DecodeMembershipBatch(b []byte) (joins []MemberJoin, leaves []keytree.MemberID, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("%w: batch record %d bytes", ErrMalformed, len(b))
+	}
+	nj := int(binary.BigEndian.Uint32(b[0:4]))
+	rest := b[4:]
+	if nj < 0 || len(rest) < nj*memberJoinSize+4 {
+		return nil, nil, fmt.Errorf("%w: %d joins but %d payload bytes", ErrMalformed, nj, len(rest))
+	}
+	for i := 0; i < nj; i++ {
+		chunk := rest[i*memberJoinSize : (i+1)*memberJoinSize]
+		req, err := DecodeJoinRequest(chunk[8:])
+		if err != nil {
+			return nil, nil, err
+		}
+		m := keytree.MemberID(binary.BigEndian.Uint64(chunk[0:8]))
+		if m == 0 {
+			return nil, nil, fmt.Errorf("%w: zero joiner ID", ErrMalformed)
+		}
+		joins = append(joins, MemberJoin{Member: m, Req: req})
+	}
+	rest = rest[nj*memberJoinSize:]
+	nl := int(binary.BigEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	if nl < 0 || len(rest) != nl*8 {
+		return nil, nil, fmt.Errorf("%w: %d leaves but %d payload bytes", ErrMalformed, nl, len(rest))
+	}
+	for i := 0; i < nl; i++ {
+		m := keytree.MemberID(binary.BigEndian.Uint64(rest[i*8 : (i+1)*8]))
+		if m == 0 {
+			return nil, nil, fmt.Errorf("%w: zero leaver ID", ErrMalformed)
+		}
+		leaves = append(leaves, m)
+	}
+	return joins, leaves, nil
+}
+
+// ResumeRequest is a MsgResume payload: the member ID plus an opaque proof
+// blob (the member's resume challenge sealed under its current individual
+// key — see internal/server).
+type ResumeRequest struct {
+	Member keytree.MemberID
+	Proof  []byte
+}
+
+// Encode serializes the resume request.
+func (r ResumeRequest) Encode() []byte {
+	out := make([]byte, 0, 8+len(r.Proof))
+	out = binary.BigEndian.AppendUint64(out, uint64(r.Member))
+	return append(out, r.Proof...)
+}
+
+// DecodeResumeRequest parses a MsgResume payload.
+func DecodeResumeRequest(b []byte) (ResumeRequest, error) {
+	if len(b) < 9 {
+		return ResumeRequest{}, fmt.Errorf("%w: resume payload %d bytes", ErrMalformed, len(b))
+	}
+	m := keytree.MemberID(binary.BigEndian.Uint64(b[0:8]))
+	if m == 0 {
+		return ResumeRequest{}, fmt.Errorf("%w: zero member ID", ErrMalformed)
+	}
+	return ResumeRequest{Member: m, Proof: b[8:]}, nil
 }
 
 // itemSize is the wire size of one rekey item: kind(1) + level(2) +
