@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench repro charts examples fuzz clean
+.PHONY: all build vet test test-race test-short bench repro charts examples soak benchgate fuzz clean
 
 all: build vet test
 
@@ -48,6 +48,24 @@ examples:
 	$(GO) run ./examples/adaptive
 	$(GO) run ./examples/stateless
 
+# 30-second local soak: keyserverd under churn from cmd/loadgen, failing
+# on any protocol error; report lands in SOAK_report.json.
+soak:
+	$(GO) build -o /tmp/groupkey-keyserverd ./cmd/keyserverd
+	$(GO) build -o /tmp/groupkey-loadgen ./cmd/loadgen
+	/tmp/groupkey-keyserverd -listen 127.0.0.1:7800 -period 250ms \
+		-join-rate 500 -max-pending-joins 512 & \
+	SERVER_PID=$$!; sleep 1; \
+	/tmp/groupkey-loadgen -server 127.0.0.1:7800 -members 200 -duration 30s \
+		-compress 500 -ramp 100 -report SOAK_report.json -fail-on-errors; \
+	STATUS=$$?; kill $$SERVER_PID; exit $$STATUS
+
+# Compare a fresh perf run against the committed baseline (CI gate).
+benchgate:
+	$(GO) run ./cmd/lkhbench -exp perf -bench-out BENCH_rekey.new.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_rekey.json \
+		-candidate BENCH_rekey.new.json -max-regress 0.25
+
 # Short fuzzing pass over the wire protocol and durability decoders.
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire/
@@ -56,6 +74,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeMembershipBatch -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=10s ./internal/store/
 	$(GO) test -fuzz=FuzzRestore -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeReport -fuzztime=10s ./internal/loadgen/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,127 @@
+// Command benchgate compares a freshly measured rekey benchmark report
+// against the committed baseline and fails when throughput regressed —
+// the CI performance gate.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_rekey.json -candidate BENCH_rekey.new.json -max-regress 0.25
+//
+// Each (variant, group_size) pair in the baseline must be present in the
+// candidate with keys/sec no more than -max-regress below the baseline.
+// Improvements always pass; the tool prints a ratio table either way so
+// the CI log doubles as a trend record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"groupkey/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+type key struct {
+	variant string
+	size    int
+}
+
+func load(path string) (map[key]experiments.PerfResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.PerfReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s has no results", path)
+	}
+	out := make(map[key]experiments.PerfResult, len(rep.Results))
+	for _, r := range rep.Results {
+		if r.KeysPerSec <= 0 {
+			return nil, fmt.Errorf("%s: %s N=%d has non-positive keys/sec %v",
+				path, r.Variant, r.GroupSize, r.KeysPerSec)
+		}
+		out[key{r.Variant, r.GroupSize}] = r
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	basePath := fs.String("baseline", "BENCH_rekey.json", "committed baseline report")
+	candPath := fs.String("candidate", "BENCH_rekey.new.json", "freshly measured report")
+	maxRegress := fs.Float64("max-regress", 0.25, "largest tolerated fractional keys/sec drop")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		return fmt.Errorf("-max-regress must be in [0,1), got %v", *maxRegress)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := load(*candPath)
+	if err != nil {
+		return err
+	}
+
+	floor := 1 - *maxRegress
+	var failures []string
+	fmt.Printf("%-10s %10s %14s %14s %8s\n", "variant", "group", "baseline k/s", "candidate k/s", "ratio")
+	for _, b := range sortedKeys(base) {
+		br := base[b]
+		cr, ok := cand[b]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s N=%d missing from candidate", b.variant, b.size))
+			continue
+		}
+		ratio := cr.KeysPerSec / br.KeysPerSec
+		mark := ""
+		if ratio < floor {
+			mark = "  REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s N=%d: %.0f -> %.0f keys/sec (%.0f%% of baseline, floor %.0f%%)",
+				b.variant, b.size, br.KeysPerSec, cr.KeysPerSec, ratio*100, floor*100))
+		}
+		fmt.Printf("%-10s %10d %14.0f %14.0f %7.2fx%s\n",
+			b.variant, b.size, br.KeysPerSec, cr.KeysPerSec, ratio, mark)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		return fmt.Errorf("%d of %d series regressed beyond %.0f%%",
+			len(failures), len(base), *maxRegress*100)
+	}
+	fmt.Printf("benchgate: all %d series within %.0f%% of baseline\n", len(base), *maxRegress*100)
+	return nil
+}
+
+// sortedKeys orders series variant-then-size so the table is stable.
+func sortedKeys(m map[key]experiments.PerfResult) []key {
+	keys := make([]key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1], keys[j]
+			if a.variant < b.variant || (a.variant == b.variant && a.size <= b.size) {
+				break
+			}
+			keys[j-1], keys[j] = b, a
+		}
+	}
+	return keys
+}

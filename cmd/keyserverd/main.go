@@ -55,6 +55,13 @@ func run(args []string) error {
 	stateKey := fs.String("state-key", "", "hex master key file for snapshot encryption (default <state-dir>/master.key, auto-generated)")
 	fsyncMode := fs.String("fsync", "always", "WAL durability: always, interval or never")
 	snapshotEvery := fs.Int("snapshot-every", 64, "snapshot after this many journaled operations (0 = only on shutdown)")
+	sendqCap := fs.Int("sendq-cap", 0, "per-client send queue capacity in frames (0 = default 256)")
+	sendqHigh := fs.Int("sendq-high", 0, "queue depth that sheds data frames (0 = 3/4 of capacity)")
+	sendqLow := fs.Int("sendq-low", 0, "queue depth that ends shedding and forgives overflows (0 = 1/4 of high)")
+	evictAfter := fs.Int("evict-after", 0, "consecutive queue overflows before a slow client is evicted (0 = default 3)")
+	joinRate := fs.Float64("join-rate", 0, "sustained join admissions per second (0 = unlimited)")
+	joinBurst := fs.Int("join-burst", 0, "join admission burst size (0 = max(1, join-rate))")
+	maxPendingJoins := fs.Int("max-pending-joins", 0, "cap on joins awaiting the next rekey (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +135,27 @@ func run(args []string) error {
 		}
 		srv = server.New(scheme, nil)
 	}
+
+	policy := server.DefaultOverloadPolicy()
+	if *sendqCap > 0 {
+		policy.QueueCap = *sendqCap
+		// Re-derive the watermarks unless explicitly pinned below.
+		policy.HighWatermark = 0
+		policy.LowWatermark = 0
+	}
+	if *sendqHigh > 0 {
+		policy.HighWatermark = *sendqHigh
+	}
+	if *sendqLow > 0 {
+		policy.LowWatermark = *sendqLow
+	}
+	if *evictAfter > 0 {
+		policy.EvictAfter = *evictAfter
+	}
+	policy.JoinRate = *joinRate
+	policy.JoinBurst = *joinBurst
+	policy.MaxPendingJoins = *maxPendingJoins
+	srv.SetOverloadPolicy(policy)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,0 +1,115 @@
+// Command loadgen soaks a running keyserverd with churning synthetic
+// members and writes a machine-readable report of rekey delivery,
+// admission deferrals, and protocol errors.
+//
+// Usage:
+//
+//	loadgen -server 127.0.0.1:7600 -members 200 -duration 30s -report SOAK_report.json
+//
+// The churn model is the paper's two-class membership mix (-alpha,
+// -short, -long), time-compressed by -compress so hours of realistic
+// churn replay within the run. With -fail-on-errors the exit status is
+// nonzero when any protocol error was observed — the CI soak gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"groupkey/internal/loadgen"
+	"groupkey/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("server", "127.0.0.1:7600", "key server address")
+	members := fs.Int("members", 100, "concurrent member slots to sustain")
+	duration := fs.Duration("duration", 30*time.Second, "how long to run")
+	seed := fs.Uint64("seed", 1, "churn schedule seed")
+	reportPath := fs.String("report", "SOAK_report.json", "report output path (- for stdout)")
+	alpha := fs.Float64("alpha", 0.8, "fraction of short-lived members")
+	shortMean := fs.Duration("short", 3*time.Minute, "mean stay of the short class (before compression)")
+	longMean := fs.Duration("long", 3*time.Hour, "mean stay of the long class (before compression)")
+	compress := fs.Float64("compress", 100, "time compression factor for stays")
+	loss := fs.Float64("loss", -1, "loss rate reported at join (-1 = unknown)")
+	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long to wait for admission")
+	ramp := fs.Float64("ramp", 0, "stagger initial joins to this many per second (0 = all at once)")
+	resume := fs.Bool("resume", false, "resume sessions after unexpected disconnects")
+	minStay := fs.Duration("min-stay", 100*time.Millisecond, "floor on sampled stays")
+	failOnErrors := fs.Bool("fail-on-errors", false, "exit nonzero if any protocol error was observed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	churn := workload.TwoClass{
+		Alpha: *alpha,
+		Short: workload.Exponential{M: shortMean.Seconds()},
+		Long:  workload.Exponential{M: longMean.Seconds()},
+	}.Compressed(*compress)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	fmt.Printf("loadgen: soaking %s with %d members for %v (seed %d, compress %.0fx)\n",
+		*addr, *members, *duration, *seed, *compress)
+	r := loadgen.New(loadgen.Config{
+		Addr:        *addr,
+		Members:     *members,
+		Duration:    *duration,
+		Seed:        *seed,
+		Churn:       churn,
+		LossRate:    *loss,
+		JoinTimeout: *joinTimeout,
+		RampPerSec:  *ramp,
+		Resume:      *resume,
+		MinStay:     *minStay,
+	})
+	rep, err := r.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	b, err := loadgen.EncodeReport(rep)
+	if err != nil {
+		return err
+	}
+	if *reportPath == "-" {
+		os.Stdout.Write(b)
+	} else {
+		if err := os.WriteFile(*reportPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: report written to %s\n", *reportPath)
+	}
+
+	fmt.Printf("loadgen: %d joins (%d deferred, %d errors), %d leaves, %d disconnects, %d resumes (%d failed)\n",
+		rep.Joins, rep.JoinsDeferred, rep.JoinErrors, rep.Leaves, rep.Disconnects, rep.Resumes, rep.ResumeFailures)
+	fmt.Printf("loadgen: %d rekeys seen (final epoch %d, %d missed), join p95 %.1fms, spread p95 %.1fms\n",
+		rep.RekeysSeen, rep.FinalEpoch, rep.MissedRekeys,
+		rep.JoinLatency.P95*1e3, rep.RekeySpread.P95*1e3)
+	if rep.ProtocolErrors > 0 {
+		fmt.Printf("loadgen: %d PROTOCOL ERRORS (%d bad signatures, %d undecryptable)\n",
+			rep.ProtocolErrors, rep.BadSignatures, rep.Undecryptable)
+		for _, s := range rep.ErrorSamples {
+			fmt.Printf("loadgen:   %s\n", s)
+		}
+		if *failOnErrors {
+			return fmt.Errorf("%d protocol errors", rep.ProtocolErrors)
+		}
+	} else {
+		fmt.Println("loadgen: zero protocol errors")
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"crypto/x509"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -79,13 +80,24 @@ func run(args []string) error {
 	}
 	if c == nil {
 		req := wire.JoinRequest{LossRate: *loss, LongLived: *longLived}
-		if pool != nil {
-			c, err = server.DialTLS(*addr, req, *joinTimeout, pool)
-		} else {
-			c, err = server.Dial(*addr, req, *joinTimeout)
-		}
-		if err != nil {
-			return err
+		// Admission deferrals (MsgRetry) are the server shedding join
+		// load, not a failure: honor the retry-after hint and try again.
+		for {
+			if pool != nil {
+				c, err = server.DialTLS(*addr, req, *joinTimeout, pool)
+			} else {
+				c, err = server.Dial(*addr, req, *joinTimeout)
+			}
+			var def *server.DeferredError
+			if errors.As(err, &def) {
+				fmt.Printf("memberclient: join deferred by server, retrying in %v\n", def.After)
+				time.Sleep(def.After)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			break
 		}
 	}
 	defer c.Close()

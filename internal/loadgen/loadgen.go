@@ -1,0 +1,430 @@
+// Package loadgen drives a live key server with thousands of concurrent
+// synthetic members to measure rekey delivery under churn and overload.
+//
+// Each configured member slot runs a join → stay → leave loop forever:
+// the stay is drawn from a workload duration model (optionally
+// time-compressed so hours of churn replay in seconds), joins honor the
+// server's MsgRetry admission deferrals with backoff, and unexpected
+// disconnects either resume the saved session or rejoin fresh. A shared
+// collector aggregates join latency, rekey delivery spread, missed
+// epochs, and protocol errors into a machine-readable Report
+// (SOAK_report.json) that CI gates on.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"groupkey/internal/metrics"
+	"groupkey/internal/server"
+	"groupkey/internal/wire"
+	"groupkey/internal/workload"
+)
+
+// Config parameterizes one load/soak run.
+type Config struct {
+	// Addr is the key server's TCP address.
+	Addr string
+	// Members is the number of concurrent member slots to sustain.
+	Members int
+	// Duration bounds the run (0 = until the context is cancelled).
+	Duration time.Duration
+	// Seed makes the churn schedule reproducible.
+	Seed uint64
+	// Churn samples each session's stay duration. Zero value selects the
+	// paper's two-class model compressed so mean stays are ~2s.
+	Churn workload.TwoClass
+	// LossRate is reported in every join request (negative = unknown).
+	LossRate float64
+	// JoinTimeout bounds each join/resume handshake.
+	JoinTimeout time.Duration
+	// RampPerSec staggers initial slot starts to this many joins/second
+	// (0 = all slots start immediately).
+	RampPerSec float64
+	// Resume saves session state and resumes after unexpected
+	// disconnects instead of rejoining fresh.
+	Resume bool
+	// MinStay floors sampled stays so compressed models cannot produce
+	// zero-length sessions.
+	MinStay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 30 * time.Second
+	}
+	if c.MinStay <= 0 {
+		c.MinStay = 100 * time.Millisecond
+	}
+	if c.Churn.Short == nil || c.Churn.Long == nil {
+		// Paper model compressed 100×: mean short stay 1.8s, long 108s.
+		c.Churn = workload.PaperDefault().Compressed(100)
+	}
+	if c.LossRate == 0 {
+		c.LossRate = -1
+	}
+	return c
+}
+
+// Runner executes one load/soak run.
+type Runner struct {
+	cfg Config
+	col collector
+}
+
+// New builds a runner; zero-valued Config fields pick defaults.
+func New(cfg Config) *Runner {
+	r := &Runner{cfg: cfg.withDefaults()}
+	r.col.init()
+	return r
+}
+
+// Run sustains the configured member population until Duration elapses or
+// ctx is cancelled, then returns the aggregated report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if r.cfg.Addr == "" {
+		return nil, fmt.Errorf("loadgen: no server address")
+	}
+	if r.cfg.Members <= 0 {
+		return nil, fmt.Errorf("loadgen: members must be positive, got %d", r.cfg.Members)
+	}
+	if r.cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Duration)
+		defer cancel()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < r.cfg.Members; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			r.slot(ctx, idx)
+		}(i)
+	}
+	wg.Wait()
+	return r.col.report(r.cfg, time.Since(start)), nil
+}
+
+// slot runs one member's join → stay → leave loop until ctx is done.
+func (r *Runner) slot(ctx context.Context, idx int) {
+	rng := rand.New(rand.NewPCG(r.cfg.Seed, uint64(idx)+1))
+	if r.cfg.RampPerSec > 0 {
+		ramp := time.Duration(float64(idx) / r.cfg.RampPerSec * float64(time.Second))
+		if !sleepCtx(ctx, ramp) {
+			return
+		}
+	}
+	var state []byte
+	for ctx.Err() == nil {
+		c := r.connect(ctx, rng, &state)
+		if c == nil {
+			return
+		}
+		r.live(ctx, rng, c, &state)
+	}
+}
+
+// connect joins (or resumes) one session, retrying deferrals and
+// transient failures with backoff. Returns nil once ctx is done.
+func (r *Runner) connect(ctx context.Context, rng *rand.Rand, state *[]byte) *server.Client {
+	backoff := 100 * time.Millisecond
+	for ctx.Err() == nil {
+		if r.cfg.Resume && *state != nil {
+			c, err := server.ResumeDial(r.cfg.Addr, *state, r.cfg.JoinTimeout)
+			*state = nil
+			if err == nil {
+				r.col.noteResume()
+				return c
+			}
+			// The saved membership may have been evicted while away;
+			// fall through to a fresh join.
+			r.col.noteResumeFailure(err)
+			continue
+		}
+		t0 := time.Now()
+		c, err := server.Dial(r.cfg.Addr, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout)
+		if err == nil {
+			r.col.noteJoin(time.Since(t0))
+			return c
+		}
+		var def *server.DeferredError
+		if errors.As(err, &def) {
+			// Admission deferred, not an error: honor the server's hint
+			// (capped so a soak never stalls a slot for long).
+			wait := def.After
+			if wait > 5*time.Second {
+				wait = 5 * time.Second
+			}
+			r.col.noteJoinDeferred()
+			if !sleepCtx(ctx, wait) {
+				return nil
+			}
+			continue
+		}
+		r.col.noteJoinError(err)
+		jitter := time.Duration(rng.Int64N(int64(backoff)))
+		if !sleepCtx(ctx, backoff+jitter) {
+			return nil
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	return nil
+}
+
+// live holds one admitted session open for its sampled stay, tracking
+// rekey delivery, then leaves (or records the disconnect).
+func (r *Runner) live(ctx context.Context, rng *rand.Rand, c *server.Client, state *[]byte) {
+	last := c.Epoch()
+	c.SetEpochHook(func(epoch uint64) {
+		r.col.observeEpoch(epoch)
+		if last != 0 && epoch > last+1 {
+			r.col.addMissed(epoch - last - 1)
+		}
+		if epoch > last {
+			last = epoch
+		}
+	})
+
+	_, staySec := r.cfg.Churn.SampleClass(rng)
+	stay := time.Duration(staySec * float64(time.Second))
+	if stay < r.cfg.MinStay {
+		stay = r.cfg.MinStay
+	}
+
+	stayTimer := time.NewTimer(stay)
+	defer stayTimer.Stop()
+	select {
+	case <-c.Done():
+		// Server-side close: eviction, shutdown, or transport failure.
+		r.col.noteDisconnect()
+		if r.cfg.Resume {
+			if st, err := c.State(); err == nil {
+				*state = st
+			}
+		}
+		c.Close()
+	case <-stayTimer.C:
+		r.leave(c)
+	case <-ctx.Done():
+		// Run over: leave politely so the server's group drains.
+		r.leave(c)
+	}
+	r.col.harvest(c)
+}
+
+// leave ends a session voluntarily; a failed leave write means the
+// connection was already dead, which counts as a disconnect.
+func (r *Runner) leave(c *server.Client) {
+	if err := c.Leave(); err != nil {
+		r.col.noteDisconnect()
+	} else {
+		r.col.noteLeave()
+	}
+	c.Close()
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether it slept fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// collector aggregates the run's counters and latency histograms. All
+// methods are safe for concurrent use by member slots.
+type collector struct {
+	mu             sync.Mutex
+	joins          uint64
+	joinsDeferred  uint64
+	joinErrors     uint64
+	leaves         uint64
+	disconnects    uint64
+	resumes        uint64
+	resumeFailures uint64
+	missedRekeys   uint64
+	protocolErrors uint64
+	badSignatures  uint64
+	undecryptable  uint64
+	active         int
+	peakActive     int
+	maxEpoch       uint64
+	firstSeen      map[uint64]time.Time
+	samples        []string
+
+	joinLatency *metrics.Histogram
+	rekeySpread *metrics.Histogram
+}
+
+// maxErrorSamples caps the error excerpts carried in the report.
+const maxErrorSamples = 16
+
+func (col *collector) init() {
+	col.firstSeen = make(map[uint64]time.Time)
+	// Join latency: 1ms–131s; spread: 0.1ms–26s.
+	col.joinLatency = metrics.NewHistogram(metrics.ExponentialBuckets(0.001, 2, 18))
+	col.rekeySpread = metrics.NewHistogram(metrics.ExponentialBuckets(0.0001, 2, 18))
+}
+
+func (col *collector) sampleLocked(kind string, err error) {
+	if len(col.samples) < maxErrorSamples {
+		col.samples = append(col.samples, kind+": "+err.Error())
+	}
+}
+
+func (col *collector) noteJoin(d time.Duration) {
+	col.joinLatency.Observe(d.Seconds())
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.joins++
+	col.active++
+	if col.active > col.peakActive {
+		col.peakActive = col.active
+	}
+}
+
+func (col *collector) noteJoinDeferred() {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.joinsDeferred++
+}
+
+func (col *collector) noteJoinError(err error) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.joinErrors++
+	col.sampleLocked("join", err)
+}
+
+func (col *collector) noteResume() {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.resumes++
+	col.active++
+	if col.active > col.peakActive {
+		col.peakActive = col.active
+	}
+}
+
+func (col *collector) noteResumeFailure(err error) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.resumeFailures++
+	col.sampleLocked("resume", err)
+}
+
+func (col *collector) noteLeave() {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.leaves++
+	col.active--
+}
+
+func (col *collector) noteDisconnect() {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.disconnects++
+	col.active--
+}
+
+func (col *collector) addMissed(n uint64) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.missedRekeys += n
+}
+
+// observeEpoch records one member's receipt of a rekey: the first
+// observer anchors the epoch, later ones contribute their lag to the
+// delivery-spread histogram.
+func (col *collector) observeEpoch(epoch uint64) {
+	now := time.Now()
+	col.mu.Lock()
+	t0, seen := col.firstSeen[epoch]
+	if !seen {
+		col.firstSeen[epoch] = now
+		if epoch > col.maxEpoch {
+			col.maxEpoch = epoch
+		}
+	}
+	col.mu.Unlock()
+	if seen {
+		col.rekeySpread.Observe(now.Sub(t0).Seconds())
+	}
+}
+
+// harvest folds a finished session's client-side counters into the run
+// totals. Forged signatures and undecryptable payloads are protocol
+// errors: a healthy server/member pair never produces them.
+func (col *collector) harvest(c *server.Client) {
+	bad := uint64(c.BadSignatures())
+	und := uint64(c.Undecryptable())
+	if bad == 0 && und == 0 {
+		return
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.badSignatures += bad
+	col.undecryptable += und
+	col.protocolErrors += bad + und
+	if bad > 0 {
+		col.sampleLocked("verify", fmt.Errorf("%d frames failed signature verification", bad))
+	}
+	if und > 0 {
+		col.sampleLocked("decrypt", fmt.Errorf("%d data frames undecryptable", und))
+	}
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	s := h.Summary()
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  s.Mean,
+		P50:   s.P50,
+		P95:   s.P95,
+		P99:   s.P99,
+		Max:   s.Max,
+	}
+}
+
+func (col *collector) report(cfg Config, elapsed time.Duration) *Report {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	return &Report{
+		FormatVersion:   ReportFormatVersion,
+		Addr:            cfg.Addr,
+		Members:         cfg.Members,
+		DurationSeconds: elapsed.Seconds(),
+		Seed:            cfg.Seed,
+		Joins:           col.joins,
+		JoinsDeferred:   col.joinsDeferred,
+		JoinErrors:      col.joinErrors,
+		Leaves:          col.leaves,
+		Disconnects:     col.disconnects,
+		Resumes:         col.resumes,
+		ResumeFailures:  col.resumeFailures,
+		RekeysSeen:      uint64(len(col.firstSeen)),
+		FinalEpoch:      col.maxEpoch,
+		MissedRekeys:    col.missedRekeys,
+		ProtocolErrors:  col.protocolErrors,
+		BadSignatures:   col.badSignatures,
+		Undecryptable:   col.undecryptable,
+		PeakActive:      col.peakActive,
+		JoinLatency:     summarize(col.joinLatency),
+		RekeySpread:     summarize(col.rekeySpread),
+		ErrorSamples:    append([]string(nil), col.samples...),
+	}
+}

@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/server"
+	"groupkey/internal/workload"
+)
+
+// startServer brings up an in-process key server with a fast rekey ticker
+// — the loadgen only ever sees the wire protocol, same as against a live
+// keyserverd.
+func startServer(t *testing.T, policy *server.OverloadPolicy, period time.Duration) *server.Server {
+	t.Helper()
+	scheme, err := core.NewOneTree(core.WithRand(keycrypt.NewDeterministicReader(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(scheme, nil)
+	if policy != nil {
+		s.SetOverloadPolicy(*policy)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	s.Serve(ln)
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.RekeyNow()
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		close(stop)
+		s.Close()
+	})
+	return s
+}
+
+func TestSoakSmallGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	s := startServer(t, nil, 30*time.Millisecond)
+	r := New(Config{
+		Addr:     s.Addr().String(),
+		Members:  16,
+		Duration: 2 * time.Second,
+		Seed:     1,
+		// Aggressive compression so every slot churns several sessions.
+		Churn:       workload.PaperDefault().Compressed(1000),
+		MinStay:     50 * time.Millisecond,
+		JoinTimeout: 5 * time.Second,
+	})
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Joins < uint64(16) {
+		t.Fatalf("expected every slot to join at least once, got %d joins", rep.Joins)
+	}
+	if rep.Leaves == 0 {
+		t.Fatal("no session ever left: churn did not happen")
+	}
+	if rep.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors against a healthy server: %d (%v)", rep.ProtocolErrors, rep.ErrorSamples)
+	}
+	if rep.RekeysSeen == 0 || rep.FinalEpoch == 0 {
+		t.Fatalf("no rekeys observed: seen=%d final=%d", rep.RekeysSeen, rep.FinalEpoch)
+	}
+	if rep.JoinLatency.Count != rep.Joins {
+		t.Fatalf("join latency count %d != joins %d", rep.JoinLatency.Count, rep.Joins)
+	}
+	if rep.PeakActive == 0 || rep.PeakActive > 16 {
+		t.Fatalf("implausible peak active %d", rep.PeakActive)
+	}
+	// The report must survive its own wire format.
+	b, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatalf("EncodeReport: %v", err)
+	}
+	if _, err := DecodeReport(b); err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+}
+
+func TestSoakHonorsAdmissionDeferrals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	policy := server.DefaultOverloadPolicy()
+	policy.JoinRate = 4
+	policy.JoinBurst = 1
+	policy.RetryFloor = 50 * time.Millisecond
+	s := startServer(t, &policy, 30*time.Millisecond)
+	r := New(Config{
+		Addr:        s.Addr().String(),
+		Members:     8,
+		Duration:    2 * time.Second,
+		Seed:        2,
+		Churn:       workload.PaperDefault().Compressed(200),
+		MinStay:     200 * time.Millisecond,
+		JoinTimeout: 5 * time.Second,
+	})
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Eight slots racing a 1-token bucket: most first attempts defer, and
+	// every deferral must be retried into admission, not an error.
+	if rep.JoinsDeferred == 0 {
+		t.Fatal("expected admission deferrals under a tight join rate")
+	}
+	if rep.Joins == 0 {
+		t.Fatal("no slot was ever admitted")
+	}
+	if rep.ProtocolErrors != 0 {
+		t.Fatalf("deferrals must not count as protocol errors: %d (%v)", rep.ProtocolErrors, rep.ErrorSamples)
+	}
+}

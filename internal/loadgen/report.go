@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ReportFormatVersion is the schema version EncodeReport stamps and
+// DecodeReport requires.
+const ReportFormatVersion = 1
+
+// LatencySummary condenses one latency histogram for the report.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// Report is the machine-readable outcome of one load/soak run — the
+// SOAK_report.json artifact CI archives and gates on.
+type Report struct {
+	FormatVersion   int     `json:"format_version"`
+	Addr            string  `json:"addr"`
+	Members         int     `json:"members"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Seed            uint64  `json:"seed"`
+
+	Joins          uint64 `json:"joins"`
+	JoinsDeferred  uint64 `json:"joins_deferred"`
+	JoinErrors     uint64 `json:"join_errors"`
+	Leaves         uint64 `json:"leaves"`
+	Disconnects    uint64 `json:"disconnects"`
+	Resumes        uint64 `json:"resumes"`
+	ResumeFailures uint64 `json:"resume_failures"`
+
+	RekeysSeen   uint64 `json:"rekeys_seen"`
+	FinalEpoch   uint64 `json:"final_epoch"`
+	MissedRekeys uint64 `json:"missed_rekeys"`
+
+	ProtocolErrors uint64 `json:"protocol_errors"`
+	BadSignatures  uint64 `json:"bad_signatures"`
+	Undecryptable  uint64 `json:"undecryptable"`
+
+	PeakActive int `json:"peak_active"`
+
+	JoinLatency LatencySummary `json:"join_latency"`
+	RekeySpread LatencySummary `json:"rekey_spread"`
+
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// validate enforces the invariants both encode and decode rely on, so a
+// corrupted or hand-edited report fails loudly instead of gating CI on
+// garbage.
+func (r *Report) validate() error {
+	if r.FormatVersion != ReportFormatVersion {
+		return fmt.Errorf("loadgen: report format version %d, want %d", r.FormatVersion, ReportFormatVersion)
+	}
+	if r.Members < 0 {
+		return fmt.Errorf("loadgen: negative members %d", r.Members)
+	}
+	if r.PeakActive < 0 {
+		return fmt.Errorf("loadgen: negative peak_active %d", r.PeakActive)
+	}
+	if !(r.DurationSeconds >= 0) || math.IsInf(r.DurationSeconds, 0) {
+		return fmt.Errorf("loadgen: bad duration_seconds %v", r.DurationSeconds)
+	}
+	if r.ProtocolErrors < r.BadSignatures+r.Undecryptable {
+		return fmt.Errorf("loadgen: protocol_errors %d below its components %d+%d",
+			r.ProtocolErrors, r.BadSignatures, r.Undecryptable)
+	}
+	if len(r.ErrorSamples) > maxErrorSamples {
+		return fmt.Errorf("loadgen: %d error samples exceeds cap %d", len(r.ErrorSamples), maxErrorSamples)
+	}
+	for _, s := range []struct {
+		name string
+		ls   LatencySummary
+	}{{"join_latency", r.JoinLatency}, {"rekey_spread", r.RekeySpread}} {
+		for _, v := range []float64{s.ls.Mean, s.ls.P50, s.ls.P95, s.ls.P99, s.ls.Max} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("loadgen: %s has non-finite or negative quantile %v", s.name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeReport serializes a report as indented JSON.
+func EncodeReport(r *Report) ([]byte, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses and validates a report produced by EncodeReport.
+// Unknown fields are rejected so schema drift is caught at the consumer.
+func DecodeReport(b []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding report: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("loadgen: trailing data after report")
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		FormatVersion:   ReportFormatVersion,
+		Addr:            "127.0.0.1:7600",
+		Members:         200,
+		DurationSeconds: 30.5,
+		Seed:            42,
+		Joins:           612,
+		JoinsDeferred:   3,
+		JoinErrors:      1,
+		Leaves:          598,
+		Disconnects:     14,
+		Resumes:         9,
+		ResumeFailures:  5,
+		RekeysSeen:      120,
+		FinalEpoch:      121,
+		MissedRekeys:    2,
+		ProtocolErrors:  0,
+		PeakActive:      200,
+		JoinLatency:     LatencySummary{Count: 612, Mean: 0.031, P50: 0.02, P95: 0.09, P99: 0.2, Max: 0.5},
+		RekeySpread:     LatencySummary{Count: 70000, Mean: 0.002, P50: 0.001, P95: 0.006, P99: 0.01, Max: 0.05},
+		ErrorSamples:    []string{"join: connection refused"},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	want := sampleReport()
+	b, err := EncodeReport(want)
+	if err != nil {
+		t.Fatalf("EncodeReport: %v", err)
+	}
+	got, err := DecodeReport(b)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if got.Joins != want.Joins || got.RekeySpread != want.RekeySpread ||
+		got.Addr != want.Addr || got.FinalEpoch != want.FinalEpoch {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.ErrorSamples) != 1 || got.ErrorSamples[0] != want.ErrorSamples[0] {
+		t.Fatalf("error samples mismatch: %v", got.ErrorSamples)
+	}
+}
+
+func TestDecodeReportRejectsBadInput(t *testing.T) {
+	good, err := EncodeReport(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"not json":       "{",
+		"wrong version":  strings.Replace(string(good), `"format_version": 1`, `"format_version": 7`, 1),
+		"unknown field":  strings.Replace(string(good), `"addr"`, `"bogus_field"`, 1),
+		"trailing data":  string(good) + "{}",
+		"negative count": strings.Replace(string(good), `"members": 200`, `"members": -4`, 1),
+		"inconsistent errors": strings.Replace(string(good),
+			`"bad_signatures": 0`, `"bad_signatures": 9`, 1),
+	}
+	for name, in := range cases {
+		if _, err := DecodeReport([]byte(in)); err == nil {
+			t.Errorf("%s: decode accepted invalid report", name)
+		}
+	}
+}
+
+func FuzzDecodeReport(f *testing.F) {
+	if b, err := EncodeReport(sampleReport()); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"format_version":1}`))
+	f.Add([]byte(`{"format_version":1,"join_latency":{"mean_seconds":-1}}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must survive its own invariants and re-encode.
+		if r.FormatVersion != ReportFormatVersion {
+			t.Fatalf("decoded report with version %d", r.FormatVersion)
+		}
+		if _, err := EncodeReport(r); err != nil {
+			t.Fatalf("accepted report fails re-encode: %v", err)
+		}
+	})
+}

@@ -20,6 +20,19 @@ var (
 	ErrNotWelcomed = errors.New("server: client not yet admitted")
 )
 
+// DeferredError reports a join the server deferred under admission load
+// (MsgRetry): not a failure of the protocol, just "come back later".
+// Callers should wait After and dial again; errors.As unwraps it from the
+// error Dial returns.
+type DeferredError struct {
+	After time.Duration
+}
+
+// Error implements error.
+func (e *DeferredError) Error() string {
+	return fmt.Sprintf("server: join deferred, retry after %v", e.After)
+}
+
 // Client is a group member speaking the wire protocol. Create with Dial.
 type Client struct {
 	conn net.Conn
@@ -45,8 +58,13 @@ type Client struct {
 	done     chan struct{}
 
 	data          chan []byte
+	dataDropped   int
 	undecryptable int
 	badSignatures int
+
+	// epochHook, when set, is invoked from the read loop (without c.mu)
+	// after every applied rekey — the load generator's latency probe.
+	epochHook func(epoch uint64)
 }
 
 // Dial connects to a key server, requests to join with the given metadata,
@@ -156,7 +174,11 @@ func (c *Client) readLoop() {
 			old := c.epochCh
 			c.epochCh = make(chan struct{})
 			close(old)
+			hook := c.epochHook
 			c.mu.Unlock()
+			if hook != nil {
+				hook(epoch)
+			}
 		case wire.MsgData:
 			c.mu.Lock()
 			inner, err := wire.OpenSignedRekey(c.serverKey, payload)
@@ -174,7 +196,27 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			select {
 			case c.data <- pt:
-			default: // slow consumer: drop rather than wedge the read loop
+			default:
+				// Slow consumer: drop rather than wedge the read loop —
+				// counted, so the drop is visible (DroppedData).
+				c.mu.Lock()
+				c.dataDropped++
+				c.mu.Unlock()
+			}
+		case wire.MsgRetry:
+			after, err := wire.DecodeRetryAfter(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			joined := c.joined
+			c.mu.Unlock()
+			if !joined {
+				// Admission deferred: surface the hint to the dialer and
+				// hang up (the caller owns the backoff-and-retry loop).
+				c.fail(&DeferredError{After: after})
+				return
 			}
 		case wire.MsgError:
 			c.fail(fmt.Errorf("server rejected: %s", payload))
@@ -236,8 +278,32 @@ func (c *Client) WaitEpoch(min uint64, timeout time.Duration) error {
 	}
 }
 
+// SetEpochHook registers fn to be called from the read loop after every
+// applied rekey. Set it right after Dial returns (rekeys already processed
+// are visible via Epoch); pass nil to clear.
+func (c *Client) SetEpochHook(fn func(epoch uint64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epochHook = fn
+}
+
 // Data returns the stream of successfully decrypted application messages.
 func (c *Client) Data() <-chan []byte { return c.data }
+
+// Done is closed when the connection's read loop exits — the session is
+// over, whether by Close, server eviction, or a transport failure.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err returns the terminal read-loop error, nil while the session is live.
+func (c *Client) Err() error { return c.err() }
+
+// DroppedData reports how many decrypted data messages were discarded
+// because the Data channel was full (slow local consumer).
+func (c *Client) DroppedData() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dataDropped
+}
 
 // Undecryptable reports how many data messages arrived that the client
 // could not decrypt (evidence of correct forward secrecy when observed on

@@ -26,6 +26,13 @@ type Metrics struct {
 	wrapWorkers    *metrics.Gauge
 	broadcastBytes *metrics.Counter
 	rejected       *metrics.Counter
+
+	// Overload hardening (see sendq.go).
+	sendqDepth    *metrics.Gauge
+	sendqShed     *metrics.Counter
+	sendqOverflow *metrics.Counter
+	slowEvictions *metrics.Counter
+	joinsDeferred *metrics.Counter
 }
 
 // NewMetrics registers the server's series on reg. tracer may be nil to
@@ -57,7 +64,57 @@ func NewMetrics(reg *metrics.Registry, tracer *metrics.RekeyTracer) *Metrics {
 			"Bytes written to members for rekey and data broadcasts."),
 		rejected: reg.Counter("groupkey_rejected_registrations_total",
 			"Connections rejected during registration."),
+		sendqDepth: reg.Gauge("groupkey_sendq_depth",
+			"Frames currently queued across all per-client send queues."),
+		sendqShed: reg.Counter("groupkey_sendq_shed_total",
+			"Data frames shed to clients above the high watermark."),
+		sendqOverflow: reg.Counter("groupkey_sendq_overflows_total",
+			"Frames dropped because a client's send queue was full."),
+		slowEvictions: reg.Counter("groupkey_slow_evictions_total",
+			"Clients evicted after repeatedly overflowing their send queue."),
+		joinsDeferred: reg.Counter("groupkey_joins_deferred_total",
+			"Joins deferred with a retry-after response under admission load."),
 	}
+}
+
+// addSendqDepth shifts the aggregate send-queue depth gauge.
+func (m *Metrics) addSendqDepth(delta float64) {
+	if m == nil {
+		return
+	}
+	m.sendqDepth.Add(delta)
+}
+
+// noteShed records one data frame shed to a congested client.
+func (m *Metrics) noteShed() {
+	if m == nil {
+		return
+	}
+	m.sendqShed.Inc()
+}
+
+// noteOverflow records one frame dropped on a full send queue.
+func (m *Metrics) noteOverflow() {
+	if m == nil {
+		return
+	}
+	m.sendqOverflow.Inc()
+}
+
+// noteSlowEviction records one slow-client eviction.
+func (m *Metrics) noteSlowEviction() {
+	if m == nil {
+		return
+	}
+	m.slowEvictions.Inc()
+}
+
+// noteJoinDeferred records one join deferred with MsgRetry.
+func (m *Metrics) noteJoinDeferred() {
+	if m == nil {
+		return
+	}
+	m.joinsDeferred.Inc()
 }
 
 // noteRekey records one completed rekey: counters, latency, partition

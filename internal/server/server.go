@@ -17,6 +17,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"groupkey/internal/adaptive"
@@ -64,11 +65,24 @@ type Server struct {
 
 	mu            sync.Mutex
 	ln            net.Listener
-	conns         map[keytree.MemberID]net.Conn
+	conns         map[keytree.MemberID]*clientConn
 	pendingJoins  []pendingJoin
 	pendingLeaves map[keytree.MemberID]bool
 	nextID        keytree.MemberID
 	closed        bool
+
+	// Overload hardening (see sendq.go). policy is fixed before Serve;
+	// joinTokens/joinLast implement the join-admission token bucket; the
+	// lifetime counters back the accessors and shutdown summary whether or
+	// not metrics are attached.
+	policy        OverloadPolicy
+	joinTokens    float64
+	joinLast      time.Time
+	sendqDepth    atomic.Int64
+	slowEvictions uint64
+	joinsDeferred uint64
+	shedFrames    uint64
+	overflows     uint64
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -120,9 +134,10 @@ func NewWithKey(scheme core.Scheme, rng io.Reader, priv ed25519.PrivateKey) *Ser
 		rng:           rng,
 		signPriv:      priv,
 		signPub:       priv.Public().(ed25519.PublicKey),
-		conns:         make(map[keytree.MemberID]net.Conn),
+		conns:         make(map[keytree.MemberID]*clientConn),
 		pendingLeaves: make(map[keytree.MemberID]bool),
 		nextID:        1,
+		policy:        DefaultOverloadPolicy(),
 		stopCh:        make(chan struct{}),
 	}
 }
@@ -207,8 +222,9 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
 		if memberID != 0 {
-			if _, ok := s.conns[memberID]; ok {
+			if cc, ok := s.conns[memberID]; ok {
 				delete(s.conns, memberID)
+				cc.finish()
 				s.metrics.setConnections(len(s.conns))
 				if s.scheme.Contains(memberID) {
 					s.pendingLeaves[memberID] = true
@@ -244,6 +260,19 @@ func (s *Server) handle(conn net.Conn) {
 				s.mu.Unlock()
 				s.reject(conn, errors.New("join rejected"))
 				return
+			}
+			if wait, ok := s.admitJoinLocked(); !ok {
+				// Load shedding: defer the join, keep the connection — the
+				// client retries on it after the hinted backoff while
+				// committed members keep rekeying undisturbed.
+				s.joinsDeferred++
+				s.metrics.noteJoinDeferred()
+				s.mu.Unlock()
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				if err := wire.WriteFrame(conn, wire.MsgRetry, wire.EncodeRetryAfter(wait)); err != nil {
+					return
+				}
+				continue
 			}
 			memberID = s.nextID
 			s.nextID++
@@ -312,18 +341,19 @@ func (s *Server) resume(conn net.Conn, req wire.ResumeRequest, memberID *keytree
 	*memberID = req.Member
 	// A disconnect queued this member for eviction; reconnecting revokes it.
 	delete(s.pendingLeaves, req.Member)
-	s.conns[req.Member] = conn
+	cc := s.startClientLocked(conn)
+	s.conns[req.Member] = cc
 	s.metrics.setConnections(len(s.conns))
 	welcome := wire.SignedWelcome{
 		Welcome:   wire.Welcome{Member: req.Member, Key: leaf},
 		ServerKey: s.signPub,
 	}
-	ok := s.send(conn, wire.MsgWelcome, welcome.Encode()) == nil
-	if ok && s.lastRekeyBlob != nil {
-		ok = s.send(conn, wire.MsgRekey, s.lastRekeyBlob) == nil
+	s.enqueueLocked(req.Member, cc, wire.MsgWelcome, welcome.Encode())
+	if s.lastRekeyBlob != nil {
+		s.enqueueLocked(req.Member, cc, wire.MsgRekey, s.lastRekeyBlob)
 	}
 	s.mu.Unlock()
-	return ok
+	return true
 }
 
 func (s *Server) reject(conn net.Conn, err error) {
@@ -386,18 +416,17 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 	}
 
 	// Welcome joiners over their registration connections, including the
-	// signing public key they will verify all future frames against.
+	// signing public key they will verify all future frames against. A
+	// joiner that vanished mid-registration fails asynchronously: its
+	// writer tears the conn down and the read side queues the eviction.
 	for id, conn := range joinConn {
 		welcome := wire.SignedWelcome{
 			Welcome:   wire.Welcome{Member: id, Key: rekey.Welcome[id]},
 			ServerKey: s.signPub,
 		}
-		if err := s.send(conn, wire.MsgWelcome, welcome.Encode()); err != nil {
-			// The joiner vanished mid-registration; evict next batch.
-			s.pendingLeaves[id] = true
-			continue
-		}
-		s.conns[id] = conn
+		cc := s.startClientLocked(conn)
+		s.conns[id] = cc
+		s.enqueueLocked(id, cc, wire.MsgWelcome, welcome.Encode())
 	}
 
 	// Broadcast the full rekey payload. Empty payloads still go out: the
@@ -408,11 +437,13 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 		return nil, err
 	}
 
-	// Disconnect leavers.
+	// Disconnect leavers gracefully: the queue drains (their final rekey
+	// frame included, as under the old synchronous write) and the writer
+	// then closes the connection.
 	for _, m := range b.Leaves {
-		if conn, ok := s.conns[m]; ok {
+		if cc, ok := s.conns[m]; ok {
 			delete(s.conns, m)
-			conn.Close()
+			cc.finish()
 		}
 	}
 	s.noteRekeyLocked(rekey, len(b.Joins), len(b.Leaves), sent, time.Since(start))
@@ -450,8 +481,11 @@ func (s *Server) noteRekeyLocked(rekey *core.Rekey, joins, leaves, bytes int, d 
 	s.metrics.setConnections(len(s.conns))
 }
 
-// broadcastRekeyLocked signs and fans out one rekey payload, returning
-// the bytes actually written. Callers hold s.mu.
+// broadcastRekeyLocked signs and fans out one rekey payload to every
+// client queue, returning the bytes accepted for delivery. A client whose
+// queue keeps overflowing is evicted inline (enqueueLocked); a client
+// whose transport fails is cleaned up by its writer and read side.
+// Callers hold s.mu.
 func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) (int, error) {
 	blob, err := wire.EncodeRekey(rekey.Epoch, rekey.AllItems())
 	if err != nil {
@@ -460,16 +494,10 @@ func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) (int, error) {
 	blob = wire.SignRekey(s.signPriv, blob)
 	s.lastRekeyBlob = blob
 	sent := 0
-	for id, conn := range s.conns {
-		if err := s.send(conn, wire.MsgRekey, blob); err != nil {
-			delete(s.conns, id)
-			if s.scheme.Contains(id) {
-				s.pendingLeaves[id] = true
-			}
-			conn.Close()
-			continue
+	for id, cc := range s.conns {
+		if s.enqueueLocked(id, cc, wire.MsgRekey, blob) {
+			sent += len(blob)
 		}
-		sent += len(blob)
 	}
 	return sent, nil
 }
@@ -546,19 +574,14 @@ func (s *Server) Broadcast(data []byte) error {
 		return err
 	}
 	// Sign the sealed frame: group members share the data key, so only the
-	// signature distinguishes the server from another member.
+	// signature distinguishes the server from another member. Congested
+	// clients (above the high watermark) are shed, not waited for.
 	blob := wire.SignRekey(s.signPriv, sealed)
 	sent := 0
-	for id, conn := range s.conns {
-		if err := s.send(conn, wire.MsgData, blob); err != nil {
-			delete(s.conns, id)
-			if s.scheme.Contains(id) {
-				s.pendingLeaves[id] = true
-			}
-			conn.Close()
-			continue
+	for id, cc := range s.conns {
+		if s.enqueueLocked(id, cc, wire.MsgData, blob) {
+			sent += len(blob)
 		}
-		sent += len(blob)
 	}
 	s.metrics.noteBroadcast(sent)
 	s.metrics.setConnections(len(s.conns))
@@ -570,13 +593,6 @@ func (s *Server) Size() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.scheme.Size()
-}
-
-// send writes one frame with a deadline. Callers hold s.mu, which also
-// serializes frame writes per connection.
-func (s *Server) send(conn net.Conn, t wire.MsgType, payload []byte) error {
-	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	return wire.WriteFrame(conn, t, payload)
 }
 
 // Close stops the server: the listener and every connection are closed and
@@ -598,10 +614,11 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	for _, conn := range s.conns {
-		conn.Close()
+	for _, cc := range s.conns {
+		cc.finish()
+		cc.abort()
 	}
-	s.conns = make(map[keytree.MemberID]net.Conn)
+	s.conns = make(map[keytree.MemberID]*clientConn)
 	s.metrics.setConnections(0)
 	s.mu.Unlock()
 	s.wg.Wait()

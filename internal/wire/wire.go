@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/keytree"
@@ -53,6 +54,11 @@ const (
 	// A successfully resumed member keeps its keys and its place in the key
 	// tree — no re-join, no rekey.
 	MsgResume
+	// MsgRetry defers a join without dropping the connection: the server is
+	// shedding admission load and the client should retry after the carried
+	// duration. Unlike MsgError this is not terminal — committed members
+	// keep rekeying while joins wait their turn.
+	MsgRetry
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +78,8 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgResume:
 		return "resume"
+	case MsgRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -266,6 +274,34 @@ func DecodeResumeRequest(b []byte) (ResumeRequest, error) {
 		return ResumeRequest{}, fmt.Errorf("%w: zero member ID", ErrMalformed)
 	}
 	return ResumeRequest{Member: m, Proof: b[8:]}, nil
+}
+
+// EncodeRetryAfter serializes a MsgRetry payload: the suggested backoff in
+// milliseconds (4 bytes; sub-millisecond waits round up to 1 ms so a retry
+// hint is never zero).
+func EncodeRetryAfter(d time.Duration) []byte {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(ms))
+	return out
+}
+
+// DecodeRetryAfter parses a MsgRetry payload.
+func DecodeRetryAfter(b []byte) (time.Duration, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("%w: retry payload %d bytes", ErrMalformed, len(b))
+	}
+	ms := binary.BigEndian.Uint32(b)
+	if ms == 0 {
+		return 0, fmt.Errorf("%w: zero retry-after", ErrMalformed)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 // itemSize is the wire size of one rekey item: kind(1) + level(2) +

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/keytree"
@@ -140,5 +141,29 @@ func TestDecodeRekeyMalformed(t *testing.T) {
 	blob[11] = 5
 	if _, _, err := DecodeRekey(blob); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("lying count: err=%v", err)
+	}
+}
+
+func TestRetryAfterRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, 250 * time.Millisecond, 3 * time.Second, time.Hour} {
+		got, err := DecodeRetryAfter(EncodeRetryAfter(d))
+		if err != nil {
+			t.Fatalf("DecodeRetryAfter(%v): %v", d, err)
+		}
+		if got != d {
+			t.Fatalf("retry-after %v round-tripped to %v", d, got)
+		}
+	}
+	// Sub-millisecond hints round up rather than encoding an empty wait.
+	if got, err := DecodeRetryAfter(EncodeRetryAfter(10 * time.Microsecond)); err != nil || got != time.Millisecond {
+		t.Fatalf("sub-ms retry = %v, %v; want 1ms", got, err)
+	}
+}
+
+func TestDecodeRetryAfterMalformed(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2, 3}, {1, 2, 3, 4, 5}, {0, 0, 0, 0}} {
+		if _, err := DecodeRetryAfter(b); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("DecodeRetryAfter(%v): err=%v, want ErrMalformed", b, err)
+		}
 	}
 }

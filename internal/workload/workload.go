@@ -105,6 +105,39 @@ func (tc TwoClass) Mean() float64 {
 	return tc.Alpha*tc.Short.Mean() + (1-tc.Alpha)*tc.Long.Mean()
 }
 
+// Scaled divides every sample of an underlying distribution by Factor —
+// time compression for load tests that must replay hours of churn in
+// seconds without changing the distribution's shape.
+type Scaled struct {
+	D      Dist
+	Factor float64
+}
+
+// Sample draws a compressed duration.
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.D.Sample(rng) / s.Factor }
+
+// Mean returns the compressed mean.
+func (s Scaled) Mean() float64 { return s.D.Mean() / s.Factor }
+
+// Scale wraps d so durations come out factor times shorter. A factor ≤ 1
+// returns d unchanged (including factor 1, which would be a no-op wrapper).
+func Scale(d Dist, factor float64) Dist {
+	if factor <= 1 {
+		return d
+	}
+	return Scaled{D: d, Factor: factor}
+}
+
+// Compressed returns the model with both classes time-compressed by
+// factor, preserving Alpha and the short/long shape.
+func (tc TwoClass) Compressed(factor float64) TwoClass {
+	return TwoClass{
+		Alpha: tc.Alpha,
+		Short: Scale(tc.Short, factor),
+		Long:  Scale(tc.Long, factor),
+	}
+}
+
 // PaperDefault returns the Table 1 duration model: α=0.8, Ms=3 min,
 // Ml=3 h, both exponential.
 func PaperDefault() TwoClass {
