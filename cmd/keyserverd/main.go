@@ -12,6 +12,13 @@
 // restart recovers the exact group keys without a whole-group rekey:
 //
 //	keyserverd -state-dir /var/lib/groupkey -fsync always -snapshot-every 64
+//
+// With -groups N the daemon hosts N independent groups (IDs 0..N-1)
+// behind one listener: per-group schemes, signing keys, metrics labels
+// and state namespaces (<state-dir>/<group>/). -group-scheme overrides
+// the scheme for individual groups:
+//
+//	keyserverd -groups 64 -scheme tt -group-scheme "0=onetree,7=losshomog"
 package main
 
 import (
@@ -62,6 +69,8 @@ func run(args []string) error {
 	joinRate := fs.Float64("join-rate", 0, "sustained join admissions per second (0 = unlimited)")
 	joinBurst := fs.Int("join-burst", 0, "join admission burst size (0 = max(1, join-rate))")
 	maxPendingJoins := fs.Int("max-pending-joins", 0, "cap on joins awaiting the next rekey (0 = unlimited)")
+	groups := fs.Int("groups", 1, "host this many independent groups (IDs 0..N-1) behind one listener")
+	groupSchemes := fs.String("group-scheme", "", "per-group scheme overrides as comma-separated GROUP=SCHEME pairs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +80,25 @@ func run(args []string) error {
 		return err
 	}
 	workers := core.WithRekeyWorkers(*rekeyWorkers)
+
+	overrides, err := parseGroupSchemes(*groupSchemes, *k)
+	if err != nil {
+		return err
+	}
+	if *groups > 1 {
+		return runMulti(multiConfig{
+			listen: *listen, groups: *groups, defaultScheme: cfg, overrides: overrides,
+			k: *k, period: *period, feed: *feed, rotate: *rotate,
+			tlsCertOut: *tlsCertOut, metricsAddr: *metricsAddr,
+			rekeyWorkers: *rekeyWorkers, stateDir: *stateDir, fsyncMode: *fsyncMode,
+			snapshotEvery: *snapshotEvery,
+			policy: overloadPolicyFromFlags(*sendqCap, *sendqHigh, *sendqLow,
+				*evictAfter, *joinRate, *joinBurst, *maxPendingJoins),
+		})
+	}
+	if len(overrides) > 0 {
+		return fmt.Errorf("-group-scheme requires -groups > 1")
+	}
 
 	// The metrics registry is created up front so the store can register
 	// its durability series before recovery runs.
@@ -136,26 +164,8 @@ func run(args []string) error {
 		srv = server.New(scheme, nil)
 	}
 
-	policy := server.DefaultOverloadPolicy()
-	if *sendqCap > 0 {
-		policy.QueueCap = *sendqCap
-		// Re-derive the watermarks unless explicitly pinned below.
-		policy.HighWatermark = 0
-		policy.LowWatermark = 0
-	}
-	if *sendqHigh > 0 {
-		policy.HighWatermark = *sendqHigh
-	}
-	if *sendqLow > 0 {
-		policy.LowWatermark = *sendqLow
-	}
-	if *evictAfter > 0 {
-		policy.EvictAfter = *evictAfter
-	}
-	policy.JoinRate = *joinRate
-	policy.JoinBurst = *joinBurst
-	policy.MaxPendingJoins = *maxPendingJoins
-	srv.SetOverloadPolicy(policy)
+	srv.SetOverloadPolicy(overloadPolicyFromFlags(*sendqCap, *sendqHigh, *sendqLow,
+		*evictAfter, *joinRate, *joinBurst, *maxPendingJoins))
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"groupkey/internal/store"
+)
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-scheme", "bogus"}); err == nil {
@@ -11,5 +15,38 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-listen", "127.0.0.1:0", "-metrics", "999.999.999.999:1"}); err == nil {
 		t.Error("unlistenable metrics address accepted")
+	}
+	if err := run([]string{"-group-scheme", "0=naive"}); err == nil {
+		t.Error("-group-scheme accepted without -groups")
+	}
+	if err := run([]string{"-groups", "2", "-group-scheme", "5=naive", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("-group-scheme accepted for a group outside -groups")
+	}
+	if err := run([]string{"-groups", "2", "-listen", "999.999.999.999:1"}); err == nil {
+		t.Error("multi-group path accepted an unlistenable address")
+	}
+}
+
+func TestParseGroupSchemes(t *testing.T) {
+	got, err := parseGroupSchemes("0=onetree, 7=tt", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d overrides, want 2", len(got))
+	}
+	if got[0].Kind != store.SchemeOneTree {
+		t.Errorf("group 0 kind = %v", got[0].Kind)
+	}
+	if got[7].Kind != store.SchemeTT || got[7].SPeriodK != 4 {
+		t.Errorf("group 7 = %+v", got[7])
+	}
+	if m, err := parseGroupSchemes("", 4); err != nil || m != nil {
+		t.Errorf("empty spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{"7", "x=tt", "7=bogus", "1=tt,1=qt"} {
+		if _, err := parseGroupSchemes(bad, 4); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"encoding/pem"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/metrics"
+	"groupkey/internal/server"
+	"groupkey/internal/store"
+	"groupkey/internal/wire"
+)
+
+// overloadPolicyFromFlags derives the per-server overload policy from the
+// flag values, shared by the single- and multi-group paths.
+func overloadPolicyFromFlags(sendqCap, sendqHigh, sendqLow, evictAfter int,
+	joinRate float64, joinBurst, maxPendingJoins int) server.OverloadPolicy {
+	policy := server.DefaultOverloadPolicy()
+	if sendqCap > 0 {
+		policy.QueueCap = sendqCap
+		// Re-derive the watermarks unless explicitly pinned below.
+		policy.HighWatermark = 0
+		policy.LowWatermark = 0
+	}
+	if sendqHigh > 0 {
+		policy.HighWatermark = sendqHigh
+	}
+	if sendqLow > 0 {
+		policy.LowWatermark = sendqLow
+	}
+	if evictAfter > 0 {
+		policy.EvictAfter = evictAfter
+	}
+	policy.JoinRate = joinRate
+	policy.JoinBurst = joinBurst
+	policy.MaxPendingJoins = maxPendingJoins
+	return policy
+}
+
+// parseGroupSchemes parses the -group-scheme value: comma-separated
+// GROUP=SCHEME pairs, e.g. "0=onetree,7=losshomog".
+func parseGroupSchemes(spec string, k int) (map[wire.GroupID]store.SchemeConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[wire.GroupID]store.SchemeConfig)
+	for _, pair := range strings.Split(spec, ",") {
+		g, scheme, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-group-scheme: %q is not GROUP=SCHEME", pair)
+		}
+		id, err := strconv.ParseUint(g, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-group-scheme: bad group %q: %v", g, err)
+		}
+		cfg, err := store.ParseSchemeConfig(scheme, k)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[wire.GroupID(id)]; dup {
+			return nil, fmt.Errorf("-group-scheme: group %d specified twice", id)
+		}
+		out[wire.GroupID(id)] = cfg
+	}
+	return out, nil
+}
+
+// multiConfig carries the resolved flags into the multi-group server path.
+type multiConfig struct {
+	listen        string
+	groups        int
+	defaultScheme store.SchemeConfig
+	overrides     map[wire.GroupID]store.SchemeConfig
+	k             int
+	period        time.Duration
+	feed          time.Duration
+	rotate        time.Duration
+	tlsCertOut    string
+	metricsAddr   string
+	rekeyWorkers  int
+	stateDir      string
+	fsyncMode     string
+	snapshotEvery int
+	policy        server.OverloadPolicy
+}
+
+// runMulti hosts cfg.groups independent groups behind one listener: a
+// server.Registry with per-group schemes, signing keys, metrics views and
+// state namespaces (<state-dir>/<group>/).
+func runMulti(cfg multiConfig) error {
+	for g := range cfg.overrides {
+		if int(g) >= cfg.groups {
+			return fmt.Errorf("-group-scheme: group %d outside -groups %d", g, cfg.groups)
+		}
+	}
+
+	var reg *metrics.Registry
+	var tracer *metrics.RekeyTracer
+	var aggregate *server.Metrics
+	if cfg.metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		tracer = metrics.NewRekeyTracer(256)
+		aggregate = server.NewMetrics(reg, tracer)
+		resolved := cfg.rekeyWorkers
+		if resolved <= 0 {
+			resolved = runtime.GOMAXPROCS(0)
+		}
+		aggregate.SetWrapWorkers(resolved)
+	}
+
+	// Hosted set: 0..groups-1, plus any group with recovered state beyond
+	// that range — shrinking -groups must not silently orphan durable
+	// groups' members.
+	hosted := make(map[wire.GroupID]bool, cfg.groups)
+	for g := 0; g < cfg.groups; g++ {
+		hosted[wire.GroupID(g)] = true
+	}
+	var fsyncPolicy store.FsyncPolicy
+	var storeMetrics *store.Metrics
+	if cfg.stateDir != "" {
+		var err error
+		fsyncPolicy, err = store.ParseFsyncPolicy(cfg.fsyncMode)
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			storeMetrics = store.NewMetrics(reg)
+		}
+		if moved, err := store.MigrateLegacyLayout(cfg.stateDir); err != nil {
+			return err
+		} else if moved {
+			fmt.Printf("keyserverd: migrated legacy state in %s into group 0\n", cfg.stateDir)
+		}
+		existing, err := store.ListGroupDirs(cfg.stateDir)
+		if err != nil {
+			return err
+		}
+		for _, g := range existing {
+			hosted[g] = true
+		}
+	}
+	ids := make([]wire.GroupID, 0, len(hosted))
+	for g := range hosted {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	registry := server.NewRegistry()
+	var stores []*store.Store
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	recovered := 0
+	for _, g := range ids {
+		schemeCfg := cfg.defaultScheme
+		if o, ok := cfg.overrides[g]; ok {
+			schemeCfg = o
+		}
+		opts := []core.Option{
+			core.WithRekeyWorkers(cfg.rekeyWorkers),
+			core.WithKeyIDBase(store.GroupKeyIDBase(g)),
+		}
+		var srv *server.Server
+		if cfg.stateDir != "" {
+			st, err := store.Open(store.GroupDir(cfg.stateDir, g), store.Options{
+				Fsync:         fsyncPolicy,
+				Metrics:       storeMetrics,
+				SchemeOptions: opts,
+			})
+			if err != nil {
+				return fmt.Errorf("group %d: %w", g, err)
+			}
+			stores = append(stores, st)
+			res, err := st.Recover()
+			if err != nil {
+				return fmt.Errorf("group %d: recovering: %w", g, err)
+			}
+			scheme := res.Scheme
+			if scheme != nil {
+				recovered++
+			} else {
+				scheme, err = st.Create(schemeCfg)
+				if err != nil {
+					return fmt.Errorf("group %d: %w", g, err)
+				}
+			}
+			srv = server.NewWithKey(scheme, nil, st.SigningKey())
+			srv.Persist(st, cfg.snapshotEvery)
+			srv.SetNextID(res.NextID)
+			if err := srv.SetLastRekey(res.LastRekey); err != nil {
+				return fmt.Errorf("group %d: %w", g, err)
+			}
+		} else {
+			scheme, err := schemeCfg.Build(opts...)
+			if err != nil {
+				return fmt.Errorf("group %d: %w", g, err)
+			}
+			srv = server.New(scheme, nil)
+		}
+		srv.SetOverloadPolicy(cfg.policy)
+		if aggregate != nil {
+			srv.Instrument(aggregate.ForGroup(g))
+		}
+		if err := registry.Add(g, srv); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+
+	metricsLabel := "off"
+	if reg != nil {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: metrics.Handler(reg, tracer)}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		metricsLabel = "http://" + mln.Addr().String() + "/metrics"
+	}
+
+	transportLabel := "tcp"
+	if cfg.tlsCertOut != "" {
+		cert, leaf, err := server.GenerateTLSCert(nil)
+		if err != nil {
+			return err
+		}
+		pemBytes := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: leaf.Raw})
+		if err := os.WriteFile(cfg.tlsCertOut, pemBytes, 0o644); err != nil {
+			return err
+		}
+		registry.ServeTLS(ln, cert)
+		transportLabel = "tls (pin certificate from " + cfg.tlsCertOut + ")"
+	} else {
+		registry.Serve(ln)
+	}
+	registry.StartPeriodic(cfg.period)
+	startedAt := time.Now()
+	fmt.Printf("keyserverd: hosting %d groups (%d recovered) scheme=%s k=%d period=%v listening on %s over %s, metrics=%s\n",
+		len(ids), recovered, cfg.defaultScheme.Kind, cfg.k, cfg.period, ln.Addr(), transportLabel, metricsLabel)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	if cfg.rotate > 0 {
+		go func() {
+			ticker := time.NewTicker(cfg.rotate)
+			defer ticker.Stop()
+			for range ticker.C {
+				for _, g := range registry.Groups() {
+					if srv := registry.Get(g); srv != nil {
+						_, _ = srv.RotateNow() // empty group or shutting down
+					}
+				}
+			}
+		}()
+	}
+
+	if cfg.feed > 0 {
+		go func() {
+			ticker := time.NewTicker(cfg.feed)
+			defer ticker.Stop()
+			seq := 0
+			for range ticker.C {
+				seq++
+				for _, g := range registry.Groups() {
+					srv := registry.Get(g)
+					if srv == nil {
+						continue
+					}
+					msg := fmt.Sprintf("group %d frame %06d at %s", g, seq, time.Now().Format(time.RFC3339))
+					if err := srv.Broadcast([]byte(msg)); err == server.ErrClosed {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	<-stop
+	var totalRekeys uint64
+	peak := 0
+	for _, g := range registry.Groups() {
+		if srv := registry.Get(g); srv != nil {
+			totalRekeys += srv.TotalRekeys()
+			peak += srv.PeakMembers()
+		}
+	}
+	fmt.Printf("keyserverd: shutting down after %v, %d rekeys across %d groups, peak %d members total\n",
+		time.Since(startedAt).Round(time.Second), totalRekeys, len(ids), peak)
+	return registry.Close()
+}

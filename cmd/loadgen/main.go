@@ -36,6 +36,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	addr := fs.String("server", "127.0.0.1:7600", "key server address")
 	members := fs.Int("members", 100, "concurrent member slots to sustain")
+	groups := fs.Int("groups", 1, "spread slots round-robin across hosted groups 0..N-1")
 	duration := fs.Duration("duration", 30*time.Second, "how long to run")
 	seed := fs.Uint64("seed", 1, "churn schedule seed")
 	reportPath := fs.String("report", "SOAK_report.json", "report output path (- for stdout)")
@@ -62,11 +63,12 @@ func run(args []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
-	fmt.Printf("loadgen: soaking %s with %d members for %v (seed %d, compress %.0fx)\n",
-		*addr, *members, *duration, *seed, *compress)
+	fmt.Printf("loadgen: soaking %s with %d members across %d groups for %v (seed %d, compress %.0fx)\n",
+		*addr, *members, *groups, *duration, *seed, *compress)
 	r := loadgen.New(loadgen.Config{
 		Addr:        *addr,
 		Members:     *members,
+		Groups:      *groups,
 		Duration:    *duration,
 		Seed:        *seed,
 		Churn:       churn,

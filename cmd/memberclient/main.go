@@ -34,9 +34,28 @@ func main() {
 	}
 }
 
+// joinWithRetry dials until admitted. Admission deferrals (MsgRetry) are
+// the server shedding join load, not a failure: the retry-after hint is
+// honored via sleep and the dial repeated. Every other error — a terminal
+// MsgError rejection included — is returned as-is, never retried.
+func joinWithRetry(dial func() (*server.Client, error), sleep func(time.Duration),
+	logf func(format string, a ...any)) (*server.Client, error) {
+	for {
+		c, err := dial()
+		var def *server.DeferredError
+		if errors.As(err, &def) {
+			logf("memberclient: join deferred by server, retrying in %v\n", def.After)
+			sleep(def.After)
+			continue
+		}
+		return c, err
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("memberclient", flag.ContinueOnError)
 	addr := fs.String("server", "127.0.0.1:7600", "key server address")
+	group := fs.Uint("group", 0, "hosted group to join on a multi-group server (0 = default group)")
 	loss := fs.Float64("loss", -1, "loss rate to report at join (-1 = unknown)")
 	longLived := fs.Bool("long", false, "report the long-lived class hint")
 	stay := fs.Duration("stay", 0, "leave after this duration (0 = until Ctrl-C)")
@@ -46,6 +65,10 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *group > 0xffffffff {
+		return fmt.Errorf("-group %d does not fit the 32-bit wire address", *group)
+	}
+	gid := wire.GroupID(*group)
 
 	var pool *x509.CertPool
 	if *tlsCert != "" {
@@ -80,24 +103,17 @@ func run(args []string) error {
 	}
 	if c == nil {
 		req := wire.JoinRequest{LossRate: *loss, LongLived: *longLived}
-		// Admission deferrals (MsgRetry) are the server shedding join
-		// load, not a failure: honor the retry-after hint and try again.
-		for {
+		dial := func() (*server.Client, error) {
 			if pool != nil {
-				c, err = server.DialTLS(*addr, req, *joinTimeout, pool)
-			} else {
-				c, err = server.Dial(*addr, req, *joinTimeout)
+				return server.DialTLSGroup(*addr, gid, req, *joinTimeout, pool)
 			}
-			var def *server.DeferredError
-			if errors.As(err, &def) {
-				fmt.Printf("memberclient: join deferred by server, retrying in %v\n", def.After)
-				time.Sleep(def.After)
-				continue
-			}
-			if err != nil {
-				return err
-			}
-			break
+			return server.DialGroup(*addr, gid, req, *joinTimeout)
+		}
+		c, err = joinWithRetry(dial, time.Sleep, func(format string, a ...any) {
+			fmt.Printf(format, a...)
+		})
+		if err != nil {
+			return err
 		}
 	}
 	defer c.Close()

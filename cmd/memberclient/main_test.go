@@ -1,13 +1,120 @@
 package main
 
 import (
+	"errors"
+	"net"
 	"testing"
 	"time"
+
+	"groupkey/internal/server"
+	"groupkey/internal/wire"
 )
 
 func TestRunFailsWithoutServer(t *testing.T) {
 	err := run([]string{"-server", "127.0.0.1:1", "-join-timeout", time.Second.String()})
 	if err == nil {
 		t.Fatal("connected to a server that does not exist")
+	}
+}
+
+// TestJoinWithRetryHonorsDeferral drives the retry loop with an injected
+// clock: every MsgRetry deferral must sleep exactly the server's hint and
+// dial again, and admission on a later attempt succeeds.
+func TestJoinWithRetryHonorsDeferral(t *testing.T) {
+	hints := []time.Duration{750 * time.Millisecond, 250 * time.Millisecond}
+	var slept []time.Duration
+	attempts := 0
+	want := &server.Client{}
+	c, err := joinWithRetry(
+		func() (*server.Client, error) {
+			attempts++
+			if attempts <= len(hints) {
+				return nil, &server.DeferredError{After: hints[attempts-1]}
+			}
+			return want, nil
+		},
+		func(d time.Duration) { slept = append(slept, d) },
+		func(string, ...any) {},
+	)
+	if err != nil || c != want {
+		t.Fatalf("joinWithRetry = %v, %v", c, err)
+	}
+	if attempts != 3 {
+		t.Errorf("dialed %d times, want 3", attempts)
+	}
+	if len(slept) != 2 || slept[0] != hints[0] || slept[1] != hints[1] {
+		t.Errorf("slept %v, want %v", slept, hints)
+	}
+}
+
+// TestJoinWithRetryTerminalError proves a terminal rejection is returned
+// immediately: no sleep, no second dial.
+func TestJoinWithRetryTerminalError(t *testing.T) {
+	terminal := errors.New("server rejected: join rejected")
+	attempts := 0
+	c, err := joinWithRetry(
+		func() (*server.Client, error) {
+			attempts++
+			return nil, terminal
+		},
+		func(time.Duration) { t.Error("slept on a terminal error") },
+		func(string, ...any) {},
+	)
+	if c != nil || !errors.Is(err, terminal) {
+		t.Fatalf("joinWithRetry = %v, %v", c, err)
+	}
+	if attempts != 1 {
+		t.Errorf("dialed %d times, want 1", attempts)
+	}
+}
+
+// TestJoinWithRetryOverWire exercises the loop against a scripted wire
+// peer: one MsgRetry deferral (surfaced by Dial as DeferredError, driving
+// one injected sleep), then a terminal MsgError on the second connection,
+// which must not be retried.
+func TestJoinWithRetryOverWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		// First connection: defer the join.
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, _, _, err := wire.ReadFrameGroup(conn); err == nil {
+			wire.WriteFrame(conn, wire.MsgRetry, wire.EncodeRetryAfter(123*time.Millisecond))
+		}
+		conn.Close()
+		// Second connection: terminal rejection.
+		conn, err = ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, _, _, err := wire.ReadFrameGroup(conn); err == nil {
+			wire.WriteFrame(conn, wire.MsgError, []byte("closed for maintenance"))
+		}
+		conn.Close()
+	}()
+
+	var slept []time.Duration
+	_, err = joinWithRetry(
+		func() (*server.Client, error) {
+			return server.Dial(ln.Addr().String(), wire.JoinRequest{}, 5*time.Second)
+		},
+		func(d time.Duration) { slept = append(slept, d) },
+		func(string, ...any) {},
+	)
+	if err == nil {
+		t.Fatal("joined a server that rejected the second attempt")
+	}
+	var def *server.DeferredError
+	if errors.As(err, &def) {
+		t.Fatalf("terminal error still wrapped as deferral: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 123*time.Millisecond {
+		t.Errorf("slept %v, want exactly the 123ms hint", slept)
 	}
 }

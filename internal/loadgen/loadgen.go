@@ -31,6 +31,9 @@ type Config struct {
 	Addr string
 	// Members is the number of concurrent member slots to sustain.
 	Members int
+	// Groups spreads the member slots round-robin across hosted groups
+	// 0..Groups-1 on a multi-group server (0 or 1 = default group only).
+	Groups int
 	// Duration bounds the run (0 = until the context is cancelled).
 	Duration time.Duration
 	// Seed makes the churn schedule reproducible.
@@ -66,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LossRate == 0 {
 		c.LossRate = -1
+	}
+	if c.Groups <= 0 {
+		c.Groups = 1
 	}
 	return c
 }
@@ -110,9 +116,11 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	return r.col.report(r.cfg, time.Since(start)), nil
 }
 
-// slot runs one member's join → stay → leave loop until ctx is done.
+// slot runs one member's join → stay → leave loop until ctx is done. The
+// slot index pins the member to one hosted group for the whole run.
 func (r *Runner) slot(ctx context.Context, idx int) {
 	rng := rand.New(rand.NewPCG(r.cfg.Seed, uint64(idx)+1))
+	group := wire.GroupID(idx % r.cfg.Groups)
 	if r.cfg.RampPerSec > 0 {
 		ramp := time.Duration(float64(idx) / r.cfg.RampPerSec * float64(time.Second))
 		if !sleepCtx(ctx, ramp) {
@@ -121,7 +129,7 @@ func (r *Runner) slot(ctx context.Context, idx int) {
 	}
 	var state []byte
 	for ctx.Err() == nil {
-		c := r.connect(ctx, rng, &state)
+		c := r.connect(ctx, rng, group, &state)
 		if c == nil {
 			return
 		}
@@ -131,10 +139,11 @@ func (r *Runner) slot(ctx context.Context, idx int) {
 
 // connect joins (or resumes) one session, retrying deferrals and
 // transient failures with backoff. Returns nil once ctx is done.
-func (r *Runner) connect(ctx context.Context, rng *rand.Rand, state *[]byte) *server.Client {
+func (r *Runner) connect(ctx context.Context, rng *rand.Rand, group wire.GroupID, state *[]byte) *server.Client {
 	backoff := 100 * time.Millisecond
 	for ctx.Err() == nil {
 		if r.cfg.Resume && *state != nil {
+			// The saved state carries the slot's group; resume re-addresses it.
 			c, err := server.ResumeDial(r.cfg.Addr, *state, r.cfg.JoinTimeout)
 			*state = nil
 			if err == nil {
@@ -147,7 +156,7 @@ func (r *Runner) connect(ctx context.Context, rng *rand.Rand, state *[]byte) *se
 			continue
 		}
 		t0 := time.Now()
-		c, err := server.Dial(r.cfg.Addr, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout)
+		c, err := server.DialGroup(r.cfg.Addr, group, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout)
 		if err == nil {
 			r.col.noteJoin(time.Since(t0))
 			return c
@@ -182,8 +191,9 @@ func (r *Runner) connect(ctx context.Context, rng *rand.Rand, state *[]byte) *se
 // rekey delivery, then leaves (or records the disconnect).
 func (r *Runner) live(ctx context.Context, rng *rand.Rand, c *server.Client, state *[]byte) {
 	last := c.Epoch()
+	group := c.Group()
 	c.SetEpochHook(func(epoch uint64) {
-		r.col.observeEpoch(epoch)
+		r.col.observeEpoch(group, epoch)
 		if last != 0 && epoch > last+1 {
 			r.col.addMissed(epoch - last - 1)
 		}
@@ -263,7 +273,7 @@ type collector struct {
 	active         int
 	peakActive     int
 	maxEpoch       uint64
-	firstSeen      map[uint64]time.Time
+	firstSeen      map[groupEpoch]time.Time
 	samples        []string
 
 	joinLatency *metrics.Histogram
@@ -273,8 +283,15 @@ type collector struct {
 // maxErrorSamples caps the error excerpts carried in the report.
 const maxErrorSamples = 16
 
+// groupEpoch keys rekey-delivery tracking: epochs advance independently
+// per hosted group, so cross-group collisions must not anchor each other.
+type groupEpoch struct {
+	group wire.GroupID
+	epoch uint64
+}
+
 func (col *collector) init() {
-	col.firstSeen = make(map[uint64]time.Time)
+	col.firstSeen = make(map[groupEpoch]time.Time)
 	// Join latency: 1ms–131s; spread: 0.1ms–26s.
 	col.joinLatency = metrics.NewHistogram(metrics.ExponentialBuckets(0.001, 2, 18))
 	col.rekeySpread = metrics.NewHistogram(metrics.ExponentialBuckets(0.0001, 2, 18))
@@ -348,14 +365,15 @@ func (col *collector) addMissed(n uint64) {
 }
 
 // observeEpoch records one member's receipt of a rekey: the first
-// observer anchors the epoch, later ones contribute their lag to the
-// delivery-spread histogram.
-func (col *collector) observeEpoch(epoch uint64) {
+// observer in the member's group anchors the epoch, later ones contribute
+// their lag to the delivery-spread histogram.
+func (col *collector) observeEpoch(group wire.GroupID, epoch uint64) {
 	now := time.Now()
+	key := groupEpoch{group, epoch}
 	col.mu.Lock()
-	t0, seen := col.firstSeen[epoch]
+	t0, seen := col.firstSeen[key]
 	if !seen {
-		col.firstSeen[epoch] = now
+		col.firstSeen[key] = now
 		if epoch > col.maxEpoch {
 			col.maxEpoch = epoch
 		}
@@ -407,6 +425,7 @@ func (col *collector) report(cfg Config, elapsed time.Duration) *Report {
 		FormatVersion:   ReportFormatVersion,
 		Addr:            cfg.Addr,
 		Members:         cfg.Members,
+		Groups:          cfg.Groups,
 		DurationSeconds: elapsed.Seconds(),
 		Seed:            cfg.Seed,
 		Joins:           col.joins,

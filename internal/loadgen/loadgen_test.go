@@ -9,6 +9,8 @@ import (
 	"groupkey/internal/core"
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/server"
+	"groupkey/internal/store"
+	"groupkey/internal/wire"
 	"groupkey/internal/workload"
 )
 
@@ -129,5 +131,94 @@ func TestSoakHonorsAdmissionDeferrals(t *testing.T) {
 	}
 	if rep.ProtocolErrors != 0 {
 		t.Fatalf("deferrals must not count as protocol errors: %d (%v)", rep.ProtocolErrors, rep.ErrorSamples)
+	}
+}
+
+// startRegistry brings up an in-process multi-group host: one OneTree per
+// group behind a single listener, with a fast fleet-wide rekey ticker.
+func startRegistry(t *testing.T, groups int, period time.Duration) *server.Registry {
+	t.Helper()
+	reg := server.NewRegistry()
+	for g := 0; g < groups; g++ {
+		scheme, err := core.NewOneTree(
+			core.WithRand(keycrypt.NewDeterministicReader(uint64(1000+g))),
+			core.WithKeyIDBase(store.GroupKeyIDBase(wire.GroupID(g))),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Add(wire.GroupID(g), server.New(scheme, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	reg.Serve(ln)
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				reg.RekeyAllNow()
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		close(stop)
+		reg.Close()
+	})
+	return reg
+}
+
+// TestSoakSixtyFourGroups is the multi-group acceptance soak: one host,
+// 64 independent groups, slots spread round-robin, zero protocol errors.
+func TestSoakSixtyFourGroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const groups = 64
+	reg := startRegistry(t, groups, 50*time.Millisecond)
+	r := New(Config{
+		Addr:        reg.Addr().String(),
+		Members:     2 * groups,
+		Groups:      groups,
+		Duration:    3 * time.Second,
+		Seed:        64,
+		Churn:       workload.PaperDefault().Compressed(500),
+		MinStay:     100 * time.Millisecond,
+		JoinTimeout: 10 * time.Second,
+	})
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Groups != groups {
+		t.Fatalf("report says %d groups, want %d", rep.Groups, groups)
+	}
+	if rep.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors across %d groups: %d (%v)", groups, rep.ProtocolErrors, rep.ErrorSamples)
+	}
+	if rep.Joins < uint64(2*groups) {
+		t.Fatalf("expected every slot to join at least once, got %d joins", rep.Joins)
+	}
+	if rep.RekeysSeen == 0 {
+		t.Fatal("no rekeys observed across the fleet")
+	}
+	// Every group must actually have been exercised: with two slots per
+	// group and round-robin placement, each hosted server saw admissions.
+	idle := 0
+	for g := 0; g < groups; g++ {
+		if reg.Get(wire.GroupID(g)).Epoch() == 0 {
+			idle++
+		}
+	}
+	if idle > 0 {
+		t.Fatalf("%d of %d groups never rekeyed", idle, groups)
 	}
 }

@@ -27,6 +27,7 @@ type Report struct {
 	FormatVersion   int     `json:"format_version"`
 	Addr            string  `json:"addr"`
 	Members         int     `json:"members"`
+	Groups          int     `json:"groups"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Seed            uint64  `json:"seed"`
 
@@ -63,6 +64,9 @@ func (r *Report) validate() error {
 	}
 	if r.Members < 0 {
 		return fmt.Errorf("loadgen: negative members %d", r.Members)
+	}
+	if r.Groups < 0 {
+		return fmt.Errorf("loadgen: negative groups %d", r.Groups)
 	}
 	if r.PeakActive < 0 {
 		return fmt.Errorf("loadgen: negative peak_active %d", r.PeakActive)

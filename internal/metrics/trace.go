@@ -14,6 +14,9 @@ type RekeyEvent struct {
 	Seq uint64 `json:"seq"`
 	// Time is when the rekey completed.
 	Time time.Time `json:"time"`
+	// Group is the hosted group the rekey belongs to, when the server is
+	// running as a multi-group registry (empty for a standalone server).
+	Group string `json:"group,omitempty"`
 	// Scheme is the key-management scheme name.
 	Scheme string `json:"scheme"`
 	// Epoch is the scheme's rekey epoch.

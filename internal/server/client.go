@@ -36,6 +36,10 @@ func (e *DeferredError) Error() string {
 // Client is a group member speaking the wire protocol. Create with Dial.
 type Client struct {
 	conn net.Conn
+	// group is the hosted group this session belongs to; fixed at dial (or
+	// restored from saved state), so read without c.mu. Nonzero groups make
+	// every client→server frame group-addressed.
+	group wire.GroupID
 
 	mu        sync.Mutex
 	mem       *member.Member
@@ -67,29 +71,37 @@ type Client struct {
 	epochHook func(epoch uint64)
 }
 
-// Dial connects to a key server, requests to join with the given metadata,
-// and waits (up to timeout) for admission — which happens at the server's
-// next rekey.
+// Dial connects to a key server, requests to join the default group (0)
+// with the given metadata, and waits (up to timeout) for admission — which
+// happens at the server's next rekey.
 func Dial(addr string, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
+	return DialGroup(addr, 0, req, timeout)
+}
+
+// DialGroup connects to a multi-group key server and joins the addressed
+// group. Group 0 joins are sent with the legacy header, so old servers
+// keep admitting new clients.
+func DialGroup(addr string, group wire.GroupID, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
 	}
-	return newClientOnConn(conn, req, timeout)
+	return newClientOnConn(conn, group, req, timeout)
 }
 
 // newClientOnConn completes the join handshake over an established
 // connection (plain TCP or TLS).
-func newClientOnConn(conn net.Conn, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
+func newClientOnConn(conn net.Conn, group wire.GroupID, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
 	c := &Client{
 		conn:     conn,
+		group:    group,
 		welcomed: make(chan struct{}),
 		epochCh:  make(chan struct{}),
 		done:     make(chan struct{}),
 		data:     make(chan []byte, 64),
 	}
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	if err := wire.WriteFrame(conn, wire.MsgJoin, req.Encode()); err != nil {
+	if err := c.writeFrame(wire.MsgJoin, req.Encode()); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("server: sending join: %w", err)
 	}
@@ -104,6 +116,15 @@ func newClientOnConn(conn net.Conn, req wire.JoinRequest, timeout time.Duration)
 		conn.Close()
 		return nil, ErrJoinTimeout
 	}
+}
+
+// writeFrame sends one client→server frame, group-addressed when the
+// session belongs to a nonzero group and legacy-framed otherwise.
+func (c *Client) writeFrame(t wire.MsgType, payload []byte) error {
+	if c.group != 0 {
+		return wire.WriteFrameGroup(c.conn, c.group, t, payload)
+	}
+	return wire.WriteFrame(c.conn, t, payload)
 }
 
 func (c *Client) readLoop() {
@@ -362,8 +383,12 @@ func (c *Client) HasKey(k keycrypt.Key) bool {
 // Leave asks the server to evict this member at its next rekey.
 func (c *Client) Leave() error {
 	c.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	return wire.WriteFrame(c.conn, wire.MsgLeave, nil)
+	return c.writeFrame(wire.MsgLeave, nil)
 }
+
+// Group returns the hosted group this session belongs to (0 for the
+// default group).
+func (c *Client) Group() wire.GroupID { return c.group }
 
 // Close tears down the connection.
 func (c *Client) Close() error {

@@ -1,19 +1,33 @@
 package server
 
 import (
+	"strconv"
+	"sync"
 	"time"
 
 	"groupkey/internal/core"
 	"groupkey/internal/metrics"
+	"groupkey/internal/wire"
 )
 
 // Metrics bundles every instrument the key server exports. Create one
 // with NewMetrics and attach it with (*Server).Instrument before Serve;
 // all methods are nil-receiver safe so an uninstrumented server pays only
 // a nil check per event.
+//
+// Under multi-group hosting (Registry), each hosted group gets its own
+// bundle via ForGroup: group-labelled series on the same registry, with
+// every counter and histogram observation also applied to the aggregate
+// (unlabelled) series, so dashboards built against a standalone server
+// keep reading totals unchanged.
 type Metrics struct {
 	reg    *metrics.Registry
 	tracer *metrics.RekeyTracer
+
+	// parent is the aggregate bundle a ForGroup view chains into; group is
+	// that view's label value. Both are zero on a standalone bundle.
+	parent *Metrics
+	group  string
 
 	members        *metrics.Gauge
 	connections    *metrics.Gauge
@@ -33,56 +47,93 @@ type Metrics struct {
 	sendqOverflow *metrics.Counter
 	slowEvictions *metrics.Counter
 	joinsDeferred *metrics.Counter
+
+	// Set-style gauges cannot chain additively: the aggregate is the sum
+	// over groups, so each group view remembers its last published value
+	// and shifts the parent by the delta.
+	gaugeMu         sync.Mutex
+	lastMembers     float64
+	lastConnections float64
 }
 
 // NewMetrics registers the server's series on reg. tracer may be nil to
 // disable rekey tracing.
 func NewMetrics(reg *metrics.Registry, tracer *metrics.RekeyTracer) *Metrics {
-	return &Metrics{
+	return newMetrics(reg, tracer)
+}
+
+// ForGroup derives the per-group view of this bundle for hosted group g:
+// the same instruments labelled group="<g>", chained so counters and
+// histogram observations also land on the aggregate. Safe on nil (returns
+// nil); calling it on an already-derived view panics.
+func (m *Metrics) ForGroup(g wire.GroupID) *Metrics {
+	if m == nil {
+		return nil
+	}
+	if m.parent != nil {
+		panic("server: ForGroup on a group-derived Metrics")
+	}
+	gm := newMetrics(m.reg, m.tracer, metrics.Label{Name: "group", Value: strconv.FormatUint(uint64(g), 10)})
+	gm.parent = m
+	return gm
+}
+
+func newMetrics(reg *metrics.Registry, tracer *metrics.RekeyTracer, labels ...metrics.Label) *Metrics {
+	m := &Metrics{
 		reg:    reg,
 		tracer: tracer,
 		members: reg.Gauge("groupkey_members",
-			"Current admitted group size."),
+			"Current admitted group size.", labels...),
 		connections: reg.Gauge("groupkey_connections",
-			"Currently connected member transports."),
+			"Currently connected member transports.", labels...),
 		joins: reg.Counter("groupkey_joins_total",
-			"Members admitted since start."),
+			"Members admitted since start.", labels...),
 		leaves: reg.Counter("groupkey_leaves_total",
-			"Members departed since start."),
+			"Members departed since start.", labels...),
 		rekeys: reg.Counter("groupkey_rekeys_total",
-			"Rekey operations performed (batches and rotations)."),
+			"Rekey operations performed (batches and rotations).", labels...),
 		keysEncrypted: reg.Counter("groupkey_rekey_keys_encrypted_total",
-			"Encrypted keys emitted across all rekey payloads."),
+			"Encrypted keys emitted across all rekey payloads.", labels...),
 		rekeyDuration: reg.Histogram("groupkey_rekey_duration_seconds",
-			"Latency of one rekey: batch processing through broadcast.", nil),
+			"Latency of one rekey: batch processing through broadcast.", nil, labels...),
 		wrapThroughput: reg.Histogram("groupkey_rekey_wrap_keys_per_second",
 			"Wrap throughput of one rekey: encrypted keys emitted over its duration.",
-			metrics.ExponentialBuckets(1024, 2, 16)),
+			metrics.ExponentialBuckets(1024, 2, 16), labels...),
 		wrapWorkers: reg.Gauge("groupkey_rekey_wrap_workers",
-			"Configured wrap-emission worker count (0 before SetWrapWorkers)."),
+			"Configured wrap-emission worker count (0 before SetWrapWorkers).", labels...),
 		broadcastBytes: reg.Counter("groupkey_broadcast_bytes_total",
-			"Bytes written to members for rekey and data broadcasts."),
+			"Bytes written to members for rekey and data broadcasts.", labels...),
 		rejected: reg.Counter("groupkey_rejected_registrations_total",
-			"Connections rejected during registration."),
+			"Connections rejected during registration.", labels...),
 		sendqDepth: reg.Gauge("groupkey_sendq_depth",
-			"Frames currently queued across all per-client send queues."),
+			"Frames currently queued across all per-client send queues.", labels...),
 		sendqShed: reg.Counter("groupkey_sendq_shed_total",
-			"Data frames shed to clients above the high watermark."),
+			"Data frames shed to clients above the high watermark.", labels...),
 		sendqOverflow: reg.Counter("groupkey_sendq_overflows_total",
-			"Frames dropped because a client's send queue was full."),
+			"Frames dropped because a client's send queue was full.", labels...),
 		slowEvictions: reg.Counter("groupkey_slow_evictions_total",
-			"Clients evicted after repeatedly overflowing their send queue."),
+			"Clients evicted after repeatedly overflowing their send queue.", labels...),
 		joinsDeferred: reg.Counter("groupkey_joins_deferred_total",
-			"Joins deferred with a retry-after response under admission load."),
+			"Joins deferred with a retry-after response under admission load.", labels...),
 	}
+	for _, l := range labels {
+		if l.Name == "group" {
+			m.group = l.Value
+		}
+	}
+	return m
 }
 
-// addSendqDepth shifts the aggregate send-queue depth gauge.
+// addSendqDepth shifts the send-queue depth gauge (depth is additive, so
+// a group view chains the same delta into the aggregate).
 func (m *Metrics) addSendqDepth(delta float64) {
 	if m == nil {
 		return
 	}
 	m.sendqDepth.Add(delta)
+	if m.parent != nil {
+		m.parent.sendqDepth.Add(delta)
+	}
 }
 
 // noteShed records one data frame shed to a congested client.
@@ -91,6 +142,9 @@ func (m *Metrics) noteShed() {
 		return
 	}
 	m.sendqShed.Inc()
+	if m.parent != nil {
+		m.parent.sendqShed.Inc()
+	}
 }
 
 // noteOverflow records one frame dropped on a full send queue.
@@ -99,6 +153,9 @@ func (m *Metrics) noteOverflow() {
 		return
 	}
 	m.sendqOverflow.Inc()
+	if m.parent != nil {
+		m.parent.sendqOverflow.Inc()
+	}
 }
 
 // noteSlowEviction records one slow-client eviction.
@@ -107,6 +164,9 @@ func (m *Metrics) noteSlowEviction() {
 		return
 	}
 	m.slowEvictions.Inc()
+	if m.parent != nil {
+		m.parent.slowEvictions.Inc()
+	}
 }
 
 // noteJoinDeferred records one join deferred with MsgRetry.
@@ -115,39 +175,95 @@ func (m *Metrics) noteJoinDeferred() {
 		return
 	}
 	m.joinsDeferred.Inc()
+	if m.parent != nil {
+		m.parent.joinsDeferred.Inc()
+	}
+}
+
+// noteFrame counts one client→server frame by message type. The series is
+// registered lazily because the type vocabulary is data-driven; a group
+// view emits both the {type,group} and aggregate {type} series. MsgType
+// names are locked to the protocol's type list by the wire package's
+// exhaustiveness test, so label values cannot silently drift.
+func (m *Metrics) noteFrame(t wire.MsgType) {
+	if m == nil {
+		return
+	}
+	const name = "groupkey_frames_received_total"
+	const help = "Frames received from clients by message type."
+	if m.group != "" {
+		m.reg.Counter(name, help,
+			metrics.Label{Name: "type", Value: t.String()},
+			metrics.Label{Name: "group", Value: m.group}).Inc()
+	}
+	agg := m
+	if m.parent != nil {
+		agg = m.parent
+	}
+	if agg.group == "" {
+		agg.reg.Counter(name, help, metrics.Label{Name: "type", Value: t.String()}).Inc()
+	}
+}
+
+// setMembers publishes the admitted group size. A group view sets its own
+// labelled gauge and shifts the aggregate by the delta since its last
+// publication, keeping the unlabelled gauge equal to the sum over groups.
+func (m *Metrics) setMembers(n float64) {
+	m.members.Set(n)
+	if m.parent == nil {
+		return
+	}
+	m.gaugeMu.Lock()
+	delta := n - m.lastMembers
+	m.lastMembers = n
+	m.gaugeMu.Unlock()
+	m.parent.members.Add(delta)
 }
 
 // noteRekey records one completed rekey: counters, latency, partition
-// gauges and a trace event.
+// gauges and a trace event. A group view also rolls counters and
+// observations into the aggregate; the trace event is recorded once, on
+// the bundle the rekey actually ran in, carrying the group label.
 func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, bytes int, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.rekeys.Inc()
-	m.joins.Add(uint64(joins))
-	m.leaves.Add(uint64(leaves))
-	m.keysEncrypted.Add(uint64(r.TotalKeyCount()))
-	m.rekeyDuration.Observe(d.Seconds())
-	if keys := r.TotalKeyCount(); keys > 0 && d > 0 {
-		m.wrapThroughput.Observe(float64(keys) / d.Seconds())
+	keys := r.TotalKeyCount()
+	for b := m; b != nil; b = b.parent {
+		b.rekeys.Inc()
+		b.joins.Add(uint64(joins))
+		b.leaves.Add(uint64(leaves))
+		b.keysEncrypted.Add(uint64(keys))
+		b.rekeyDuration.Observe(d.Seconds())
+		if keys > 0 && d > 0 {
+			b.wrapThroughput.Observe(float64(keys) / d.Seconds())
+		}
+		b.broadcastBytes.Add(uint64(bytes))
 	}
-	m.broadcastBytes.Add(uint64(bytes))
 	st := scheme.Stats()
-	m.members.Set(float64(scheme.Size()))
+	m.setMembers(float64(scheme.Size()))
+	// Partition gauges stay on the owning bundle: per-group label when
+	// hosted, bare when standalone — partition labels are scheme-internal
+	// and do not sum meaningfully across groups.
+	partLabels := []metrics.Label{{Name: "partition", Value: ""}}
+	if m.group != "" {
+		partLabels = append(partLabels, metrics.Label{Name: "group", Value: m.group})
+	}
 	for _, p := range st.Partitions {
+		partLabels[0].Value = p.Label
 		m.reg.Gauge("groupkey_partition_members",
-			"Current members per scheme partition.",
-			metrics.Label{Name: "partition", Value: p.Label}).Set(float64(p.Size))
+			"Current members per scheme partition.", partLabels...).Set(float64(p.Size))
 	}
 	if m.tracer != nil {
 		m.tracer.Record(metrics.RekeyEvent{
 			Time:            time.Now(),
+			Group:           m.group,
 			Scheme:          scheme.Name(),
 			Epoch:           r.Epoch,
 			Joins:           joins,
 			Leaves:          leaves,
 			Members:         scheme.Size(),
-			KeysEncrypted:   r.TotalKeyCount(),
+			KeysEncrypted:   keys,
 			Bytes:           bytes,
 			DurationSeconds: d.Seconds(),
 		})
@@ -155,7 +271,9 @@ func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, by
 }
 
 // SetWrapWorkers publishes the rekey engine's configured wrap-emission
-// worker count (as resolved by the scheme: 0 means GOMAXPROCS).
+// worker count (as resolved by the scheme: 0 means GOMAXPROCS). A
+// configuration value, not a flow — group views publish their own series
+// without touching the aggregate.
 func (m *Metrics) SetWrapWorkers(n int) {
 	if m == nil {
 		return
@@ -169,6 +287,9 @@ func (m *Metrics) noteBroadcast(bytes int) {
 		return
 	}
 	m.broadcastBytes.Add(uint64(bytes))
+	if m.parent != nil {
+		m.parent.broadcastBytes.Add(uint64(bytes))
+	}
 }
 
 // noteRejected records one rejected registration.
@@ -177,14 +298,26 @@ func (m *Metrics) noteRejected() {
 		return
 	}
 	m.rejected.Inc()
+	if m.parent != nil {
+		m.parent.rejected.Inc()
+	}
 }
 
-// setConnections mirrors the connection-table size.
+// setConnections mirrors the connection-table size, delta-chained into
+// the aggregate like setMembers.
 func (m *Metrics) setConnections(n int) {
 	if m == nil {
 		return
 	}
 	m.connections.Set(float64(n))
+	if m.parent == nil {
+		return
+	}
+	m.gaugeMu.Lock()
+	delta := float64(n) - m.lastConnections
+	m.lastConnections = float64(n)
+	m.gaugeMu.Unlock()
+	m.parent.connections.Add(delta)
 }
 
 // Instrument attaches the metrics bundle; call before Serve. Passing nil

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"groupkey/internal/wire"
+)
+
+// Registry errors.
+var (
+	ErrGroupExists  = errors.New("server: group already hosted")
+	ErrGroupUnknown = errors.New("server: group not hosted")
+)
+
+// registryStripes is the shard count of the group table. Sixteen stripes
+// keeps lock contention negligible at hundreds of groups while bounding
+// the periodic-rekey goroutine count.
+const registryStripes = 16
+
+// routeTimeout bounds how long a freshly accepted connection may sit
+// silent before sending its first (routing) frame.
+const routeTimeout = 30 * time.Second
+
+// Registry hosts many independent group key servers behind one listener.
+// Each hosted group is a complete *Server — its own scheme, signing key,
+// overload policy, metrics view and (optionally) durable store — and the
+// registry routes every inbound connection to the group its first frame
+// addresses. Legacy (v1) frames carry no address and land on group 0, so
+// a registry with group 0 hosted is wire-compatible with old clients.
+//
+// The group table is striped: lookups take one shard's RWMutex, and the
+// periodic rekey ticker runs one pipeline per stripe, so groups on
+// different stripes rekey concurrently while a group never sees two of
+// its own rekeys overlap.
+type Registry struct {
+	stripes [registryStripes]registryStripe
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+type registryStripe struct {
+	mu     sync.RWMutex
+	groups map[wire.GroupID]*Server
+}
+
+// NewRegistry returns an empty multi-group host.
+func NewRegistry() *Registry {
+	r := &Registry{stopCh: make(chan struct{})}
+	for i := range r.stripes {
+		r.stripes[i].groups = make(map[wire.GroupID]*Server)
+	}
+	return r
+}
+
+func (r *Registry) stripe(g wire.GroupID) *registryStripe {
+	return &r.stripes[uint32(g)%registryStripes]
+}
+
+// Add hosts srv as group g, binding the server to that wire address.
+// Call before Serve (the binding is read lock-free on hot paths).
+func (r *Registry) Add(g wire.GroupID, srv *Server) error {
+	st := r.stripe(g)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.groups[g]; dup {
+		return fmt.Errorf("%w: %d", ErrGroupExists, g)
+	}
+	srv.group = g
+	st.groups[g] = srv
+	return nil
+}
+
+// Get returns the server hosting group g, or nil.
+func (r *Registry) Get(g wire.GroupID) *Server {
+	st := r.stripe(g)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.groups[g]
+}
+
+// Groups returns the hosted group IDs in ascending order.
+func (r *Registry) Groups() []wire.GroupID {
+	var out []wire.GroupID
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.RLock()
+		for g := range st.groups {
+			out = append(out, g)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Serve starts accepting connections on ln, routing each to the group its
+// first frame addresses. It returns immediately; the accept loop runs
+// until Close.
+func (r *Registry) Serve(ln net.Listener) {
+	r.mu.Lock()
+	r.ln = ln
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				r.route(conn)
+			}()
+		}
+	}()
+}
+
+// ServeTLS starts accepting TLS connections on ln using the given
+// certificate; routing and the wire protocol on top are unchanged.
+func (r *Registry) ServeTLS(ln net.Listener, cert tls.Certificate) {
+	r.Serve(tls.NewListener(ln, &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}))
+}
+
+// Addr returns the listener address.
+func (r *Registry) Addr() net.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return nil
+	}
+	return r.ln.Addr()
+}
+
+// route reads the connection's first frame, resolves its group, and hands
+// the connection (first frame included) to that group's server, which
+// owns it from here on.
+func (r *Registry) route(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(routeTimeout))
+	g, t, payload, err := wire.ReadFrameGroup(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	srv := r.Get(g)
+	if srv == nil {
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		_ = wire.WriteFrame(conn, wire.MsgError, []byte(fmt.Sprintf("unknown group %d", g)))
+		conn.Close()
+		return
+	}
+	srv.handleFrames(conn, t, payload)
+}
+
+// StartPeriodic rekeys every hosted group every interval until Close. One
+// pipeline runs per stripe: groups on different stripes rekey in
+// parallel, groups sharing a stripe rekey in sequence — bounded
+// concurrency without a goroutine per group.
+func (r *Registry) StartPeriodic(interval time.Duration) {
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-r.stopCh:
+					return
+				case <-ticker.C:
+					for _, srv := range st.servers() {
+						if _, err := srv.RekeyNow(); err != nil && !errors.Is(err, ErrClosed) {
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+}
+
+// servers snapshots one stripe's group table.
+func (st *registryStripe) servers() []*Server {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*Server, 0, len(st.groups))
+	for _, srv := range st.groups {
+		out = append(out, srv)
+	}
+	return out
+}
+
+// RekeyAllNow rekeys every hosted group once, stripes in parallel, and
+// returns the first error (remaining stripes still finish).
+func (r *Registry) RekeyAllNow() error {
+	errCh := make(chan error, registryStripes)
+	var wg sync.WaitGroup
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, srv := range st.servers() {
+				if _, err := srv.RekeyNow(); err != nil && !errors.Is(err, ErrClosed) {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Close stops the registry: the listener closes, periodic pipelines stop,
+// and every hosted server is closed (saving final snapshots where
+// persisted). The first close error is returned.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.stopCh)
+	if r.ln != nil {
+		r.ln.Close()
+	}
+	r.mu.Unlock()
+
+	var first error
+	for i := range r.stripes {
+		for _, srv := range r.stripes[i].servers() {
+			if err := srv.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	r.wg.Wait()
+	return first
+}

@@ -23,12 +23,16 @@ import (
 // callers own encryption at rest (cmd/memberclient stores it 0600).
 
 const (
-	clientStateMagic   = "GKC1"
-	clientStateVersion = 1
+	clientStateMagic = "GKC1"
+	// clientStateVersion 2 inserts the 4-byte hosted group after the
+	// version word; version-1 blobs are still read and map to group 0.
+	clientStateVersion = 2
 )
 
 // ClientState is the decoded resumable session.
 type ClientState struct {
+	// Group is the hosted group the session belongs to (0 = default).
+	Group wire.GroupID
 	// Indiv is the member's current individual (leaf) key — the resume
 	// proof is sealed under it.
 	Indiv keycrypt.Key
@@ -53,6 +57,8 @@ func (c *Client) State() ([]byte, error) {
 	var b8 [8]byte
 	binary.BigEndian.PutUint32(b4[:], clientStateVersion)
 	buf.Write(b4[:])
+	binary.BigEndian.PutUint32(b4[:], uint32(c.group))
+	buf.Write(b4[:])
 	binary.BigEndian.PutUint64(b8[:], c.epoch)
 	buf.Write(b8[:])
 	binary.BigEndian.PutUint64(b8[:], uint64(c.indiv.ID))
@@ -65,26 +71,38 @@ func (c *Client) State() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeClientState parses a State blob.
+// DecodeClientState parses a State blob. Both layout versions are read:
+// version 1 predates multi-group hosting and restores into group 0.
 func DecodeClientState(blob []byte) (*ClientState, error) {
 	const header = 4 + 4 + 8 + 8 + 4 + keycrypt.KeySize + ed25519.PublicKeySize
 	if len(blob) < header || string(blob[:4]) != clientStateMagic {
 		return nil, fmt.Errorf("server: not a client state blob")
 	}
-	if v := binary.BigEndian.Uint32(blob[4:8]); v != clientStateVersion {
+	st := &ClientState{}
+	off := 8
+	switch v := binary.BigEndian.Uint32(blob[4:8]); v {
+	case 1:
+	case 2:
+		if len(blob) < header+4 {
+			return nil, fmt.Errorf("server: truncated client state blob")
+		}
+		st.Group = wire.GroupID(binary.BigEndian.Uint32(blob[8:12]))
+		off = 12
+	default:
 		return nil, fmt.Errorf("server: client state version %d not supported", v)
 	}
-	st := &ClientState{Epoch: binary.BigEndian.Uint64(blob[8:16])}
+	st.Epoch = binary.BigEndian.Uint64(blob[off : off+8])
+	off += 8
 	indiv, err := keycrypt.NewKey(
-		keycrypt.KeyID(binary.BigEndian.Uint64(blob[16:24])),
-		keycrypt.Version(binary.BigEndian.Uint32(blob[24:28])),
-		blob[28:28+keycrypt.KeySize],
+		keycrypt.KeyID(binary.BigEndian.Uint64(blob[off:off+8])),
+		keycrypt.Version(binary.BigEndian.Uint32(blob[off+8:off+12])),
+		blob[off+12:off+12+keycrypt.KeySize],
 	)
 	if err != nil {
 		return nil, err
 	}
 	st.Indiv = indiv
-	off := 28 + keycrypt.KeySize
+	off += 12 + keycrypt.KeySize
 	st.ServerKey = append(ed25519.PublicKey(nil), blob[off:off+ed25519.PublicKeySize]...)
 	st.Member, err = member.Restore(blob[off+ed25519.PublicKeySize:])
 	if err != nil {
@@ -129,6 +147,7 @@ func ResumeDialTLS(addr string, state []byte, timeout time.Duration, pool *x509.
 func resumeOnConn(conn net.Conn, st *ClientState, timeout time.Duration) (*Client, error) {
 	c := &Client{
 		conn:      conn,
+		group:     st.Group,
 		welcomed:  make(chan struct{}),
 		epochCh:   make(chan struct{}),
 		done:      make(chan struct{}),
@@ -149,7 +168,7 @@ func resumeOnConn(conn net.Conn, st *ClientState, timeout time.Duration) (*Clien
 	}
 	req := wire.ResumeRequest{Member: c.id, Proof: proof}
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	if err := wire.WriteFrame(conn, wire.MsgResume, req.Encode()); err != nil {
+	if err := c.writeFrame(wire.MsgResume, req.Encode()); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("server: sending resume: %w", err)
 	}

@@ -57,6 +57,10 @@ const writeTimeout = 5 * time.Second
 type Server struct {
 	scheme core.Scheme
 	rng    io.Reader
+	// group is the wire-level group this server hosts. Standalone servers
+	// keep the zero value (the default group legacy frames address); a
+	// Registry assigns it at Add time. Fixed before Serve, read lock-free.
+	group wire.GroupID
 	// signing keypair: every rekey and data frame is Ed25519-signed so
 	// members can authenticate the key server (group members share the
 	// data key, so GCM alone cannot provide source authentication).
@@ -216,8 +220,22 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
+// Group returns the wire-level group this server hosts (0 unless a
+// Registry assigned another).
+func (s *Server) Group() wire.GroupID { return s.group }
+
 // handle serves one client connection's read side.
 func (s *Server) handle(conn net.Conn) {
+	s.handleFrames(conn, 0, nil)
+}
+
+// handleFrames serves one client connection's read side. A Registry that
+// already consumed the connection's first frame to route it passes that
+// frame in (firstType nonzero); standalone servers read everything
+// themselves. Incoming frames addressed to a different group are protocol
+// errors; unaddressed (legacy v1 or group-0) frames ride the connection's
+// binding.
+func (s *Server) handleFrames(conn net.Conn, firstType wire.MsgType, firstPayload []byte) {
 	var memberID keytree.MemberID
 	defer func() {
 		s.mu.Lock()
@@ -243,11 +261,25 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 
-	for {
-		t, payload, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
+	for first := true; ; first = false {
+		var t wire.MsgType
+		var payload []byte
+		if first && firstType != 0 {
+			t, payload = firstType, firstPayload
+		} else {
+			g, rt, rp, err := wire.ReadFrameGroup(conn)
+			if err != nil {
+				return
+			}
+			if g != 0 && g != s.group {
+				// Cross-group frames never reach another group's scheme: the
+				// connection is bound to one group for its lifetime.
+				s.reject(conn, fmt.Errorf("frame addressed to group %d on a group %d connection", g, s.group))
+				return
+			}
+			t, payload = rt, rp
 		}
+		s.metrics.noteFrame(t)
 		switch t {
 		case wire.MsgJoin:
 			req, err := wire.DecodeJoinRequest(payload)
@@ -593,6 +625,14 @@ func (s *Server) Size() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.scheme.Size()
+}
+
+// Epoch returns the number of rekeys (batches and rotations) the hosted
+// scheme has processed — the key epoch members observe on the wire.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheme.Stats().Rekeys
 }
 
 // Close stops the server: the listener and every connection are closed and

@@ -69,6 +69,11 @@ func (s *Server) ServeTLS(ln net.Listener, cert tls.Certificate) {
 // certificate pool (typically containing exactly the server's self-signed
 // certificate, obtained out of band).
 func DialTLS(addr string, req wire.JoinRequest, timeout time.Duration, pool *x509.CertPool) (*Client, error) {
+	return DialTLSGroup(addr, 0, req, timeout, pool)
+}
+
+// DialTLSGroup is DialTLS addressed at a hosted group.
+func DialTLSGroup(addr string, group wire.GroupID, req wire.JoinRequest, timeout time.Duration, pool *x509.CertPool) (*Client, error) {
 	dialer := &net.Dialer{Timeout: timeout}
 	conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
 		RootCAs:    pool,
@@ -77,5 +82,5 @@ func DialTLS(addr string, req wire.JoinRequest, timeout time.Duration, pool *x50
 	if err != nil {
 		return nil, fmt.Errorf("server: TLS dial %s: %w", addr, err)
 	}
-	return newClientOnConn(conn, req, timeout)
+	return newClientOnConn(conn, group, req, timeout)
 }

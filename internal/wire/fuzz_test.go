@@ -34,6 +34,41 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzReadFrameGroup feeds arbitrary bytes to the group-aware frame
+// reader: it must never panic, must map legacy frames to group 0, and any
+// accepted frame must survive a group-addressed re-encode.
+func FuzzReadFrameGroup(f *testing.F) {
+	var v1, v2 bytes.Buffer
+	_ = WriteFrame(&v1, MsgJoin, JoinRequest{LossRate: 0.1}.Encode())
+	_ = WriteFrameGroup(&v2, 7, MsgResume, ResumeRequest{Member: 3, Proof: []byte{1}}.Encode())
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 5, byte(MsgLeave) | 0x80, 0, 0, 0, 9})
+	f.Add([]byte{0, 0, 0, 2, 0x80, 1}) // flagged but too short for a group
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, typ, payload, err := ReadFrameGroup(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrameGroup(&out, g, typ, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode group-addressed: %v", err)
+		}
+		g2, typ2, payload2, err := ReadFrameGroup(&out)
+		if err != nil || g2 != g || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("group frame round trip diverged: %v", err)
+		}
+		// The legacy reader must agree on type and payload regardless of
+		// header version — it only discards the address.
+		typ3, payload3, err := ReadFrame(bytes.NewReader(data))
+		if err != nil || typ3 != typ || !bytes.Equal(payload3, payload) {
+			t.Fatalf("legacy and group readers diverged: %v", err)
+		}
+	})
+}
+
 // FuzzDecodeRekey throws arbitrary bytes at the rekey decoder: no panics,
 // and accepted payloads re-encode to the same bytes.
 func FuzzDecodeRekey(f *testing.F) {

@@ -31,6 +31,16 @@ var (
 // groups dominate; 16 MiB is ample).
 const MaxFrameSize = 16 << 20
 
+// GroupID addresses one hosted group on a multi-group key server. Group 0
+// is the default group — the one every legacy (v1-header) frame implicitly
+// addresses, so single-group deployments upgrade without a flag day.
+type GroupID uint32
+
+// groupFlag marks a group-addressed (v2) frame: the high bit of the type
+// byte is set and a big-endian uint32 group ID follows it. MsgType values
+// must stay below the flag, which the exhaustiveness test enforces.
+const groupFlag = 0x80
+
 // MsgType identifies a frame's payload encoding.
 type MsgType uint8
 
@@ -59,7 +69,18 @@ const (
 	// duration. Unlike MsgError this is not terminal — committed members
 	// keep rekeying while joins wait their turn.
 	MsgRetry
+
+	// msgTypeSentinel marks the end of the defined range. Adding a type
+	// above without extending MsgType.String (and therefore the metrics
+	// label vocabulary) fails TestMsgTypeNamesExhaustive.
+	msgTypeSentinel
 )
+
+// NumMsgTypes is how many message types the protocol defines; valid types
+// are 1..NumMsgTypes. The exhaustiveness test iterates this range to keep
+// String() — and every metrics label derived from it — in lockstep with
+// the type list.
+const NumMsgTypes = int(msgTypeSentinel) - 1
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -85,8 +106,12 @@ func (t MsgType) String() string {
 	}
 }
 
-// WriteFrame writes one frame: uint32 length, uint8 type, payload.
+// WriteFrame writes one legacy (v1) frame: uint32 length, uint8 type,
+// payload. A v1 frame implicitly addresses group 0.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if byte(t)&groupFlag != 0 {
+		return fmt.Errorf("%w: type %d collides with the group flag", ErrMalformed, t)
+	}
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
@@ -102,24 +127,70 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame written by WriteFrame.
+// WriteFrameGroup writes one group-addressed (v2) frame: uint32 length,
+// uint8 type with the high bit set, uint32 group ID, payload. Group 0 is
+// written explicitly — the v2 header states the address, it never implies
+// one.
+func WriteFrameGroup(w io.Writer, g GroupID, t MsgType, payload []byte) error {
+	if byte(t)&groupFlag != 0 {
+		return fmt.Errorf("%w: type %d collides with the group flag", ErrMalformed, t)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := make([]byte, 9)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+5))
+	hdr[4] = byte(t) | groupFlag
+	binary.BigEndian.PutUint32(hdr[5:], uint32(g))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame of either header version, discarding the group
+// address. Single-group endpoints (members bound to one group per
+// connection) use this; the multi-group server routes with ReadFrameGroup.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	_, t, payload, _, err := readFrame(r)
+	return t, payload, err
+}
+
+// ReadFrameGroup reads one frame of either header version and returns the
+// group it addresses; legacy v1 frames map to group 0.
+func ReadFrameGroup(r io.Reader) (GroupID, MsgType, []byte, error) {
+	g, t, payload, _, err := readFrame(r)
+	return g, t, payload, err
+}
+
+// readFrame decodes one frame, reporting which header version carried it.
+func readFrame(r io.Reader) (GroupID, MsgType, []byte, bool, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err // io.EOF propagates untouched for clean shutdown
+		return 0, 0, nil, false, err // io.EOF propagates untouched for clean shutdown
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n < 1 {
-		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+		return 0, 0, nil, false, fmt.Errorf("%w: zero-length frame", ErrMalformed)
 	}
-	if n > MaxFrameSize+1 {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	if n > MaxFrameSize+5 {
+		return 0, 0, nil, false, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("wire: reading frame body: %w", err)
+		return 0, 0, nil, false, fmt.Errorf("wire: reading frame body: %w", err)
 	}
-	return MsgType(body[0]), body[1:], nil
+	if body[0]&groupFlag == 0 {
+		return 0, MsgType(body[0]), body[1:], false, nil
+	}
+	if n < 5 {
+		return 0, 0, nil, false, fmt.Errorf("%w: group-addressed frame %d bytes", ErrMalformed, n)
+	}
+	g := GroupID(binary.BigEndian.Uint32(body[1:5]))
+	return g, MsgType(body[0] &^ groupFlag), body[5:], true, nil
 }
 
 // JoinRequest is the metadata a joining member reports (Section 4.2: loss
