@@ -19,6 +19,15 @@
 // the scheme for individual groups:
 //
 //	keyserverd -groups 64 -scheme tt -group-scheme "0=onetree,7=losshomog"
+//
+// With -cluster-node the daemon runs as one node of a replicated cluster:
+// groups partition into -shards lease-owned shards, the owning primary
+// streams its WAL to the other nodes, and any node redirects members to a
+// group's current owner. Requires -state-dir (private per node) and
+// -cluster-dir (shared lease directory):
+//
+//	keyserverd -cluster-node a -cluster-peers "a=:7601=:8601,b=:7602=:8602" \
+//	    -cluster-dir /mnt/shared/leases -state-dir /var/lib/groupkey/a
 package main
 
 import (
@@ -71,6 +80,11 @@ func run(args []string) error {
 	maxPendingJoins := fs.Int("max-pending-joins", 0, "cap on joins awaiting the next rekey (0 = unlimited)")
 	groups := fs.Int("groups", 1, "host this many independent groups (IDs 0..N-1) behind one listener")
 	groupSchemes := fs.String("group-scheme", "", "per-group scheme overrides as comma-separated GROUP=SCHEME pairs")
+	clusterNode := fs.String("cluster-node", "", "run as this node of a replicated cluster (ID from -cluster-peers; empty = standalone)")
+	clusterPeers := fs.String("cluster-peers", "", "cluster membership as comma-separated ID=CLIENTADDR=REPLADDR triples")
+	clusterDir := fs.String("cluster-dir", "", "shared lease directory arbitrating shard ownership across the cluster's processes")
+	shards := fs.Int("shards", 1, "lease-ownership units the groups are distributed over (cluster mode)")
+	leaseTTL := fs.Duration("lease-ttl", 3*time.Second, "shard lease duration; failover detection latency is about one TTL (cluster mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +98,17 @@ func run(args []string) error {
 	overrides, err := parseGroupSchemes(*groupSchemes, *k)
 	if err != nil {
 		return err
+	}
+	if *clusterNode != "" {
+		if len(overrides) > 0 {
+			return fmt.Errorf("-group-scheme is not supported in cluster mode")
+		}
+		return runCluster(clusterConfig{
+			node: *clusterNode, peersSpec: *clusterPeers, leaseDir: *clusterDir,
+			shards: *shards, groups: *groups, scheme: cfg, leaseTTL: *leaseTTL,
+			period: *period, metricsAddr: *metricsAddr, stateDir: *stateDir,
+			fsyncMode: *fsyncMode, snapshotEvery: *snapshotEvery,
+		})
 	}
 	if *groups > 1 {
 		return runMulti(multiConfig{
@@ -106,6 +131,7 @@ func run(args []string) error {
 	var tracer *metrics.RekeyTracer
 	if *metricsAddr != "" {
 		reg = metrics.NewRegistry()
+		metrics.RegisterBuildInfo(reg)
 		tracer = metrics.NewRekeyTracer(256)
 	}
 

@@ -109,6 +109,7 @@ func runMulti(cfg multiConfig) error {
 	var aggregate *server.Metrics
 	if cfg.metricsAddr != "" {
 		reg = metrics.NewRegistry()
+		metrics.RegisterBuildInfo(reg)
 		tracer = metrics.NewRekeyTracer(256)
 		aggregate = server.NewMetrics(reg, tracer)
 		resolved := cfg.rekeyWorkers

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,7 +35,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	addr := fs.String("server", "127.0.0.1:7600", "key server address")
+	addr := fs.String("server", "127.0.0.1:7600", "key server address, or a comma-separated list of cluster node addresses")
 	members := fs.Int("members", 100, "concurrent member slots to sustain")
 	groups := fs.Int("groups", 1, "spread slots round-robin across hosted groups 0..N-1")
 	duration := fs.Duration("duration", 30*time.Second, "how long to run")
@@ -65,8 +66,14 @@ func run(args []string) error {
 
 	fmt.Printf("loadgen: soaking %s with %d members across %d groups for %v (seed %d, compress %.0fx)\n",
 		*addr, *members, *groups, *duration, *seed, *compress)
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
 	r := loadgen.New(loadgen.Config{
-		Addr:        *addr,
+		Addrs:       addrs,
 		Members:     *members,
 		Groups:      *groups,
 		Duration:    *duration,

@@ -11,6 +11,11 @@
 // restarts and server restarts — instead of re-joining. Ctrl-C then
 // detaches without leaving the group; -stay expiry still leaves properly
 // and removes the state file.
+//
+// Against a replicated cluster, -server takes a comma-separated list of
+// node addresses: the client rotates through them until one answers
+// (redirects to the group's current primary are followed transparently),
+// so any surviving node is a valid entry point after a failover.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,6 +38,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memberclient:", err)
 		os.Exit(1)
 	}
+}
+
+// dialAny tries each address in turn, returning the first success. A
+// DeferredError (admission control) is surfaced immediately — it means a
+// live server answered and asked us to wait, so rotating onward would
+// dodge the backpressure the server just applied.
+func dialAny(addrs []string, dial func(addr string) (*server.Client, error)) (*server.Client, error) {
+	var lastErr error
+	for _, addr := range addrs {
+		c, err := dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		var def *server.DeferredError
+		if errors.As(err, &def) {
+			return nil, err
+		}
+		fmt.Printf("memberclient: %s unreachable (%v), trying next\n", addr, err)
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // joinWithRetry dials until admitted. Admission deferrals (MsgRetry) are
@@ -54,7 +81,7 @@ func joinWithRetry(dial func() (*server.Client, error), sleep func(time.Duration
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("memberclient", flag.ContinueOnError)
-	addr := fs.String("server", "127.0.0.1:7600", "key server address")
+	addr := fs.String("server", "127.0.0.1:7600", "key server address, or a comma-separated list of cluster node addresses")
 	group := fs.Uint("group", 0, "hosted group to join on a multi-group server (0 = default group)")
 	loss := fs.Float64("loss", -1, "loss rate to report at join (-1 = unknown)")
 	longLived := fs.Bool("long", false, "report the long-lived class hint")
@@ -69,6 +96,15 @@ func run(args []string) error {
 		return fmt.Errorf("-group %d does not fit the 32-bit wire address", *group)
 	}
 	gid := wire.GroupID(*group)
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("-server needs at least one address")
+	}
 
 	var pool *x509.CertPool
 	if *tlsCert != "" {
@@ -89,11 +125,12 @@ func run(args []string) error {
 	resumed := false
 	if *statePath != "" {
 		if state, rerr := os.ReadFile(*statePath); rerr == nil {
-			if pool != nil {
-				c, err = server.ResumeDialTLS(*addr, state, *joinTimeout, pool)
-			} else {
-				c, err = server.ResumeDial(*addr, state, *joinTimeout)
-			}
+			c, err = dialAny(addrs, func(a string) (*server.Client, error) {
+				if pool != nil {
+					return server.ResumeDialTLS(a, state, *joinTimeout, pool)
+				}
+				return server.ResumeDial(a, state, *joinTimeout)
+			})
 			if err == nil {
 				resumed = true
 			} else {
@@ -104,10 +141,12 @@ func run(args []string) error {
 	if c == nil {
 		req := wire.JoinRequest{LossRate: *loss, LongLived: *longLived}
 		dial := func() (*server.Client, error) {
-			if pool != nil {
-				return server.DialTLSGroup(*addr, gid, req, *joinTimeout, pool)
-			}
-			return server.DialGroup(*addr, gid, req, *joinTimeout)
+			return dialAny(addrs, func(a string) (*server.Client, error) {
+				if pool != nil {
+					return server.DialTLSGroup(a, gid, req, *joinTimeout, pool)
+				}
+				return server.DialGroup(a, gid, req, *joinTimeout)
+			})
 		}
 		c, err = joinWithRetry(dial, time.Sleep, func(format string, a ...any) {
 			fmt.Printf(format, a...)

@@ -1,0 +1,72 @@
+package cluster
+
+import "groupkey/internal/metrics"
+
+// Metrics bundles the cluster instruments. All note methods are
+// nil-receiver safe, so an uninstrumented node pays only a nil check.
+type Metrics struct {
+	leaseTransitions  *metrics.Counter
+	fencingRejections *metrics.Counter
+	shardsOwned       *metrics.Gauge
+	recordsShipped    *metrics.Counter
+	recordsApplied    *metrics.Counter
+	snapshotsShipped  *metrics.Counter
+	replLag           *metrics.Gauge
+}
+
+// NewMetrics registers the cluster series on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		leaseTransitions: reg.Counter("groupkey_lease_transitions_total",
+			"Shard promotions and demotions processed by this node."),
+		fencingRejections: reg.Counter("groupkey_fencing_rejections_total",
+			"Mutations and replication records rejected by epoch fencing."),
+		shardsOwned: reg.Gauge("groupkey_shards_owned",
+			"Shards this node currently serves as primary."),
+		recordsShipped: reg.Counter("groupkey_repl_records_shipped_total",
+			"WAL records streamed to followers."),
+		recordsApplied: reg.Counter("groupkey_repl_records_applied_total",
+			"Streamed WAL records applied to local replica stores."),
+		snapshotsShipped: reg.Counter("groupkey_repl_snapshots_shipped_total",
+			"Full snapshots shipped to followers too far behind (or fenced out)."),
+		replLag: reg.Gauge("groupkey_repl_lag_records",
+			"Newest follower acknowledgement distance, in records, across streams."),
+	}
+}
+
+func (m *Metrics) noteTransition(delta float64) {
+	if m != nil {
+		m.leaseTransitions.Inc()
+		m.shardsOwned.Add(delta)
+	}
+}
+
+func (m *Metrics) noteFenced() {
+	if m != nil {
+		m.fencingRejections.Inc()
+	}
+}
+
+func (m *Metrics) noteShipped() {
+	if m != nil {
+		m.recordsShipped.Inc()
+	}
+}
+
+func (m *Metrics) noteApplied() {
+	if m != nil {
+		m.recordsApplied.Inc()
+	}
+}
+
+func (m *Metrics) noteSnapshotShipped() {
+	if m != nil {
+		m.snapshotsShipped.Inc()
+	}
+}
+
+func (m *Metrics) noteLag(records uint64) {
+	if m != nil {
+		m.replLag.Set(float64(records))
+	}
+}

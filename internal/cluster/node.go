@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keytree"
+	"groupkey/internal/server"
+	"groupkey/internal/store"
+	"groupkey/internal/wire"
+)
+
+// Node is one member of a replicated key-server cluster. It hosts a
+// server.Registry for member traffic, a replication listener for peer
+// traffic, one durable store per group, and a lease loop that promotes the
+// node to primary for shards it wins and demotes it for shards it loses.
+type Node struct {
+	cfg Config
+	reg *server.Registry
+
+	clientLn net.Listener
+	replLn   net.Listener
+
+	mu     sync.Mutex
+	shards map[ShardID]*shardState
+	groups map[wire.GroupID]*groupState
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// shardState tracks this node's view of one lease-ownership unit.
+type shardState struct {
+	id     ShardID
+	groups []*groupState
+
+	// Guarded by Node.mu.
+	owned bool
+	lease Lease
+}
+
+// groupState is one group's replica: the durable store is always open;
+// srv is non-nil exactly while this node is the group's primary, and conn
+// is the live follower stream while it is not.
+type groupState struct {
+	g     wire.GroupID
+	shard *shardState
+
+	mu        sync.Mutex
+	st        *store.Store
+	scheme    core.Scheme
+	nextID    keytree.MemberID
+	lastRekey *core.Rekey
+	epoch     uint64 // highest fence epoch durably recorded (fence.epoch)
+	srv       *server.Server
+	conn      net.Conn
+}
+
+// New opens (and recovers) every group store and assembles the node. No
+// network activity happens until Start.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Authority == nil {
+		return nil, errors.New("cluster: Config.Authority is required")
+	}
+	if cfg.StateDir == "" {
+		return nil, errors.New("cluster: Config.StateDir is required")
+	}
+	if _, ok := cfg.peer(cfg.Node); !ok {
+		return nil, fmt.Errorf("cluster: node %q not in peer list", cfg.Node)
+	}
+
+	// Hosted set: the configured range plus any group with recovered local
+	// state beyond it — shrinking -groups must not orphan durable groups.
+	hosted := make(map[wire.GroupID]bool, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		hosted[wire.GroupID(g)] = true
+	}
+	existing, err := store.ListGroupDirs(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range existing {
+		hosted[g] = true
+	}
+	ids := make([]wire.GroupID, 0, len(hosted))
+	for g := range hosted {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	n := &Node{
+		cfg:    cfg,
+		reg:    server.NewRegistry(),
+		shards: make(map[ShardID]*shardState),
+		groups: make(map[wire.GroupID]*groupState),
+		stop:   make(chan struct{}),
+	}
+	n.reg.SetResolver(n)
+
+	for _, g := range ids {
+		st, err := store.Open(store.GroupDir(cfg.StateDir, g), store.Options{
+			Fsync:   cfg.Fsync,
+			Metrics: cfg.StoreMetrics,
+			SchemeOptions: []core.Option{
+				core.WithKeyIDBase(store.GroupKeyIDBase(g)),
+			},
+		})
+		if err != nil {
+			n.closeStores()
+			return nil, fmt.Errorf("cluster: group %d: %w", g, err)
+		}
+		res, err := st.Recover()
+		if err != nil {
+			st.Close()
+			n.closeStores()
+			return nil, fmt.Errorf("cluster: group %d: recovering: %w", g, err)
+		}
+		sid := ShardOf(g, cfg.Shards)
+		ss := n.shards[sid]
+		if ss == nil {
+			ss = &shardState{id: sid}
+			n.shards[sid] = ss
+		}
+		gs := &groupState{
+			g:         g,
+			shard:     ss,
+			st:        st,
+			scheme:    res.Scheme,
+			nextID:    res.NextID,
+			lastRekey: res.LastRekey,
+			epoch:     readEpoch(st.Dir()),
+		}
+		ss.groups = append(ss.groups, gs)
+		n.groups[g] = gs
+	}
+	return n, nil
+}
+
+// Start begins serving: member traffic on clientLn, replication on replLn.
+// Unless Config.NoTicker is set, the lease loop starts renewing at a third
+// of the lease TTL (with an immediate first pass).
+func (n *Node) Start(clientLn, replLn net.Listener) {
+	n.clientLn = clientLn
+	n.replLn = replLn
+	n.reg.Serve(clientLn)
+	n.wg.Add(1)
+	go n.acceptRepl(replLn)
+	for _, gs := range n.groups {
+		n.wg.Add(1)
+		go n.followLoop(gs)
+	}
+	if !n.cfg.NoTicker {
+		n.Tick()
+		n.wg.Add(1)
+		go n.leaseLoop()
+	}
+}
+
+// Registry exposes the node's member-facing registry (for tests and for
+// wiring server-level instrumentation).
+func (n *Node) Registry() *server.Registry { return n.reg }
+
+// ClientAddr returns the member-facing listen address.
+func (n *Node) ClientAddr() net.Addr { return n.clientLn.Addr() }
+
+// ReplAddr returns the replication listen address.
+func (n *Node) ReplAddr() net.Addr { return n.replLn.Addr() }
+
+// Locate implements server.Resolver: members asking any node for a group
+// it does not host are redirected to the shard's current lease holder.
+func (n *Node) Locate(g wire.GroupID) (string, uint64, bool) {
+	n.mu.Lock()
+	_, known := n.groups[g]
+	n.mu.Unlock()
+	if !known {
+		return "", 0, false
+	}
+	lease, ok := n.cfg.Authority.Peek(ShardOf(g, n.cfg.Shards))
+	if !ok || lease.Owner == n.cfg.Node {
+		// No owner, or this node owns it but has not finished promoting:
+		// redirecting to ourselves would only loop the client.
+		return "", 0, false
+	}
+	peer, ok := n.cfg.peer(lease.Owner)
+	if !ok {
+		return "", 0, false
+	}
+	return peer.ClientAddr, lease.Epoch, true
+}
+
+// leaseLoop renews every shard at a third of the lease TTL.
+func (n *Node) leaseLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.LeaseTTL / 3)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.Tick()
+		}
+	}
+}
+
+// Tick runs one lease-maintenance pass: acquire (or renew) every shard,
+// promoting on wins, demoting on losses, and re-promoting when a shard was
+// re-won under a fresh epoch (continuity was lost, so the fence must be
+// re-armed).
+func (n *Node) Tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	for _, ss := range n.shards {
+		lease, err := n.cfg.Authority.Acquire(ss.id, n.cfg.Node, n.cfg.LeaseTTL)
+		switch {
+		case err == nil && !ss.owned:
+			n.promoteLocked(ss, lease)
+		case err == nil && ss.owned && lease.Epoch != ss.lease.Epoch:
+			n.cfg.Logf("cluster: shard %d re-won under epoch %d (was %d), re-arming fence", ss.id, lease.Epoch, ss.lease.Epoch)
+			n.demoteLocked(ss)
+			n.promoteLocked(ss, lease)
+		case err == nil:
+			ss.lease = lease // renewed
+		case err != nil && ss.owned:
+			n.cfg.Logf("cluster: shard %d lost: %v", ss.id, err)
+			n.demoteLocked(ss)
+		}
+	}
+}
+
+// promoteLocked turns every group of the shard into a live primary server.
+// Called with Node.mu held.
+func (n *Node) promoteLocked(ss *shardState, lease Lease) {
+	ss.owned = true
+	ss.lease = lease
+	n.cfg.Metrics.noteTransition(+1)
+	n.cfg.Logf("cluster: node %s promoting shard %d (epoch %d)", n.cfg.Node, ss.id, lease.Epoch)
+	for _, gs := range ss.groups {
+		if err := n.promoteGroup(gs, lease); err != nil {
+			n.cfg.Logf("cluster: group %d: promotion failed: %v", gs.g, err)
+		}
+	}
+}
+
+// promoteGroup builds a primary server over the group's replica state.
+func (n *Node) promoteGroup(gs *groupState, lease Lease) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.conn != nil {
+		gs.conn.Close() // stop the follower stream; the loop idles while owned
+		gs.conn = nil
+	}
+	if gs.scheme == nil {
+		sc, err := gs.st.Create(n.cfg.Scheme)
+		if err != nil {
+			return err
+		}
+		gs.scheme = sc
+	}
+	srv := server.NewWithKey(gs.scheme, nil, gs.st.SigningKey())
+	srv.Persist(gs.st, n.cfg.SnapshotEvery)
+	srv.SetNextID(gs.nextID)
+	if err := srv.SetLastRekey(gs.lastRekey); err != nil {
+		srv.Close()
+		return err
+	}
+	srv.SetFence(&shardFence{n: n, shard: gs.shard.id, epoch: lease.Epoch})
+	// A primary's log is, by definition, the canonical log of its epoch.
+	if err := writeEpoch(gs.st.Dir(), lease.Epoch); err != nil {
+		srv.Close()
+		return err
+	}
+	gs.epoch = lease.Epoch
+	if err := n.reg.Add(gs.g, srv); err != nil {
+		srv.Close()
+		return err
+	}
+	gs.srv = srv
+	return nil
+}
+
+// demoteLocked tears the shard's primaries down, capturing their final
+// scheme state so the follower loops resume from it. Called with Node.mu
+// held.
+func (n *Node) demoteLocked(ss *shardState) {
+	ss.owned = false
+	n.cfg.Metrics.noteTransition(-1)
+	n.cfg.Logf("cluster: node %s demoting shard %d", n.cfg.Node, ss.id)
+	for _, gs := range ss.groups {
+		gs.mu.Lock()
+		srv := gs.srv
+		gs.srv = nil
+		gs.mu.Unlock()
+		if srv == nil {
+			continue
+		}
+		n.reg.Remove(gs.g)
+		// Capture the server's final state under its own lock, then shut it
+		// down; the follower loop re-syncs from the new primary anyway (the
+		// epoch changed), so this is just the freshest local starting point.
+		_ = srv.BootstrapState(func(sc core.Scheme, nextID keytree.MemberID) error {
+			gs.mu.Lock()
+			gs.scheme = sc
+			gs.nextID = nextID
+			gs.mu.Unlock()
+			return nil
+		})
+		srv.Close()
+	}
+}
+
+// shardFence gates every primary mutation on the lease authority: the
+// mutation proceeds only while this node still holds the shard under the
+// exact epoch the server was promoted with.
+type shardFence struct {
+	n     *Node
+	shard ShardID
+	epoch uint64
+}
+
+// Check implements server.Fence.
+func (f *shardFence) Check() error {
+	lease, ok := f.n.cfg.Authority.Peek(f.shard)
+	if !ok {
+		f.n.cfg.Metrics.noteFenced()
+		return fmt.Errorf("cluster: shard %d lease lapsed", f.shard)
+	}
+	if lease.Owner != f.n.cfg.Node {
+		f.n.cfg.Metrics.noteFenced()
+		return fmt.Errorf("cluster: shard %d owned by %s (epoch %d)", f.shard, lease.Owner, lease.Epoch)
+	}
+	if lease.Epoch != f.epoch {
+		f.n.cfg.Metrics.noteFenced()
+		return fmt.Errorf("cluster: shard %d epoch moved %d -> %d", f.shard, f.epoch, lease.Epoch)
+	}
+	return nil
+}
+
+// ownsShard reports whether this node currently serves the shard.
+func (n *Node) ownsShard(id ShardID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ss := n.shards[id]
+	return ss != nil && ss.owned
+}
+
+// Close stops serving, demotes every owned shard locally (the lease is
+// left to expire — a crashing process could not release it either) and
+// closes the stores.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stop)
+	for _, ss := range n.shards {
+		if ss.owned {
+			n.demoteLocked(ss)
+		}
+	}
+	n.mu.Unlock()
+
+	if n.replLn != nil {
+		n.replLn.Close()
+	}
+	err := n.reg.Close()
+	for _, gs := range n.groups {
+		gs.mu.Lock()
+		if gs.conn != nil {
+			gs.conn.Close()
+			gs.conn = nil
+		}
+		gs.mu.Unlock()
+	}
+	n.wg.Wait()
+	n.closeStores()
+	return err
+}
+
+// closeStores closes every group store (used by Close and New's unwind).
+func (n *Node) closeStores() {
+	for _, gs := range n.groups {
+		gs.st.Close()
+	}
+}
+
+// The fence epoch file: one decimal line under the group's state
+// directory, updated by atomic rename. It records the highest epoch whose
+// canonical log this replica's WAL is a prefix of — the value a follower
+// may truthfully claim in a ReplHello.
+
+func epochPath(dir string) string { return filepath.Join(dir, "fence.epoch") }
+
+// readEpoch loads the durable fence epoch (0 when never recorded).
+func readEpoch(dir string) uint64 {
+	raw, err := os.ReadFile(epochPath(dir))
+	if err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// writeEpoch durably records the fence epoch.
+func writeEpoch(dir string, epoch uint64) error {
+	path := epochPath(dir)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

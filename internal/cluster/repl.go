@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"groupkey/internal/core"
+	"groupkey/internal/keytree"
+	"groupkey/internal/store"
+	"groupkey/internal/wire"
+)
+
+// Inter-node replication. Primary side: accept a ReplHello per (follower,
+// group), answer with the signing seed and lease epoch, catch the follower
+// up — incrementally from the WAL when its epoch matches and the log still
+// reaches back far enough, otherwise with a full snapshot (which also
+// erases any suffix the follower journaled under a deposed epoch) — then
+// stream every freshly journaled record live. Follower side: dial the
+// shard's lease holder, adopt the signing identity, apply the stream
+// verbatim, and acknowledge so the primary can export replication lag.
+
+// replIdleTimeout bounds how long a follower waits on a silent stream
+// before re-dialing; it doubles as the liveness check that notices a dead
+// primary even when no records flow.
+const replIdleTimeout = 10 * time.Second
+
+// acceptRepl runs the replication accept loop.
+func (n *Node) acceptRepl(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			n.cfg.Logf("cluster: repl accept: %v", err)
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveStream(conn)
+		}()
+	}
+}
+
+// serveStream handles one follower connection as primary.
+func (n *Node) serveStream(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(n.cfg.DialTimeout))
+	t, payload, err := wire.ReadFrame(conn)
+	if err != nil || t != wire.MsgReplHello {
+		return
+	}
+	hello, err := wire.DecodeReplHello(payload)
+	if err != nil {
+		return
+	}
+
+	n.mu.Lock()
+	gs := n.groups[hello.Group]
+	var epoch uint64
+	owned := false
+	if gs != nil {
+		owned = gs.shard.owned
+		epoch = gs.shard.lease.Epoch
+	}
+	n.mu.Unlock()
+	if gs == nil {
+		n.replReject(conn, fmt.Sprintf("unknown group %d", hello.Group))
+		return
+	}
+	if !owned {
+		n.replReject(conn, fmt.Sprintf("not primary for group %d", hello.Group))
+		return
+	}
+	if hello.Epoch > epoch {
+		// The follower has durably seen a higher epoch than our lease: we
+		// are the deposed node here. Refuse to serve it anything.
+		n.cfg.Metrics.noteFenced()
+		n.replReject(conn, fmt.Sprintf("stale primary: follower at epoch %d, lease at %d", hello.Epoch, epoch))
+		return
+	}
+
+	st := gs.st
+	welcome := wire.ReplWelcome{Epoch: epoch, LastSeq: st.LastSeq(), SigningSeed: st.SigningSeed()}
+	wbody, err := welcome.Encode()
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgReplWelcome, wbody); err != nil {
+		return
+	}
+
+	// Subscribe before reading the log so nothing journaled between
+	// catch-up and the live loop is missed; the live loop dedupes by
+	// sequence.
+	sub := st.Subscribe(1024)
+	defer st.Unsubscribe(sub)
+
+	sentSeq, ok, err := n.catchUp(conn, gs, hello, epoch)
+	if err != nil {
+		n.cfg.Logf("cluster: group %d: catch-up for %s: %v", hello.Group, hello.Node, err)
+		return
+	}
+	if !ok {
+		return
+	}
+
+	// Drain follower acknowledgements for the lag gauge; a read error ends
+	// the stream.
+	readErr := make(chan struct{})
+	go func() {
+		defer close(readErr)
+		for {
+			conn.SetReadDeadline(time.Time{})
+			t, payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if t != wire.MsgReplAck {
+				return
+			}
+			acked, err := wire.DecodeReplAck(payload)
+			if err != nil {
+				return
+			}
+			if last := st.LastSeq(); last >= acked {
+				n.cfg.Metrics.noteLag(last - acked)
+			}
+		}
+	}()
+
+	for {
+		select {
+		case rec, open := <-sub.C():
+			if !open {
+				return // lagged out or store shutting down; follower re-syncs
+			}
+			if rec.Seq <= sentSeq {
+				continue // already covered by catch-up
+			}
+			if rec.Seq != sentSeq+1 {
+				return // log jumped (snapshot installed under us); re-sync
+			}
+			if err := n.shipRecord(conn, epoch, rec); err != nil {
+				return
+			}
+			sentSeq = rec.Seq
+		case <-readErr:
+			return
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// catchUp brings the follower to the primary's current sequence, returning
+// the newest sequence shipped. ok is false when the stream should end
+// (e.g. demoted mid-handshake).
+func (n *Node) catchUp(conn net.Conn, gs *groupState, hello wire.ReplHello, epoch uint64) (uint64, bool, error) {
+	if hello.Epoch == epoch {
+		recs, ok, err := gs.st.RecordsFrom(hello.HaveSeq)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			sent := hello.HaveSeq
+			for _, rec := range recs {
+				if err := n.shipRecord(conn, epoch, rec); err != nil {
+					return 0, false, err
+				}
+				sent = rec.Seq
+			}
+			return sent, true, nil
+		}
+		// Compacted past the follower's position: fall through to snapshot.
+	}
+
+	// The follower's epoch is stale (its WAL may hold a divergent suffix)
+	// or the log no longer reaches its position: ship the full state.
+	// BootstrapState freezes the server, so blob, nextID and LastSeq are a
+	// consistent cut.
+	gs.mu.Lock()
+	srv := gs.srv
+	gs.mu.Unlock()
+	if srv == nil {
+		return 0, false, nil // demoted between the hello and now
+	}
+	var blob []byte
+	var nextID keytree.MemberID
+	var seq uint64
+	err := srv.BootstrapState(func(sc core.Scheme, nid keytree.MemberID) error {
+		if sc == nil {
+			return errors.New("no scheme state")
+		}
+		var serr error
+		blob, serr = sc.Snapshot()
+		nextID = nid
+		seq = gs.st.LastSeq()
+		return serr
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	snap := wire.ReplSnapshot{Epoch: epoch, Seq: seq, NextID: nextID, Scheme: blob}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgReplSnapshot, snap.Encode()); err != nil {
+		return 0, false, err
+	}
+	n.cfg.Metrics.noteSnapshotShipped()
+	return seq, true, nil
+}
+
+// shipRecord sends one WAL record, stamped with the primary's epoch.
+func (n *Node) shipRecord(conn net.Conn, epoch uint64, rec store.Record) error {
+	frame := wire.ReplRecord{Epoch: epoch, Kind: rec.Kind, Seq: rec.Seq, Seed: rec.Seed, Payload: rec.Payload}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgReplRecord, frame.Encode()); err != nil {
+		return err
+	}
+	n.cfg.Metrics.noteShipped()
+	return nil
+}
+
+// replReject answers a hello with an error frame.
+func (n *Node) replReject(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	wire.WriteFrame(conn, wire.MsgError, []byte(msg))
+}
+
+// followLoop keeps one group's replica in sync whenever this node is not
+// the group's primary.
+func (n *Node) followLoop(gs *groupState) {
+	defer n.wg.Done()
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		if n.ownsShard(gs.shard.id) {
+			if !n.sleep(n.cfg.LeaseTTL / 3) {
+				return
+			}
+			continue
+		}
+		err := n.followOnce(gs)
+		if err == nil {
+			backoff = 50 * time.Millisecond
+		} else {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			n.cfg.Logf("cluster: group %d: follow: %v", gs.g, err)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if !n.sleep(backoff) {
+			return
+		}
+	}
+}
+
+// sleep waits d or until the node stops; it reports whether to continue.
+func (n *Node) sleep(d time.Duration) bool {
+	select {
+	case <-n.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// errNoOwner reports that no node currently holds the shard's lease.
+var errNoOwner = errors.New("cluster: shard has no live lease")
+
+// followOnce dials the group's current primary and applies its stream
+// until the connection dies, this node is promoted, or the node stops.
+func (n *Node) followOnce(gs *groupState) error {
+	lease, ok := n.cfg.Authority.Peek(gs.shard.id)
+	if !ok {
+		return errNoOwner
+	}
+	if lease.Owner == n.cfg.Node {
+		return nil // promotion in flight; the loop idles while owned
+	}
+	peer, ok := n.cfg.peer(lease.Owner)
+	if !ok {
+		return fmt.Errorf("cluster: lease held by unknown node %q", lease.Owner)
+	}
+	conn, err := net.DialTimeout("tcp", peer.ReplAddr, n.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	// Publish the stream so promotion (and Close) can sever it; if either
+	// happened since the checks above, back out.
+	gs.mu.Lock()
+	if gs.srv != nil {
+		gs.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	gs.conn = conn
+	hello := wire.ReplHello{Group: gs.g, Epoch: gs.epoch, HaveSeq: gs.st.LastSeq(), Node: string(n.cfg.Node)}
+	gs.mu.Unlock()
+	defer func() {
+		gs.mu.Lock()
+		if gs.conn == conn {
+			gs.conn = nil
+		}
+		gs.mu.Unlock()
+		conn.Close()
+	}()
+
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgReplHello, hello.Encode()); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(n.cfg.DialTimeout))
+	t, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	switch t {
+	case wire.MsgReplWelcome:
+	case wire.MsgError:
+		return fmt.Errorf("cluster: primary %s refused: %s", lease.Owner, payload)
+	default:
+		return fmt.Errorf("cluster: unexpected %v answering hello", t)
+	}
+	welcome, err := wire.DecodeReplWelcome(payload)
+	if err != nil {
+		return err
+	}
+	// Adopt the group's signing identity so a later promotion serves the
+	// exact key resuming members have pinned.
+	if err := gs.st.AdoptSigningKey(welcome.SigningSeed); err != nil {
+		return err
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(replIdleTimeout))
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch t {
+		case wire.MsgReplSnapshot:
+			snap, err := wire.DecodeReplSnapshot(payload)
+			if err != nil {
+				return err
+			}
+			if err := n.applySnapshot(gs, snap); err != nil {
+				return err
+			}
+			if err := n.ack(conn, snap.Seq); err != nil {
+				return err
+			}
+		case wire.MsgReplRecord:
+			rec, err := wire.DecodeReplRecord(payload)
+			if err != nil {
+				return err
+			}
+			if err := n.applyRecord(gs, rec); err != nil {
+				return err
+			}
+			if err := n.ack(conn, rec.Seq); err != nil {
+				return err
+			}
+		case wire.MsgError:
+			return fmt.Errorf("cluster: primary %s: %s", lease.Owner, payload)
+		default:
+			return fmt.Errorf("cluster: unexpected %v on replication stream", t)
+		}
+	}
+}
+
+// applySnapshot installs a shipped snapshot, replacing the replica's
+// entire state (including any WAL suffix journaled under a deposed epoch)
+// and durably recording the epoch it was taken under.
+func (n *Node) applySnapshot(gs *groupState, snap wire.ReplSnapshot) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.srv != nil {
+		return errors.New("cluster: promoted mid-stream")
+	}
+	if snap.Epoch < gs.epoch {
+		n.cfg.Metrics.noteFenced()
+		return fmt.Errorf("cluster: snapshot epoch %d below durable epoch %d", snap.Epoch, gs.epoch)
+	}
+	sc, err := gs.st.InstallSnapshot(snap.Seq, snap.NextID, snap.Scheme)
+	if err != nil {
+		return err
+	}
+	gs.scheme = sc
+	gs.nextID = snap.NextID
+	gs.lastRekey = nil // pre-snapshot rekeys belong to a discarded log
+	// Persist the epoch only now that the local state is consistent with
+	// that epoch's canonical log; a crash before this line re-syncs with
+	// the old (lower) epoch and harmlessly receives the snapshot again.
+	if err := writeEpoch(gs.st.Dir(), snap.Epoch); err != nil {
+		return err
+	}
+	gs.epoch = snap.Epoch
+	return nil
+}
+
+// applyRecord journals and applies one streamed record.
+func (n *Node) applyRecord(gs *groupState, rec wire.ReplRecord) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.srv != nil {
+		return errors.New("cluster: promoted mid-stream")
+	}
+	if rec.Epoch < gs.epoch {
+		// A deposed primary's stream: its records must never enter the log.
+		n.cfg.Metrics.noteFenced()
+		return fmt.Errorf("cluster: record epoch %d below durable epoch %d", rec.Epoch, gs.epoch)
+	}
+	sc, rk, nextID, err := gs.st.ReplicaApply(gs.scheme, store.Record{
+		Kind: rec.Kind, Seq: rec.Seq, Seed: rec.Seed, Payload: rec.Payload,
+	})
+	if err != nil {
+		return err
+	}
+	gs.scheme = sc
+	if rk != nil {
+		gs.lastRekey = rk
+	}
+	if nextID > gs.nextID {
+		gs.nextID = nextID
+	}
+	n.cfg.Metrics.noteApplied()
+	return nil
+}
+
+// ack acknowledges the newest applied sequence.
+func (n *Node) ack(conn net.Conn, seq uint64) error {
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	return wire.WriteFrame(conn, wire.MsgReplAck, wire.EncodeReplAck(seq))
+}

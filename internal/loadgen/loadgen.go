@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,8 +28,14 @@ import (
 
 // Config parameterizes one load/soak run.
 type Config struct {
-	// Addr is the key server's TCP address.
+	// Addr is the key server's TCP address. For a replicated cluster, use
+	// Addrs instead (Addr is kept as the single-server convenience).
 	Addr string
+	// Addrs lists every cluster node's client address. Slots spread their
+	// dials across the list and rotate to the next node when one stops
+	// answering, so a failover mid-run only costs the affected dials their
+	// backoff, not the whole population.
+	Addrs []string
 	// Members is the number of concurrent member slots to sustain.
 	Members int
 	// Groups spreads the member slots round-robin across hosted groups
@@ -57,6 +64,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Addrs) == 0 && c.Addr != "" {
+		c.Addrs = []string{c.Addr}
+	}
+	if c.Addr == "" && len(c.Addrs) > 0 {
+		c.Addr = strings.Join(c.Addrs, ",")
+	}
 	if c.JoinTimeout <= 0 {
 		c.JoinTimeout = 30 * time.Second
 	}
@@ -92,7 +105,7 @@ func New(cfg Config) *Runner {
 // Run sustains the configured member population until Duration elapses or
 // ctx is cancelled, then returns the aggregated report.
 func (r *Runner) Run(ctx context.Context) (*Report, error) {
-	if r.cfg.Addr == "" {
+	if len(r.cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("loadgen: no server address")
 	}
 	if r.cfg.Members <= 0 {
@@ -129,7 +142,7 @@ func (r *Runner) slot(ctx context.Context, idx int) {
 	}
 	var state []byte
 	for ctx.Err() == nil {
-		c := r.connect(ctx, rng, group, &state)
+		c := r.connect(ctx, rng, idx, group, &state)
 		if c == nil {
 			return
 		}
@@ -138,13 +151,16 @@ func (r *Runner) slot(ctx context.Context, idx int) {
 }
 
 // connect joins (or resumes) one session, retrying deferrals and
-// transient failures with backoff. Returns nil once ctx is done.
-func (r *Runner) connect(ctx context.Context, rng *rand.Rand, group wire.GroupID, state *[]byte) *server.Client {
+// transient failures with backoff. Dials spread across the configured
+// node addresses and rotate on every retry, so a dead cluster node costs
+// one backoff before the slot moves on. Returns nil once ctx is done.
+func (r *Runner) connect(ctx context.Context, rng *rand.Rand, idx int, group wire.GroupID, state *[]byte) *server.Client {
 	backoff := 100 * time.Millisecond
-	for ctx.Err() == nil {
+	for attempt := 0; ctx.Err() == nil; attempt++ {
+		addr := r.cfg.Addrs[(idx+attempt)%len(r.cfg.Addrs)]
 		if r.cfg.Resume && *state != nil {
 			// The saved state carries the slot's group; resume re-addresses it.
-			c, err := server.ResumeDial(r.cfg.Addr, *state, r.cfg.JoinTimeout)
+			c, err := server.ResumeDial(addr, *state, r.cfg.JoinTimeout)
 			*state = nil
 			if err == nil {
 				r.col.noteResume()
@@ -156,7 +172,7 @@ func (r *Runner) connect(ctx context.Context, rng *rand.Rand, group wire.GroupID
 			continue
 		}
 		t0 := time.Now()
-		c, err := server.DialGroup(r.cfg.Addr, group, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout)
+		c, err := server.DialGroup(addr, group, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout)
 		if err == nil {
 			r.col.noteJoin(time.Since(t0))
 			return c

@@ -1,0 +1,28 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// Version is the build's version string, stamped at link time:
+//
+//	go build -ldflags "-X groupkey/internal/metrics.Version=v1.2.3"
+//
+// Unstamped builds report "dev".
+var Version = "dev"
+
+// RegisterBuildInfo exports the conventional build-identity series: a
+// constant-1 groupkey_build_info gauge whose labels carry the version and
+// Go toolchain, and the process start time for uptime dashboards and
+// restart alerts. Call once per process, after NewRegistry.
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge("groupkey_build_info",
+		"Constant 1; the labels identify the running build.",
+		Label{Name: "version", Value: Version},
+		Label{Name: "goversion", Value: runtime.Version()},
+	).Set(1)
+	reg.Gauge("groupkey_process_start_time_seconds",
+		"Unix time the process registered its metrics.",
+	).Set(float64(time.Now().UnixNano()) / 1e9)
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	before := time.Now()
+	RegisterBuildInfo(reg)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	want := `groupkey_build_info{goversion="` + runtime.Version() + `",version="` + Version + `"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "groupkey_process_start_time_seconds") {
+		t.Fatalf("exposition missing start-time gauge:\n%s", out)
+	}
+
+	start := reg.Gauge("groupkey_process_start_time_seconds",
+		"Unix time the process registered its metrics.").Value()
+	if start < float64(before.Add(-time.Second).Unix()) || start > float64(time.Now().Add(time.Second).Unix()) {
+		t.Fatalf("start time %f outside the test window", start)
+	}
+}

@@ -80,13 +80,16 @@ func Dial(addr string, req wire.JoinRequest, timeout time.Duration) (*Client, er
 
 // DialGroup connects to a multi-group key server and joins the addressed
 // group. Group 0 joins are sent with the legacy header, so old servers
-// keep admitting new clients.
+// keep admitting new clients. Cluster redirects (the dialed node does not
+// own the group) are followed transparently.
 func DialGroup(addr string, group wire.GroupID, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
-	}
-	return newClientOnConn(conn, group, req, timeout)
+	return followRedirects(addr, func(addr string) (*Client, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+		}
+		return newClientOnConn(conn, group, req, timeout)
+	})
 }
 
 // newClientOnConn completes the join handshake over an established
@@ -239,6 +242,18 @@ func (c *Client) readLoop() {
 				c.fail(&DeferredError{After: after})
 				return
 			}
+		case wire.MsgRedirect:
+			// This node does not own the group (cluster failover moved it, or
+			// we dialed a follower). Surface the owner to the dial helpers,
+			// which re-dial; mid-session it still terminates the connection —
+			// the member resumes against the named owner.
+			addr, epoch, err := wire.DecodeRedirect(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.fail(&RedirectError{Addr: addr, Epoch: epoch})
+			return
 		case wire.MsgError:
 			c.fail(fmt.Errorf("server rejected: %s", payload))
 			return

@@ -41,12 +41,23 @@ const routeTimeout = 30 * time.Second
 type Registry struct {
 	stripes [registryStripes]registryStripe
 
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	resolver Resolver
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
+}
+
+// Resolver is the cluster map: it locates the node currently owning a
+// group, so connections for groups this node does not host are answered
+// with a MsgRedirect instead of an error. Implemented by the cluster
+// layer; a standalone registry has none.
+type Resolver interface {
+	// Locate returns the client-facing address of the node owning g and
+	// that node's lease epoch; ok is false when no node owns the group.
+	Locate(g wire.GroupID) (addr string, epoch uint64, ok bool)
 }
 
 type registryStripe struct {
@@ -79,6 +90,34 @@ func (r *Registry) Add(g wire.GroupID, srv *Server) error {
 	srv.group = g
 	st.groups[g] = srv
 	return nil
+}
+
+// Remove unhosts group g, returning the server that held it (nil when the
+// group was not hosted). The server itself is not closed — the caller owns
+// its shutdown. Connections already routed keep their binding until the
+// caller closes the server; fresh connections for g are redirected (or
+// rejected) from the next route on.
+func (r *Registry) Remove(g wire.GroupID) *Server {
+	st := r.stripe(g)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	srv := st.groups[g]
+	delete(st.groups, g)
+	return srv
+}
+
+// SetResolver attaches the cluster map used to redirect connections for
+// groups this registry does not host.
+func (r *Registry) SetResolver(res Resolver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resolver = res
+}
+
+func (r *Registry) getResolver() Resolver {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolver
 }
 
 // Get returns the server hosting group g, or nil.
@@ -158,9 +197,39 @@ func (r *Registry) route(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	if t == wire.MsgWhereIs {
+		// Cluster map query: any node answers with the owner's address —
+		// the group in the payload, not the frame header, is being located.
+		defer conn.Close()
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		q, err := wire.DecodeWhereIs(payload)
+		if err != nil {
+			_ = wire.WriteFrame(conn, wire.MsgError, []byte(err.Error()))
+			return
+		}
+		res := r.getResolver()
+		if res == nil {
+			_ = wire.WriteFrame(conn, wire.MsgError, []byte("no cluster map"))
+			return
+		}
+		addr, epoch, ok := res.Locate(q)
+		if !ok {
+			_ = wire.WriteFrame(conn, wire.MsgError, []byte(fmt.Sprintf("unknown group %d", q)))
+			return
+		}
+		_ = wire.WriteFrame(conn, wire.MsgRedirect, wire.EncodeRedirect(addr, epoch))
+		return
+	}
 	srv := r.Get(g)
 	if srv == nil {
 		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if res := r.getResolver(); res != nil {
+			if addr, epoch, ok := res.Locate(g); ok {
+				_ = wire.WriteFrame(conn, wire.MsgRedirect, wire.EncodeRedirect(addr, epoch))
+				conn.Close()
+				return
+			}
+		}
 		_ = wire.WriteFrame(conn, wire.MsgError, []byte(fmt.Sprintf("unknown group %d", g)))
 		conn.Close()
 		return
@@ -186,7 +255,11 @@ func (r *Registry) StartPeriodic(interval time.Duration) {
 					return
 				case <-ticker.C:
 					for _, srv := range st.servers() {
-						if _, err := srv.RekeyNow(); err != nil && !errors.Is(err, ErrClosed) {
+						// Closed and fenced servers are on their way out of
+						// the table (shutdown or a cluster demotion); neither
+						// may kill the stripe's periodic loop.
+						if _, err := srv.RekeyNow(); err != nil &&
+							!errors.Is(err, ErrClosed) && !errors.Is(err, ErrFenced) {
 							return
 						}
 					}

@@ -112,34 +112,41 @@ func DecodeClientState(blob []byte) (*ClientState, error) {
 }
 
 // ResumeDial reconnects a previously saved session over plain TCP.
+// Cluster redirects are followed transparently, so a member resumes
+// against the group's current owner even after a failover moved it.
 func ResumeDial(addr string, state []byte, timeout time.Duration) (*Client, error) {
 	st, err := DecodeClientState(state)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
-	}
-	return resumeOnConn(conn, st, timeout)
+	return followRedirects(addr, func(addr string) (*Client, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+		}
+		return resumeOnConn(conn, st, timeout)
+	})
 }
 
 // ResumeDialTLS reconnects a previously saved session over TLS, pinning
-// the server certificate pool as DialTLS does.
+// the server certificate pool as DialTLS does. Cluster redirects are
+// followed transparently.
 func ResumeDialTLS(addr string, state []byte, timeout time.Duration, pool *x509.CertPool) (*Client, error) {
 	st, err := DecodeClientState(state)
 	if err != nil {
 		return nil, err
 	}
-	dialer := &net.Dialer{Timeout: timeout}
-	conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
-		RootCAs:    pool,
-		MinVersion: tls.VersionTLS13,
+	return followRedirects(addr, func(addr string) (*Client, error) {
+		dialer := &net.Dialer{Timeout: timeout}
+		conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
+			RootCAs:    pool,
+			MinVersion: tls.VersionTLS13,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: TLS dial %s: %w", addr, err)
+		}
+		return resumeOnConn(conn, st, timeout)
 	})
-	if err != nil {
-		return nil, fmt.Errorf("server: TLS dial %s: %w", addr, err)
-	}
-	return resumeOnConn(conn, st, timeout)
 }
 
 // resumeOnConn performs the resume handshake over an established

@@ -30,7 +30,21 @@ import (
 // Server errors.
 var (
 	ErrClosed = errors.New("server: closed")
+	// ErrFenced rejects a state mutation attempted after this server's node
+	// lost the lease on the group's shard: a deposed primary must never
+	// journal or emit another rekey, or its WAL diverges from the new
+	// primary's timeline.
+	ErrFenced = errors.New("server: fenced")
 )
+
+// Fence gates every state-mutating operation on cluster leadership. Check
+// is called under the server lock immediately before an operation is
+// journaled; returning an error aborts the operation before any state —
+// durable or in-memory — changes. Implemented by the cluster layer
+// (lease-epoch fencing); standalone servers have no fence.
+type Fence interface {
+	Check() error
+}
 
 // Persister is the durability hook the server drives (implemented by
 // store.Store; the interface lives here so the server does not import the
@@ -109,6 +123,9 @@ type Server struct {
 	snapshotEvery int
 	opsSinceSnap  int
 	lastRekeyBlob []byte
+
+	// fence gates mutations on cluster leadership; nil when standalone.
+	fence Fence
 }
 
 type pendingJoin struct {
@@ -186,6 +203,59 @@ func (s *Server) SetLastRekey(r *core.Rekey) error {
 // SigningKey returns the server's Ed25519 public key (also delivered in
 // every welcome).
 func (s *Server) SigningKey() ed25519.PublicKey { return s.signPub }
+
+// SetFence attaches the leadership gate. Call before Serve.
+func (s *Server) SetFence(f Fence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fence = f
+}
+
+// checkFenceLocked rejects a mutation once leadership is lost. Callers
+// hold s.mu and must not have journaled or mutated anything yet.
+func (s *Server) checkFenceLocked() error {
+	if s.fence == nil {
+		return nil
+	}
+	if err := s.fence.Check(); err != nil {
+		return fmt.Errorf("%w: %v", ErrFenced, err)
+	}
+	return nil
+}
+
+// LastRekeyBlob returns the signed frame of the newest rekey (nil before
+// the first), for handing off to a successor server instance over the same
+// signing key — the cluster layer re-primes a re-promoted server with it.
+func (s *Server) LastRekeyBlob() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRekeyBlob
+}
+
+// SetLastRekeyBlob primes the resume re-delivery buffer with an
+// already-signed rekey frame captured from a previous server generation.
+func (s *Server) SetLastRekeyBlob(blob []byte) {
+	if blob == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastRekeyBlob = blob
+}
+
+// BootstrapState runs fn under the server lock with a consistent view of
+// the mutable state replication must ship: the live scheme and the next
+// assignable member ID. No journaled-but-unapplied operation can be in
+// flight while fn runs, so a snapshot taken inside fn pairs exactly with
+// the store's LastSeq read inside the same fn.
+func (s *Server) BootstrapState(fn func(sc core.Scheme, nextID keytree.MemberID) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return fn(s.scheme, s.nextID)
+}
 
 // Serve starts accepting connections on ln. It returns immediately; the
 // accept loop runs until Close.
@@ -405,6 +475,9 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if err := s.checkFenceLocked(); err != nil {
+		return nil, err
+	}
 
 	start := time.Now()
 	b := core.Batch{}
@@ -542,6 +615,9 @@ func (s *Server) RotateNow() (*core.Rekey, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if err := s.checkFenceLocked(); err != nil {
+		return nil, err
 	}
 	rot, ok := s.scheme.(core.Rotator)
 	if !ok {

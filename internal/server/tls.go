@@ -72,15 +72,19 @@ func DialTLS(addr string, req wire.JoinRequest, timeout time.Duration, pool *x50
 	return DialTLSGroup(addr, 0, req, timeout, pool)
 }
 
-// DialTLSGroup is DialTLS addressed at a hosted group.
+// DialTLSGroup is DialTLS addressed at a hosted group. Cluster redirects
+// are followed transparently; every hop is dialed with the same pinned
+// certificate pool.
 func DialTLSGroup(addr string, group wire.GroupID, req wire.JoinRequest, timeout time.Duration, pool *x509.CertPool) (*Client, error) {
-	dialer := &net.Dialer{Timeout: timeout}
-	conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
-		RootCAs:    pool,
-		MinVersion: tls.VersionTLS13,
+	return followRedirects(addr, func(addr string) (*Client, error) {
+		dialer := &net.Dialer{Timeout: timeout}
+		conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
+			RootCAs:    pool,
+			MinVersion: tls.VersionTLS13,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: TLS dial %s: %w", addr, err)
+		}
+		return newClientOnConn(conn, group, req, timeout)
 	})
-	if err != nil {
-		return nil, fmt.Errorf("server: TLS dial %s: %w", addr, err)
-	}
-	return newClientOnConn(conn, group, req, timeout)
 }

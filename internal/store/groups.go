@@ -41,7 +41,11 @@ func GroupKeyIDBase(g wire.GroupID) keycrypt.KeyID {
 
 // ListGroupDirs scans a state root for group namespaces, returning the
 // hosted group IDs in ascending order. Non-numeric entries (including
-// legacy top-level WAL and key files) are ignored.
+// legacy top-level WAL and key files) are ignored, but a canonically named
+// group directory that cannot be statted or opened is an error: silently
+// dropping it would recover the registry without that shard — members of
+// the skipped group would be told "unknown group" while its journaled key
+// state sits on disk.
 func ListGroupDirs(root string) ([]wire.GroupID, error) {
 	entries, err := os.ReadDir(root)
 	if err != nil {
@@ -52,13 +56,24 @@ func ListGroupDirs(root string) ([]wire.GroupID, error) {
 	}
 	var out []wire.GroupID
 	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		n, err := strconv.ParseUint(e.Name(), 10, 32)
-		if err != nil || e.Name() != strconv.FormatUint(n, 10) {
+		name := e.Name()
+		n, err := strconv.ParseUint(name, 10, 32)
+		if err != nil || name != strconv.FormatUint(n, 10) {
 			continue // not a canonical decimal group name
 		}
+		path := filepath.Join(root, name)
+		info, err := os.Stat(path) // follows symlinked group dirs
+		if err != nil {
+			return nil, fmt.Errorf("store: group namespace %s: %w", name, err)
+		}
+		if !info.IsDir() {
+			continue
+		}
+		d, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: group namespace %s unreadable: %w", name, err)
+		}
+		d.Close()
 		out = append(out, wire.GroupID(n))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

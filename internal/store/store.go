@@ -73,6 +73,7 @@ type Store struct {
 	snapSeq   uint64 // newest snapshot's record
 	recovered bool
 	hasScheme bool
+	subs      map[*Subscription]struct{}
 }
 
 // Open prepares the state directory: creates it (0700) if missing and
@@ -389,6 +390,7 @@ func (s *Store) journalLocked(kind byte, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.seq = r.seq
+	s.notifyLocked(Record{Kind: r.kind, Seq: r.seq, Seed: r.seed, Payload: r.payload})
 	return r.seed[:], nil
 }
 

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"groupkey/internal/keytree"
+)
+
+// Cluster frames: the node-to-node replication protocol plus the member
+// redirect service. A replicated deployment shards groups across nodes;
+// every group has exactly one primary (the lease holder for its shard) and
+// any number of followers streaming its WAL. The frames below carry that
+// stream, and carry redirects that point members at the current owner.
+//
+// All replication frames are fenced by the primary's lease epoch: a
+// follower rejects frames whose epoch is below the highest it has durably
+// seen, so a deposed primary's stream dies even if its process does not.
+
+// ReplSeedSize is the size of the per-record replay seed, fixed by the
+// store's WAL format (store.SeedSize asserts the two stay equal).
+const ReplSeedSize = 32
+
+// SigningSeedSize is the size of the Ed25519 signing-key seed carried by a
+// MsgReplWelcome (ed25519.SeedSize).
+const SigningSeedSize = 32
+
+// EncodeRedirect serializes a MsgRedirect payload: the owning node's lease
+// epoch (8) followed by its client-facing address.
+func EncodeRedirect(addr string, epoch uint64) []byte {
+	out := make([]byte, 0, 8+len(addr))
+	out = binary.BigEndian.AppendUint64(out, epoch)
+	return append(out, addr...)
+}
+
+// DecodeRedirect parses a MsgRedirect payload.
+func DecodeRedirect(b []byte) (addr string, epoch uint64, err error) {
+	if len(b) < 9 {
+		return "", 0, fmt.Errorf("%w: redirect payload %d bytes", ErrMalformed, len(b))
+	}
+	return string(b[8:]), binary.BigEndian.Uint64(b[0:8]), nil
+}
+
+// EncodeWhereIs serializes a MsgWhereIs payload: the group being located.
+func EncodeWhereIs(g GroupID) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(g))
+	return out
+}
+
+// DecodeWhereIs parses a MsgWhereIs payload.
+func DecodeWhereIs(b []byte) (GroupID, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("%w: whereis payload %d bytes", ErrMalformed, len(b))
+	}
+	return GroupID(binary.BigEndian.Uint32(b)), nil
+}
+
+// ReplHello opens a replication stream: the follower names the group it
+// wants, the highest fence epoch it has durably recorded, and the newest
+// WAL sequence it already holds. The primary answers with a MsgReplWelcome
+// and then either streams records from HaveSeq+1 or, when the follower's
+// epoch is stale or the records are compacted away, a full MsgReplSnapshot.
+type ReplHello struct {
+	Group   GroupID
+	Epoch   uint64
+	HaveSeq uint64
+	Node    string
+}
+
+// Encode serializes the hello: group(4) + epoch(8) + haveSeq(8) + node.
+func (h ReplHello) Encode() []byte {
+	out := make([]byte, 0, 20+len(h.Node))
+	out = binary.BigEndian.AppendUint32(out, uint32(h.Group))
+	out = binary.BigEndian.AppendUint64(out, h.Epoch)
+	out = binary.BigEndian.AppendUint64(out, h.HaveSeq)
+	return append(out, h.Node...)
+}
+
+// DecodeReplHello parses a MsgReplHello payload.
+func DecodeReplHello(b []byte) (ReplHello, error) {
+	if len(b) < 21 {
+		return ReplHello{}, fmt.Errorf("%w: replhello payload %d bytes", ErrMalformed, len(b))
+	}
+	return ReplHello{
+		Group:   GroupID(binary.BigEndian.Uint32(b[0:4])),
+		Epoch:   binary.BigEndian.Uint64(b[4:12]),
+		HaveSeq: binary.BigEndian.Uint64(b[12:20]),
+		Node:    string(b[20:]),
+	}, nil
+}
+
+// ReplWelcome accepts a replication stream: the primary's current lease
+// epoch, its newest WAL sequence, and the group's Ed25519 signing-key seed
+// so a promoted follower serves the exact key resuming members have pinned.
+// The seed is key material; the inter-node channel rides the same
+// confidential-transport assumption as member registration.
+type ReplWelcome struct {
+	Epoch       uint64
+	LastSeq     uint64
+	SigningSeed []byte
+}
+
+// Encode serializes the welcome: epoch(8) + lastSeq(8) + seed(32).
+func (w ReplWelcome) Encode() ([]byte, error) {
+	if len(w.SigningSeed) != SigningSeedSize {
+		return nil, fmt.Errorf("%w: signing seed %d bytes", ErrMalformed, len(w.SigningSeed))
+	}
+	out := make([]byte, 0, 16+SigningSeedSize)
+	out = binary.BigEndian.AppendUint64(out, w.Epoch)
+	out = binary.BigEndian.AppendUint64(out, w.LastSeq)
+	return append(out, w.SigningSeed...), nil
+}
+
+// DecodeReplWelcome parses a MsgReplWelcome payload.
+func DecodeReplWelcome(b []byte) (ReplWelcome, error) {
+	if len(b) != 16+SigningSeedSize {
+		return ReplWelcome{}, fmt.Errorf("%w: replwelcome payload %d bytes", ErrMalformed, len(b))
+	}
+	return ReplWelcome{
+		Epoch:       binary.BigEndian.Uint64(b[0:8]),
+		LastSeq:     binary.BigEndian.Uint64(b[8:16]),
+		SigningSeed: append([]byte(nil), b[16:]...),
+	}, nil
+}
+
+// ReplSnapshot ships a complete scheme state: the fence epoch it was taken
+// under, the WAL sequence it covers, the next assignable member ID, and the
+// scheme blob (core.Scheme.Snapshot). Installing it discards the follower's
+// WAL — including any suffix journaled under a deposed epoch.
+type ReplSnapshot struct {
+	Epoch  uint64
+	Seq    uint64
+	NextID keytree.MemberID
+	Scheme []byte
+}
+
+// Encode serializes the snapshot: epoch(8) + seq(8) + nextID(8) + blob.
+func (s ReplSnapshot) Encode() []byte {
+	out := make([]byte, 0, 24+len(s.Scheme))
+	out = binary.BigEndian.AppendUint64(out, s.Epoch)
+	out = binary.BigEndian.AppendUint64(out, s.Seq)
+	out = binary.BigEndian.AppendUint64(out, uint64(s.NextID))
+	return append(out, s.Scheme...)
+}
+
+// DecodeReplSnapshot parses a MsgReplSnapshot payload.
+func DecodeReplSnapshot(b []byte) (ReplSnapshot, error) {
+	if len(b) < 25 {
+		return ReplSnapshot{}, fmt.Errorf("%w: replsnapshot payload %d bytes", ErrMalformed, len(b))
+	}
+	return ReplSnapshot{
+		Epoch:  binary.BigEndian.Uint64(b[0:8]),
+		Seq:    binary.BigEndian.Uint64(b[8:16]),
+		NextID: keytree.MemberID(binary.BigEndian.Uint64(b[16:24])),
+		Scheme: append([]byte(nil), b[24:]...),
+	}, nil
+}
+
+// ReplRecord streams one journaled WAL record verbatim: kind, sequence,
+// the 32-byte replay seed and the record payload, fenced by the sending
+// primary's lease epoch. A follower that reseeds its scheme entropy from
+// Seed before applying Payload derives byte-identical key material.
+type ReplRecord struct {
+	Epoch   uint64
+	Kind    byte
+	Seq     uint64
+	Seed    [ReplSeedSize]byte
+	Payload []byte
+}
+
+// Encode serializes the record: epoch(8) + kind(1) + seq(8) + seed(32) +
+// payload.
+func (r ReplRecord) Encode() []byte {
+	out := make([]byte, 0, 17+ReplSeedSize+len(r.Payload))
+	out = binary.BigEndian.AppendUint64(out, r.Epoch)
+	out = append(out, r.Kind)
+	out = binary.BigEndian.AppendUint64(out, r.Seq)
+	out = append(out, r.Seed[:]...)
+	return append(out, r.Payload...)
+}
+
+// DecodeReplRecord parses a MsgReplRecord payload.
+func DecodeReplRecord(b []byte) (ReplRecord, error) {
+	if len(b) < 17+ReplSeedSize {
+		return ReplRecord{}, fmt.Errorf("%w: replrecord payload %d bytes", ErrMalformed, len(b))
+	}
+	r := ReplRecord{
+		Epoch:   binary.BigEndian.Uint64(b[0:8]),
+		Kind:    b[8],
+		Seq:     binary.BigEndian.Uint64(b[9:17]),
+		Payload: append([]byte(nil), b[17+ReplSeedSize:]...),
+	}
+	copy(r.Seed[:], b[17:17+ReplSeedSize])
+	return r, nil
+}
+
+// EncodeReplAck serializes a MsgReplAck payload: the highest WAL sequence
+// the follower has applied.
+func EncodeReplAck(seq uint64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, seq)
+	return out
+}
+
+// DecodeReplAck parses a MsgReplAck payload.
+func DecodeReplAck(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: replack payload %d bytes", ErrMalformed, len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}

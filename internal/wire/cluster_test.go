@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRedirectRoundTrip(t *testing.T) {
+	b := EncodeRedirect("10.1.2.3:7600", 9)
+	addr, epoch, err := DecodeRedirect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "10.1.2.3:7600" || epoch != 9 {
+		t.Fatalf("got (%q, %d)", addr, epoch)
+	}
+	// An epoch alone (empty address) is not a usable redirect.
+	if _, _, err := DecodeRedirect(b[:8]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty-address redirect decoded: %v", err)
+	}
+}
+
+func TestWhereIsRoundTrip(t *testing.T) {
+	g, err := DecodeWhereIs(EncodeWhereIs(0xfeedbeef))
+	if err != nil || g != 0xfeedbeef {
+		t.Fatalf("got (%d, %v)", g, err)
+	}
+	if _, err := DecodeWhereIs([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short whereis decoded: %v", err)
+	}
+}
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	in := ReplHello{Group: 3, Epoch: 7, HaveSeq: 120, Node: "node-c"}
+	out, err := DecodeReplHello(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	// A nameless node is not a valid stream opener.
+	if _, err := DecodeReplHello(ReplHello{Group: 3}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nameless hello decoded: %v", err)
+	}
+}
+
+func TestReplWelcomeRoundTrip(t *testing.T) {
+	seed := bytes.Repeat([]byte{0x5a}, SigningSeedSize)
+	b, err := ReplWelcome{Epoch: 2, LastSeq: 88, SigningSeed: seed}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeReplWelcome(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 2 || out.LastSeq != 88 || !bytes.Equal(out.SigningSeed, seed) {
+		t.Fatalf("got %+v", out)
+	}
+	if _, err := (ReplWelcome{SigningSeed: seed[:16]}).Encode(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short seed encoded: %v", err)
+	}
+	if _, err := DecodeReplWelcome(b[:20]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated welcome decoded: %v", err)
+	}
+}
+
+func TestReplSnapshotRoundTrip(t *testing.T) {
+	in := ReplSnapshot{Epoch: 4, Seq: 100, NextID: 37, Scheme: []byte("blob")}
+	out, err := DecodeReplSnapshot(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.Seq != in.Seq || out.NextID != in.NextID || !bytes.Equal(out.Scheme, in.Scheme) {
+		t.Fatalf("got %+v", out)
+	}
+	// An empty scheme blob can never restore; reject it at the frame layer.
+	if _, err := DecodeReplSnapshot(ReplSnapshot{Epoch: 4, Seq: 1}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty snapshot decoded: %v", err)
+	}
+}
+
+func TestReplRecordRoundTrip(t *testing.T) {
+	var seed [ReplSeedSize]byte
+	for i := range seed {
+		seed[i] = byte(255 - i)
+	}
+	in := ReplRecord{Epoch: 6, Kind: 2, Seq: 41, Seed: seed, Payload: []byte("payload")}
+	out, err := DecodeReplRecord(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.Kind != in.Kind || out.Seq != in.Seq ||
+		out.Seed != in.Seed || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("got %+v", out)
+	}
+	// A record with no payload is legal (rotations carry none).
+	in.Payload = nil
+	out, err = DecodeReplRecord(in.Encode())
+	if err != nil || len(out.Payload) != 0 {
+		t.Fatalf("empty-payload record: %+v, %v", out, err)
+	}
+	if _, err := DecodeReplRecord(in.Encode()[:40]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated record decoded: %v", err)
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	seq, err := DecodeReplAck(EncodeReplAck(math.MaxUint64))
+	if err != nil || seq != math.MaxUint64 {
+		t.Fatalf("got (%d, %v)", seq, err)
+	}
+	if _, err := DecodeReplAck([]byte{1}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short ack decoded: %v", err)
+	}
+}
+
+// TestRetryAfterBoundaries pins the MsgRetry clamp behaviour at both ends
+// of the uint32 millisecond range: a zero (or negative) duration encodes as
+// the 1 ms floor — a retry hint is never zero, which the decoder enforces —
+// and anything past MaxUint32 ms saturates instead of wrapping.
+func TestRetryAfterBoundaries(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second, 100 * time.Microsecond} {
+		got, err := DecodeRetryAfter(EncodeRetryAfter(d))
+		if err != nil {
+			t.Fatalf("EncodeRetryAfter(%v): %v", d, err)
+		}
+		if got != time.Millisecond {
+			t.Errorf("EncodeRetryAfter(%v) decoded to %v, want 1ms", d, got)
+		}
+	}
+
+	const maxMs = time.Duration(math.MaxUint32) * time.Millisecond
+	for _, d := range []time.Duration{maxMs, maxMs + time.Millisecond, math.MaxInt64} {
+		got, err := DecodeRetryAfter(EncodeRetryAfter(d))
+		if err != nil {
+			t.Fatalf("EncodeRetryAfter(%v): %v", d, err)
+		}
+		if got != maxMs {
+			t.Errorf("EncodeRetryAfter(%v) decoded to %v, want %v (saturated)", d, got, maxMs)
+		}
+	}
+
+	// A hand-built zero payload must be rejected — the encoder can never
+	// produce it, so seeing one means a corrupt or hostile peer.
+	if _, err := DecodeRetryAfter([]byte{0, 0, 0, 0}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("zero retry-after decoded: %v", err)
+	}
+}

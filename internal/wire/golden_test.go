@@ -44,15 +44,34 @@ func goldenFrames(t *testing.T) map[MsgType][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	signingSeed := make([]byte, SigningSeedSize)
+	for i := range signingSeed {
+		signingSeed[i] = byte(0xa0 + i)
+	}
+	welcome, err := ReplWelcome{Epoch: 3, LastSeq: 44, SigningSeed: signingSeed}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed [ReplSeedSize]byte
+	for i := range seed {
+		seed[i] = byte(i * 3)
+	}
 	return map[MsgType][]byte{
-		MsgJoin:    JoinRequest{LossRate: 0.25, LongLived: true}.Encode(),
-		MsgLeave:   nil,
-		MsgWelcome: Welcome{Member: 7, Key: indiv}.Encode(),
-		MsgRekey:   rekey,
-		MsgData:    []byte("sealed application frame"),
-		MsgError:   []byte("join rejected"),
-		MsgResume:  ResumeRequest{Member: 9, Proof: []byte{0xde, 0xad, 0xbe, 0xef}}.Encode(),
-		MsgRetry:   EncodeRetryAfter(1500 * time.Millisecond),
+		MsgJoin:         JoinRequest{LossRate: 0.25, LongLived: true}.Encode(),
+		MsgLeave:        nil,
+		MsgWelcome:      Welcome{Member: 7, Key: indiv}.Encode(),
+		MsgRekey:        rekey,
+		MsgData:         []byte("sealed application frame"),
+		MsgError:        []byte("join rejected"),
+		MsgResume:       ResumeRequest{Member: 9, Proof: []byte{0xde, 0xad, 0xbe, 0xef}}.Encode(),
+		MsgRetry:        EncodeRetryAfter(1500 * time.Millisecond),
+		MsgRedirect:     EncodeRedirect("10.0.0.2:7600", 5),
+		MsgWhereIs:      EncodeWhereIs(0x01020304),
+		MsgReplHello:    ReplHello{Group: 6, Epoch: 2, HaveSeq: 17, Node: "node-b"}.Encode(),
+		MsgReplWelcome:  welcome,
+		MsgReplSnapshot: ReplSnapshot{Epoch: 3, Seq: 44, NextID: 12, Scheme: []byte("scheme blob")}.Encode(),
+		MsgReplRecord:   ReplRecord{Epoch: 3, Kind: 2, Seq: 45, Seed: seed, Payload: []byte("batch payload")}.Encode(),
+		MsgReplAck:      EncodeReplAck(45),
 	}
 }
 

@@ -69,6 +69,33 @@ const (
 	// duration. Unlike MsgError this is not terminal — committed members
 	// keep rekeying while joins wait their turn.
 	MsgRetry
+	// MsgRedirect answers a join, resume or MsgWhereIs addressed to a group
+	// this node does not own: the payload carries the owning node's client
+	// address and its lease epoch. The client re-dials the carried address.
+	MsgRedirect
+	// MsgWhereIs asks any cluster node which node owns a group (payload:
+	// group ID). The answer is a MsgRedirect — the cluster map service.
+	MsgWhereIs
+	// MsgReplHello opens a node-to-node WAL replication stream: a follower
+	// announces the group it wants, the fence epoch it has durably seen and
+	// the newest WAL sequence it already holds.
+	MsgReplHello
+	// MsgReplWelcome is the primary's stream acceptance: its current lease
+	// epoch, its newest WAL sequence and the group's signing-key seed (the
+	// inter-node channel carries key material and rides the same
+	// confidential-transport assumption as member registration).
+	MsgReplWelcome
+	// MsgReplSnapshot ships a full scheme state to a follower that is too
+	// far behind (or fenced into a new epoch) to catch up record by record.
+	MsgReplSnapshot
+	// MsgReplRecord streams one journaled WAL record — kind, sequence,
+	// replay seed and payload — under the primary's fence epoch. Replaying
+	// the record under its seed reproduces the primary's key material
+	// byte-identically.
+	MsgReplRecord
+	// MsgReplAck is the follower's cumulative acknowledgement of applied
+	// records, driving the primary's replication-lag gauge.
+	MsgReplAck
 
 	// msgTypeSentinel marks the end of the defined range. Adding a type
 	// above without extending MsgType.String (and therefore the metrics
@@ -101,6 +128,20 @@ func (t MsgType) String() string {
 		return "resume"
 	case MsgRetry:
 		return "retry"
+	case MsgRedirect:
+		return "redirect"
+	case MsgWhereIs:
+		return "whereis"
+	case MsgReplHello:
+		return "replhello"
+	case MsgReplWelcome:
+		return "replwelcome"
+	case MsgReplSnapshot:
+		return "replsnapshot"
+	case MsgReplRecord:
+		return "replrecord"
+	case MsgReplAck:
+		return "replack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
