@@ -60,11 +60,12 @@ soak:
 		-compress 500 -ramp 100 -report SOAK_report.json -fail-on-errors; \
 	STATUS=$$?; kill $$SERVER_PID; exit $$STATUS
 
-# Compare a fresh perf run against the committed baseline (CI gate).
+# Compare a fresh perf run against the committed baseline (CI gate),
+# including the sparse fan-out bytes/member floor.
 benchgate:
 	$(GO) run ./cmd/lkhbench -exp perf -bench-out BENCH_rekey.new.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_rekey.json \
-		-candidate BENCH_rekey.new.json -max-regress 0.25
+		-candidate BENCH_rekey.new.json -max-regress 0.25 -min-sparse-reduction 5
 
 # Short fuzzing pass over the wire protocol and durability decoders.
 fuzz:
@@ -72,6 +73,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeRekey -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeWelcome -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeMembershipBatch -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeSparseRekey -fuzztime=10s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeDgram -fuzztime=10s ./internal/wire/
 	$(GO) test -fuzz=FuzzWALRecord -fuzztime=10s ./internal/store/
 	$(GO) test -fuzz=FuzzRestore -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeReport -fuzztime=10s ./internal/loadgen/

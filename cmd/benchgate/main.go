@@ -33,27 +33,27 @@ type key struct {
 	size    int
 }
 
-func load(path string) (map[key]experiments.PerfResult, error) {
+func load(path string) (*experiments.PerfReport, map[key]experiments.PerfResult, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rep experiments.PerfReport
 	if err := json.Unmarshal(b, &rep); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
+		return nil, nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	if len(rep.Results) == 0 {
-		return nil, fmt.Errorf("%s has no results", path)
+		return nil, nil, fmt.Errorf("%s has no results", path)
 	}
 	out := make(map[key]experiments.PerfResult, len(rep.Results))
 	for _, r := range rep.Results {
 		if r.KeysPerSec <= 0 {
-			return nil, fmt.Errorf("%s: %s N=%d has non-positive keys/sec %v",
+			return nil, nil, fmt.Errorf("%s: %s N=%d has non-positive keys/sec %v",
 				path, r.Variant, r.GroupSize, r.KeysPerSec)
 		}
 		out[key{r.Variant, r.GroupSize}] = r
 	}
-	return out, nil
+	return &rep, out, nil
 }
 
 func run(args []string) error {
@@ -61,6 +61,8 @@ func run(args []string) error {
 	basePath := fs.String("baseline", "BENCH_rekey.json", "committed baseline report")
 	candPath := fs.String("candidate", "BENCH_rekey.new.json", "freshly measured report")
 	maxRegress := fs.Float64("max-regress", 0.25, "largest tolerated fractional keys/sec drop")
+	minSparse := fs.Float64("min-sparse-reduction", 0,
+		"floor on full/sparse broadcast bytes-per-member reduction (0 disables the check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,11 +70,11 @@ func run(args []string) error {
 		return fmt.Errorf("-max-regress must be in [0,1), got %v", *maxRegress)
 	}
 
-	base, err := load(*basePath)
+	_, base, err := load(*basePath)
 	if err != nil {
 		return err
 	}
-	cand, err := load(*candPath)
+	candRep, cand, err := load(*candPath)
 	if err != nil {
 		return err
 	}
@@ -97,12 +99,27 @@ func run(args []string) error {
 		fmt.Printf("%-10s %10d %14.0f %14.0f %7.2fx%s\n",
 			b.variant, b.size, br.KeysPerSec, cr.KeysPerSec, ratio, mark)
 	}
+	if *minSparse > 0 {
+		if len(candRep.Fanout) == 0 {
+			failures = append(failures, fmt.Sprintf("%s has no fan-out measurements but -min-sparse-reduction=%v was requested",
+				*candPath, *minSparse))
+		}
+		for _, fo := range candRep.Fanout {
+			mark := ""
+			if fo.Reduction < *minSparse {
+				mark = "  BELOW FLOOR"
+				failures = append(failures, fmt.Sprintf("fan-out N=%d: %.0f -> %.1f B/member is only %.2fx, floor %.2fx",
+					fo.GroupSize, fo.FullBytesPerMember, fo.SparseBytesPerMember, fo.Reduction, *minSparse))
+			}
+			fmt.Printf("%-10s %10d %14.0f %14.1f %7.2fx%s\n",
+				"fanout", fo.GroupSize, fo.FullBytesPerMember, fo.SparseBytesPerMember, fo.Reduction, mark)
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
 		}
-		return fmt.Errorf("%d of %d series regressed beyond %.0f%%",
-			len(failures), len(base), *maxRegress*100)
+		return fmt.Errorf("%d check(s) failed", len(failures))
 	}
 	fmt.Printf("benchgate: all %d series within %.0f%% of baseline\n", len(base), *maxRegress*100)
 	return nil

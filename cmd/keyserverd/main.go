@@ -34,6 +34,7 @@ import (
 	"encoding/pem"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +59,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("keyserverd", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7600", "TCP listen address")
+	udpAddr := fs.String("udp", "", "UDP listen address for the datagram rekey plane (empty disables)")
+	udpDrop := fs.Float64("udp-drop", 0, "fraction of outbound UDP packets to drop, for loss testing (0 disables)")
+	udpDropSeed := fs.Int64("udp-drop-seed", 1, "seed for the deterministic -udp-drop schedule")
 	schemeName := fs.String("scheme", "onetree", "onetree, naive, qt, tt, pt, losshomog")
 	k := fs.Int("k", 10, "S-period in rekey periods for qt/tt")
 	period := fs.Duration("period", 5*time.Second, "rekey period Tp")
@@ -98,6 +102,9 @@ func run(args []string) error {
 	overrides, err := parseGroupSchemes(*groupSchemes, *k)
 	if err != nil {
 		return err
+	}
+	if *udpAddr != "" && (*clusterNode != "" || *groups > 1) {
+		return fmt.Errorf("-udp is only supported in single-group standalone mode")
 	}
 	if *clusterNode != "" {
 		if len(overrides) > 0 {
@@ -233,10 +240,29 @@ func run(args []string) error {
 	} else {
 		srv.Serve(ln)
 	}
+	udpLabel := "off"
+	if *udpAddr != "" {
+		pc, err := net.ListenPacket("udp", *udpAddr)
+		if err != nil {
+			return fmt.Errorf("udp listener: %w", err)
+		}
+		ucfg := server.UDPConfig{}
+		if *udpDrop > 0 {
+			// Drop calls are serialized under the plane's send lock, so an
+			// unguarded rand.Rand is safe here.
+			rng := rand.New(rand.NewSource(*udpDropSeed))
+			ucfg.Drop = func() bool { return rng.Float64() < *udpDrop }
+		}
+		srv.ServeUDP(pc, ucfg)
+		udpLabel = pc.LocalAddr().String()
+		if *udpDrop > 0 {
+			udpLabel += fmt.Sprintf(" (dropping %.0f%%)", *udpDrop*100)
+		}
+	}
 	srv.StartPeriodic(*period)
 	startedAt := time.Now()
-	fmt.Printf("keyserverd: scheme=%s k=%d period=%v listening on %s over %s, metrics=%s\n",
-		scheme.Name(), *k, *period, ln.Addr(), transportLabel, metricsLabel)
+	fmt.Printf("keyserverd: scheme=%s k=%d period=%v listening on %s over %s, udp=%s, metrics=%s\n",
+		scheme.Name(), *k, *period, ln.Addr(), transportLabel, udpLabel, metricsLabel)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

@@ -46,6 +46,7 @@ func run(args []string) error {
 	longMean := fs.Duration("long", 3*time.Hour, "mean stay of the long class (before compression)")
 	compress := fs.Float64("compress", 100, "time compression factor for stays")
 	loss := fs.Float64("loss", -1, "loss rate reported at join (-1 = unknown)")
+	udpAddr := fs.String("udp", "", "server UDP address; every session subscribes to the datagram rekey plane (empty = TCP only)")
 	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long to wait for admission")
 	ramp := fs.Float64("ramp", 0, "stagger initial joins to this many per second (0 = all at once)")
 	resume := fs.Bool("resume", false, "resume sessions after unexpected disconnects")
@@ -80,6 +81,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		Churn:       churn,
 		LossRate:    *loss,
+		UDPAddr:     *udpAddr,
 		JoinTimeout: *joinTimeout,
 		RampPerSec:  *ramp,
 		Resume:      *resume,

@@ -88,6 +88,7 @@ func run(args []string) error {
 	stay := fs.Duration("stay", 0, "leave after this duration (0 = until Ctrl-C)")
 	joinTimeout := fs.Duration("join-timeout", 30*time.Second, "how long to wait for admission")
 	tlsCert := fs.String("tls-cert", "", "PEM certificate to pin; connect over TLS when set")
+	udpAddr := fs.String("udp", "", "server UDP address to subscribe to the datagram rekey plane (empty = TCP only)")
 	statePath := fs.String("state", "", "file persisting the member's keys for session resumption (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +162,13 @@ func run(args []string) error {
 		verb = "resumed"
 	}
 	fmt.Printf("memberclient: %s as member %d at epoch %d\n", verb, c.ID(), c.Epoch())
+
+	if *udpAddr != "" {
+		if err := c.EnableDatagram(*udpAddr, 0, 0); err != nil {
+			return fmt.Errorf("enabling udp rekey plane: %w", err)
+		}
+		fmt.Printf("memberclient: subscribed to udp rekey plane at %s\n", *udpAddr)
+	}
 
 	saveState := func() {
 		if *statePath == "" {

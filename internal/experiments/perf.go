@@ -54,6 +54,11 @@ type PerfReport struct {
 	Results []PerfResult `json:"results"`
 	// Speedup maps "N=<size>" to parallel keys/sec over serial keys/sec.
 	Speedup map[string]float64 `json:"speedup"`
+	// Fanout prices full-blob vs sparse broadcast bytes per member.
+	Fanout []FanoutResult `json:"fanout,omitempty"`
+	// SparseReduction maps "N=<size>" to full/sparse bytes-per-member —
+	// the series the benchgate -min-sparse-reduction floor is checked on.
+	SparseReduction map[string]float64 `json:"sparse_reduction,omitempty"`
 }
 
 // measureRekey builds a tree of the given size and times Churn-replacement
@@ -133,9 +138,10 @@ func RekeyPerf(cfg PerfConfig) (*Table, *PerfReport, error) {
 			"speedup"},
 	}
 	report := &PerfReport{
-		Config:  cfg,
-		GOMAXPR: runtime.GOMAXPROCS(0),
-		Speedup: make(map[string]float64),
+		Config:          cfg,
+		GOMAXPR:         runtime.GOMAXPROCS(0),
+		Speedup:         make(map[string]float64),
+		SparseReduction: make(map[string]float64),
 	}
 	for _, size := range cfg.Sizes {
 		serial, err := measureRekey(cfg, size, keytree.WithLegacyRekey())
@@ -166,6 +172,15 @@ func RekeyPerf(cfg PerfConfig) (*Table, *PerfReport, error) {
 			fmt.Sprintf("%.0f", parallel.KeysPerSec),
 			fmt.Sprintf("%.1f", parallel.AllocsPerOp),
 			fmt.Sprintf("%.2fx", speedup))
+
+		fo, err := measureFanout(cfg, size)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fanout N=%d: %w", size, err)
+		}
+		report.Fanout = append(report.Fanout, fo)
+		report.SparseReduction[fmt.Sprintf("N=%d", size)] = fo.Reduction
+		t.AddNote("fan-out N=%d: full blob %.0f B/member, sparse mean %.1f B/member (%.1fx reduction).",
+			size, fo.FullBytesPerMember, fo.SparseBytesPerMember, fo.Reduction)
 	}
 	t.AddNote("serial = pre-engine emitter (per-wrap key schedule, walk-and-sort receivers);")
 	t.AddNote("parallel = plan/emit engine (cached schedules, merged receivers, %d wrap workers).", report.GOMAXPR)

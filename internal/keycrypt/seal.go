@@ -32,6 +32,12 @@ func Seal(k Key, plaintext []byte, rng io.Reader) ([]byte, error) {
 	return aead.Seal(out, out[12:12+nonceSize], plaintext, out[:12]), nil
 }
 
+// SealedSize returns the exact Seal output size for a plaintext of n
+// bytes: header, nonce, ciphertext and tag. Protocols with fixed-size
+// sealed fields (resume proofs, datagram subscription tokens) use it to
+// discriminate layouts by length.
+func SealedSize(n int) int { return 12 + nonceSize + n + gcmTag }
+
 // SealedKeyInfo reports which key (ID and version) a sealed blob was
 // encrypted under, without decrypting it.
 func SealedKeyInfo(blob []byte) (KeyID, Version, error) {

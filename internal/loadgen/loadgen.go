@@ -50,6 +50,9 @@ type Config struct {
 	Churn workload.TwoClass
 	// LossRate is reported in every join request (negative = unknown).
 	LossRate float64
+	// UDPAddr subscribes every admitted session to the server's datagram
+	// rekey plane at this address (empty = TCP delivery only).
+	UDPAddr string
 	// JoinTimeout bounds each join/resume handshake.
 	JoinTimeout time.Duration
 	// RampPerSec staggers initial slot starts to this many joins/second
@@ -145,6 +148,13 @@ func (r *Runner) slot(ctx context.Context, idx int) {
 		c := r.connect(ctx, rng, idx, group, &state)
 		if c == nil {
 			return
+		}
+		if r.cfg.UDPAddr != "" {
+			// Best-effort: TCP delivery still covers the session if the
+			// subscription fails, so the slot keeps running either way.
+			if err := c.EnableDatagram(r.cfg.UDPAddr, 0, 0); err != nil {
+				r.col.noteUDPError(err)
+			}
 		}
 		r.live(ctx, rng, c, &state)
 	}
@@ -341,6 +351,12 @@ func (col *collector) noteJoinError(err error) {
 	defer col.mu.Unlock()
 	col.joinErrors++
 	col.sampleLocked("join", err)
+}
+
+func (col *collector) noteUDPError(err error) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.sampleLocked("udp", err)
 }
 
 func (col *collector) noteResume() {

@@ -45,6 +45,8 @@ type Client struct {
 	mem       *member.Member
 	id        keytree.MemberID
 	serverKey ed25519.PublicKey
+	// dgram is the optional UDP rekey subscription (see client_udp.go).
+	dgram *dgramPlane
 	// indiv is the member's current individual (leaf) key, tracked across
 	// rekeys for session resumption (see resume.go).
 	indiv  keycrypt.Key
@@ -103,6 +105,9 @@ func newClientOnConn(conn net.Conn, group wire.GroupID, req wire.JoinRequest, ti
 		done:     make(chan struct{}),
 		data:     make(chan []byte, 64),
 	}
+	// Every client built here understands sparse frames; the flag rides the
+	// join so the server can keep sending full payloads to older binaries.
+	req.Caps |= wire.CapSparse
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	if err := c.writeFrame(wire.MsgJoin, req.Encode()); err != nil {
 		conn.Close()
@@ -181,28 +186,33 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
-			c.mu.Lock()
-			if c.mem != nil {
-				c.mem.Apply(items)
-				if c.joinEpoch == 0 {
-					c.joinEpoch = epoch
+			c.applyRekey(epoch, items)
+		case wire.MsgRekeySparse:
+			sr, err := wire.DecodeSparseRekey(c.ServerKey(), payload)
+			if err != nil {
+				if errors.Is(err, wire.ErrBadSignature) {
+					c.mu.Lock()
+					c.badSignatures++
+					c.mu.Unlock()
+					continue
 				}
-				// A leaf hand-off can only arrive in a rekey newer than both
-				// our join and everything already processed (the resume ack
-				// re-delivers the last rekey verbatim).
-				c.trackIndividualLocked(items, epoch > c.epoch && epoch > c.joinEpoch)
+				c.fail(err)
+				return
 			}
-			if epoch > c.epoch {
-				c.epoch = epoch
+			c.applyRekey(sr.Epoch, sr.Items)
+		case wire.MsgRekeyDigest:
+			dg, err := wire.DecodeRekeyDigest(c.ServerKey(), payload)
+			if err != nil {
+				if errors.Is(err, wire.ErrBadSignature) {
+					c.mu.Lock()
+					c.badSignatures++
+					c.mu.Unlock()
+					continue
+				}
+				c.fail(err)
+				return
 			}
-			old := c.epochCh
-			c.epochCh = make(chan struct{})
-			close(old)
-			hook := c.epochHook
-			c.mu.Unlock()
-			if hook != nil {
-				hook(epoch)
-			}
+			c.handleDigest(dg)
 		case wire.MsgData:
 			c.mu.Lock()
 			inner, err := wire.OpenSignedRekey(c.serverKey, payload)
@@ -258,6 +268,36 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("server rejected: %s", payload))
 			return
 		}
+	}
+}
+
+// applyRekey folds one authenticated rekey payload — full, sparse, or
+// reconstructed from datagrams — into the key store and announces the
+// epoch. Every delivery plane converges here, so secrecy bookkeeping
+// (hand-off tracking, epoch gating) is identical no matter how the keys
+// arrived.
+func (c *Client) applyRekey(epoch uint64, items []keytree.Item) {
+	c.mu.Lock()
+	if c.mem != nil {
+		c.mem.Apply(items)
+		if c.joinEpoch == 0 {
+			c.joinEpoch = epoch
+		}
+		// A leaf hand-off can only arrive in a rekey newer than both
+		// our join and everything already processed (the resume ack
+		// re-delivers the last rekey verbatim).
+		c.trackIndividualLocked(items, epoch > c.epoch && epoch > c.joinEpoch)
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
+	old := c.epochCh
+	c.epochCh = make(chan struct{})
+	close(old)
+	hook := c.epochHook
+	c.mu.Unlock()
+	if hook != nil {
+		hook(epoch)
 	}
 }
 
@@ -405,8 +445,15 @@ func (c *Client) Leave() error {
 // default group).
 func (c *Client) Group() wire.GroupID { return c.group }
 
-// Close tears down the connection.
+// Close tears down the connection (and the UDP subscription, if any).
 func (c *Client) Close() error {
+	c.mu.Lock()
+	d := c.dgram
+	c.dgram = nil
+	c.mu.Unlock()
+	if d != nil {
+		d.close()
+	}
 	err := c.conn.Close()
 	<-c.done
 	return err

@@ -48,12 +48,22 @@ type Metrics struct {
 	slowEvictions *metrics.Counter
 	joinsDeferred *metrics.Counter
 
+	// Sparse fan-out and the datagram rekey plane (see epochbuf.go, udp.go).
+	sparseBytes    *metrics.Counter
+	repairPulls    *metrics.Counter
+	udpPackets     *metrics.Counter
+	udpParity      *metrics.Counter
+	udpNacks       *metrics.Counter
+	udpRepair      *metrics.Counter
+	udpSubscribers *metrics.Gauge
+
 	// Set-style gauges cannot chain additively: the aggregate is the sum
 	// over groups, so each group view remembers its last published value
 	// and shifts the parent by the delta.
 	gaugeMu         sync.Mutex
 	lastMembers     float64
 	lastConnections float64
+	lastUDPSubs     float64
 }
 
 // NewMetrics registers the server's series on reg. tracer may be nil to
@@ -115,6 +125,20 @@ func newMetrics(reg *metrics.Registry, tracer *metrics.RekeyTracer, labels ...me
 			"Clients evicted after repeatedly overflowing their send queue.", labels...),
 		joinsDeferred: reg.Counter("groupkey_joins_deferred_total",
 			"Joins deferred with a retry-after response under admission load.", labels...),
+		sparseBytes: reg.Counter("groupkey_sparse_frame_bytes_total",
+			"Payload bytes of sparse rekey frames accepted for delivery.", labels...),
+		repairPulls: reg.Counter("groupkey_rekey_repair_pulls_total",
+			"TCP rekey-pull repair requests served.", labels...),
+		udpPackets: reg.Counter("groupkey_udp_packets_sent_total",
+			"Datagram-plane packets transmitted (source shards).", labels...),
+		udpParity: reg.Counter("groupkey_udp_parity_sent_total",
+			"Datagram-plane parity shards transmitted (proactive and repair).", labels...),
+		udpNacks: reg.Counter("groupkey_udp_nacks_total",
+			"NACK feedback datagrams processed from members.", labels...),
+		udpRepair: reg.Counter("groupkey_udp_repair_rounds_total",
+			"NACK-triggered repair transmissions performed.", labels...),
+		udpSubscribers: reg.Gauge("groupkey_udp_subscribers",
+			"Members currently subscribed to the datagram rekey plane.", labels...),
 	}
 	for _, l := range labels {
 		if l.Name == "group" {
@@ -178,6 +202,60 @@ func (m *Metrics) noteJoinDeferred() {
 	if m.parent != nil {
 		m.parent.joinsDeferred.Inc()
 	}
+}
+
+// noteSparseBytes records the payload bytes of one sparse frame accepted
+// for delivery.
+func (m *Metrics) noteSparseBytes(n int) {
+	if m == nil {
+		return
+	}
+	m.sparseBytes.Add(uint64(n))
+	if m.parent != nil {
+		m.parent.sparseBytes.Add(uint64(n))
+	}
+}
+
+// noteRepairPull records one TCP rekey-pull repair request.
+func (m *Metrics) noteRepairPull() {
+	if m == nil {
+		return
+	}
+	m.repairPulls.Inc()
+	if m.parent != nil {
+		m.parent.repairPulls.Inc()
+	}
+}
+
+// noteUDP records one epoch's datagram-plane transmission costs plus any
+// NACK/repair activity since the last call.
+func (m *Metrics) noteUDP(packets, parity, nacks, repairs int) {
+	if m == nil {
+		return
+	}
+	for b := m; b != nil; b = b.parent {
+		b.udpPackets.Add(uint64(packets))
+		b.udpParity.Add(uint64(parity))
+		b.udpNacks.Add(uint64(nacks))
+		b.udpRepair.Add(uint64(repairs))
+	}
+}
+
+// setUDPSubscribers publishes the datagram-plane subscriber count,
+// delta-chained into the aggregate like setMembers.
+func (m *Metrics) setUDPSubscribers(n int) {
+	if m == nil {
+		return
+	}
+	m.udpSubscribers.Set(float64(n))
+	if m.parent == nil {
+		return
+	}
+	m.gaugeMu.Lock()
+	delta := float64(n) - m.lastUDPSubs
+	m.lastUDPSubs = float64(n)
+	m.gaugeMu.Unlock()
+	m.parent.udpSubscribers.Add(delta)
 }
 
 // noteFrame counts one client→server frame by message type. The series is

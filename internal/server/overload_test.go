@@ -1,12 +1,17 @@
 package server
 
 import (
+	"crypto/ed25519"
 	"errors"
+	"io"
 	"net"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"groupkey/internal/core"
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/keytree"
 	"groupkey/internal/wire"
 )
 
@@ -457,5 +462,78 @@ func TestStalledTCPClientEventuallyEvicted(t *testing.T) {
 	// The healthy member saw every epoch the server reached.
 	if err := healthy.WaitEpoch(s.TotalRekeys(), testTimeout); err != nil {
 		t.Fatalf("healthy member fell behind: %v", err)
+	}
+}
+
+// discardConn is a no-op net.Conn: writes vanish and deadlines are free.
+// net.Pipe would allocate a timer per deadline call, polluting the
+// allocation ceiling below.
+type discardConn struct{}
+
+func (discardConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return nil }
+func (discardConn) RemoteAddr() net.Addr             { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestSparseWriterAllocsCeiling pins the steady-state allocation cost of
+// the writer hot path. The frame header, sparse-head buffer and vector
+// list are writer-owned and reused, so a sparse frame costs only the
+// multiproof walk's scratch slice and the full-blob path costs nothing.
+func TestSparseWriterAllocsCeiling(t *testing.T) {
+	sc := newScheme(t, 40)
+	var b core.Batch
+	for i := 1; i <= 64; i++ {
+		b.Joins = append(b.Joins, core.Join{ID: keytree.MemberID(i), Meta: core.MemberMeta{LossRate: 0.01}})
+	}
+	if _, err := sc.ProcessBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	rekey, err := sc.ProcessBatch(core.Batch{Leaves: []keytree.MemberID{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, priv, err := ed25519.GenerateKey(keycrypt.NewDeterministicReader(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := newEpochBuffer(priv, rekey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eb.release()
+	var idx []uint32
+	for m := keytree.MemberID(1); m <= 64; m++ {
+		if cand := eb.indexesFor(m); len(cand) > len(idx) {
+			idx = cand
+		}
+	}
+	if len(idx) == 0 {
+		t.Fatal("no member has sparse indexes")
+	}
+
+	cc := &clientConn{conn: discardConn{}}
+	sparse := frame{t: wire.MsgRekeySparse, eb: eb, idx: idx}
+	// Warm the writer-owned buffers once, then demand steady state.
+	if err := cc.writeFrame(sparse); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := cc.writeFrame(sparse); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 2 {
+		t.Fatalf("sparse writeFrame allocs/op = %v, want ≤ 2 (proof-walk scratch only)", allocs)
+	}
+	full := frame{t: wire.MsgRekey, payload: eb.full}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := cc.writeFrame(full); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("full-blob writeFrame allocs/op = %v, want 0", allocs)
 	}
 }

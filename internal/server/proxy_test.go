@@ -9,8 +9,9 @@ import (
 )
 
 // newTamperingProxy starts a man-in-the-middle relay to target that flips
-// one signature byte of every server→client MsgRekey frame, leaving all
-// other traffic intact. It returns the proxy's listen address.
+// one signature byte of every server→client rekey frame (full and
+// sparse), leaving all other traffic intact. It returns the proxy's
+// listen address.
 func newTamperingProxy(t *testing.T, target string) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -45,7 +46,7 @@ func newTamperingProxy(t *testing.T, target string) string {
 					if err != nil {
 						return
 					}
-					if typ == wire.MsgRekey && len(payload) > 0 {
+					if (typ == wire.MsgRekey || typ == wire.MsgRekeySparse) && len(payload) > 0 {
 						payload[0] ^= 0x01 // break the Ed25519 signature
 					}
 					if err := wire.WriteFrame(client, typ, payload); err != nil {

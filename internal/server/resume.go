@@ -173,7 +173,7 @@ func resumeOnConn(conn net.Conn, st *ClientState, timeout time.Duration) (*Clien
 		conn.Close()
 		return nil, err
 	}
-	req := wire.ResumeRequest{Member: c.id, Proof: proof}
+	req := wire.ResumeRequest{Member: c.id, Proof: proof, Caps: wire.CapSparse}
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	if err := c.writeFrame(wire.MsgResume, req.Encode()); err != nil {
 		conn.Close()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"net"
 	"sync"
 	"time"
@@ -113,16 +114,22 @@ func (s *Server) SetOverloadPolicy(p OverloadPolicy) {
 	s.policy = p.withDefaults()
 }
 
-// frame is one queued outbound message.
+// frame is one queued outbound message: either a self-contained payload
+// (t + payload) or an epoch-buffer descriptor (t + eb + idx), from which
+// the writer assembles the member's sparse frame outside the server lock.
+// A frame holding eb owns one reference; the writer releases it once the
+// frame is written or discarded.
 type frame struct {
 	t       wire.MsgType
 	payload []byte
+	eb      *epochBuffer
+	idx     []uint32
 }
 
 // clientConn is one admitted member's connection plus its bounded send
 // queue. The queue channel is closed exactly once (finish) after the conn
 // leaves s.conns, so enqueues — always under s.mu — never race the close.
-// strikes and shedding are guarded by s.mu.
+// strikes and shedding are guarded by s.mu; caps is fixed at admission.
 type clientConn struct {
 	conn    net.Conn
 	q       chan frame
@@ -132,19 +139,33 @@ type clientConn struct {
 	timeout time.Duration
 	metrics *Metrics // snapshot at creation; nil-safe
 
+	// caps are the wire capabilities the member negotiated at join/resume.
+	caps uint8
+
+	// Writer-owned scratch, reused across frames so the steady-state write
+	// path allocates nothing: the v1 frame header, the sparse-head assembly
+	// buffer, and the vectored-write slice. io is the slice header WriteTo
+	// consumes — a field rather than a local so escape analysis (WriteTo's
+	// receiver may reach an interface) never heap-allocates it per frame.
+	hdr  [5]byte
+	head []byte
+	bufs net.Buffers
+	io   net.Buffers
+
 	strikes  int
 	shedding bool
 }
 
 // startClientLocked wraps an admitted connection in a send queue and
 // starts its writer. Callers hold s.mu.
-func (s *Server) startClientLocked(conn net.Conn) *clientConn {
+func (s *Server) startClientLocked(conn net.Conn, caps uint8) *clientConn {
 	cc := &clientConn{
 		conn:    conn,
 		q:       make(chan frame, s.policy.QueueCap),
 		done:    make(chan struct{}),
 		timeout: s.policy.WriteTimeout,
 		metrics: s.metrics,
+		caps:    caps,
 	}
 	s.wg.Add(1)
 	go func() {
@@ -171,15 +192,18 @@ func (cc *clientConn) abort() {
 
 // writeLoop drains one client's queue. It exits on a write error, on
 // abort, or once the queue is closed and drained; in every case it closes
-// the connection and discards (with depth accounting) whatever remains
-// queued.
+// the connection, discards (with depth accounting) whatever remains
+// queued, and releases the epoch buffers those frames held.
 func (s *Server) writeLoop(cc *clientConn) {
 	defer func() {
 		cc.conn.Close()
 		// The owner always finishes the queue when it drops the conn, so
 		// this drain terminates; it keeps the depth gauge honest for
 		// frames that were queued but never written.
-		for range cc.q {
+		for f := range cc.q {
+			if f.eb != nil {
+				f.eb.release()
+			}
 			s.sendqAdd(cc, -1)
 		}
 	}()
@@ -192,13 +216,42 @@ func (s *Server) writeLoop(cc *clientConn) {
 				return
 			}
 			cc.conn.SetWriteDeadline(time.Now().Add(cc.timeout))
-			err := wire.WriteFrame(cc.conn, f.t, f.payload)
+			err := cc.writeFrame(f)
+			if f.eb != nil {
+				f.eb.release()
+			}
 			s.sendqAdd(cc, -1)
 			if err != nil {
 				return
 			}
 		}
 	}
+}
+
+// writeFrame emits one frame through the connection using the pooled
+// header and vectored-write scratch — no per-frame allocations. Sparse
+// descriptors are assembled here, off the server lock: the head (fixed
+// fields, indexes, multiproof) lands in cc.head and the item bytes go out
+// as coalesced ranges over the epoch's shared buffer, all in one writev.
+func (cc *clientConn) writeFrame(f frame) error {
+	payload := f.payload
+	if f.eb != nil {
+		cc.head = wire.AppendSparseHead(cc.head[:0], f.eb.epoch, f.eb.tree, f.eb.root, f.eb.rootSig, f.idx)
+		n := len(cc.head) + len(f.idx)*wire.RekeyItemSize
+		binary.BigEndian.PutUint32(cc.hdr[:4], uint32(n+1))
+		cc.hdr[4] = byte(f.t)
+		cc.bufs = append(cc.bufs[:0], cc.hdr[:], cc.head)
+		cc.bufs = f.eb.itemRanges(cc.bufs, f.idx)
+	} else {
+		binary.BigEndian.PutUint32(cc.hdr[:4], uint32(len(payload)+1))
+		cc.hdr[4] = byte(f.t)
+		cc.bufs = append(cc.bufs[:0], cc.hdr[:], payload)
+	}
+	// WriteTo advances the slice it is called on; operate on a copy so
+	// cc.bufs keeps its backing array for the next frame.
+	cc.io = cc.bufs
+	_, err := cc.io.WriteTo(cc.conn)
+	return err
 }
 
 // sendqAdd tracks the aggregate queued-frame count (server counter for
@@ -211,15 +264,16 @@ func (s *Server) sendqAdd(cc *clientConn, delta int64) {
 // enqueueLocked queues one frame for a client, applying the watermark and
 // eviction policy. It reports whether the frame was queued; on the
 // EvictAfter-th consecutive overflow the client is evicted inline (removed
-// from s.conns — safe during a map range). Callers hold s.mu.
-func (s *Server) enqueueLocked(id keytree.MemberID, cc *clientConn, t wire.MsgType, payload []byte) bool {
+// from s.conns — safe during a map range). A dropped frame's epoch-buffer
+// reference is released here. Callers hold s.mu.
+func (s *Server) enqueueLocked(id keytree.MemberID, cc *clientConn, f frame) bool {
 	depth := len(cc.q)
 	if depth <= s.policy.LowWatermark {
 		// Watermark recovery: the writer caught up, forgive the past.
 		cc.shedding = false
 		cc.strikes = 0
 	}
-	if t == wire.MsgData && (cc.shedding || depth >= s.policy.HighWatermark) {
+	if f.t == wire.MsgData && (cc.shedding || depth >= s.policy.HighWatermark) {
 		// Congested: shed replaceable data traffic, keep rekeys flowing.
 		cc.shedding = true
 		s.shedFrames++
@@ -227,10 +281,13 @@ func (s *Server) enqueueLocked(id keytree.MemberID, cc *clientConn, t wire.MsgTy
 		return false
 	}
 	select {
-	case cc.q <- frame{t, payload}:
+	case cc.q <- f:
 		s.sendqAdd(cc, 1)
 		return true
 	default:
+		if f.eb != nil {
+			f.eb.release()
+		}
 		cc.strikes++
 		s.overflows++
 		s.metrics.noteOverflow()

@@ -118,11 +118,17 @@ type Server struct {
 
 	// Durability (see Persist). lastRekeyBlob is the signed frame of the
 	// newest rekey, re-sent to resuming members to close the
-	// journal-before-broadcast crash window.
+	// journal-before-broadcast crash window. lastEpoch is the newest
+	// epoch buffer (one reference held here), serving MsgRekeyPull repair
+	// requests sparsely.
 	persister     Persister
 	snapshotEvery int
 	opsSinceSnap  int
 	lastRekeyBlob []byte
+	lastEpoch     *epochBuffer
+
+	// Datagram rekey plane (see udp.go); nil unless ServeUDP was called.
+	udp *udpPlane
 
 	// fence gates mutations on cluster leadership; nil when standalone.
 	fence Fence
@@ -132,6 +138,7 @@ type pendingJoin struct {
 	id   keytree.MemberID
 	meta core.MemberMeta
 	conn net.Conn
+	caps uint8
 }
 
 // New creates a server around a key-management scheme. rng supplies nonces
@@ -382,6 +389,7 @@ func (s *Server) handleFrames(conn net.Conn, firstType wire.MsgType, firstPayloa
 				id:   memberID,
 				meta: core.MemberMeta{LossRate: req.LossRate, LongLived: req.LongLived},
 				conn: conn,
+				caps: req.Caps,
 			})
 			s.mu.Unlock()
 		case wire.MsgLeave:
@@ -399,6 +407,33 @@ func (s *Server) handleFrames(conn net.Conn, firstType wire.MsgType, firstPayloa
 			if !s.resume(conn, req, &memberID) {
 				return
 			}
+		case wire.MsgRekeyPull:
+			// TCP repair: a member that could not complete an epoch from the
+			// datagram plane (or missed a sparse frame) pulls its slice
+			// authoritatively. Answer sparsely from the retained epoch
+			// buffer when it still matches; fall back to the full blob.
+			epoch, err := wire.DecodeRekeyPull(payload)
+			if err != nil {
+				s.reject(conn, err)
+				return
+			}
+			s.mu.Lock()
+			cc := s.conns[memberID]
+			if memberID == 0 || cc == nil {
+				s.mu.Unlock()
+				s.reject(conn, errors.New("pull rejected: not a member"))
+				return
+			}
+			switch {
+			case s.lastEpoch != nil && s.lastEpoch.epoch == epoch && cc.caps&wire.CapSparse != 0:
+				eb := s.lastEpoch
+				eb.retain()
+				s.enqueueLocked(memberID, cc, frame{t: wire.MsgRekeySparse, eb: eb, idx: eb.indexesFor(memberID)})
+			case s.lastRekeyBlob != nil:
+				s.enqueueLocked(memberID, cc, frame{t: wire.MsgRekey, payload: s.lastRekeyBlob})
+			}
+			s.metrics.noteRepairPull()
+			s.mu.Unlock()
 		default:
 			s.reject(conn, fmt.Errorf("unexpected %v from client", t))
 			return
@@ -443,16 +478,19 @@ func (s *Server) resume(conn net.Conn, req wire.ResumeRequest, memberID *keytree
 	*memberID = req.Member
 	// A disconnect queued this member for eviction; reconnecting revokes it.
 	delete(s.pendingLeaves, req.Member)
-	cc := s.startClientLocked(conn)
+	cc := s.startClientLocked(conn, req.Caps)
 	s.conns[req.Member] = cc
 	s.metrics.setConnections(len(s.conns))
 	welcome := wire.SignedWelcome{
 		Welcome:   wire.Welcome{Member: req.Member, Key: leaf},
 		ServerKey: s.signPub,
 	}
-	s.enqueueLocked(req.Member, cc, wire.MsgWelcome, welcome.Encode())
+	s.enqueueLocked(req.Member, cc, frame{t: wire.MsgWelcome, payload: welcome.Encode()})
 	if s.lastRekeyBlob != nil {
-		s.enqueueLocked(req.Member, cc, wire.MsgRekey, s.lastRekeyBlob)
+		// Re-delivery always uses the full blob: the resuming member may
+		// have missed receiver-set changes, and full payloads are valid for
+		// every capability level.
+		s.enqueueLocked(req.Member, cc, frame{t: wire.MsgRekey, payload: s.lastRekeyBlob})
 	}
 	s.mu.Unlock()
 	return true
@@ -481,7 +519,11 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 
 	start := time.Now()
 	b := core.Batch{}
-	joinConn := make(map[keytree.MemberID]net.Conn)
+	type admitted struct {
+		conn net.Conn
+		caps uint8
+	}
+	joinConn := make(map[keytree.MemberID]admitted)
 	for _, pj := range s.pendingJoins {
 		if s.pendingLeaves[pj.id] {
 			// Joined and disconnected within one period: never admitted.
@@ -489,7 +531,7 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 			continue
 		}
 		b.Joins = append(b.Joins, core.Join{ID: pj.id, Meta: pj.meta})
-		joinConn[pj.id] = pj.conn
+		joinConn[pj.id] = admitted{conn: pj.conn, caps: pj.caps}
 	}
 	for m := range s.pendingLeaves {
 		b.Leaves = append(b.Leaves, m)
@@ -524,14 +566,14 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 	// signing public key they will verify all future frames against. A
 	// joiner that vanished mid-registration fails asynchronously: its
 	// writer tears the conn down and the read side queues the eviction.
-	for id, conn := range joinConn {
+	for id, adm := range joinConn {
 		welcome := wire.SignedWelcome{
 			Welcome:   wire.Welcome{Member: id, Key: rekey.Welcome[id]},
 			ServerKey: s.signPub,
 		}
-		cc := s.startClientLocked(conn)
+		cc := s.startClientLocked(adm.conn, adm.caps)
 		s.conns[id] = cc
-		s.enqueueLocked(id, cc, wire.MsgWelcome, welcome.Encode())
+		s.enqueueLocked(id, cc, frame{t: wire.MsgWelcome, payload: welcome.Encode()})
 	}
 
 	// Broadcast the full rekey payload. Empty payloads still go out: the
@@ -586,22 +628,50 @@ func (s *Server) noteRekeyLocked(rekey *core.Rekey, joins, leaves, bytes int, d 
 	s.metrics.setConnections(len(s.conns))
 }
 
-// broadcastRekeyLocked signs and fans out one rekey payload to every
-// client queue, returning the bytes accepted for delivery. A client whose
-// queue keeps overflowing is evicted inline (enqueueLocked); a client
-// whose transport fails is cleaned up by its writer and read side.
-// Callers hold s.mu.
+// broadcastRekeyLocked seals one rekey payload into an epoch buffer —
+// items encoded once, Merkle root signed once — and fans out per-client
+// descriptors: sparse-capable clients get {epoch buffer, their indexes}
+// (their writers assemble O(log N)-item frames off this lock), datagram
+// subscribers get a digest while their keys travel over UDP, and legacy
+// clients get the full signed blob. Returns the payload bytes accepted
+// for delivery. A client whose queue keeps overflowing is evicted inline
+// (enqueueLocked); a client whose transport fails is cleaned up by its
+// writer and read side. Callers hold s.mu.
 func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) (int, error) {
-	blob, err := wire.EncodeRekey(rekey.Epoch, rekey.AllItems())
+	eb, err := newEpochBuffer(s.signPriv, rekey)
 	if err != nil {
 		return 0, err
 	}
-	blob = wire.SignRekey(s.signPriv, blob)
-	s.lastRekeyBlob = blob
+	s.lastRekeyBlob = eb.full
+	if s.lastEpoch != nil {
+		s.lastEpoch.release()
+	}
+	s.lastEpoch = eb // holds the initial reference for MsgRekeyPull repair
+
+	// Hand the epoch to the datagram plane first: subscribers' keys go out
+	// as FEC-coded UDP packets, so their TCP frame shrinks to a digest.
+	overUDP := s.udp.planEpoch(s, eb)
+
 	sent := 0
 	for id, cc := range s.conns {
-		if s.enqueueLocked(id, cc, wire.MsgRekey, blob) {
-			sent += len(blob)
+		switch {
+		case overUDP[id]:
+			digest := s.udp.digestFor(eb, id)
+			if s.enqueueLocked(id, cc, frame{t: wire.MsgRekeyDigest, payload: digest}) {
+				sent += len(digest)
+			}
+		case cc.caps&wire.CapSparse != 0:
+			idx := eb.indexesFor(id)
+			eb.retain()
+			if s.enqueueLocked(id, cc, frame{t: wire.MsgRekeySparse, eb: eb, idx: idx}) {
+				n := eb.sparseSize(idx)
+				sent += n
+				s.metrics.noteSparseBytes(n)
+			}
+		default:
+			if s.enqueueLocked(id, cc, frame{t: wire.MsgRekey, payload: eb.full}) {
+				sent += len(eb.full)
+			}
 		}
 	}
 	return sent, nil
@@ -687,7 +757,7 @@ func (s *Server) Broadcast(data []byte) error {
 	blob := wire.SignRekey(s.signPriv, sealed)
 	sent := 0
 	for id, cc := range s.conns {
-		if s.enqueueLocked(id, cc, wire.MsgData, blob) {
+		if s.enqueueLocked(id, cc, frame{t: wire.MsgData, payload: blob}) {
 			sent += len(blob)
 		}
 	}
@@ -730,11 +800,16 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	s.udp.close()
 	for _, cc := range s.conns {
 		cc.finish()
 		cc.abort()
 	}
 	s.conns = make(map[keytree.MemberID]*clientConn)
+	if s.lastEpoch != nil {
+		s.lastEpoch.release()
+		s.lastEpoch = nil
+	}
 	s.metrics.setConnections(0)
 	s.mu.Unlock()
 	s.wg.Wait()

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"groupkey/internal/keycrypt"
+	"groupkey/internal/metrics"
+	"groupkey/internal/wire"
+)
+
+// startUDP attaches a datagram plane with deterministic send-side loss
+// injection and returns the instrumented metrics bundle.
+func startUDP(t *testing.T, srv *Server, dropRate float64, seed int64, cfg UDPConfig) *Metrics {
+	t.Helper()
+	m := NewMetrics(metrics.NewRegistry(), nil)
+	srv.Instrument(m)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenPacket: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfg.Drop = func() bool { return rng.Float64() < dropRate } // serialized by sendMu
+	srv.ServeUDP(pc, cfg)
+	return m
+}
+
+// pendingLeaveCount reports how many departures the server has accepted
+// but not yet rekeyed over — Leave() is acknowledged asynchronously, so
+// tests wait on this before forcing the batch.
+func pendingLeaveCount(srv *Server) int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.pendingLeaves)
+}
+
+// subscribe enables the datagram plane on a client and waits until the
+// server has admitted the subscription.
+func subscribe(t *testing.T, srv *Server, c *Client, want int) {
+	t.Helper()
+	if err := c.EnableDatagram(srv.UDPAddr().String(), 30*time.Millisecond, 3); err != nil {
+		t.Fatalf("EnableDatagram: %v", err)
+	}
+	waitFor(t, "udp subscription", func() bool {
+		srv.udp.mu.Lock()
+		defer srv.udp.mu.Unlock()
+		return len(srv.udp.subs) >= want
+	})
+}
+
+// TestDatagramPlaneDeliversAtFivePercentLoss is the acceptance run: every
+// member subscribed to the UDP plane recovers every epoch's keys under 5%
+// injected packet loss — through proactive parity, NACK repair, or the
+// TCP pull, whichever the loss pattern demands — and the secrecy
+// invariants hold: live members agree on the group key, and a departed
+// member can neither follow the rekey nor decrypt post-departure traffic.
+func TestDatagramPlaneDeliversAtFivePercentLoss(t *testing.T) {
+	scheme := newScheme(t, 60)
+	srv := startServer(t, scheme)
+	m := startUDP(t, srv, 0.05, 61, UDPConfig{KeysPerDgram: 2, BlockSize: 4})
+
+	const n = 6
+	clients := make([]*Client, 0, n)
+	for i := 0; i < n; i++ {
+		c := dial(t, srv, wire.JoinRequest{LossRate: 0.05})
+		t.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+		subscribe(t, srv, c, len(clients))
+	}
+
+	// Churn rounds: every rekey's keys must reach every subscriber despite
+	// the injected loss.
+	for round := 0; round < 5; round++ {
+		extra := dial(t, srv, wire.JoinRequest{LossRate: 0.05})
+		epoch := srv.Epoch()
+		for _, c := range clients {
+			if err := c.WaitEpoch(epoch, testTimeout); err != nil {
+				t.Fatalf("round %d: member %d behind: %v", round, c.ID(), err)
+			}
+		}
+		if err := extra.Leave(); err != nil {
+			t.Fatalf("round %d: leave: %v", round, err)
+		}
+		waitFor(t, "departure registered", func() bool { return pendingLeaveCount(srv) > 0 })
+		if _, err := srv.RekeyNow(); err != nil {
+			t.Fatalf("round %d: rekey: %v", round, err)
+		}
+		extra.Close()
+	}
+	epoch := srv.Epoch()
+	for _, c := range clients {
+		if err := c.WaitEpoch(epoch, testTimeout); err != nil {
+			t.Fatalf("final epoch: member %d behind: %v", c.ID(), err)
+		}
+	}
+
+	// Key agreement: every member holds the server's current group key.
+	gk, err := scheme.GroupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if !c.HasKey(gk) {
+			t.Fatalf("member %d does not hold the group key", c.ID())
+		}
+	}
+
+	// Secrecy: evict a subscribed member; the survivors advance, the
+	// leaver must not learn the new key nor decrypt new traffic.
+	leaver := clients[0]
+	oldKey := gk
+	if err := leaver.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "departure registered", func() bool { return pendingLeaveCount(srv) > 0 })
+	if _, err := srv.RekeyNow(); err != nil {
+		t.Fatal(err)
+	}
+	epoch = srv.Epoch()
+	for _, c := range clients[1:] {
+		if err := c.WaitEpoch(epoch, testTimeout); err != nil {
+			t.Fatalf("post-leave: member %d behind: %v", c.ID(), err)
+		}
+	}
+	newKey, err := scheme.GroupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newKey.Equal(oldKey) {
+		t.Fatal("group key did not change on leave")
+	}
+	for _, c := range clients[1:] {
+		if !c.HasKey(newKey) {
+			t.Fatalf("member %d does not hold the post-leave key", c.ID())
+		}
+	}
+	if leaver.HasKey(newKey) {
+		t.Fatal("secrecy violation: departed member learned the new group key")
+	}
+	sealed, err := keycrypt.Seal(newKey, []byte("post-leave secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaver.TryOpen(sealed); err == nil {
+		t.Fatal("secrecy violation: departed member decrypted post-leave traffic")
+	}
+
+	// The keys actually travelled as datagrams, with proactive parity.
+	if m.udpPackets.Value() == 0 {
+		t.Fatal("no UDP packets sent — the plane never engaged")
+	}
+	if m.udpParity.Value() == 0 {
+		t.Fatal("no proactive parity sent despite reported loss")
+	}
+}
+
+// TestDatagramPlaneRepairsHeavyLoss cranks injected loss far past what
+// proactive parity covers: delivery must still complete every epoch via
+// NACK repair rounds or the authoritative TCP pull.
+func TestDatagramPlaneRepairsHeavyLoss(t *testing.T) {
+	scheme := newScheme(t, 62)
+	srv := startServer(t, scheme)
+	m := startUDP(t, srv, 0.4, 63, UDPConfig{KeysPerDgram: 2, BlockSize: 4, MaxParity: 2})
+
+	c := dial(t, srv, wire.JoinRequest{LossRate: 0.4})
+	t.Cleanup(func() { c.Close() })
+	subscribe(t, srv, c, 1)
+	other := dial(t, srv, wire.JoinRequest{LossRate: 0.4})
+	t.Cleanup(func() { other.Close() })
+	subscribe(t, srv, other, 2)
+
+	for round := 0; round < 4; round++ {
+		if _, err := srv.RotateNow(); err != nil {
+			t.Fatalf("round %d: rotate: %v", round, err)
+		}
+		epoch := srv.Epoch()
+		if err := c.WaitEpoch(epoch, testTimeout); err != nil {
+			t.Fatalf("round %d: member behind at 40%% loss: %v", round, err)
+		}
+		if err := other.WaitEpoch(epoch, testTimeout); err != nil {
+			t.Fatalf("round %d: second member behind: %v", round, err)
+		}
+	}
+	gk, err := scheme.GroupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasKey(gk) || !other.HasKey(gk) {
+		t.Fatal("members lost key agreement under heavy loss")
+	}
+	if m.udpNacks.Value() == 0 && m.repairPulls.Value() == 0 {
+		t.Fatal("heavy loss triggered neither NACK repair nor TCP pulls")
+	}
+}

@@ -88,6 +88,29 @@ func (fr *fecReceiver) deficit(k int) int {
 	return d
 }
 
+// ProactiveParity sizes the proactive parity for one FEC block of k source
+// shards from the receivers' loss rates, adapting WKA's replication weight
+// to coding: E[M] copies of every packet under replication becomes
+// k·(E[M] − 1) parity shards under RS coding (any k of the k+h shards
+// reconstruct, so parity substitutes one-for-one for replicas). The result
+// is clamped to [min, max]; max also respects the RS field limit the
+// caller derives from fec.MaxShards.
+func ProactiveParity(k int, losses []float64, min, max int) int {
+	if k < 1 || max < min {
+		return min
+	}
+	h := min
+	if em := ExpectedTransmissions(losses); em > 1 {
+		if need := int(math.Ceil(float64(k) * (em - 1))); need > h {
+			h = need
+		}
+	}
+	if h > max {
+		h = max
+	}
+	return h
+}
+
 // Deliver implements Protocol.
 func (pf *ProactiveFEC) Deliver(items []keytree.Item, net *netsim.Network) (Result, error) {
 	if err := pf.Config.Validate(); err != nil {
@@ -260,6 +283,5 @@ func (pf *ProactiveFEC) Deliver(items []keytree.Item, net *netsim.Network) (Resu
 		res.Delivered = true
 		return res, nil
 	}
-	return res, fmt.Errorf("%w: %d receivers outstanding after %d rounds",
-		ErrUndelivered, len(rs.need), pf.Config.MaxRounds)
+	return res, rs.undelivered(pf.Config.MaxRounds)
 }

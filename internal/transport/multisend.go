@@ -80,6 +80,5 @@ func (ms *MultiSend) Deliver(items []keytree.Item, net *netsim.Network) (Result,
 		res.Delivered = true
 		return res, nil
 	}
-	return res, fmt.Errorf("%w: %d receivers outstanding after %d rounds",
-		ErrUndelivered, len(rs.need), ms.Config.MaxRounds)
+	return res, rs.undelivered(ms.Config.MaxRounds)
 }

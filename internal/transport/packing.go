@@ -126,6 +126,26 @@ func packReplicated(ordered []int, weight map[int]int, capacity int) []packet {
 	return packets
 }
 
+// PackIndexes orders all the items' indexes for packing and deals them
+// once each into groups of at most capacity — the canonical packing the
+// key server's datagram plane shares with the simulated protocols, so
+// simulated and deployed shard layouts agree.
+func PackIndexes(items []keytree.Item, order PackOrder, capacity int) [][]int {
+	if capacity < 1 || len(items) == 0 {
+		return nil
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	packets := packPlain(orderItems(items, idx, order), capacity)
+	out := make([][]int, len(packets))
+	for i, p := range packets {
+		out[i] = p.items
+	}
+	return out
+}
+
 // packPlain packs items once each into packets of the given capacity.
 func packPlain(ordered []int, capacity int) []packet {
 	var packets []packet

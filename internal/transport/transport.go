@@ -36,6 +36,29 @@ var (
 	ErrUndelivered = errors.New("transport: receivers still missing keys after max rounds")
 )
 
+// UndeliveredError reports how much work a protocol left unfinished when
+// it gave up: the count of receivers still missing at least one key and
+// the total key slots outstanding across them. It wraps ErrUndelivered,
+// so existing errors.Is checks keep working; callers sizing repair rounds
+// errors.As it out to know how much to resend.
+type UndeliveredError struct {
+	// Receivers is the number of receivers still missing keys.
+	Receivers int
+	// KeySlots is the total (receiver, key) pairs still undelivered.
+	KeySlots int
+	// Rounds is the round budget that was exhausted.
+	Rounds int
+}
+
+// Error implements error.
+func (e *UndeliveredError) Error() string {
+	return fmt.Sprintf("%v: %d receivers missing %d key slots after %d rounds",
+		ErrUndelivered, e.Receivers, e.KeySlots, e.Rounds)
+}
+
+// Unwrap ties the error into the ErrUndelivered chain.
+func (e *UndeliveredError) Unwrap() error { return ErrUndelivered }
+
 // Config holds parameters shared by all protocols.
 type Config struct {
 	// KeysPerPacket is the packet capacity in encrypted keys. The paper's
@@ -146,6 +169,15 @@ func newReceiverState(items []keytree.Item, net *netsim.Network) *receiverState 
 
 // satisfied reports whether all receivers have everything.
 func (rs *receiverState) satisfied() bool { return len(rs.need) == 0 }
+
+// undelivered builds the give-up error for the current deficit.
+func (rs *receiverState) undelivered(rounds int) *UndeliveredError {
+	e := &UndeliveredError{Receivers: len(rs.need), Rounds: rounds}
+	for _, items := range rs.need {
+		e.KeySlots += len(items)
+	}
+	return e
+}
 
 // got records that receiver r received item i.
 func (rs *receiverState) got(r keytree.MemberID, i int) {

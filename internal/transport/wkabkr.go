@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"fmt"
 	"math"
 
 	"groupkey/internal/keytree"
@@ -103,32 +102,46 @@ func (w *WKABKR) Deliver(items []keytree.Item, net *netsim.Network) (Result, err
 		res.Delivered = true
 		return res, nil
 	}
-	return res, fmt.Errorf("%w: %d receivers outstanding after %d rounds",
-		ErrUndelivered, len(rs.need), w.Config.MaxRounds)
+	return res, rs.undelivered(w.Config.MaxRounds)
 }
 
 // expectedTransmissions evaluates E[M] for a key needed by the given
-// receivers, using the server's loss estimates:
-//
-//	E[M] = 1 + Σ_{m≥1} (1 − Π_r (1 − p_r^m))
-//
-// Receivers are grouped by estimated loss rate so the product costs
-// O(distinct rates) per term.
+// receivers, using the server's loss estimates.
 func (w *WKABKR) expectedTransmissions(receivers []keytree.MemberID, net *netsim.Network) float64 {
 	if len(receivers) == 0 {
 		return 0
 	}
+	losses := make([]float64, len(receivers))
+	for i, r := range receivers {
+		losses[i] = w.Config.lossOf(r, net)
+	}
+	return ExpectedTransmissions(losses)
+}
+
+// ExpectedTransmissions evaluates the WKA weight — the expected number of
+// transmissions until every receiver with the given loss rates has a copy:
+//
+//	E[M] = 1 + Σ_{m≥1} (1 − Π_r (1 − p_r^m))
+//
+// Receivers are grouped by loss rate so the product costs O(distinct
+// rates) per term. Rates outside [0, 1) are ignored (they contribute
+// nothing or would diverge). The key server's datagram plane feeds its
+// subscribers' piggybacked loss estimates through this to size proactive
+// parity (ProactiveParity).
+func ExpectedTransmissions(losses []float64) float64 {
+	if len(losses) == 0 {
+		return 0
+	}
 	counts := make(map[float64]int)
-	for _, r := range receivers {
-		counts[w.Config.lossOf(r, net)]++
+	for _, p := range losses {
+		if p > 0 && p < 1 {
+			counts[p]++
+		}
 	}
 	e := 1.0
 	for m := 1; m <= 10000; m++ {
 		cdf := 1.0
 		for p, c := range counts {
-			if p <= 0 {
-				continue
-			}
 			cdf *= math.Pow(1-math.Pow(p, float64(m)), float64(c))
 		}
 		term := 1 - cdf

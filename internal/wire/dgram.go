@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+
+	"groupkey/internal/keytree"
+)
+
+// Datagram rekey plane: keys travel server→client as UDP packets — source
+// shards carrying (leafIdx, item) entries and Reed-Solomon parity shards —
+// each individually Ed25519-signed so a member can use a packet the moment
+// it arrives, loss or reordering notwithstanding. Client→server packets
+// (subscribe hello, NACK feedback) are authenticated by sealing their body
+// under the member's individual leaf key, which only the member and the
+// key server hold.
+//
+// Common header: magic "GK"(2) ‖ version(1) ‖ type(1) ‖ group(4) ‖
+// epoch(8) = 16 bytes, then per-type fields:
+//
+//	DgramKeys:   block(2) shard(1) k(1) ‖ shardBytes ‖ sig(64)
+//	DgramParity: block(2) shard(1) k(1) ‖ parityBytes ‖ sig(64)
+//	DgramHello:  member(8) ‖ sealed(helloBody)
+//	DgramNack:   member(8) ‖ sealed(NackBody)
+//
+// A source shard's canonical bytes are count(2) ‖ count×(leafIdx(4) ‖
+// item(RekeyItemSize)), zero-padded to the epoch's shard size for RS
+// encoding; the wire packet carries them unpadded (the digest's ShardSize
+// restores padding before reconstruction). Signatures cover
+// dgramDomain ‖ packet-without-sig, so nothing can be spliced between
+// epochs, blocks or groups.
+
+const (
+	dgramMagic0 = 'G'
+	dgramMagic1 = 'K'
+	// DgramVersion is the datagram plane protocol version.
+	DgramVersion = 1
+	// dgramHdrSize is the common header length.
+	dgramHdrSize = 2 + 1 + 1 + 4 + 8
+	// MaxDgramSize bounds one datagram (jumbo-frame ceiling; the server
+	// packs well under an 1500-byte MTU by default).
+	MaxDgramSize = 9 << 10
+	// dgramDomain separates datagram signatures from every other signed blob.
+	dgramDomain = "groupkey/dgram/v1"
+	// HelloBody is the plaintext a subscriber seals under its leaf key.
+	HelloBody = "groupkey-udp-subscribe"
+)
+
+// DgramType identifies a datagram's payload encoding.
+type DgramType uint8
+
+const (
+	// DgramKeys is a source shard: (leafIdx, item) entries of one FEC block.
+	DgramKeys DgramType = iota + 1
+	// DgramParity is one Reed-Solomon parity shard of a block.
+	DgramParity
+	// DgramHello subscribes a member's UDP source address to the plane.
+	DgramHello
+	// DgramNack reports a member's per-block shard deficits and observed
+	// loss (the Section 4.2 piggyback) after a repair timeout.
+	DgramNack
+)
+
+// String implements fmt.Stringer.
+func (t DgramType) String() string {
+	switch t {
+	case DgramKeys:
+		return "keys"
+	case DgramParity:
+		return "parity"
+	case DgramHello:
+		return "hello"
+	case DgramNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("DgramType(%d)", uint8(t))
+	}
+}
+
+// Dgram is one parsed datagram. Structure only — server→client packets
+// are signature-checked separately (VerifyDgram) so receivers can cheaply
+// drop garbage before paying for verification.
+type Dgram struct {
+	Type  DgramType
+	Group GroupID
+	Epoch uint64
+
+	// Keys/Parity fields.
+	Block   uint16
+	Shard   uint8
+	K       uint8
+	Payload []byte // Keys: unpadded shard bytes; Parity: padded parity bytes
+
+	// Hello/Nack fields.
+	Member keytree.MemberID
+	Sealed []byte
+}
+
+func appendDgramHdr(buf []byte, t DgramType, g GroupID, epoch uint64) []byte {
+	buf = append(buf, dgramMagic0, dgramMagic1, DgramVersion, byte(t))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(g))
+	return binary.BigEndian.AppendUint64(buf, epoch)
+}
+
+// signDgram appends the Ed25519 signature over dgramDomain ‖ pkt.
+func signDgram(priv ed25519.PrivateKey, pkt []byte) []byte {
+	msg := make([]byte, 0, len(dgramDomain)+len(pkt))
+	msg = append(msg, dgramDomain...)
+	msg = append(msg, pkt...)
+	return append(pkt, ed25519.Sign(priv, msg)...)
+}
+
+// EncodeShardDgram builds and signs one server→client shard packet —
+// t is DgramKeys (payload: unpadded canonical shard bytes) or DgramParity
+// (payload: parity bytes).
+func EncodeShardDgram(priv ed25519.PrivateKey, t DgramType, g GroupID, epoch uint64, block uint16, shard, k uint8, payload []byte) []byte {
+	buf := make([]byte, 0, dgramHdrSize+4+len(payload)+ed25519.SignatureSize)
+	buf = appendDgramHdr(buf, t, g, epoch)
+	buf = binary.BigEndian.AppendUint16(buf, block)
+	buf = append(buf, shard, k)
+	buf = append(buf, payload...)
+	return signDgram(priv, buf)
+}
+
+// EncodeMemberDgram builds one client→server packet — t is DgramHello or
+// DgramNack; sealed is the body sealed under the member's leaf key.
+func EncodeMemberDgram(t DgramType, g GroupID, epoch uint64, m keytree.MemberID, sealed []byte) []byte {
+	buf := make([]byte, 0, dgramHdrSize+8+len(sealed))
+	buf = appendDgramHdr(buf, t, g, epoch)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m))
+	return append(buf, sealed...)
+}
+
+// DecodeDgram parses one datagram of any type.
+func DecodeDgram(b []byte) (Dgram, error) {
+	var d Dgram
+	if len(b) > MaxDgramSize {
+		return d, fmt.Errorf("%w: datagram %d bytes", ErrFrameTooLarge, len(b))
+	}
+	if len(b) < dgramHdrSize || b[0] != dgramMagic0 || b[1] != dgramMagic1 {
+		return d, fmt.Errorf("%w: not a groupkey datagram", ErrMalformed)
+	}
+	if b[2] != DgramVersion {
+		return d, fmt.Errorf("%w: datagram version %d", ErrMalformed, b[2])
+	}
+	d.Type = DgramType(b[3])
+	d.Group = GroupID(binary.BigEndian.Uint32(b[4:8]))
+	d.Epoch = binary.BigEndian.Uint64(b[8:16])
+	rest := b[dgramHdrSize:]
+	switch d.Type {
+	case DgramKeys, DgramParity:
+		if len(rest) < 4+ed25519.SignatureSize {
+			return d, fmt.Errorf("%w: shard datagram %d bytes", ErrMalformed, len(b))
+		}
+		d.Block = binary.BigEndian.Uint16(rest[0:2])
+		d.Shard = rest[2]
+		d.K = rest[3]
+		if d.K == 0 {
+			return d, fmt.Errorf("%w: shard datagram with k=0", ErrMalformed)
+		}
+		d.Payload = rest[4 : len(rest)-ed25519.SignatureSize]
+	case DgramHello, DgramNack:
+		if len(rest) < 8 {
+			return d, fmt.Errorf("%w: member datagram %d bytes", ErrMalformed, len(b))
+		}
+		d.Member = keytree.MemberID(binary.BigEndian.Uint64(rest[0:8]))
+		if d.Member == 0 {
+			return d, fmt.Errorf("%w: zero member ID", ErrMalformed)
+		}
+		d.Sealed = rest[8:]
+	default:
+		return d, fmt.Errorf("%w: datagram type %d", ErrMalformed, b[3])
+	}
+	return d, nil
+}
+
+// VerifyDgram checks a server→client shard packet's trailing signature.
+func VerifyDgram(pub ed25519.PublicKey, b []byte) bool {
+	if len(b) <= ed25519.SignatureSize || len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	body, sig := b[:len(b)-ed25519.SignatureSize], b[len(b)-ed25519.SignatureSize:]
+	msg := make([]byte, 0, len(dgramDomain)+len(body))
+	msg = append(msg, dgramDomain...)
+	msg = append(msg, body...)
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// AppendShardEntry appends one (leafIdx, item) entry to a shard being
+// assembled. The caller owns the 2-byte entry-count prefix.
+func AppendShardEntry(buf []byte, leafIdx uint32, item []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, leafIdx)
+	return append(buf, item...)
+}
+
+// shardEntrySize is leafIdx(4) + item encoding.
+const shardEntrySize = 4 + RekeyItemSize
+
+// ParseShardEntries splits a source shard's canonical bytes (count ‖
+// entries, with optional zero padding after a reconstruction) into leaf
+// indexes and item encodings.
+func ParseShardEntries(shard []byte) (idx []uint32, items [][]byte, err error) {
+	if len(shard) < 2 {
+		return nil, nil, fmt.Errorf("%w: shard %d bytes", ErrMalformed, len(shard))
+	}
+	count := int(binary.BigEndian.Uint16(shard[0:2]))
+	rest := shard[2:]
+	if len(rest) < count*shardEntrySize {
+		return nil, nil, fmt.Errorf("%w: shard carries %d entries in %d bytes", ErrMalformed, count, len(rest))
+	}
+	idx = make([]uint32, count)
+	items = make([][]byte, count)
+	for i := 0; i < count; i++ {
+		e := rest[i*shardEntrySize : (i+1)*shardEntrySize]
+		idx[i] = binary.BigEndian.Uint32(e[0:4])
+		items[i] = e[4:]
+	}
+	return idx, items, nil
+}
+
+// NackBlock is one block's receipt report: how many distinct shards of it
+// the member holds.
+type NackBlock struct {
+	Block uint16
+	Have  uint8
+}
+
+// NackBody is the sealed body of a DgramNack: the epoch it reports on
+// (re-checked against the header so a replayed NACK cannot cross epochs),
+// the member's observed loss in permille (the Section 4.2 piggyback that
+// feeds the server's parity sizing), and per-block deficits.
+type NackBody struct {
+	Epoch        uint64
+	LossPermille uint16
+	Blocks       []NackBlock
+}
+
+// Encode serializes the NACK body for sealing.
+func (n NackBody) Encode() []byte {
+	out := make([]byte, 0, 11+3*len(n.Blocks))
+	out = binary.BigEndian.AppendUint64(out, n.Epoch)
+	out = binary.BigEndian.AppendUint16(out, n.LossPermille)
+	out = append(out, byte(len(n.Blocks)))
+	for _, b := range n.Blocks {
+		out = binary.BigEndian.AppendUint16(out, b.Block)
+		out = append(out, b.Have)
+	}
+	return out
+}
+
+// DecodeNackBody parses an unsealed NACK body.
+func DecodeNackBody(b []byte) (NackBody, error) {
+	var n NackBody
+	if len(b) < 11 {
+		return n, fmt.Errorf("%w: nack body %d bytes", ErrMalformed, len(b))
+	}
+	n.Epoch = binary.BigEndian.Uint64(b[0:8])
+	n.LossPermille = binary.BigEndian.Uint16(b[8:10])
+	count := int(b[10])
+	rest := b[11:]
+	if len(rest) != 3*count {
+		return n, fmt.Errorf("%w: nack reports %d blocks in %d bytes", ErrMalformed, count, len(rest))
+	}
+	n.Blocks = make([]NackBlock, count)
+	for i := range n.Blocks {
+		n.Blocks[i] = NackBlock{
+			Block: binary.BigEndian.Uint16(rest[3*i:]),
+			Have:  rest[3*i+2],
+		}
+	}
+	return n, nil
+}

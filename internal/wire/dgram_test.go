@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"groupkey/internal/keycrypt"
+)
+
+const goldenDgramPath = "testdata/golden_dgrams.txt"
+
+// goldenDgrams builds one deterministic packet per datagram type.
+func goldenDgrams(t *testing.T) map[DgramType][]byte {
+	t.Helper()
+	priv := testSigner(t)
+	itemBuf, _ := testEpochItems(t, 2)
+	var shard []byte
+	shard = binaryAppendUint16(shard, 2)
+	shard = AppendShardEntry(shard, 0, itemBuf[:RekeyItemSize])
+	shard = AppendShardEntry(shard, 1, itemBuf[RekeyItemSize:])
+
+	material := make([]byte, keycrypt.KeySize)
+	for i := range material {
+		material[i] = byte(i ^ 0x5a)
+	}
+	leaf, err := keycrypt.NewKey(7, 1, material)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := keycrypt.NewDeterministicReader(7)
+	hello, err := keycrypt.Seal(leaf, []byte(HelloBody), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nack, err := keycrypt.Seal(leaf, NackBody{
+		Epoch: 9, LossPermille: 50,
+		Blocks: []NackBlock{{Block: 0, Have: 3}, {Block: 2, Have: 0}},
+	}.Encode(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity := make([]byte, 32)
+	for i := range parity {
+		parity[i] = byte(0xc0 + i)
+	}
+	return map[DgramType][]byte{
+		DgramKeys:   EncodeShardDgram(priv, DgramKeys, 0x01020304, 9, 1, 0, 4, shard),
+		DgramParity: EncodeShardDgram(priv, DgramParity, 0x01020304, 9, 1, 5, 4, parity),
+		DgramHello:  EncodeMemberDgram(DgramHello, 0x01020304, 9, 31, hello),
+		DgramNack:   EncodeMemberDgram(DgramNack, 0x01020304, 9, 31, nack),
+	}
+}
+
+func binaryAppendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// TestGoldenDgramVectors locks the datagram encodings to committed hex
+// fixtures, mirroring the TCP frame goldens. Regenerate with
+// `go test ./internal/wire -run GoldenDgram -update`.
+func TestGoldenDgramVectors(t *testing.T) {
+	pkts := goldenDgrams(t)
+	var lines []string
+	for dt := DgramKeys; dt <= DgramNack; dt++ {
+		lines = append(lines, fmt.Sprintf("%s %s", dt, hex.EncodeToString(pkts[dt])))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenDgramPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDgramPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenDgramPath)
+	if err != nil {
+		t.Fatalf("reading fixtures (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatal("datagram encoding diverged from committed golden vectors; if intentional, rerun with -update and review the diff")
+	}
+
+	// Every fixture must decode back to its labelled type.
+	pub := testSigner(t).Public().(ed25519.PublicKey)
+	for _, line := range strings.Split(strings.TrimSpace(string(want)), "\n") {
+		parts := strings.Fields(line)
+		raw, err := hex.DecodeString(parts[1])
+		if err != nil {
+			t.Fatalf("fixture %q: %v", line, err)
+		}
+		d, err := DecodeDgram(raw)
+		if err != nil {
+			t.Fatalf("fixture %q failed to decode: %v", line, err)
+		}
+		if d.Type.String() != parts[0] {
+			t.Errorf("fixture %q decoded as %v", line, d.Type)
+		}
+		if d.Group != 0x01020304 || d.Epoch != 9 {
+			t.Errorf("fixture %q decoded group=%d epoch=%d", line, d.Group, d.Epoch)
+		}
+		if d.Type == DgramKeys || d.Type == DgramParity {
+			if !VerifyDgram(pub, raw) {
+				t.Errorf("fixture %q signature did not verify", line)
+			}
+		}
+	}
+}
+
+func TestDgramRoundTrip(t *testing.T) {
+	priv := testSigner(t)
+	pub := priv.Public().(ed25519.PublicKey)
+	itemBuf, _ := testEpochItems(t, 1)
+	var shard []byte
+	shard = binaryAppendUint16(shard, 1)
+	shard = AppendShardEntry(shard, 3, itemBuf)
+
+	pkt := EncodeShardDgram(priv, DgramKeys, 5, 100, 2, 1, 8, shard)
+	d, err := DecodeDgram(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != DgramKeys || d.Group != 5 || d.Epoch != 100 || d.Block != 2 || d.Shard != 1 || d.K != 8 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if !bytes.Equal(d.Payload, shard) {
+		t.Fatal("payload mismatch")
+	}
+	if !VerifyDgram(pub, pkt) {
+		t.Fatal("valid packet did not verify")
+	}
+	idx, items, err := ParseShardEntries(d.Payload)
+	if err != nil || len(idx) != 1 || idx[0] != 3 || !bytes.Equal(items[0], itemBuf) {
+		t.Fatalf("shard entries: idx=%v err=%v", idx, err)
+	}
+	// Padding after the counted entries (a reconstructed shard) is tolerated.
+	padded := append(append([]byte(nil), shard...), make([]byte, 40)...)
+	idx2, _, err := ParseShardEntries(padded)
+	if err != nil || len(idx2) != 1 {
+		t.Fatalf("padded shard entries: idx=%v err=%v", idx2, err)
+	}
+
+	// Any single-byte flip must break the signature.
+	for pos := 0; pos < len(pkt); pos += 3 {
+		mut := append([]byte(nil), pkt...)
+		mut[pos] ^= 0x10
+		if VerifyDgram(pub, mut) {
+			t.Fatalf("flip at byte %d still verified", pos)
+		}
+	}
+	// A packet signed by another key must not verify.
+	other := ed25519.NewKeyFromSeed(make([]byte, ed25519.SeedSize))
+	if VerifyDgram(other.Public().(ed25519.PublicKey), pkt) {
+		t.Fatal("foreign key verified the packet")
+	}
+}
+
+func TestMemberDgramRoundTrip(t *testing.T) {
+	material := make([]byte, keycrypt.KeySize)
+	for i := range material {
+		material[i] = byte(i)
+	}
+	leaf, err := keycrypt.NewKey(3, 1, material)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := NackBody{Epoch: 44, LossPermille: 125, Blocks: []NackBlock{{Block: 1, Have: 2}}}
+	sealed, err := keycrypt.Seal(leaf, body.Encode(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := EncodeMemberDgram(DgramNack, 2, 44, 17, sealed)
+	d, err := DecodeDgram(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != DgramNack || d.Member != 17 || d.Epoch != 44 {
+		t.Fatalf("decoded %+v", d)
+	}
+	pt, err := keycrypt.Open(leaf, d.Sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNackBody(pt)
+	if err != nil || got.Epoch != 44 || got.LossPermille != 125 || len(got.Blocks) != 1 || got.Blocks[0].Have != 2 {
+		t.Fatalf("nack body: %+v err=%v", got, err)
+	}
+	// A different leaf key must not open it.
+	wrong, _ := keycrypt.NewKey(3, 1, reverse(material))
+	if _, err := keycrypt.Open(wrong, d.Sealed); err == nil {
+		t.Fatal("foreign leaf key opened the sealed nack")
+	}
+}
+
+func TestDecodeDgramRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{dgramMagic0},
+		[]byte("not a groupkey datagram header"),
+		append([]byte{dgramMagic0, dgramMagic1, 2, byte(DgramKeys)}, make([]byte, 12)...),                                   // bad version
+		append([]byte{dgramMagic0, dgramMagic1, DgramVersion, 0}, make([]byte, 12)...),                                      // type 0
+		append([]byte{dgramMagic0, dgramMagic1, DgramVersion, 0xff}, make([]byte, 12)...),                                   // unknown type
+		appendDgramHdr(nil, DgramKeys, 1, 1),                                                                                // shard with no body
+		appendDgramHdr(nil, DgramHello, 1, 1),                                                                               // hello with no member
+		EncodeMemberDgram(DgramHello, 1, 1, 0, []byte("sealed")),                                                            // zero member
+		make([]byte, MaxDgramSize+1),                                                                                        // oversized
+		append(appendDgramHdr(nil, DgramKeys, 1, 1), append([]byte{0, 0, 0, 0}, make([]byte, ed25519.SignatureSize)...)...), // k=0 shard
+	}
+	for i, c := range cases {
+		if _, err := DecodeDgram(c); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestParseShardEntriesRejects(t *testing.T) {
+	if _, _, err := ParseShardEntries(nil); err == nil {
+		t.Error("nil shard parsed")
+	}
+	// Count promises more entries than the bytes hold.
+	short := binaryAppendUint16(nil, 3)
+	short = append(short, make([]byte, shardEntrySize)...)
+	if _, _, err := ParseShardEntries(short); err == nil {
+		t.Error("short shard parsed")
+	}
+}
+
+// FuzzDecodeDgram hunts for panics in the datagram parser and the nested
+// shard/NACK body parsers.
+func FuzzDecodeDgram(f *testing.F) {
+	priv := testSigner(f)
+	itemBuf, _ := testEpochItems(f, 1)
+	var shard []byte
+	shard = binaryAppendUint16(shard, 1)
+	shard = AppendShardEntry(shard, 0, itemBuf)
+	f.Add(EncodeShardDgram(priv, DgramKeys, 1, 2, 0, 0, 2, shard))
+	f.Add(EncodeMemberDgram(DgramNack, 1, 2, 3, []byte("sealed bytes")))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDgram(data)
+		if err != nil {
+			return
+		}
+		switch d.Type {
+		case DgramKeys:
+			_, _, _ = ParseShardEntries(d.Payload)
+		case DgramNack:
+			_, _ = DecodeNackBody(d.Sealed)
+		}
+	})
+}

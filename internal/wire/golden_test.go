@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"crypto/ed25519"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -56,6 +57,30 @@ func goldenFrames(t *testing.T) map[MsgType][]byte {
 	for i := range seed {
 		seed[i] = byte(i * 3)
 	}
+	srvSeed := make([]byte, ed25519.SeedSize)
+	for i := range srvSeed {
+		srvSeed[i] = byte(0x51 + i)
+	}
+	srvKey := ed25519.NewKeyFromSeed(srvSeed)
+	var itemBuf []byte
+	for lvl := 0; lvl < 3; lvl++ {
+		w, err := keycrypt.Wrap(indiv, wrapper, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itemBuf, err = AppendRekeyItem(itemBuf, keytree.Item{Kind: keytree.ChildWrap, Level: lvl, Wrapped: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree := NewItemTree(3, func(i int) []byte { return itemBuf[i*RekeyItemSize : (i+1)*RekeyItemSize] })
+	root := tree.Root()
+	rootSig := SignSparse(srvKey, 9, 3, root)
+	digest := RekeyDigest{
+		Epoch: 9, NLeaves: 3, Root: root, Sig: rootSig, ShardSize: 512,
+		Indexes: []uint32{0, 2},
+		Blocks:  []DigestBlock{{Block: 0, K: 3, Shards: 5}},
+	}
 	return map[MsgType][]byte{
 		MsgJoin:         JoinRequest{LossRate: 0.25, LongLived: true}.Encode(),
 		MsgLeave:        nil,
@@ -72,6 +97,9 @@ func goldenFrames(t *testing.T) map[MsgType][]byte {
 		MsgReplSnapshot: ReplSnapshot{Epoch: 3, Seq: 44, NextID: 12, Scheme: []byte("scheme blob")}.Encode(),
 		MsgReplRecord:   ReplRecord{Epoch: 3, Kind: 2, Seq: 45, Seed: seed, Payload: []byte("batch payload")}.Encode(),
 		MsgReplAck:      EncodeReplAck(45),
+		MsgRekeySparse:  EncodeSparseRekey(9, tree, root, rootSig, []uint32{0, 2}, itemBuf),
+		MsgRekeyDigest:  digest.Encode(),
+		MsgRekeyPull:    EncodeRekeyPull(9),
 	}
 }
 

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Sparse rekey authentication: signing every member's sparse frame
+// individually would cost N signatures per epoch, and an unsigned item
+// subset would let a member holding an interior wrapping key forge items
+// for its subtree. Instead the server builds a Merkle tree over the
+// epoch's item encodings, signs the root once, and each sparse frame
+// carries its items plus a compact multiproof against that root — one
+// signature per epoch, O(k·log I) authentication bytes per member.
+//
+// Construction: leaf i is H(0x00 ‖ item_i), interior nodes are
+// H(0x01 ‖ left ‖ right) (domain-separated against second-preimage
+// splicing), and the leaf level is padded with all-zero hashes to the next
+// power of two. The empty payload (heartbeat epoch) has the all-zero root.
+
+// HashSize is the Merkle node size (SHA-256).
+const HashSize = sha256.Size
+
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// ItemTree is the Merkle tree over one epoch's rekey items. Immutable
+// after construction and safe for concurrent use.
+type ItemTree struct {
+	n int
+	// levels[0] holds the padded leaf hashes, levels[len-1] the root, each
+	// level a concatenation of HashSize-byte nodes.
+	levels [][]byte
+}
+
+// NewItemTree hashes n leaves (leaf(i) returns leaf i's byte encoding)
+// and builds the tree. n == 0 yields the empty tree with an all-zero root.
+func NewItemTree(n int, leaf func(i int) []byte) *ItemTree {
+	t := &ItemTree{n: n}
+	if n == 0 {
+		return t
+	}
+	padded := 1
+	for padded < n {
+		padded <<= 1
+	}
+	h := sha256.New()
+	lvl := make([]byte, padded*HashSize)
+	for i := 0; i < n; i++ {
+		h.Reset()
+		h.Write([]byte{leafPrefix})
+		h.Write(leaf(i))
+		h.Sum(lvl[i*HashSize : i*HashSize])
+	}
+	t.levels = append(t.levels, lvl)
+	for size := padded; size > 1; size /= 2 {
+		cur := t.levels[len(t.levels)-1]
+		next := make([]byte, size/2*HashSize)
+		for i := 0; i < size/2; i++ {
+			h.Reset()
+			h.Write([]byte{nodePrefix})
+			h.Write(cur[2*i*HashSize : (2*i+2)*HashSize])
+			h.Sum(next[i*HashSize : i*HashSize])
+		}
+		t.levels = append(t.levels, next)
+	}
+	return t
+}
+
+// Leaves returns the (unpadded) leaf count.
+func (t *ItemTree) Leaves() int { return t.n }
+
+// Root returns the tree root (all-zero for the empty tree).
+func (t *ItemTree) Root() (root [HashSize]byte) {
+	if t.n == 0 {
+		return root
+	}
+	copy(root[:], t.levels[len(t.levels)-1])
+	return root
+}
+
+func (t *ItemTree) node(level, i int) []byte {
+	return t.levels[level][i*HashSize : (i+1)*HashSize]
+}
+
+// AppendProof appends the multiproof for the given strictly-ascending leaf
+// indexes to dst and returns the extended buffer plus the hash count. The
+// proof order matches the deterministic level-by-level walk VerifyItemProof
+// replays.
+func (t *ItemTree) AppendProof(dst []byte, idx []uint32) ([]byte, int) {
+	return t.walkProof(dst, idx, true)
+}
+
+// ProofSize returns the byte size of the multiproof for idx without
+// materializing it — broadcast byte accounting uses it under the server
+// lock.
+func (t *ItemTree) ProofSize(idx []uint32) int {
+	_, n := t.walkProof(nil, idx, false)
+	return n * HashSize
+}
+
+// walkProof runs the multiproof walk: known subtrees ascend level by
+// level; whenever a known node's sibling is not itself known, that sibling
+// is one proof hash. Pairs of adjacent known indexes merge for free.
+func (t *ItemTree) walkProof(dst []byte, idx []uint32, emit bool) ([]byte, int) {
+	if t.n == 0 || len(idx) == 0 {
+		return dst, 0
+	}
+	count := 0
+	cur := make([]int, len(idx))
+	for i, v := range idx {
+		cur[i] = int(v)
+	}
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		next := cur[:0] // safe in-place: writes trail reads (≤1 parent per consumed index)
+		for i := 0; i < len(cur); {
+			a := cur[i]
+			if a%2 == 0 && i+1 < len(cur) && cur[i+1] == a+1 {
+				i += 2
+			} else {
+				count++
+				if emit {
+					dst = append(dst, t.node(lvl, a^1)...)
+				}
+				i++
+			}
+			next = append(next, a/2)
+		}
+		cur = next
+	}
+	return dst, count
+}
+
+// VerifyItemProof recomputes the root from the given leaf hashes (for
+// strictly-ascending indexes idx, each < nLeaves) and the multiproof
+// bytes, and compares it to root. The whole proof must be consumed.
+func VerifyItemProof(nLeaves int, idx []uint32, leafHashes [][]byte, proof []byte, root [HashSize]byte) error {
+	if len(idx) == 0 || len(idx) != len(leafHashes) {
+		return fmt.Errorf("%w: %d indexes, %d leaf hashes", ErrMalformed, len(idx), len(leafHashes))
+	}
+	if len(proof)%HashSize != 0 {
+		return fmt.Errorf("%w: proof %d bytes", ErrMalformed, len(proof))
+	}
+	padded := 1
+	for padded < nLeaves {
+		padded <<= 1
+	}
+	prev := -1
+	for _, v := range idx {
+		if int(v) >= nLeaves || int(v) <= prev {
+			return fmt.Errorf("%w: leaf index %d out of order or range", ErrMalformed, v)
+		}
+		prev = int(v)
+	}
+	cur := make([]int, len(idx))
+	hashes := make([][]byte, len(idx))
+	for i, v := range idx {
+		cur[i] = int(v)
+		hashes[i] = leafHashes[i]
+	}
+	h := sha256.New()
+	combine := func(l, r []byte) []byte {
+		h.Reset()
+		h.Write([]byte{nodePrefix})
+		h.Write(l)
+		h.Write(r)
+		return h.Sum(nil)
+	}
+	for size := padded; size > 1; size /= 2 {
+		nextIdx := cur[:0]
+		nextHash := hashes[:0]
+		for i := 0; i < len(cur); {
+			a := cur[i]
+			var l, r []byte
+			if a%2 == 0 && i+1 < len(cur) && cur[i+1] == a+1 {
+				l, r = hashes[i], hashes[i+1]
+				i += 2
+			} else {
+				if len(proof) < HashSize {
+					return fmt.Errorf("%w: multiproof truncated", ErrMalformed)
+				}
+				sib := proof[:HashSize]
+				proof = proof[HashSize:]
+				if a%2 == 0 {
+					l, r = hashes[i], sib
+				} else {
+					l, r = sib, hashes[i]
+				}
+				i++
+			}
+			nextIdx = append(nextIdx, a/2)
+			nextHash = append(nextHash, combine(l, r))
+		}
+		cur, hashes = nextIdx, nextHash
+	}
+	if len(proof) != 0 {
+		return fmt.Errorf("%w: %d unused multiproof bytes", ErrMalformed, len(proof))
+	}
+	var got [HashSize]byte
+	copy(got[:], hashes[0])
+	if got != root {
+		return ErrBadSignature
+	}
+	return nil
+}

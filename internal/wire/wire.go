@@ -96,6 +96,19 @@ const (
 	// MsgReplAck is the follower's cumulative acknowledgement of applied
 	// records, driving the primary's replication-lag gauge.
 	MsgReplAck
+	// MsgRekeySparse carries one member's slice of a rekey: only the items
+	// on that member's key-tree path, authenticated against the epoch's
+	// signed item-tree root by a Merkle multiproof (see sparse.go). Sent to
+	// sparse-capable members instead of the full MsgRekey blob.
+	MsgRekeySparse
+	// MsgRekeyDigest announces an epoch whose keys travel on the datagram
+	// plane: the signed item-tree root plus the member's leaf indexes and
+	// the FEC block geometry it must collect over UDP (see sparse.go).
+	MsgRekeyDigest
+	// MsgRekeyPull is a client's repair request for an epoch it could not
+	// assemble from datagrams (payload: epoch). The server answers with the
+	// authoritative MsgRekeySparse frame — TCP as the repair channel.
+	MsgRekeyPull
 
 	// msgTypeSentinel marks the end of the defined range. Adding a type
 	// above without extending MsgType.String (and therefore the metrics
@@ -142,6 +155,12 @@ func (t MsgType) String() string {
 		return "replrecord"
 	case MsgReplAck:
 		return "replack"
+	case MsgRekeySparse:
+		return "rekeysparse"
+	case MsgRekeyDigest:
+		return "rekeydigest"
+	case MsgRekeyPull:
+		return "rekeypull"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -234,32 +253,62 @@ func readFrame(r io.Reader) (GroupID, MsgType, []byte, bool, error) {
 	return g, MsgType(body[0] &^ groupFlag), body[5:], true, nil
 }
 
+// Client capability flags, negotiated at join/resume time. A zero caps
+// byte (or its absence — the legacy 9-byte join encoding) selects the
+// original behavior: full signed rekey blobs over TCP.
+const (
+	// CapSparse: the client decodes MsgRekeySparse frames, so the server
+	// sends it only the items on its tree path instead of the full blob.
+	CapSparse uint8 = 1 << 0
+	// CapDatagram: the client may subscribe to the UDP rekey plane; the
+	// server then demotes its TCP session to control/repair (MsgRekeyDigest
+	// + MsgRekeyPull) once a datagram subscription is registered.
+	CapDatagram uint8 = 1 << 1
+)
+
 // JoinRequest is the metadata a joining member reports (Section 4.2: loss
 // rate for tree placement; class hint for the PT oracle).
 type JoinRequest struct {
 	LossRate  float64 // negative means unknown
 	LongLived bool
+	// Caps is the client's capability bitmap. Zero encodes to the legacy
+	// 9-byte layout, so old servers keep admitting clients that request
+	// nothing new.
+	Caps uint8
 }
 
-// Encode serializes the request.
+// Encode serializes the request: 9 bytes, plus a trailing caps byte when
+// any capability is requested.
 func (j JoinRequest) Encode() []byte {
-	out := make([]byte, 9)
+	n := 9
+	if j.Caps != 0 {
+		n = 10
+	}
+	out := make([]byte, n)
 	binary.BigEndian.PutUint64(out, math.Float64bits(j.LossRate))
 	if j.LongLived {
 		out[8] = 1
 	}
+	if j.Caps != 0 {
+		out[9] = j.Caps
+	}
 	return out
 }
 
-// DecodeJoinRequest parses a MsgJoin payload.
+// DecodeJoinRequest parses a MsgJoin payload (9 bytes legacy, 10 with the
+// capability byte).
 func DecodeJoinRequest(b []byte) (JoinRequest, error) {
-	if len(b) != 9 {
+	if len(b) != 9 && len(b) != 10 {
 		return JoinRequest{}, fmt.Errorf("%w: join payload %d bytes", ErrMalformed, len(b))
 	}
-	return JoinRequest{
+	req := JoinRequest{
 		LossRate:  math.Float64frombits(binary.BigEndian.Uint64(b)),
 		LongLived: b[8] == 1,
-	}, nil
+	}
+	if len(b) == 10 {
+		req.Caps = b[9]
+	}
+	return req, nil
 }
 
 // Welcome is the registration package.
@@ -367,16 +416,30 @@ func DecodeMembershipBatch(b []byte) (joins []MemberJoin, leaves []keytree.Membe
 type ResumeRequest struct {
 	Member keytree.MemberID
 	Proof  []byte
+	// Caps is the client's capability bitmap (see CapSparse). Nonzero caps
+	// encode as a byte between the member ID and the proof; the decoder
+	// discriminates by length, which works because the resume proof has a
+	// fixed sealed size.
+	Caps uint8
 }
 
-// Encode serializes the resume request.
+// resumeProofSize is the fixed size of a resume proof: the 8-byte member
+// ID sealed under the member's individual key.
+var resumeProofSize = keycrypt.SealedSize(8)
+
+// Encode serializes the resume request. Caps == 0 emits the legacy layout
+// (member ‖ proof), so old servers keep resuming clients that request
+// nothing new.
 func (r ResumeRequest) Encode() []byte {
-	out := make([]byte, 0, 8+len(r.Proof))
+	out := make([]byte, 0, 9+len(r.Proof))
 	out = binary.BigEndian.AppendUint64(out, uint64(r.Member))
+	if r.Caps != 0 {
+		out = append(out, r.Caps)
+	}
 	return append(out, r.Proof...)
 }
 
-// DecodeResumeRequest parses a MsgResume payload.
+// DecodeResumeRequest parses a MsgResume payload of either layout.
 func DecodeResumeRequest(b []byte) (ResumeRequest, error) {
 	if len(b) < 9 {
 		return ResumeRequest{}, fmt.Errorf("%w: resume payload %d bytes", ErrMalformed, len(b))
@@ -384,6 +447,9 @@ func DecodeResumeRequest(b []byte) (ResumeRequest, error) {
 	m := keytree.MemberID(binary.BigEndian.Uint64(b[0:8]))
 	if m == 0 {
 		return ResumeRequest{}, fmt.Errorf("%w: zero member ID", ErrMalformed)
+	}
+	if len(b) == 9+resumeProofSize && b[8] != 0 {
+		return ResumeRequest{Member: m, Caps: b[8], Proof: b[9:]}, nil
 	}
 	return ResumeRequest{Member: m, Proof: b[8:]}, nil
 }
@@ -416,9 +482,39 @@ func DecodeRetryAfter(b []byte) (time.Duration, error) {
 	return time.Duration(ms) * time.Millisecond, nil
 }
 
-// itemSize is the wire size of one rekey item: kind(1) + level(2) +
-// wrapped key blob.
-const itemSize = 3 + keycrypt.WrappedSize
+// RekeyItemSize is the wire size of one rekey item: kind(1) + level(2) +
+// wrapped key blob. Sparse frames and datagram shards carry items in this
+// same encoding, so range arithmetic over an epoch's item buffer is exact.
+const RekeyItemSize = 3 + keycrypt.WrappedSize
+
+// itemSize is the internal alias predating the export.
+const itemSize = RekeyItemSize
+
+// AppendRekeyItem appends one item's RekeyItemSize-byte encoding to buf.
+func AppendRekeyItem(buf []byte, it keytree.Item) ([]byte, error) {
+	if it.Level < 0 || it.Level > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: level %d", ErrMalformed, it.Level)
+	}
+	buf = append(buf, byte(it.Kind))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(it.Level))
+	return it.Wrapped.AppendTo(buf), nil
+}
+
+// DecodeRekeyItem parses one RekeyItemSize-byte item encoding.
+func DecodeRekeyItem(b []byte) (keytree.Item, error) {
+	if len(b) != itemSize {
+		return keytree.Item{}, fmt.Errorf("%w: item %d bytes", ErrMalformed, len(b))
+	}
+	w, err := keycrypt.UnmarshalWrapped(b[3:])
+	if err != nil {
+		return keytree.Item{}, err
+	}
+	return keytree.Item{
+		Kind:    keytree.ItemKind(b[0]),
+		Level:   int(binary.BigEndian.Uint16(b[1:3])),
+		Wrapped: w,
+	}, nil
+}
 
 // EncodeRekey serializes a rekey payload: epoch(8) + count(4) + items.
 // Receiver lists are not transmitted — receivers decide relevance by the
@@ -430,13 +526,11 @@ func EncodeRekey(epoch uint64, items []keytree.Item) ([]byte, error) {
 	out := make([]byte, 0, 12+len(items)*itemSize)
 	out = binary.BigEndian.AppendUint64(out, epoch)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(items)))
+	var err error
 	for _, it := range items {
-		if it.Level < 0 || it.Level > math.MaxUint16 {
-			return nil, fmt.Errorf("%w: level %d", ErrMalformed, it.Level)
+		if out, err = AppendRekeyItem(out, it); err != nil {
+			return nil, err
 		}
-		out = append(out, byte(it.Kind))
-		out = binary.BigEndian.AppendUint16(out, uint16(it.Level))
-		out = it.Wrapped.AppendTo(out)
 	}
 	return out, nil
 }
@@ -454,16 +548,27 @@ func DecodeRekey(b []byte) (epoch uint64, items []keytree.Item, err error) {
 	}
 	items = make([]keytree.Item, 0, count)
 	for i := 0; i < count; i++ {
-		chunk := rest[i*itemSize : (i+1)*itemSize]
-		w, err := keycrypt.UnmarshalWrapped(chunk[3:])
+		it, err := DecodeRekeyItem(rest[i*itemSize : (i+1)*itemSize])
 		if err != nil {
 			return 0, nil, fmt.Errorf("wire: item %d: %w", i, err)
 		}
-		items = append(items, keytree.Item{
-			Kind:    keytree.ItemKind(chunk[0]),
-			Level:   int(binary.BigEndian.Uint16(chunk[1:3])),
-			Wrapped: w,
-		})
+		items = append(items, it)
 	}
 	return epoch, items, nil
+}
+
+// EncodeRekeyPull serializes a MsgRekeyPull payload: the epoch the client
+// wants the authoritative sparse frame for.
+func EncodeRekeyPull(epoch uint64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, epoch)
+	return out
+}
+
+// DecodeRekeyPull parses a MsgRekeyPull payload.
+func DecodeRekeyPull(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: rekey pull payload %d bytes", ErrMalformed, len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
 }
