@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench repro charts examples soak benchgate fuzz clean
+.PHONY: all build vet test test-race test-short bench repro charts examples soak benchgate dst dst-nightly fuzz clean
 
 all: build vet test
 
@@ -66,6 +66,17 @@ benchgate:
 	$(GO) run ./cmd/lkhbench -exp perf -bench-out BENCH_rekey.new.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_rekey.json \
 		-candidate BENCH_rekey.new.json -max-regress 0.25 -min-sparse-reduction 5
+
+# Deterministic full-system simulation: a 20-seed smoke across every
+# fault profile, plus the planted-bug regression proving the harness
+# still finds, shrinks and replays a real fencing race.
+dst:
+	$(GO) run ./cmd/dstrun -seeds 20 -profile all -out /tmp/dst_failure.json
+	$(GO) test -tags dst_plantedbug -run PlantedFencing ./internal/dst/
+
+# The nightly-depth sweep (~30s): 200 seeds per profile.
+dst-nightly:
+	$(GO) run ./cmd/dstrun -seeds 200 -profile all -out /tmp/dst_failure.json
 
 # Short fuzzing pass over the wire protocol and durability decoders.
 fuzz:

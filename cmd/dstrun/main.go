@@ -1,0 +1,173 @@
+// Command dstrun drives the deterministic full-system simulation: seed
+// sweeps for fault exploration, single-seed runs for debugging, and
+// artifact replay for regression pinning.
+//
+// Usage:
+//
+//	dstrun -seeds 200 -profile mixed -out failure.json   # sweep, shrink first failure
+//	dstrun -seed 42 -profile crash -v                    # one seed, full trace
+//	dstrun -replay failure.json                          # replay a shrunk artifact
+//
+// Same seed, same binary: byte-identical trace and state hashes. The
+// exit status is nonzero when any oracle fired (or a replay failed to
+// reproduce), so sweeps gate CI directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"groupkey/internal/dst"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dstrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dstrun", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "run exactly this seed (0 = sweep mode)")
+	seeds := fs.Int("seeds", 20, "sweep: how many consecutive seeds to explore")
+	base := fs.Uint64("seed-base", 1, "sweep: first seed")
+	profileFlag := fs.String("profile", "all", "fault profile: "+profileNames()+", or all")
+	duration := fs.Duration("duration", 0, "override the generated plan duration (0 = plan default)")
+	replayPath := fs.String("replay", "", "replay a failure artifact instead of sweeping")
+	out := fs.String("out", "dst_failure.json", "where to write the shrunk failure artifact")
+	verbose := fs.Bool("v", false, "print the full event trace (single-seed and replay modes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *replayPath != "" {
+		return replay(*replayPath, *verbose)
+	}
+
+	profiles, err := pickProfiles(*profileFlag)
+	if err != nil {
+		return err
+	}
+
+	if *seed != 0 {
+		return single(*seed, profiles, *duration, *verbose)
+	}
+	return sweep(*base, *seeds, profiles, *out)
+}
+
+func profileNames() string {
+	names := make([]string, len(dst.Profiles))
+	for i, p := range dst.Profiles {
+		names[i] = string(p)
+	}
+	return strings.Join(names, "|")
+}
+
+func pickProfiles(name string) ([]dst.Profile, error) {
+	if name == "all" {
+		return dst.Profiles, nil
+	}
+	for _, p := range dst.Profiles {
+		if string(p) == name {
+			return []dst.Profile{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown profile %q (want %s, or all)", name, profileNames())
+}
+
+// single runs one seed under each selected profile and reports hashes —
+// the determinism check is rerunning and diffing the output.
+func single(seed uint64, profiles []dst.Profile, duration time.Duration, verbose bool) error {
+	failed := false
+	for _, profile := range profiles {
+		plan := dst.GenPlan(seed, profile)
+		if duration > 0 {
+			plan.Duration = duration
+		}
+		res := dst.Run(plan, verbose)
+		fmt.Printf("seed %d profile %-9s plan=%.12s trace=%.12s state=%.12s rekeys=%d violations=%d\n",
+			seed, profile, res.PlanHash, res.TraceHash, res.StateHash,
+			res.Stats.Rekeys, len(res.Violations))
+		if verbose {
+			for _, l := range res.Trace {
+				fmt.Println("  " + l)
+			}
+		}
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("oracle violations")
+	}
+	return nil
+}
+
+// sweep explores seeds profile by profile; the first failure is shrunk
+// into a replayable artifact and ends the sweep with a nonzero exit.
+func sweep(base uint64, seeds int, profiles []dst.Profile, out string) error {
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	for _, profile := range profiles {
+		start := time.Now()
+		art, passed := dst.Explore(base, seeds, profile, logf)
+		if art == nil {
+			fmt.Printf("profile %-9s %d/%d seeds passed (%.1fs)\n",
+				profile, passed, seeds, time.Since(start).Seconds())
+			continue
+		}
+		if err := art.WriteFile(out); err != nil {
+			return fmt.Errorf("writing artifact: %w", err)
+		}
+		fmt.Printf("profile %-9s FAILED at seed %d after %d clean seeds\n", profile, base+uint64(passed), passed)
+		for _, v := range art.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Printf("shrunk artifact (%d ops, was %d; %d shrink runs) written to %s\n",
+			len(art.Plan.Ops), art.OriginalOps, art.ShrinkRuns, out)
+		fmt.Printf("replay with: dstrun -replay %s\n", out)
+		return fmt.Errorf("seed sweep failed")
+	}
+	return nil
+}
+
+func replay(path string, verbose bool) error {
+	art, err := dst.LoadArtifact(path)
+	if err != nil {
+		return err
+	}
+	res, ok := dst.Replay(art, verbose)
+	if verbose {
+		for _, l := range res.Trace {
+			fmt.Println("  " + l)
+		}
+	}
+	fmt.Printf("replay plan=%.12s trace=%.12s state=%.12s violations=%d\n",
+		res.PlanHash, res.TraceHash, res.StateHash, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	if !ok {
+		return fmt.Errorf("artifact did not reproduce (recorded kinds %v)", kinds(art))
+	}
+	fmt.Println("failure reproduced")
+	return nil
+}
+
+func kinds(a *dst.Artifact) []dst.ViolationKind {
+	var out []dst.ViolationKind
+	seen := map[dst.ViolationKind]bool{}
+	for _, v := range a.Violations {
+		if !seen[v.Kind] {
+			seen[v.Kind] = true
+			out = append(out, v.Kind)
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"groupkey/internal/dst"
 	"groupkey/internal/loadgen"
 	"groupkey/internal/workload"
 )
@@ -52,8 +54,18 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume sessions after unexpected disconnects")
 	minStay := fs.Duration("min-stay", 100*time.Millisecond, "floor on sampled stays")
 	failOnErrors := fs.Bool("fail-on-errors", false, "exit nonzero if any protocol error was observed")
+	faultPlan := fs.String("fault-plan", "", "dst fault plan or failure artifact (JSON) whose hash is recorded in the report for replay bookkeeping")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	planHash := ""
+	if *faultPlan != "" {
+		h, err := faultPlanHash(*faultPlan)
+		if err != nil {
+			return fmt.Errorf("-fault-plan: %w", err)
+		}
+		planHash = h
 	}
 
 	churn := workload.TwoClass{
@@ -86,6 +98,8 @@ func run(args []string) error {
 		RampPerSec:  *ramp,
 		Resume:      *resume,
 		MinStay:     *minStay,
+
+		FaultPlanHash: planHash,
 	})
 	rep, err := r.Run(ctx)
 	if err != nil {
@@ -123,4 +137,29 @@ func run(args []string) error {
 		fmt.Println("loadgen: zero protocol errors")
 	}
 	return nil
+}
+
+// faultPlanHash canonicalizes the fault plan behind a -fault-plan file:
+// either a raw dst plan or a dstrun failure artifact (whose embedded plan
+// wins). The hash matches what dstrun prints, so a soak report and a
+// simulation replay of the same plan agree on the identifier.
+func faultPlanHash(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var art struct {
+		Plan dst.Plan `json:"plan"`
+	}
+	if err := json.Unmarshal(b, &art); err == nil && art.Plan.Nodes > 0 {
+		return art.Plan.Hash(), nil
+	}
+	var plan dst.Plan
+	if err := json.Unmarshal(b, &plan); err != nil {
+		return "", fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if plan.Nodes == 0 {
+		return "", fmt.Errorf("%s does not look like a dst plan or artifact", path)
+	}
+	return plan.Hash(), nil
 }

@@ -1,0 +1,94 @@
+// Package clock is the time seam the deterministic-simulation subsystem
+// (internal/dst) injects through the server, store and cluster packages:
+// production code asks a Clock for "now", timers and tickers instead of
+// the time package, so a simulated run can drive the whole stack on
+// virtual time from a single goroutine. The default implementation (Wall)
+// delegates straight to the time package — production behavior is
+// unchanged.
+//
+// Real-socket deadlines (net.Conn SetDeadline and friends) intentionally
+// stay on the wall clock: they bound kernel I/O, which no virtual clock
+// controls.
+package clock
+
+import "time"
+
+// Timer is the injectable counterpart of time.Timer.
+type Timer interface {
+	// C returns the firing channel.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing; it reports whether the call
+	// stopped a pending fire.
+	Stop() bool
+	// Reset re-arms the timer for d from now.
+	Reset(d time.Duration) bool
+}
+
+// Ticker is the injectable counterpart of time.Ticker.
+type Ticker interface {
+	// C returns the tick channel.
+	C() <-chan time.Time
+	// Stop shuts the ticker down.
+	Stop()
+}
+
+// Clock abstracts the time source. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+	NewTimer(d time.Duration) Timer
+	NewTicker(d time.Duration) Ticker
+}
+
+// System is the process-wide wall clock, the default everywhere a Clock
+// can be injected.
+var System Clock = Wall{}
+
+// Or returns c, or System when c is nil — the standard defaulting idiom
+// at seam boundaries.
+func Or(c Clock) Clock {
+	if c == nil {
+		return System
+	}
+	return c
+}
+
+// Wall implements Clock on the time package.
+type Wall struct{}
+
+func (Wall) Now() time.Time                         { return time.Now() }
+func (Wall) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Wall) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (Wall) NewTimer(d time.Duration) Timer   { return wallTimer{time.NewTimer(d)} }
+func (Wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }
+
+// NowFunc adapts a bare now-function into a Clock for tests that only
+// need to steer Now/Since; timers and tickers fall back to the wall
+// clock, which such tests never arm.
+func NowFunc(f func() time.Time) Clock { return nowFunc{f} }
+
+type nowFunc struct{ f func() time.Time }
+
+func (n nowFunc) Now() time.Time                  { return n.f() }
+func (n nowFunc) Since(t time.Time) time.Duration { return n.f().Sub(t) }
+
+func (nowFunc) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (nowFunc) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (nowFunc) NewTimer(d time.Duration) Timer         { return Wall{}.NewTimer(d) }
+func (nowFunc) NewTicker(d time.Duration) Ticker       { return Wall{}.NewTicker(d) }

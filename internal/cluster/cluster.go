@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"groupkey/internal/clock"
 	"sort"
 	"strings"
 	"time"
@@ -109,6 +110,10 @@ type Config struct {
 	// NoTicker disables the background lease loop; the owner drives
 	// Tick explicitly. Tests use this for deterministic failover.
 	NoTicker bool
+	// Clock drives the lease-renewal ticker and replication retry
+	// backoff (nil means the wall clock). Socket deadlines stay on the
+	// wall clock regardless — they bound kernel I/O.
+	Clock clock.Clock
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"groupkey/internal/clock"
 	"net"
 	"os"
 	"path/filepath"
@@ -10,7 +11,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"groupkey/internal/core"
 	"groupkey/internal/keytree"
@@ -111,6 +111,7 @@ func New(cfg Config) (*Node, error) {
 	for _, g := range ids {
 		st, err := store.Open(store.GroupDir(cfg.StateDir, g), store.Options{
 			Fsync:   cfg.Fsync,
+			Clock:   cfg.Clock,
 			Metrics: cfg.StoreMetrics,
 			SchemeOptions: []core.Option{
 				core.WithKeyIDBase(store.GroupKeyIDBase(g)),
@@ -202,16 +203,28 @@ func (n *Node) Locate(g wire.GroupID) (string, uint64, bool) {
 // leaseLoop renews every shard at a third of the lease TTL.
 func (n *Node) leaseLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.LeaseTTL / 3)
+	ticker := clock.Or(n.cfg.Clock).NewTicker(n.cfg.LeaseTTL / 3)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-n.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			n.Tick()
 		}
 	}
+}
+
+// sortedShardsLocked returns shard states in ascending shard-ID order,
+// so lease acquisition and demotion visit the authority deterministically
+// instead of in Go's randomized map order.
+func (n *Node) sortedShardsLocked() []*shardState {
+	out := make([]*shardState, 0, len(n.shards))
+	for _, ss := range n.shards {
+		out = append(out, ss)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // Tick runs one lease-maintenance pass: acquire (or renew) every shard,
@@ -224,7 +237,7 @@ func (n *Node) Tick() {
 	if n.closed {
 		return
 	}
-	for _, ss := range n.shards {
+	for _, ss := range n.sortedShardsLocked() {
 		lease, err := n.cfg.Authority.Acquire(ss.id, n.cfg.Node, n.cfg.LeaseTTL)
 		switch {
 		case err == nil && !ss.owned:
@@ -369,7 +382,7 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	close(n.stop)
-	for _, ss := range n.shards {
+	for _, ss := range n.sortedShardsLocked() {
 		if ss.owned {
 			n.demoteLocked(ss)
 		}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"groupkey/internal/clock"
 	"net"
 	"time"
 
@@ -273,12 +274,13 @@ func (n *Node) followLoop(gs *groupState) {
 	}
 }
 
-// sleep waits d or until the node stops; it reports whether to continue.
+// sleep waits d on the node clock or until the node stops; it reports
+// whether to continue.
 func (n *Node) sleep(d time.Duration) bool {
 	select {
 	case <-n.stop:
 		return false
-	case <-time.After(d):
+	case <-clock.Or(n.cfg.Clock).After(d):
 		return true
 	}
 }

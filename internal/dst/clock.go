@@ -1,0 +1,107 @@
+package dst
+
+import (
+	"time"
+
+	"groupkey/internal/clock"
+)
+
+// simClock implements clock.Clock on the scheduler. Each node gets its
+// own instance with an adjustable skew, so a stalled or skewed node reads
+// virtual time offset from the authority's view — the classic lease
+// hazard the fence epoch exists to contain.
+type simClock struct {
+	sch  *Scheduler
+	skew time.Duration
+}
+
+var _ clock.Clock = (*simClock)(nil)
+
+func (c *simClock) Now() time.Time                  { return c.sch.Time().Add(c.skew) }
+func (c *simClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *simClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.sch.After(d, "clock.after", func() { ch <- c.Now() })
+	return ch
+}
+
+// Sleep models a blocked goroutine: in a one-goroutine world the only
+// meaning sleep can have is "time passes", so it advances the scheduler.
+func (c *simClock) Sleep(d time.Duration) { c.sch.Advance(d) }
+
+func (c *simClock) NewTimer(d time.Duration) clock.Timer {
+	t := &simTimer{clk: c, ch: make(chan time.Time, 1)}
+	t.arm(d)
+	return t
+}
+
+func (c *simClock) NewTicker(d time.Duration) clock.Ticker {
+	if d <= 0 {
+		panic("dst: non-positive ticker interval")
+	}
+	t := &simTicker{clk: c, ch: make(chan time.Time, 1), every: d}
+	t.arm()
+	return t
+}
+
+type simTimer struct {
+	clk *simClock
+	ch  chan time.Time
+	ev  *event
+}
+
+func (t *simTimer) arm(d time.Duration) {
+	t.ev = t.clk.sch.After(d, "clock.timer", func() {
+		select {
+		case t.ch <- t.clk.Now():
+		default:
+		}
+	})
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+func (t *simTimer) Stop() bool {
+	if t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+func (t *simTimer) Reset(d time.Duration) bool {
+	active := t.Stop()
+	t.arm(d)
+	return active
+}
+
+type simTicker struct {
+	clk     *simClock
+	ch      chan time.Time
+	every   time.Duration
+	ev      *event
+	stopped bool
+}
+
+func (t *simTicker) arm() {
+	t.ev = t.clk.sch.After(t.every, "clock.ticker", func() {
+		if t.stopped {
+			return
+		}
+		select {
+		case t.ch <- t.clk.Now():
+		default:
+		}
+		t.arm()
+	})
+}
+
+func (t *simTicker) C() <-chan time.Time { return t.ch }
+
+func (t *simTicker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.canceled = true
+	}
+}

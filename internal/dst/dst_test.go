@@ -1,0 +1,155 @@
+package dst
+
+import (
+	"testing"
+	"time"
+)
+
+// The determinism contract: the same plan, run twice, produces
+// byte-identical traces and final states.
+func TestRunDeterministic(t *testing.T) {
+	for _, profile := range []Profile{ProfileClean, ProfileMixed} {
+		plan := GenPlan(42, profile)
+		plan.Duration = 10 * time.Second
+		a := Run(plan, false)
+		b := Run(plan, false)
+		if a.TraceHash != b.TraceHash {
+			t.Fatalf("%s: trace hashes differ across identical runs:\n  %s\n  %s",
+				profile, a.TraceHash, b.TraceHash)
+		}
+		if a.StateHash != b.StateHash {
+			t.Fatalf("%s: state hashes differ across identical runs", profile)
+		}
+		if a.TraceLines != b.TraceLines {
+			t.Fatalf("%s: trace lengths differ: %d vs %d", profile, a.TraceLines, b.TraceLines)
+		}
+	}
+}
+
+// Every profile must pass all oracles on a correct build: the fault model
+// may degrade delivery mid-run, but after heal and settle the cluster
+// converges and no safety property ever breaks.
+func TestSmokeSeedsPassOracles(t *testing.T) {
+	if plantedFencingBug {
+		t.Skip("planted-bug build: failures are expected")
+	}
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, profile := range Profiles {
+		for s := 0; s < seeds; s++ {
+			seed := uint64(1000 + s)
+			plan := GenPlan(seed, profile)
+			plan.Duration = 12 * time.Second
+			res := Run(plan, false)
+			if res.Failed() {
+				t.Errorf("profile %s seed %d: %d violation(s); first: %s",
+					profile, seed, len(res.Violations), res.Violations[0])
+			}
+			if res.Stats.Rekeys == 0 {
+				t.Errorf("profile %s seed %d: no rekeys processed — sim not exercising the system", profile, seed)
+			}
+		}
+	}
+}
+
+// Crash-heavy runs must actually exercise recovery, and the fault-free
+// profile must meet the delivery-spread SLO.
+func TestFaultCoverage(t *testing.T) {
+	if plantedFencingBug {
+		t.Skip("planted-bug build: failures are expected")
+	}
+	plan := GenPlan(7, ProfileCrash)
+	plan.Duration = 15 * time.Second
+	res := Run(plan, false)
+	if res.Failed() {
+		t.Fatalf("crash profile seed 7: %v", res.Violations[0])
+	}
+	if res.Stats.Crashes == 0 {
+		t.Fatal("crash profile injected no crashes")
+	}
+	if res.Stats.Recoveries <= plan.Nodes*plan.Groups {
+		t.Fatalf("no post-crash recoveries happened (recoveries=%d)", res.Stats.Recoveries)
+	}
+
+	clean := GenPlan(8, ProfileClean)
+	clean.Duration = 10 * time.Second
+	cres := Run(clean, false)
+	if cres.Failed() {
+		t.Fatalf("clean profile violated an oracle: %v", cres.Violations[0])
+	}
+	if cres.Stats.MaxSpread == 0 {
+		t.Fatal("no delivery spread measured")
+	}
+}
+
+// Shrinking a failing plan must keep it failing and never grow it.
+func TestShrinkPreservesFailure(t *testing.T) {
+	// Build a plan that fails by construction: an impossible SLO makes
+	// every broadcast a violation, so the shrinker has signal to work
+	// with regardless of build flavor.
+	plan := GenPlan(3, ProfilePartition)
+	plan.Duration = 8 * time.Second
+	plan.SLO = time.Nanosecond
+	res := Run(plan, false)
+	if !res.Failed() {
+		t.Fatal("constructed plan did not fail")
+	}
+	shrunk, runs := Shrink(plan, res)
+	if runs == 0 {
+		t.Fatal("shrinker spent no runs")
+	}
+	if len(shrunk.Ops) > len(plan.Ops) || shrunk.Duration > plan.Duration {
+		t.Fatal("shrinker grew the plan")
+	}
+	if !Run(shrunk, false).Failed() {
+		t.Fatal("shrunk plan no longer fails")
+	}
+}
+
+// Artifacts round-trip through disk and replay to the same failure.
+func TestArtifactReplay(t *testing.T) {
+	plan := GenPlan(5, ProfileClean)
+	plan.Duration = 6 * time.Second
+	plan.SLO = time.Nanosecond // force failure
+	res := Run(plan, false)
+	if !res.Failed() {
+		t.Fatal("plan did not fail")
+	}
+	art := &Artifact{
+		Plan: plan, PlanHash: plan.Hash(), Profile: ProfileClean,
+		TraceHash: res.TraceHash, StateHash: res.StateHash, Violations: res.Violations,
+	}
+	path := t.TempDir() + "/artifact.json"
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Plan.Hash() != plan.Hash() {
+		t.Fatal("plan hash changed across the JSON round-trip")
+	}
+	rres, ok := Replay(loaded, false)
+	if !ok {
+		t.Fatal("replay did not reproduce the failure")
+	}
+	if rres.TraceHash != res.TraceHash {
+		t.Fatal("replay trace hash differs from the original run")
+	}
+}
+
+// GenPlan is a pure function of (seed, profile).
+func TestGenPlanDeterministic(t *testing.T) {
+	for _, profile := range Profiles {
+		a, b := GenPlan(99, profile), GenPlan(99, profile)
+		if a.Hash() != b.Hash() {
+			t.Fatalf("%s: GenPlan not deterministic", profile)
+		}
+	}
+	if GenPlan(1, ProfileMixed).Hash() == GenPlan(2, ProfileMixed).Hash() {
+		t.Fatal("different seeds produced identical plans")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build dst_plantedbug
+
+package dst
+
+// The planted failover race: primaries skip lease re-validation before
+// journaling and broadcasting, trusting the promotion flag cached at the
+// last lease tick. A partition or stall that outlives the lease TTL lets
+// a deposed primary keep emitting — the fencing oracle catches the write.
+const plantedFencingBug = true

@@ -1,0 +1,11 @@
+//go:build !dst_plantedbug
+
+package dst
+
+// plantedFencingBug re-introduces the pre-fence-epoch failover race when
+// the dst_plantedbug build tag is set: a primary trusts its cached
+// promotion between lease ticks instead of re-validating against the
+// authority before every journal and broadcast. The simulator's seed
+// sweep must find it, shrink it, and replay it — the regression test for
+// the whole fault-exploration pipeline.
+const plantedFencingBug = false

@@ -1,0 +1,80 @@
+//go:build dst_plantedbug
+
+package dst
+
+import (
+	"testing"
+	"time"
+)
+
+// The planted regression re-introduces a race this codebase actually had:
+// a primary trusting its cached promotion between lease ticks instead of
+// re-validating ownership before journaling, so a partitioned or stalled
+// ex-primary keeps writing after it was deposed. Seeded exploration over
+// partition plans must catch the deposed write within a bounded seed
+// budget, the shrinker must keep the failure while never growing the
+// plan, and the artifact must replay from disk.
+func TestPlantedFencingBugFoundAndShrunk(t *testing.T) {
+	const budget = 60
+	var (
+		found *Result
+		plan  Plan
+	)
+	for seed := uint64(1); seed <= budget && found == nil; seed++ {
+		p := GenPlan(seed, ProfilePartition)
+		p.Duration = 15 * time.Second
+		res := Run(p, false)
+		for _, v := range res.Violations {
+			if v.Kind == ViolationFencing {
+				found, plan = res, p
+				break
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("planted fencing bug not caught within %d seeds", budget)
+	}
+	t.Logf("caught with seed %d: %s", plan.Seed, found.Violations[0])
+
+	shrunk, runs := Shrink(plan, found)
+	t.Logf("shrunk %d -> %d ops, %s -> %s, in %d runs",
+		len(plan.Ops), len(shrunk.Ops), plan.Duration, shrunk.Duration, runs)
+	if runs == 0 {
+		t.Fatal("shrinker spent no runs")
+	}
+	if len(shrunk.Ops) > len(plan.Ops) || shrunk.Duration > plan.Duration {
+		t.Fatal("shrinker grew the plan")
+	}
+	sres := Run(shrunk, false)
+	if !sres.Failed() {
+		t.Fatal("shrunk plan no longer fails")
+	}
+	fencing := false
+	for _, v := range sres.Violations {
+		fencing = fencing || v.Kind == ViolationFencing
+	}
+	if !fencing {
+		t.Fatalf("shrunk plan lost the fencing violation: %v", sres.Violations)
+	}
+
+	art := &Artifact{
+		Plan: shrunk, PlanHash: shrunk.Hash(), Profile: ProfilePartition,
+		TraceHash: sres.TraceHash, StateHash: sres.StateHash, Violations: sres.Violations,
+		OriginalOps: len(plan.Ops), ShrinkRuns: runs,
+	}
+	path := t.TempDir() + "/planted.json"
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, ok := Replay(loaded, false)
+	if !ok {
+		t.Fatal("artifact replay did not reproduce the failure")
+	}
+	if rres.TraceHash != sres.TraceHash {
+		t.Fatalf("replay trace hash differs: %s vs %s", rres.TraceHash, sres.TraceHash)
+	}
+}

@@ -1,0 +1,129 @@
+// Package dst is the deterministic full-system simulator: it runs an
+// N-node key-server cluster — real durable stores on an in-memory
+// faultable filesystem, real rekey schemes, a real lease authority, and
+// real client-side key stores (member.Member) — inside ONE goroutine on
+// virtual time. Every run is a pure function of its fault plan (itself a
+// pure function of a seed), so any failure replays bit-identically and
+// shrinks to a minimal plan.
+//
+// The architecture is model-level simulation: the correctness-critical
+// state machines (store WAL/snapshot/replication, scheme rekeying, lease
+// fencing, member key stores) are the production code, while the
+// connective tissue the production system runs on goroutines and sockets
+// (server loops, TCP framing) is replaced by scheduler events with
+// injected latency, loss, partitions, crashes, and clock stalls.
+package dst
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// virtualEpoch anchors virtual wall time; runs never read the real clock.
+var virtualEpoch = time.Unix(1700000000, 0).UTC()
+
+// event is one scheduled callback. Ordering is (at, seq): virtual time
+// first, then creation order — fully deterministic.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	name     string
+	fn       func()
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) Peek() *event     { return h[0] }
+func (h *eventHeap) PushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) PopEv() *event   { return heap.Pop(h).(*event) }
+
+// Scheduler is the single-threaded virtual-time event loop. It is NOT
+// safe for concurrent use — that is the point.
+type Scheduler struct {
+	rng   *rand.Rand
+	now   time.Duration
+	seq   uint64
+	pq    eventHeap
+	trace *Trace
+}
+
+func newScheduler(seed uint64, trace *Trace) *Scheduler {
+	return &Scheduler{
+		rng:   rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		trace: trace,
+	}
+}
+
+// Now returns virtual elapsed time since the run started.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Time returns virtual wall time.
+func (s *Scheduler) Time() time.Time { return virtualEpoch.Add(s.now) }
+
+// After schedules fn at now+d and returns the event for cancellation.
+func (s *Scheduler) After(d time.Duration, name string, fn func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	e := &event{at: s.now + d, seq: s.seq, name: name, fn: fn}
+	s.pq.PushEv(e)
+	return e
+}
+
+// Advance moves virtual time forward from inside an event handler — the
+// handler's node was blocked (e.g. a slow disk write) and the world aged
+// around it. Events that came due meanwhile run right after the current
+// handler returns.
+func (s *Scheduler) Advance(d time.Duration) {
+	if d > 0 {
+		s.now += d
+	}
+}
+
+// Run drains events until the queue empties or virtual time passes
+// until. It leaves now at until so a subsequent Run continues cleanly.
+func (s *Scheduler) Run(until time.Duration) {
+	for len(s.pq) > 0 {
+		e := s.pq.Peek()
+		if e.at > until {
+			break
+		}
+		s.pq.PopEv()
+		if e.canceled {
+			continue
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// tracef appends a timestamped line to the run trace.
+func (s *Scheduler) tracef(format string, args ...any) {
+	s.trace.Add(fmt.Sprintf("%-12s %s", s.now, fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,40 @@
+package dst
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+)
+
+// Trace is the run's event log. Every line feeds a running hash; the
+// lines themselves are kept only when Keep is set (replay debugging), so
+// long seed sweeps stay cheap. Two runs of the same plan must produce the
+// same Hash — that is the determinism contract dstrun verifies.
+type Trace struct {
+	Keep  bool
+	Lines []string
+	h     hash.Hash
+	n     int
+}
+
+func newTrace(keep bool) *Trace {
+	return &Trace{Keep: keep, h: sha256.New()}
+}
+
+// Add appends one line.
+func (t *Trace) Add(line string) {
+	t.h.Write([]byte(line))
+	t.h.Write([]byte{'\n'})
+	t.n++
+	if t.Keep {
+		t.Lines = append(t.Lines, line)
+	}
+}
+
+// Len returns how many lines were traced.
+func (t *Trace) Len() int { return t.n }
+
+// Hash returns the hex digest of every line added so far.
+func (t *Trace) Hash() string {
+	return hex.EncodeToString(t.h.Sum(nil))
+}

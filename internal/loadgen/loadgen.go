@@ -45,6 +45,11 @@ type Config struct {
 	Duration time.Duration
 	// Seed makes the churn schedule reproducible.
 	Seed uint64
+	// FaultPlanHash records the canonical hash of the fault plan the
+	// surrounding harness is injecting (empty = no plan). It is echoed
+	// into the report for replay bookkeeping; loadgen itself injects no
+	// faults.
+	FaultPlanHash string
 	// Churn samples each session's stay duration. Zero value selects the
 	// paper's two-class model compressed so mean stays are ~2s.
 	Churn workload.TwoClass
@@ -460,6 +465,7 @@ func (col *collector) report(cfg Config, elapsed time.Duration) *Report {
 		Groups:          cfg.Groups,
 		DurationSeconds: elapsed.Seconds(),
 		Seed:            cfg.Seed,
+		FaultPlanHash:   cfg.FaultPlanHash,
 		Joins:           col.joins,
 		JoinsDeferred:   col.joinsDeferred,
 		JoinErrors:      col.joinErrors,

@@ -30,6 +30,10 @@ type Report struct {
 	Groups          int     `json:"groups"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Seed            uint64  `json:"seed"`
+	// FaultPlanHash pins the dst fault plan (if any) that shaped the
+	// environment this soak ran under, so an anomaly here can be handed
+	// straight to `dstrun -replay`.
+	FaultPlanHash string `json:"fault_plan_hash,omitempty"`
 
 	Joins          uint64 `json:"joins"`
 	JoinsDeferred  uint64 `json:"joins_deferred"`

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"groupkey/internal/adaptive"
+	"groupkey/internal/clock"
 	"groupkey/internal/keytree"
 )
 
@@ -34,13 +35,20 @@ func (s *Server) observeLeave(id keytree.MemberID) {
 	s.estimator.Observe(s.now().Sub(joined).Seconds())
 }
 
-// now returns the server clock (overridable in tests).
+// now returns the server clock (overridable in tests and under the
+// deterministic simulator).
 func (s *Server) now() time.Time {
-	if s.clock != nil {
-		return s.clock()
-	}
-	return time.Now()
+	return clock.Or(s.clock).Now()
 }
+
+// since measures elapsed time on the server clock.
+func (s *Server) since(t time.Time) time.Duration {
+	return clock.Or(s.clock).Since(t)
+}
+
+// SetClock injects the server's time source (nil restores the wall
+// clock). Must be called before Serve or StartPeriodic.
+func (s *Server) SetClock(c clock.Clock) { s.clock = c }
 
 // ObservedDepartures returns how many member lifetimes the server has
 // collected for churn estimation.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"groupkey/internal/clock"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestServerChurnObservationAndAdvice(t *testing.T) {
 
 	// Synthetic clock under test control.
 	now := time.Unix(1_000_000, 0)
-	srv.clock = func() time.Time { return now }
+	srv.clock = clock.NowFunc(func() time.Time { return now })
 
 	if _, err := srv.Recommend(time.Minute); !errors.Is(err, adaptive.ErrTooFewSamples) {
 		t.Fatalf("advice without observations: err=%v", err)

@@ -302,7 +302,7 @@ func (m *Metrics) setMembers(n float64) {
 // gauges and a trace event. A group view also rolls counters and
 // observations into the aggregate; the trace event is recorded once, on
 // the bundle the rekey actually ran in, carrying the group label.
-func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, bytes int, d time.Duration) {
+func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, bytes int, d time.Duration, now time.Time) {
 	if m == nil {
 		return
 	}
@@ -334,7 +334,7 @@ func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, by
 	}
 	if m.tracer != nil {
 		m.tracer.Record(metrics.RekeyEvent{
-			Time:            time.Now(),
+			Time:            now,
 			Group:           m.group,
 			Scheme:          scheme.Name(),
 			Epoch:           r.Epoch,

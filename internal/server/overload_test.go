@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/ed25519"
 	"errors"
+	"groupkey/internal/clock"
 	"io"
 	"net"
 	"sync/atomic"
@@ -256,7 +257,7 @@ func TestJoinAdmissionRateLimit(t *testing.T) {
 		RetryFloor: 100 * time.Millisecond,
 	})
 	now := time.Unix(1000, 0)
-	s.clock = func() time.Time { return now }
+	s.clock = clock.NowFunc(func() time.Time { return now })
 	t.Cleanup(func() { s.Close() })
 
 	first := pipeJoin(t, s)
@@ -375,7 +376,7 @@ func TestDialSurfacesDeferral(t *testing.T) {
 	})
 	// Virtual clock so the token bucket only refills when the test says so.
 	var clockNS atomic.Int64
-	s.clock = func() time.Time { return time.Unix(0, clockNS.Load()) }
+	s.clock = clock.NowFunc(func() time.Time { return time.Unix(0, clockNS.Load()) })
 	s.Serve(ln)
 	t.Cleanup(func() { s.Close() })
 

@@ -4,6 +4,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"groupkey/internal/clock"
 	"net"
 	"sort"
 	"sync"
@@ -45,10 +46,15 @@ type Registry struct {
 	ln       net.Listener
 	closed   bool
 	resolver Resolver
+	clock    clock.Clock // nil = wall clock
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
 }
+
+// SetClock injects the registry's time source for the periodic rekey
+// pipelines (nil restores the wall clock). Call before StartPeriodic.
+func (r *Registry) SetClock(c clock.Clock) { r.clock = c }
 
 // Resolver is the cluster map: it locates the node currently owning a
 // group, so connections for groups this node does not host are answered
@@ -247,13 +253,13 @@ func (r *Registry) StartPeriodic(interval time.Duration) {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			ticker := time.NewTicker(interval)
+			ticker := clock.Or(r.clock).NewTicker(interval)
 			defer ticker.Stop()
 			for {
 				select {
 				case <-r.stopCh:
 					return
-				case <-ticker.C:
+				case <-ticker.C():
 					for _, srv := range st.servers() {
 						// Closed and fenced servers are on their way out of
 						// the table (shutdown or a cluster demotion); neither

@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"groupkey/internal/adaptive"
+	"groupkey/internal/clock"
 	"groupkey/internal/core"
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/keytree"
@@ -108,7 +110,7 @@ type Server struct {
 	// Section 3.4 churn observation (see advise.go).
 	joinedAt  map[keytree.MemberID]time.Time
 	estimator *adaptive.Estimator
-	clock     func() time.Time // nil = time.Now; tests inject
+	clock     clock.Clock // nil = wall clock; tests and the simulator inject
 
 	// Observability (see metrics.go). metrics may be nil; the lifetime
 	// counters are kept regardless for the shutdown summary.
@@ -517,7 +519,7 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 		return nil, err
 	}
 
-	start := time.Now()
+	start := s.now()
 	b := core.Batch{}
 	type admitted struct {
 		conn net.Conn
@@ -593,7 +595,7 @@ func (s *Server) RekeyNow() (*core.Rekey, error) {
 			cc.finish()
 		}
 	}
-	s.noteRekeyLocked(rekey, len(b.Joins), len(b.Leaves), sent, time.Since(start))
+	s.noteRekeyLocked(rekey, len(b.Joins), len(b.Leaves), sent, s.since(start))
 	if err := s.maybeSnapshotLocked(); err != nil {
 		return rekey, err
 	}
@@ -624,7 +626,7 @@ func (s *Server) noteRekeyLocked(rekey *core.Rekey, joins, leaves, bytes int, d 
 	if n := s.scheme.Size(); n > s.peakMembers {
 		s.peakMembers = n
 	}
-	s.metrics.noteRekey(s.scheme, rekey, joins, leaves, bytes, d)
+	s.metrics.noteRekey(s.scheme, rekey, joins, leaves, bytes, d, s.now())
 	s.metrics.setConnections(len(s.conns))
 }
 
@@ -653,7 +655,8 @@ func (s *Server) broadcastRekeyLocked(rekey *core.Rekey) (int, error) {
 	overUDP := s.udp.planEpoch(s, eb)
 
 	sent := 0
-	for id, cc := range s.conns {
+	for _, id := range s.sortedConnIDsLocked() {
+		cc := s.conns[id]
 		switch {
 		case overUDP[id]:
 			digest := s.udp.digestFor(eb, id)
@@ -693,7 +696,7 @@ func (s *Server) RotateNow() (*core.Rekey, error) {
 	if !ok {
 		return nil, fmt.Errorf("server: scheme %s cannot rotate", s.scheme.Name())
 	}
-	start := time.Now()
+	start := s.now()
 	if s.persister != nil {
 		if err := s.persister.JournalRotate(); err != nil {
 			return nil, fmt.Errorf("server: journaling rotation: %w", err)
@@ -707,7 +710,7 @@ func (s *Server) RotateNow() (*core.Rekey, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.noteRekeyLocked(rekey, 0, 0, sent, time.Since(start))
+	s.noteRekeyLocked(rekey, 0, 0, sent, s.since(start))
 	if err := s.maybeSnapshotLocked(); err != nil {
 		return rekey, err
 	}
@@ -720,13 +723,13 @@ func (s *Server) StartPeriodic(interval time.Duration) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		ticker := time.NewTicker(interval)
+		ticker := clock.Or(s.clock).NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-s.stopCh:
 				return
-			case <-ticker.C:
+			case <-ticker.C():
 				if _, err := s.RekeyNow(); err != nil && !errors.Is(err, ErrClosed) {
 					return
 				}
@@ -756,14 +759,26 @@ func (s *Server) Broadcast(data []byte) error {
 	// clients (above the high watermark) are shed, not waited for.
 	blob := wire.SignRekey(s.signPriv, sealed)
 	sent := 0
-	for id, cc := range s.conns {
-		if s.enqueueLocked(id, cc, frame{t: wire.MsgData, payload: blob}) {
+	for _, id := range s.sortedConnIDsLocked() {
+		if s.enqueueLocked(id, s.conns[id], frame{t: wire.MsgData, payload: blob}) {
 			sent += len(blob)
 		}
 	}
 	s.metrics.noteBroadcast(sent)
 	s.metrics.setConnections(len(s.conns))
 	return nil
+}
+
+// sortedConnIDsLocked returns the connected member IDs in ascending
+// order, so broadcast fan-out visits connections deterministically
+// instead of in Go's randomized map order.
+func (s *Server) sortedConnIDsLocked() []keytree.MemberID {
+	ids := make([]keytree.MemberID, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Size returns the current admitted group size.

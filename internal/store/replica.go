@@ -6,8 +6,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+	"slices"
 
 	"groupkey/internal/core"
 	"groupkey/internal/keytree"
@@ -69,10 +69,7 @@ func (s *Store) Subscribe(buf int) *Subscription {
 	}
 	sub := &Subscription{ch: make(chan Record, buf)}
 	s.mu.Lock()
-	if s.subs == nil {
-		s.subs = make(map[*Subscription]struct{})
-	}
-	s.subs[sub] = struct{}{}
+	s.subs = append(s.subs, sub)
 	s.mu.Unlock()
 	return sub
 }
@@ -81,8 +78,8 @@ func (s *Store) Subscribe(buf int) *Subscription {
 func (s *Store) Unsubscribe(sub *Subscription) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.subs[sub]; ok {
-		delete(s.subs, sub)
+	if i := slices.Index(s.subs, sub); i >= 0 {
+		s.subs = slices.Delete(s.subs, i, i+1)
 		close(sub.ch)
 	}
 }
@@ -91,18 +88,22 @@ func (s *Store) Unsubscribe(sub *Subscription) {
 // call only after C() is closed.
 func (sub *Subscription) Lost() bool { return sub.lost }
 
-// notifyLocked fans a freshly journaled record out to subscribers. Called
-// under s.mu; sends never block — a full buffer cuts the subscriber off.
+// notifyLocked fans a freshly journaled record out to subscribers in
+// subscription order (a map here would make fan-out order — and thus the
+// simulator's event traces — nondeterministic). Called under s.mu; sends
+// never block — a full buffer cuts the subscriber off.
 func (s *Store) notifyLocked(r Record) {
-	for sub := range s.subs {
+	kept := s.subs[:0]
+	for _, sub := range s.subs {
 		select {
 		case sub.ch <- r:
+			kept = append(kept, sub)
 		default:
 			sub.lost = true
-			delete(s.subs, sub)
 			close(sub.ch)
 		}
 	}
+	s.subs = kept
 }
 
 // RecordsFrom returns every journaled record with sequence > after, in
@@ -118,7 +119,7 @@ func (s *Store) RecordsFrom(after uint64) (recs []Record, ok bool, err error) {
 	if after >= last {
 		return nil, true, nil
 	}
-	scan, err := scanWAL(s.dir)
+	scan, err := scanWALFS(s.fs, s.dir)
 	if err != nil {
 		return nil, false, err
 	}
@@ -241,19 +242,19 @@ func (s *Store) InstallSnapshot(seq uint64, nextID keytree.MemberID, blob []byte
 	if err := s.wal.reset(); err != nil {
 		return nil, err
 	}
-	snaps, err := snapshotFiles(s.dir)
+	snaps, err := snapshotFilesFS(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, p := range snaps {
-		if err := os.Remove(p); err != nil {
+		if err := s.fs.Remove(p); err != nil {
 			return nil, err
 		}
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return nil, err
 	}
-	n, err := writeSnapshotFile(s.dir, seq, s.master, encodeSnapshotPlain(seq, nextID, blob))
+	n, err := writeSnapshotFileFS(s.fs, s.entropy, s.dir, seq, s.master, encodeSnapshotPlain(seq, nextID, blob))
 	if err != nil {
 		return nil, err
 	}
@@ -273,12 +274,12 @@ func (w *wal) reset() error {
 		w.f, w.path, w.size = nil, "", 0
 	}
 	w.mu.Unlock()
-	segs, err := segments(w.dir)
+	segs, err := segmentsFS(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
 	for _, p := range segs {
-		if err := os.Remove(p); err != nil {
+		if err := w.fs.Remove(p); err != nil {
 			return err
 		}
 	}
@@ -304,13 +305,13 @@ func (s *Store) AdoptSigningKey(seed []byte) error {
 	}
 	path := filepath.Join(s.dir, "signing.key")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
+	if err := s.fs.WriteFile(tmp, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fs.Rename(tmp, path); err != nil {
 		return err
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return err
 	}
 	s.signing = ed25519.NewKeyFromSeed(seed)

@@ -1,16 +1,16 @@
 package store
 
 import (
-	"crypto/rand"
 	"encoding/binary"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/keytree"
+	"groupkey/internal/vfs"
 )
 
 // Snapshot files hold the complete scheme state — every group secret —
@@ -42,8 +42,10 @@ func snapPath(dir string, seq uint64) string {
 }
 
 // snapshotFiles lists snapshot paths, newest (highest seq) first.
-func snapshotFiles(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func snapshotFiles(dir string) ([]string, error) { return snapshotFilesFS(vfs.OS{}, dir) }
+
+func snapshotFilesFS(fsys vfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -85,16 +87,16 @@ func decodeSnapshotPlain(b []byte) (seq uint64, nextID keytree.MemberID, blob []
 // temp file in the same directory, fsync, rename, directory fsync. A
 // crash at any point leaves either the old set of snapshots or the old
 // set plus a complete new one — never a torn file under the final name.
-func writeSnapshotFile(dir string, seq uint64, master keycrypt.Key, plain []byte) (int, error) {
-	sealed, err := keycrypt.Seal(master, plain, rand.Reader)
+func writeSnapshotFileFS(fsys vfs.FS, entropy io.Reader, dir string, seq uint64, master keycrypt.Key, plain []byte) (int, error) {
+	sealed, err := keycrypt.Seal(master, plain, entropy)
 	if err != nil {
 		return 0, fmt.Errorf("store: sealing snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, snapPrefix+"tmp-*")
+	tmp, err := fsys.CreateTemp(dir, snapPrefix+"tmp-*")
 	if err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(sealed); err != nil {
 		tmp.Close()
 		return 0, err
@@ -106,23 +108,23 @@ func writeSnapshotFile(dir string, seq uint64, master keycrypt.Key, plain []byte
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp.Name(), snapPath(dir, seq)); err != nil {
+	if err := fsys.Rename(tmp.Name(), snapPath(dir, seq)); err != nil {
 		return 0, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return 0, err
 	}
 	return len(sealed), nil
 }
 
-// pruneSnapshots deletes all but the snapKeep newest snapshot files.
-func pruneSnapshots(dir string) error {
-	files, err := snapshotFiles(dir)
+// pruneSnapshotsFS deletes all but the snapKeep newest snapshot files.
+func pruneSnapshotsFS(fsys vfs.FS, dir string) error {
+	files, err := snapshotFilesFS(fsys, dir)
 	if err != nil {
 		return err
 	}
 	for _, p := range files[min(len(files), snapKeep):] {
-		if err := os.Remove(p); err != nil {
+		if err := fsys.Remove(p); err != nil {
 			return err
 		}
 	}

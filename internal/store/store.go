@@ -25,15 +25,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
+	"groupkey/internal/clock"
 	"groupkey/internal/core"
 	"groupkey/internal/keycrypt"
 	"groupkey/internal/keytree"
+	"groupkey/internal/vfs"
 	"groupkey/internal/wire"
 )
 
@@ -56,6 +58,18 @@ type Options struct {
 	// restoring schemes (e.g. core.WithRekeyWorkers). The store always
 	// adds core.WithRand with its own reader; do not pass one.
 	SchemeOptions []core.Option
+	// FS is the filesystem seam (nil means the real OS filesystem). The
+	// deterministic simulator mounts an in-memory faultable filesystem
+	// here.
+	FS vfs.FS
+	// Clock drives the fsync-interval ticker and fsync timing metrics
+	// (nil means the wall clock).
+	Clock clock.Clock
+	// Entropy seeds every journaled record and snapshot seal (nil means
+	// crypto/rand). The simulator injects a seeded stream so whole runs
+	// replay bit-identically; everything derived from it is journaled, so
+	// production determinism is unaffected.
+	Entropy io.Reader
 }
 
 // Store owns one state directory. Methods are safe for concurrent use,
@@ -63,6 +77,8 @@ type Options struct {
 type Store struct {
 	dir     string
 	opts    Options
+	fs      vfs.FS
+	entropy io.Reader
 	wal     *wal
 	master  keycrypt.Key
 	signing ed25519.PrivateKey
@@ -73,21 +89,28 @@ type Store struct {
 	snapSeq   uint64 // newest snapshot's record
 	recovered bool
 	hasScheme bool
-	subs      map[*Subscription]struct{}
+	// subs is ordered by subscription age: record fan-out must visit
+	// subscribers in a deterministic order under the simulator.
+	subs []*Subscription
 }
 
 // Open prepares the state directory: creates it (0700) if missing and
 // loads (or generates) the master and signing keys. No WAL or snapshot is
 // read until Recover.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o700); err != nil {
+	fsys := vfs.Or(opts.FS)
+	entropy := opts.Entropy
+	if entropy == nil {
+		entropy = crand.Reader
+	}
+	if err := fsys.MkdirAll(dir, 0o700); err != nil {
 		return nil, err
 	}
 	keyFile := opts.KeyFile
 	if keyFile == "" {
 		keyFile = filepath.Join(dir, "master.key")
 	}
-	masterRaw, err := loadOrCreateSecret(keyFile, 32)
+	masterRaw, err := loadOrCreateSecret(fsys, entropy, keyFile, 32)
 	if err != nil {
 		return nil, fmt.Errorf("store: master key: %w", err)
 	}
@@ -95,18 +118,20 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	seed, err := loadOrCreateSecret(filepath.Join(dir, "signing.key"), ed25519.SeedSize)
+	seed, err := loadOrCreateSecret(fsys, entropy, filepath.Join(dir, "signing.key"), ed25519.SeedSize)
 	if err != nil {
 		return nil, fmt.Errorf("store: signing key: %w", err)
 	}
 	s := &Store{
 		dir:     dir,
 		opts:    opts,
+		fs:      fsys,
+		entropy: entropy,
 		master:  master,
 		signing: ed25519.NewKeyFromSeed(seed),
 		rand:    &replayRand{},
 	}
-	s.wal = newWAL(dir, opts.Fsync, opts.FsyncEvery, opts.SegmentBytes, opts.Metrics)
+	s.wal = newWAL(fsys, clock.Or(opts.Clock), dir, opts.Fsync, opts.FsyncEvery, opts.SegmentBytes, opts.Metrics)
 	return s, nil
 }
 
@@ -159,12 +184,12 @@ func (s *Store) Recover() (*RecoveryResult, error) {
 	// Newest readable snapshot wins; unreadable ones (torn by a crash
 	// while the master key changed, say) fall through to older files.
 	var scheme core.Scheme
-	snaps, err := snapshotFiles(s.dir)
+	snaps, err := snapshotFilesFS(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, path := range snaps {
-		sealed, err := os.ReadFile(path)
+		sealed, err := s.fs.ReadFile(path)
 		if err != nil {
 			continue
 		}
@@ -184,12 +209,12 @@ func (s *Store) Recover() (*RecoveryResult, error) {
 		break
 	}
 
-	scan, err := scanWAL(s.dir)
+	scan, err := scanWALFS(s.fs, s.dir)
 	if err != nil {
 		return nil, err
 	}
 	res.TruncatedBytes = scan.truncated
-	if err := applyTruncation(s.dir, scan); err != nil {
+	if err := applyTruncationFS(s.fs, s.dir, scan); err != nil {
 		return nil, err
 	}
 
@@ -199,17 +224,17 @@ func (s *Store) Recover() (*RecoveryResult, error) {
 	records := scan.records
 	if n := len(records); n == 0 || records[n-1].seq <= s.snapSeq {
 		records = nil
-		segs, err := segments(s.dir)
+		segs, err := segmentsFS(s.fs, s.dir)
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range segs {
-			if err := os.Remove(p); err != nil {
+			if err := s.fs.Remove(p); err != nil {
 				return nil, err
 			}
 		}
 		if len(segs) > 0 {
-			if err := syncDir(s.dir); err != nil {
+			if err := s.fs.SyncDir(s.dir); err != nil {
 				return nil, err
 			}
 		}
@@ -383,7 +408,7 @@ func (s *Store) journalLocked(kind byte, payload []byte) ([]byte, error) {
 	r.kind = kind
 	r.seq = s.seq + 1
 	r.payload = payload
-	if _, err := io.ReadFull(crand.Reader, r.seed[:]); err != nil {
+	if _, err := io.ReadFull(s.entropy, r.seed[:]); err != nil {
 		return nil, fmt.Errorf("store: seeding record: %w", err)
 	}
 	if err := s.wal.append(r); err != nil {
@@ -414,7 +439,7 @@ func (s *Store) SaveSnapshot(sc core.Scheme, nextID keytree.MemberID) error {
 	if err := s.wal.sync(); err != nil {
 		return err
 	}
-	n, err := writeSnapshotFile(s.dir, s.seq, s.master, encodeSnapshotPlain(s.seq, nextID, blob))
+	n, err := writeSnapshotFileFS(s.fs, s.entropy, s.dir, s.seq, s.master, encodeSnapshotPlain(s.seq, nextID, blob))
 	if err != nil {
 		return err
 	}
@@ -426,7 +451,7 @@ func (s *Store) SaveSnapshot(sc core.Scheme, nextID keytree.MemberID) error {
 	if err := s.wal.reopenActive(); err != nil {
 		return err
 	}
-	return pruneSnapshots(s.dir)
+	return pruneSnapshotsFS(s.fs, s.dir)
 }
 
 // LastSeq returns the sequence number of the newest journaled record.
@@ -469,9 +494,9 @@ func (r *replayRand) reseed(seed []byte) {
 }
 
 // loadOrCreateSecret reads a hex-encoded n-byte secret from path,
-// generating one (0600) when the file does not exist.
-func loadOrCreateSecret(path string, n int) ([]byte, error) {
-	data, err := os.ReadFile(path)
+// generating one (0600) from entropy when the file does not exist.
+func loadOrCreateSecret(fsys vfs.FS, entropy io.Reader, path string, n int) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	switch {
 	case err == nil:
 		raw, err := hex.DecodeString(strings.TrimSpace(string(data)))
@@ -482,12 +507,12 @@ func loadOrCreateSecret(path string, n int) ([]byte, error) {
 			return nil, fmt.Errorf("%s: got %d bytes, want %d", path, len(raw), n)
 		}
 		return raw, nil
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		raw := make([]byte, n)
-		if _, err := io.ReadFull(crand.Reader, raw); err != nil {
+		if _, err := io.ReadFull(entropy, raw); err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(path, []byte(hex.EncodeToString(raw)+"\n"), 0o600); err != nil {
+		if err := fsys.WriteFile(path, []byte(hex.EncodeToString(raw)+"\n"), 0o600); err != nil {
 			return nil, err
 		}
 		return raw, nil

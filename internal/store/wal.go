@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"groupkey/internal/clock"
+	"groupkey/internal/vfs"
 	"groupkey/internal/wire"
 )
 
@@ -121,6 +123,8 @@ func encodeRecord(r walRecord) []byte {
 // wal is the segmented on-disk log. All methods are safe for concurrent
 // use (the interval syncer runs beside appends).
 type wal struct {
+	fs       vfs.FS
+	clk      clock.Clock
 	dir      string
 	policy   FsyncPolicy
 	every    time.Duration
@@ -128,7 +132,7 @@ type wal struct {
 	metrics  *Metrics
 
 	mu     sync.Mutex
-	f      *os.File
+	f      vfs.File
 	path   string
 	size   int64
 	dirty  bool
@@ -138,14 +142,14 @@ type wal struct {
 	done chan struct{}
 }
 
-func newWAL(dir string, policy FsyncPolicy, every time.Duration, segBytes int64, m *Metrics) *wal {
+func newWAL(fsys vfs.FS, clk clock.Clock, dir string, policy FsyncPolicy, every time.Duration, segBytes int64, m *Metrics) *wal {
 	if every <= 0 {
 		every = 100 * time.Millisecond
 	}
 	if segBytes <= 0 {
 		segBytes = 4 << 20
 	}
-	w := &wal{dir: dir, policy: policy, every: every, segBytes: segBytes, metrics: m}
+	w := &wal{fs: vfs.Or(fsys), clk: clock.Or(clk), dir: dir, policy: policy, every: every, segBytes: segBytes, metrics: m}
 	if policy == FsyncInterval {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
@@ -156,13 +160,13 @@ func newWAL(dir string, policy FsyncPolicy, every time.Duration, segBytes int64,
 
 func (w *wal) syncLoop() {
 	defer close(w.done)
-	ticker := time.NewTicker(w.every)
+	ticker := w.clk.NewTicker(w.every)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-w.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			w.mu.Lock()
 			if w.dirty && w.f != nil {
 				w.syncLocked()
@@ -218,12 +222,12 @@ func (w *wal) rollLocked(firstSeq uint64) error {
 		w.f = nil
 	}
 	path := segPath(w.dir, firstSeq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	f, err := w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
 	if err != nil {
 		return fmt.Errorf("store: creating wal segment: %w", err)
 	}
 	w.f, w.path, w.size, w.dirty = f, path, 0, false
-	return syncDir(w.dir)
+	return w.fs.SyncDir(w.dir)
 }
 
 // syncLocked flushes the active segment, timing the fsync.
@@ -231,11 +235,11 @@ func (w *wal) syncLocked() error {
 	if w.f == nil {
 		return nil
 	}
-	start := time.Now()
+	start := w.clk.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
-	w.metrics.noteFsync(time.Since(start))
+	w.metrics.noteFsync(w.clk.Since(start))
 	w.dirty = false
 	return nil
 }
@@ -270,8 +274,10 @@ func (w *wal) close() error {
 }
 
 // segments lists the WAL segment paths in ascending first-seq order.
-func segments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func segments(dir string) ([]string, error) { return segmentsFS(vfs.OS{}, dir) }
+
+func segmentsFS(fsys vfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -304,8 +310,10 @@ type scanResult struct {
 // torn or corrupt frame (a crash can only tear the tail; anything after a
 // bad frame is unreachable garbage). Sequence numbers must increase by
 // exactly one across the whole log.
-func scanWAL(dir string) (*scanResult, error) {
-	segs, err := segments(dir)
+func scanWAL(dir string) (*scanResult, error) { return scanWALFS(vfs.OS{}, dir) }
+
+func scanWALFS(fsys vfs.FS, dir string) (*scanResult, error) {
+	segs, err := segmentsFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +321,7 @@ func scanWAL(dir string) (*scanResult, error) {
 	var prevSeq uint64
 	haveSeq := false
 	for i, path := range segs {
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("store: reading wal segment: %w", err)
 		}
@@ -358,7 +366,7 @@ func scanWAL(dir string) (*scanResult, error) {
 		if res.tornPath != "" {
 			// Whole later segments are garbage too.
 			for _, p := range segs[i+1:] {
-				if fi, err := os.Stat(p); err == nil {
+				if fi, err := fsys.Stat(p); err == nil {
 					res.truncated += fi.Size()
 				}
 			}
@@ -371,6 +379,10 @@ func scanWAL(dir string) (*scanResult, error) {
 // applyTruncation removes the torn tail found by scanWAL: the torn segment
 // is truncated at the last valid byte and every later segment is deleted.
 func applyTruncation(dir string, res *scanResult) error {
+	return applyTruncationFS(vfs.OS{}, dir, res)
+}
+
+func applyTruncationFS(fsys vfs.FS, dir string, res *scanResult) error {
 	if res.tornPath == "" {
 		return nil
 	}
@@ -378,28 +390,28 @@ func applyTruncation(dir string, res *scanResult) error {
 	for _, p := range res.segs {
 		if p == res.tornPath {
 			if res.tornOffset == 0 {
-				if err := os.Remove(p); err != nil {
+				if err := fsys.Remove(p); err != nil {
 					return fmt.Errorf("store: removing torn segment: %w", err)
 				}
-			} else if err := os.Truncate(p, res.tornOffset); err != nil {
+			} else if err := fsys.Truncate(p, res.tornOffset); err != nil {
 				return fmt.Errorf("store: truncating torn segment: %w", err)
 			}
 			drop = true
 			continue
 		}
 		if drop {
-			if err := os.Remove(p); err != nil {
+			if err := fsys.Remove(p); err != nil {
 				return fmt.Errorf("store: removing garbage segment: %w", err)
 			}
 		}
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // reopenActive positions the wal to append after the last valid record:
 // the newest surviving segment is reopened for appending, if any.
 func (w *wal) reopenActive() error {
-	segs, err := segments(w.dir)
+	segs, err := segmentsFS(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -410,11 +422,11 @@ func (w *wal) reopenActive() error {
 		return nil
 	}
 	path := segs[len(segs)-1]
-	fi, err := os.Stat(path)
+	fi, err := w.fs.Stat(path)
 	if err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("store: reopening wal segment: %w", err)
 	}
@@ -440,7 +452,7 @@ func (w *wal) compact(snapSeq uint64) error {
 	}
 	w.mu.Unlock()
 
-	segs, err := segments(w.dir)
+	segs, err := segmentsFS(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -454,7 +466,7 @@ func (w *wal) compact(snapSeq uint64) error {
 			continue
 		}
 		if nextFirst <= snapSeq+1 {
-			if err := os.Remove(segs[i]); err != nil {
+			if err := w.fs.Remove(segs[i]); err != nil {
 				return fmt.Errorf("store: compacting wal: %w", err)
 			}
 		}
@@ -462,18 +474,9 @@ func (w *wal) compact(snapSeq uint64) error {
 	// The (possibly surviving) newest segment stays closed; the next
 	// append rolls into a new one. Removing the last segment when fully
 	// covered is handled by recovery's replay cursor, not here.
-	return syncDir(w.dir)
+	return w.fs.SyncDir(w.dir)
 }
 
-// syncDir flushes directory metadata so renames and creates are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: syncing directory: %w", err)
-	}
-	return nil
-}
+// syncDir flushes OS directory metadata so renames and creates are
+// durable; FS-seamed paths use fsys.SyncDir instead.
+func syncDir(dir string) error { return vfs.OS{}.SyncDir(dir) }

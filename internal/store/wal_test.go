@@ -1,6 +1,9 @@
 package store
 
 import (
+	"groupkey/internal/clock"
+	"groupkey/internal/vfs"
+
 	"bytes"
 	"os"
 	"path/filepath"
@@ -20,7 +23,7 @@ func mkRecord(seq uint64, kind byte, payload []byte) walRecord {
 
 func TestWALAppendScanRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	w := newWAL(dir, FsyncAlways, 0, 0, nil)
+	w := newWAL(vfs.OS{}, clock.System, dir, FsyncAlways, 0, 0, nil)
 	want := []walRecord{
 		mkRecord(1, recCreate, []byte("cfg")),
 		mkRecord(2, recBatch, []byte("batch-1")),
@@ -55,7 +58,7 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 
 func TestWALSegmentRolling(t *testing.T) {
 	dir := t.TempDir()
-	w := newWAL(dir, FsyncNever, 0, 256, nil) // tiny segments force rolls
+	w := newWAL(vfs.OS{}, clock.System, dir, FsyncNever, 0, 256, nil) // tiny segments force rolls
 	const n = 20
 	for seq := uint64(1); seq <= n; seq++ {
 		if err := w.append(mkRecord(seq, recBatch, bytes.Repeat([]byte("p"), 64))); err != nil {
@@ -83,7 +86,7 @@ func TestWALSegmentRolling(t *testing.T) {
 
 func TestWALTornTailTruncation(t *testing.T) {
 	dir := t.TempDir()
-	w := newWAL(dir, FsyncAlways, 0, 0, nil)
+	w := newWAL(vfs.OS{}, clock.System, dir, FsyncAlways, 0, 0, nil)
 	for seq := uint64(1); seq <= 3; seq++ {
 		if err := w.append(mkRecord(seq, recBatch, []byte("payload"))); err != nil {
 			t.Fatal(err)
@@ -130,7 +133,7 @@ func TestWALTornTailTruncation(t *testing.T) {
 
 func TestWALSeqGapTreatedAsTorn(t *testing.T) {
 	dir := t.TempDir()
-	w := newWAL(dir, FsyncAlways, 0, 0, nil)
+	w := newWAL(vfs.OS{}, clock.System, dir, FsyncAlways, 0, 0, nil)
 	if err := w.append(mkRecord(1, recBatch, nil)); err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +154,7 @@ func TestWALSeqGapTreatedAsTorn(t *testing.T) {
 
 func TestWALCompaction(t *testing.T) {
 	dir := t.TempDir()
-	w := newWAL(dir, FsyncAlways, 0, 256, nil)
+	w := newWAL(vfs.OS{}, clock.System, dir, FsyncAlways, 0, 256, nil)
 	for seq := uint64(1); seq <= 20; seq++ {
 		if err := w.append(mkRecord(seq, recBatch, bytes.Repeat([]byte("p"), 64))); err != nil {
 			t.Fatal(err)
