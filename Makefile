@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench repro charts examples soak benchgate dst dst-nightly fuzz clean
+.PHONY: all build vet test test-race test-short bench repro charts examples soak benchgate dst dst-nightly fuzz chaos-bins chaos-smoke chaos-nightly clean
 
 all: build vet test
 
@@ -77,6 +77,33 @@ dst:
 # The nightly-depth sweep (~30s): 200 seeds per profile.
 dst-nightly:
 	$(GO) run ./cmd/dstrun -seeds 200 -profile all -out /tmp/dst_failure.json
+
+# Real binaries for the chaos harness. chaosrun shells out to
+# keyserverd and loadgen, so they must exist as files, not `go run`s.
+chaos-bins:
+	mkdir -p bin
+	$(GO) build -o bin/keyserverd ./cmd/keyserverd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	$(GO) build -o bin/chaosrun ./cmd/chaosrun
+	$(GO) build -o bin/dstrun ./cmd/dstrun
+
+# Per-PR WAN chaos gate (~1 min): the two smoke scenarios — transcon
+# with UDP and a link flap, mobile-3g against a 3-node cluster with a
+# primary SIGKILL — behind userspace WAN-shaping proxies, SLO-gated,
+# then a deterministic dst replay of each scenario's fault plan.
+chaos-smoke: chaos-bins
+	./bin/chaosrun -scenario smoke -out chaos_out
+	./bin/dstrun -replay chaos_out/smoke-transcon/fault_plan.json
+	./bin/dstrun -replay chaos_out/smoke-mobile-3g/fault_plan.json
+
+# The full nightly chaos matrix (~4 min): every builtin scenario,
+# including satellite links, flash crowds, bandwidth squeezes and
+# multi-region failover, plus a replay of every archived fault plan.
+chaos-nightly: chaos-bins
+	./bin/chaosrun -scenario nightly -out chaos_out
+	for f in chaos_out/*/fault_plan.json; do \
+		./bin/dstrun -replay $$f || exit 1; \
+	done
 
 # Short fuzzing pass over the wire protocol and durability decoders.
 fuzz:

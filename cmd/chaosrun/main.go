@@ -1,0 +1,138 @@
+// Command chaosrun drives WAN chaos scenarios over the real binaries: it
+// launches a keyserverd cluster (or standalone daemon), places per-region
+// loadgen fleets behind userspace WAN-shaping proxies (latency, jitter,
+// Gilbert–Elliott burst loss, bandwidth caps — no root, no netem),
+// injects mid-run faults (SIGKILL the primary, flap a region's link,
+// squeeze its bandwidth, flash-crowd joins), and gates the per-region
+// SOAK reports against the scenario's SLO: zero protocol errors, a
+// delivery-spread p99 ceiling, and a missed-epoch ceiling.
+//
+// Usage:
+//
+//	chaosrun -scenario smoke                       # the per-PR CI pair
+//	chaosrun -scenario nightly                     # the full matrix
+//	chaosrun -scenario smoke-transcon -out chaos   # one builtin
+//	chaosrun -scenario my_scenario.json            # a custom scenario file
+//	chaosrun -list                                 # print the builtin matrix
+//
+// Every scenario derives a canonical dst fault plan; its artifact is
+// written beside the reports and its hash is stamped into each
+// SOAK_report.json, so an anomaly replays deterministically with
+// `dstrun -replay <out>/<scenario>/fault_plan.json`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chaosrun", flag.ContinueOnError)
+	scenarioFlag := fs.String("scenario", "smoke", "comma-separated scenarios: builtin names, the sets smoke|nightly, or JSON files")
+	out := fs.String("out", "chaos_out", "artifact directory (per-scenario subdirectories)")
+	keyserverdBin := fs.String("keyserverd", "", "path to the keyserverd binary (default: <bindir>/keyserverd)")
+	loadgenBin := fs.String("loadgen", "", "path to the loadgen binary (default: <bindir>/loadgen)")
+	binDir := fs.String("bindir", "bin", "directory holding the built binaries")
+	list := fs.Bool("list", false, "print the builtin scenario matrix and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, sc := range builtins {
+			sc.withDefaults()
+			fmt.Printf("%-30s nodes=%d regions=%d members=%d duration=%v events=%d slo(p99<=%.1fs missed<=%d)\n",
+				sc.Name, sc.Nodes, len(sc.Regions), sc.totalMembers(), sc.Duration.D(),
+				len(sc.Events), sc.SLO.MaxSpreadP99, sc.SLO.MaxMissed)
+		}
+		return nil
+	}
+
+	scenarios, err := resolveScenarios(strings.Split(*scenarioFlag, ","))
+	if err != nil {
+		return err
+	}
+	ksd, err := resolveBin(*keyserverdBin, *binDir, "keyserverd")
+	if err != nil {
+		return err
+	}
+	lg, err := resolveBin(*loadgenBin, *binDir, "loadgen")
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, sc := range scenarios {
+		o := &orchestrator{
+			sc:         sc,
+			keyserverd: ksd,
+			loadgen:    lg,
+			dir:        filepath.Join(*out, sc.Name),
+			logf: func(format string, a ...any) {
+				fmt.Printf("chaosrun: "+format+"\n", a...)
+			},
+		}
+		fmt.Printf("chaosrun: === scenario %s: %d nodes, %d members in %d regions, %v ===\n",
+			sc.Name, sc.Nodes, sc.totalMembers(), len(sc.Regions), sc.Duration.D())
+		sum, err := o.run()
+		if err != nil {
+			fmt.Printf("chaosrun: scenario %s ERRORED: %v\n", sc.Name, err)
+			failed++
+			continue
+		}
+		printSummary(sum)
+		if !sum.Passed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d scenarios failed", failed, len(scenarios))
+	}
+	fmt.Printf("chaosrun: all %d scenarios passed\n", len(scenarios))
+	return nil
+}
+
+func printSummary(sum *Summary) {
+	status := "PASSED"
+	if !sum.Passed {
+		status = "FAILED"
+	}
+	fmt.Printf("chaosrun: scenario %s %s (fault plan %s)\n", sum.Scenario, status, sum.FaultPlanHash)
+	for _, rv := range sum.Regions {
+		mark := "ok"
+		if !rv.Passed {
+			mark = "FAIL"
+		}
+		fmt.Printf("chaosrun:   region %-18s %-4s joins=%d rekeys=%d missed=%d protoErrs=%d spreadP99=%.3fs\n",
+			rv.Region, mark, rv.Joins, rv.RekeysSeen, rv.MissedRekeys, rv.ProtocolErrors, rv.SpreadP99)
+		for _, v := range rv.Violations {
+			fmt.Printf("chaosrun:     violation: %s\n", v)
+		}
+	}
+	b, _ := json.Marshal(sum)
+	fmt.Printf("chaosrun: summary: %s\n", b)
+}
+
+// resolveBin picks an explicit binary path or falls back to <bindir>/<name>.
+func resolveBin(explicit, binDir, name string) (string, error) {
+	path := explicit
+	if path == "" {
+		path = filepath.Join(binDir, name)
+	}
+	if _, err := os.Stat(path); err != nil {
+		return "", fmt.Errorf("%s binary not found at %s (build it with: go build -o %s ./cmd/%s)",
+			name, path, path, name)
+	}
+	return path, nil
+}

@@ -153,6 +153,15 @@ func replay(path string, verbose bool) error {
 	for _, v := range res.Violations {
 		fmt.Printf("  %s\n", v)
 	}
+	if len(art.Violations) == 0 {
+		// A clean artifact (a chaos scenario's archived fault plan) replays
+		// successfully when the oracles stay green.
+		if !ok {
+			return fmt.Errorf("clean plan replay violated %d oracle(s)", len(res.Violations))
+		}
+		fmt.Println("clean plan replayed, oracles green")
+		return nil
+	}
 	if !ok {
 		return fmt.Errorf("artifact did not reproduce (recorded kinds %v)", kinds(art))
 	}

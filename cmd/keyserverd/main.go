@@ -85,7 +85,7 @@ func run(args []string) error {
 	groups := fs.Int("groups", 1, "host this many independent groups (IDs 0..N-1) behind one listener")
 	groupSchemes := fs.String("group-scheme", "", "per-group scheme overrides as comma-separated GROUP=SCHEME pairs")
 	clusterNode := fs.String("cluster-node", "", "run as this node of a replicated cluster (ID from -cluster-peers; empty = standalone)")
-	clusterPeers := fs.String("cluster-peers", "", "cluster membership as comma-separated ID=CLIENTADDR=REPLADDR triples")
+	clusterPeers := fs.String("cluster-peers", "", "cluster membership as comma-separated ID=CLIENTADDR=REPLADDR[=ADVERTISE] records (ADVERTISE = address put in member redirects, e.g. a proxy front)")
 	clusterDir := fs.String("cluster-dir", "", "shared lease directory arbitrating shard ownership across the cluster's processes")
 	shards := fs.Int("shards", 1, "lease-ownership units the groups are distributed over (cluster mode)")
 	leaseTTL := fs.Duration("lease-ttl", 3*time.Second, "shard lease duration; failover detection latency is about one TTL (cluster mode)")

@@ -55,6 +55,13 @@ func run(args []string) error {
 	minStay := fs.Duration("min-stay", 100*time.Millisecond, "floor on sampled stays")
 	failOnErrors := fs.Bool("fail-on-errors", false, "exit nonzero if any protocol error was observed")
 	faultPlan := fs.String("fault-plan", "", "dst fault plan or failure artifact (JSON) whose hash is recorded in the report for replay bookkeeping")
+	scenario := fs.String("scenario", "", "chaos scenario name recorded in the report")
+	region := fs.String("region", "", "WAN region name recorded in the report")
+	addrMap := fs.String("addr-map", "", "redirect rewrites as comma-separated REAL=LOCAL pairs: cluster redirects naming REAL are re-dialed at LOCAL (this fleet's proxy front)")
+	preflight := fs.Duration("preflight", 0, "verify every -server endpoint is reachable (and its proxy backend alive) within this timeout before starting; 0 = skip")
+	sloSpreadP99 := fs.Float64("slo-spread-p99", 0, "SLO: fail if rekey delivery spread p99 exceeds this many seconds (0 = ungated)")
+	sloMissed := fs.Int64("slo-missed", -1, "SLO: fail if missed rekeys exceed this count (-1 = ungated)")
+	sloErrors := fs.Int64("slo-errors", -1, "SLO: fail if protocol errors exceed this count (-1 = ungated)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,8 +92,21 @@ func run(args []string) error {
 			addrs = append(addrs, a)
 		}
 	}
+	rewrites, err := parseAddrMap(*addrMap)
+	if err != nil {
+		return fmt.Errorf("-addr-map: %w", err)
+	}
+	if *preflight > 0 {
+		if err := loadgen.Preflight(addrs, *preflight); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: preflight ok for %d endpoints\n", len(addrs))
+	}
 	r := loadgen.New(loadgen.Config{
 		Addrs:       addrs,
+		AddrMap:     rewrites,
+		Scenario:    *scenario,
+		Region:      *region,
 		Members:     *members,
 		Groups:      *groups,
 		Duration:    *duration,
@@ -104,6 +124,16 @@ func run(args []string) error {
 	rep, err := r.Run(ctx)
 	if err != nil {
 		return err
+	}
+
+	sloGated := *sloSpreadP99 > 0 || *sloMissed >= 0 || *sloErrors >= 0
+	sloPassed := true
+	if sloGated {
+		sloPassed = rep.Gate(loadgen.SLO{
+			MaxProtocolErrors: *sloErrors,
+			MaxMissedRekeys:   *sloMissed,
+			MaxSpreadP99:      *sloSpreadP99,
+		})
 	}
 
 	b, err := loadgen.EncodeReport(rep)
@@ -136,7 +166,29 @@ func run(args []string) error {
 	} else {
 		fmt.Println("loadgen: zero protocol errors")
 	}
+	if sloGated && !sloPassed {
+		for _, v := range rep.SLOResult.Violations {
+			fmt.Printf("loadgen: SLO VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("%d SLO violations", len(rep.SLOResult.Violations))
+	}
 	return nil
+}
+
+// parseAddrMap parses comma-separated REAL=LOCAL redirect rewrites.
+func parseAddrMap(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	m := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		real, local, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || real == "" || local == "" {
+			return nil, fmt.Errorf("pair %q is not REAL=LOCAL", pair)
+		}
+		m[real] = local
+	}
+	return m, nil
 }
 
 // faultPlanHash canonicalizes the fault plan behind a -fault-plan file:

@@ -46,12 +46,28 @@ type Peer struct {
 	ID         NodeID
 	ClientAddr string
 	ReplAddr   string
+	// AdvertiseAddr, when nonempty, is the address members are redirected
+	// to instead of ClientAddr — the proxy-aware option for deployments
+	// (and WAN-chaos harnesses) where members must reach nodes through a
+	// shaping proxy or load balancer rather than the listen address.
+	AdvertiseAddr string
+}
+
+// Advertised returns the address members should be redirected to.
+func (p Peer) Advertised() string {
+	if p.AdvertiseAddr != "" {
+		return p.AdvertiseAddr
+	}
+	return p.ClientAddr
 }
 
 // ParsePeers parses a cluster membership spec: comma-separated
-// ID=CLIENTADDR=REPLADDR triples, e.g.
+// ID=CLIENTADDR=REPLADDR[=ADVERTISE] records, e.g.
 //
 //	a=127.0.0.1:7601=127.0.0.1:8601,b=127.0.0.1:7602=127.0.0.1:8602
+//
+// The optional fourth field is the advertised client address used in
+// member redirects (empty = ClientAddr).
 func ParsePeers(spec string) ([]Peer, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("cluster: empty peer spec")
@@ -60,15 +76,22 @@ func ParsePeers(spec string) ([]Peer, error) {
 	seen := map[NodeID]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		fields := strings.Split(strings.TrimSpace(part), "=")
-		if len(fields) != 3 || fields[0] == "" || fields[1] == "" || fields[2] == "" {
-			return nil, fmt.Errorf("cluster: peer %q is not ID=CLIENTADDR=REPLADDR", part)
+		if len(fields) < 3 || len(fields) > 4 || fields[0] == "" || fields[1] == "" || fields[2] == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not ID=CLIENTADDR=REPLADDR[=ADVERTISE]", part)
 		}
 		id := NodeID(fields[0])
 		if seen[id] {
 			return nil, fmt.Errorf("cluster: duplicate peer %q", id)
 		}
 		seen[id] = true
-		peers = append(peers, Peer{ID: id, ClientAddr: fields[1], ReplAddr: fields[2]})
+		p := Peer{ID: id, ClientAddr: fields[1], ReplAddr: fields[2]}
+		if len(fields) == 4 {
+			if fields[3] == "" {
+				return nil, fmt.Errorf("cluster: peer %q has an empty advertise address", part)
+			}
+			p.AdvertiseAddr = fields[3]
+		}
+		peers = append(peers, p)
 	}
 	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
 	return peers, nil

@@ -451,10 +451,25 @@ func TestParsePeers(t *testing.T) {
 	if peers[0].ClientAddr != "h1:1" || peers[0].ReplAddr != "h1:2" {
 		t.Fatalf("peer a: %+v", peers[0])
 	}
-	for _, bad := range []string{"", "a=only-client", "a=c=r,a=c=r", "=c=r"} {
+	for _, bad := range []string{"", "a=only-client", "a=c=r,a=c=r", "=c=r", "a=c=r=", "a=c=r=adv=extra"} {
 		if _, err := ParsePeers(bad); err == nil {
 			t.Fatalf("ParsePeers(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParsePeersAdvertise validates the optional fourth (advertise) field
+// and the Advertised fallback.
+func TestParsePeersAdvertise(t *testing.T) {
+	peers, err := ParsePeers("a=h1:1=h1:2=proxy:9,b=h2:1=h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].AdvertiseAddr != "proxy:9" || peers[0].Advertised() != "proxy:9" {
+		t.Fatalf("peer a: %+v", peers[0])
+	}
+	if peers[1].AdvertiseAddr != "" || peers[1].Advertised() != "h2:1" {
+		t.Fatalf("peer b: %+v", peers[1])
 	}
 }
 

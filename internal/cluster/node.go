@@ -197,7 +197,7 @@ func (n *Node) Locate(g wire.GroupID) (string, uint64, bool) {
 	if !ok {
 		return "", 0, false
 	}
-	return peer.ClientAddr, lease.Epoch, true
+	return peer.Advertised(), lease.Epoch, true
 }
 
 // leaseLoop renews every shard at a third of the lease TTL.

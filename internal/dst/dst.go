@@ -93,11 +93,18 @@ func LoadArtifact(path string) (*Artifact, error) {
 	return &a, nil
 }
 
-// Replay re-runs an artifact's plan and reports whether the failure
-// reproduces (same violation kinds; the trace hash is also compared when
-// the artifact was produced by the same build).
+// Replay re-runs an artifact's plan and reports whether its outcome
+// reproduces. For a failure artifact that means the same violation kinds
+// fire again (the trace hash is also comparable when the artifact was
+// produced by the same build). An artifact with no recorded violations —
+// e.g. a chaos scenario's fault plan archived for bookkeeping — replays
+// successfully when the oracles stay green, so a clean plan hash in a
+// soak report can be handed to `dstrun -replay` and accepted.
 func Replay(a *Artifact, keepTrace bool) (*Result, bool) {
 	res := Run(a.Plan, keepTrace)
+	if len(a.Violations) == 0 {
+		return res, !res.Failed()
+	}
 	if !res.Failed() {
 		return res, false
 	}

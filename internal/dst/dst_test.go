@@ -141,6 +141,30 @@ func TestArtifactReplay(t *testing.T) {
 	}
 }
 
+// A clean artifact (no recorded violations — a chaos scenario's archived
+// fault plan) replays successfully iff the oracles stay green.
+func TestCleanArtifactReplay(t *testing.T) {
+	if plantedFencingBug {
+		t.Skip("planted-bug build: clean plans may fail")
+	}
+	plan := GenPlan(11, ProfileCrash)
+	plan.Duration = 10 * time.Second
+	art := &Artifact{Plan: plan, PlanHash: plan.Hash(), Profile: ProfileCrash}
+	res, ok := Replay(art, false)
+	if !ok {
+		t.Fatalf("clean artifact replay rejected: %d violations", len(res.Violations))
+	}
+
+	// A clean artifact whose plan does violate an oracle must NOT replay.
+	bad := GenPlan(5, ProfileClean)
+	bad.Duration = 6 * time.Second
+	bad.SLO = time.Nanosecond
+	badArt := &Artifact{Plan: bad, PlanHash: bad.Hash(), Profile: ProfileClean}
+	if _, ok := Replay(badArt, false); ok {
+		t.Fatal("violating plan accepted as a clean replay")
+	}
+}
+
 // GenPlan is a pure function of (seed, profile).
 func TestGenPlanDeterministic(t *testing.T) {
 	for _, profile := range Profiles {

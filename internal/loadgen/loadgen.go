@@ -36,6 +36,15 @@ type Config struct {
 	// answering, so a failover mid-run only costs the affected dials their
 	// backoff, not the whole population.
 	Addrs []string
+	// AddrMap rewrites cluster redirect targets onto the member-local
+	// path: keys are addresses the cluster advertises in redirects, values
+	// the addresses this fleet must dial instead (its region proxy front).
+	// Entries in Addrs are used as-is; only redirect targets are mapped.
+	AddrMap map[string]string
+	// Scenario and Region label the run for the report (chaos harness
+	// bookkeeping; empty is fine).
+	Scenario string
+	Region   string
 	// Members is the number of concurrent member slots to sustain.
 	Members int
 	// Groups spreads the member slots round-robin across hosted groups
@@ -97,15 +106,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// rewrite builds the redirect-target rewrite for DialGroupVia/ResumeDialVia
+// (nil when no AddrMap is configured).
+func (c Config) rewrite() func(string) string {
+	if len(c.AddrMap) == 0 {
+		return nil
+	}
+	m := c.AddrMap
+	return func(addr string) string {
+		if to, ok := m[addr]; ok {
+			return to
+		}
+		return addr
+	}
+}
+
 // Runner executes one load/soak run.
 type Runner struct {
-	cfg Config
-	col collector
+	cfg     Config
+	rewrite func(string) string
+	col     collector
 }
 
 // New builds a runner; zero-valued Config fields pick defaults.
 func New(cfg Config) *Runner {
 	r := &Runner{cfg: cfg.withDefaults()}
+	r.rewrite = r.cfg.rewrite()
 	r.col.init()
 	return r
 }
@@ -175,7 +201,7 @@ func (r *Runner) connect(ctx context.Context, rng *rand.Rand, idx int, group wir
 		addr := r.cfg.Addrs[(idx+attempt)%len(r.cfg.Addrs)]
 		if r.cfg.Resume && *state != nil {
 			// The saved state carries the slot's group; resume re-addresses it.
-			c, err := server.ResumeDial(addr, *state, r.cfg.JoinTimeout)
+			c, err := server.ResumeDialVia(addr, *state, r.cfg.JoinTimeout, r.rewrite)
 			*state = nil
 			if err == nil {
 				r.col.noteResume()
@@ -187,7 +213,7 @@ func (r *Runner) connect(ctx context.Context, rng *rand.Rand, idx int, group wir
 			continue
 		}
 		t0 := time.Now()
-		c, err := server.DialGroup(addr, group, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout)
+		c, err := server.DialGroupVia(addr, group, wire.JoinRequest{LossRate: r.cfg.LossRate}, r.cfg.JoinTimeout, r.rewrite)
 		if err == nil {
 			r.col.noteJoin(time.Since(t0))
 			return c
@@ -461,6 +487,8 @@ func (col *collector) report(cfg Config, elapsed time.Duration) *Report {
 	return &Report{
 		FormatVersion:   ReportFormatVersion,
 		Addr:            cfg.Addr,
+		Scenario:        cfg.Scenario,
+		Region:          cfg.Region,
 		Members:         cfg.Members,
 		Groups:          cfg.Groups,
 		DurationSeconds: elapsed.Seconds(),

@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// preflightProbe bounds the post-connect liveness read. The key server
+// never writes first (members open with MsgJoin), so a healthy endpoint
+// lets the probe time out; an endpoint that closes immediately is a proxy
+// whose backend dial failed.
+const preflightProbe = 300 * time.Millisecond
+
+// Preflight verifies every address accepts TCP connections and does not
+// hang up immediately, so a fleet pointed at a dead proxy or a proxy with
+// a dead backend fails fast with a clear error instead of burning the
+// whole run in dial backoff. It returns nil when every address passes and
+// an error naming each failing address otherwise.
+func Preflight(addrs []string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	var bad []string
+	for _, addr := range addrs {
+		if err := preflightOne(addr, timeout); err != nil {
+			bad = append(bad, fmt.Sprintf("%s: %v", addr, err))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("loadgen: preflight failed for %d/%d endpoints:\n  %s",
+			len(bad), len(addrs), strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+func preflightOne(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("unreachable: %w", err)
+	}
+	defer conn.Close()
+	// A wanproxy (or TCP load balancer) accepts before dialing its
+	// backend and closes the member side when that dial fails — the
+	// accept alone proves nothing. Distinguish the two by reading: a live
+	// key server stays silent until our probe deadline expires, a dead
+	// backend surfaces as an immediate EOF/reset.
+	conn.SetReadDeadline(time.Now().Add(preflightProbe))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		return nil // server spoke first: alive, whatever the protocol
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return nil // silent and open: alive
+	}
+	return fmt.Errorf("endpoint accepted then closed (dead backend behind a proxy?): %w", err)
+}

@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPreflight covers the three endpoint fates: silent-and-open passes,
+// accept-then-close (a proxy with a dead backend) fails, and a closed
+// port fails.
+func TestPreflight(t *testing.T) {
+	alive, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alive.Close()
+	go func() {
+		for {
+			c, err := alive.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold silently until the test ends
+		}
+	}()
+
+	slammer, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slammer.Close()
+	go func() {
+		for {
+			c, err := slammer.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	if err := Preflight([]string{alive.Addr().String()}, 2*time.Second); err != nil {
+		t.Fatalf("live endpoint failed preflight: %v", err)
+	}
+	err = Preflight([]string{alive.Addr().String(), slammer.Addr().String(), deadAddr}, 2*time.Second)
+	if err == nil {
+		t.Fatal("preflight passed with dead endpoints")
+	}
+	if !strings.Contains(err.Error(), "2/3") {
+		t.Fatalf("want 2/3 endpoints failing, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "accepted then closed") {
+		t.Fatalf("slammer not diagnosed as dead backend: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("closed port not diagnosed as unreachable: %v", err)
+	}
+}

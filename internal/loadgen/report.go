@@ -7,9 +7,47 @@ import (
 	"math"
 )
 
-// ReportFormatVersion is the schema version EncodeReport stamps and
-// DecodeReport requires.
-const ReportFormatVersion = 1
+// ReportFormatVersion is the schema version EncodeReport stamps.
+// DecodeReport accepts versions 1..ReportFormatVersion: version 2 added
+// the scenario/region labels and the embedded SLO verdict, all optional.
+const ReportFormatVersion = 2
+
+// SLO is a per-run service-level gate. Counter limits of -1 disable that
+// axis; MaxSpreadP99 <= 0 disables the spread axis. The chaos harness
+// gates every scenario on zero protocol errors plus scenario-specific
+// spread and missed-epoch ceilings.
+type SLO struct {
+	// MaxProtocolErrors caps protocol_errors (-1 = ungated).
+	MaxProtocolErrors int64 `json:"max_protocol_errors"`
+	// MaxMissedRekeys caps missed_rekeys (-1 = ungated).
+	MaxMissedRekeys int64 `json:"max_missed_rekeys"`
+	// MaxSpreadP99 caps rekey_spread.p99_seconds (<= 0 = ungated).
+	MaxSpreadP99 float64 `json:"max_spread_p99_seconds,omitempty"`
+}
+
+// Check evaluates a report against the gate, returning one human-readable
+// violation per breached limit (empty = the run met its SLO).
+func (s SLO) Check(r *Report) []string {
+	var v []string
+	if s.MaxProtocolErrors >= 0 && r.ProtocolErrors > uint64(s.MaxProtocolErrors) {
+		v = append(v, fmt.Sprintf("protocol_errors %d > %d", r.ProtocolErrors, s.MaxProtocolErrors))
+	}
+	if s.MaxMissedRekeys >= 0 && r.MissedRekeys > uint64(s.MaxMissedRekeys) {
+		v = append(v, fmt.Sprintf("missed_rekeys %d > %d", r.MissedRekeys, s.MaxMissedRekeys))
+	}
+	if s.MaxSpreadP99 > 0 && r.RekeySpread.P99 > s.MaxSpreadP99 {
+		v = append(v, fmt.Sprintf("rekey_spread p99 %.4fs > %.4fs", r.RekeySpread.P99, s.MaxSpreadP99))
+	}
+	return v
+}
+
+// SLOResult records the gate a run was evaluated against and the verdict,
+// embedded in the report so a failing artifact is self-describing.
+type SLOResult struct {
+	SLO        SLO      `json:"slo"`
+	Passed     bool     `json:"passed"`
+	Violations []string `json:"violations,omitempty"`
+}
 
 // LatencySummary condenses one latency histogram for the report.
 type LatencySummary struct {
@@ -30,6 +68,11 @@ type Report struct {
 	Groups          int     `json:"groups"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Seed            uint64  `json:"seed"`
+	// Scenario and Region label the chaos scenario and WAN region this
+	// fleet ran as (empty outside the chaos harness), so a matrix of
+	// SOAK_report.json artifacts stays attributable after upload.
+	Scenario string `json:"scenario,omitempty"`
+	Region   string `json:"region,omitempty"`
 	// FaultPlanHash pins the dst fault plan (if any) that shaped the
 	// environment this soak ran under, so an anomaly here can be handed
 	// straight to `dstrun -replay`.
@@ -56,15 +99,26 @@ type Report struct {
 	JoinLatency LatencySummary `json:"join_latency"`
 	RekeySpread LatencySummary `json:"rekey_spread"`
 
+	// SLOResult is present when the run was gated (see SLO.Check).
+	SLOResult *SLOResult `json:"slo_result,omitempty"`
+
 	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// Gate evaluates the SLO, records the verdict in the report, and reports
+// whether the run passed.
+func (r *Report) Gate(s SLO) bool {
+	violations := s.Check(r)
+	r.SLOResult = &SLOResult{SLO: s, Passed: len(violations) == 0, Violations: violations}
+	return r.SLOResult.Passed
 }
 
 // validate enforces the invariants both encode and decode rely on, so a
 // corrupted or hand-edited report fails loudly instead of gating CI on
 // garbage.
 func (r *Report) validate() error {
-	if r.FormatVersion != ReportFormatVersion {
-		return fmt.Errorf("loadgen: report format version %d, want %d", r.FormatVersion, ReportFormatVersion)
+	if r.FormatVersion < 1 || r.FormatVersion > ReportFormatVersion {
+		return fmt.Errorf("loadgen: report format version %d, want 1..%d", r.FormatVersion, ReportFormatVersion)
 	}
 	if r.Members < 0 {
 		return fmt.Errorf("loadgen: negative members %d", r.Members)
@@ -84,6 +138,11 @@ func (r *Report) validate() error {
 	}
 	if len(r.ErrorSamples) > maxErrorSamples {
 		return fmt.Errorf("loadgen: %d error samples exceeds cap %d", len(r.ErrorSamples), maxErrorSamples)
+	}
+	if res := r.SLOResult; res != nil {
+		if res.Passed != (len(res.Violations) == 0) {
+			return fmt.Errorf("loadgen: slo_result passed=%v with %d violations", res.Passed, len(res.Violations))
+		}
 	}
 	for _, s := range []struct {
 		name string

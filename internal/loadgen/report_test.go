@@ -9,6 +9,8 @@ func sampleReport() *Report {
 	return &Report{
 		FormatVersion:   ReportFormatVersion,
 		Addr:            "127.0.0.1:7600",
+		Scenario:        "smoke-transcon",
+		Region:          "transcon",
 		Members:         200,
 		DurationSeconds: 30.5,
 		Seed:            42,
@@ -49,6 +51,41 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSLOCheckAndGate(t *testing.T) {
+	r := sampleReport()
+	r.ProtocolErrors = 0
+	r.MissedRekeys = 2
+	r.RekeySpread.P99 = 0.01
+
+	pass := SLO{MaxProtocolErrors: 0, MaxMissedRekeys: 5, MaxSpreadP99: 0.5}
+	if v := pass.Check(r); len(v) != 0 {
+		t.Fatalf("passing SLO produced violations: %v", v)
+	}
+	if !r.Gate(pass) || r.SLOResult == nil || !r.SLOResult.Passed {
+		t.Fatalf("Gate(pass) verdict: %+v", r.SLOResult)
+	}
+	if b, err := EncodeReport(r); err != nil {
+		t.Fatalf("encode with slo_result: %v", err)
+	} else if rt, err := DecodeReport(b); err != nil || rt.SLOResult == nil || !rt.SLOResult.Passed {
+		t.Fatalf("slo_result round trip: %v %+v", err, rt.SLOResult)
+	}
+
+	fail := SLO{MaxProtocolErrors: 0, MaxMissedRekeys: 1, MaxSpreadP99: 0.001}
+	if v := fail.Check(r); len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	if r.Gate(fail) || r.SLOResult.Passed {
+		t.Fatalf("Gate(fail) verdict: %+v", r.SLOResult)
+	}
+
+	ungated := SLO{MaxProtocolErrors: -1, MaxMissedRekeys: -1, MaxSpreadP99: 0}
+	r.ProtocolErrors = 99
+	r.MissedRekeys = 99
+	if v := ungated.Check(r); len(v) != 0 {
+		t.Fatalf("ungated SLO produced violations: %v", v)
+	}
+}
+
 func TestDecodeReportRejectsBadInput(t *testing.T) {
 	good, err := EncodeReport(sampleReport())
 	if err != nil {
@@ -56,7 +93,7 @@ func TestDecodeReportRejectsBadInput(t *testing.T) {
 	}
 	cases := map[string]string{
 		"not json":       "{",
-		"wrong version":  strings.Replace(string(good), `"format_version": 1`, `"format_version": 7`, 1),
+		"wrong version":  strings.Replace(string(good), `"format_version": 2`, `"format_version": 7`, 1),
 		"unknown field":  strings.Replace(string(good), `"addr"`, `"bogus_field"`, 1),
 		"trailing data":  string(good) + "{}",
 		"negative count": strings.Replace(string(good), `"members": 200`, `"members": -4`, 1),
@@ -83,7 +120,7 @@ func FuzzDecodeReport(f *testing.F) {
 			return
 		}
 		// Whatever decodes must survive its own invariants and re-encode.
-		if r.FormatVersion != ReportFormatVersion {
+		if r.FormatVersion < 1 || r.FormatVersion > ReportFormatVersion {
 			t.Fatalf("decoded report with version %d", r.FormatVersion)
 		}
 		if _, err := EncodeReport(r); err != nil {

@@ -85,7 +85,16 @@ func Dial(addr string, req wire.JoinRequest, timeout time.Duration) (*Client, er
 // keep admitting new clients. Cluster redirects (the dialed node does not
 // own the group) are followed transparently.
 func DialGroup(addr string, group wire.GroupID, req wire.JoinRequest, timeout time.Duration) (*Client, error) {
-	return followRedirects(addr, func(addr string) (*Client, error) {
+	return DialGroupVia(addr, group, req, timeout, nil)
+}
+
+// DialGroupVia is DialGroup with an address rewrite applied to every
+// cluster redirect target before re-dialing — for members that reach the
+// cluster through per-region proxies, where a redirect names a node's real
+// address but the member must dial that node's proxy front. A nil rewrite
+// is the identity.
+func DialGroupVia(addr string, group wire.GroupID, req wire.JoinRequest, timeout time.Duration, rewrite func(string) string) (*Client, error) {
+	return followRedirectsVia(addr, rewrite, func(addr string) (*Client, error) {
 		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err != nil {
 			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)

@@ -39,13 +39,29 @@ func (e *RedirectError) Error() string {
 // followRedirects runs one dial-and-handshake attempt, re-dialing at the
 // redirect target when the contacted node does not own the group.
 func followRedirects(addr string, attempt func(addr string) (*Client, error)) (*Client, error) {
+	return followRedirectsVia(addr, nil, attempt)
+}
+
+// followRedirectsVia is followRedirects with an address rewrite applied to
+// every redirect target before re-dialing. Members behind a proxy dial the
+// proxy directly, but cluster redirects name the server's real (or
+// advertised) addresses; the rewrite maps those back onto the member's
+// local path. A nil rewrite is the identity.
+func followRedirectsVia(addr string, rewrite func(string) string, attempt func(addr string) (*Client, error)) (*Client, error) {
 	seen := map[string]bool{addr: true}
 	for hops := 0; ; hops++ {
 		c, err := attempt(addr)
 		var rd *RedirectError
-		if err != nil && errors.As(err, &rd) && hops < maxRedirects && rd.Addr != "" && !seen[rd.Addr] {
-			seen[rd.Addr] = true
-			addr = rd.Addr
+		if err != nil && errors.As(err, &rd) && hops < maxRedirects && rd.Addr != "" {
+			next := rd.Addr
+			if rewrite != nil {
+				next = rewrite(next)
+			}
+			if next == "" || seen[next] {
+				return c, err
+			}
+			seen[next] = true
+			addr = next
 			continue
 		}
 		return c, err

@@ -115,11 +115,19 @@ func DecodeClientState(blob []byte) (*ClientState, error) {
 // Cluster redirects are followed transparently, so a member resumes
 // against the group's current owner even after a failover moved it.
 func ResumeDial(addr string, state []byte, timeout time.Duration) (*Client, error) {
+	return ResumeDialVia(addr, state, timeout, nil)
+}
+
+// ResumeDialVia is ResumeDial with an address rewrite applied to every
+// cluster redirect target before re-dialing, mirroring DialGroupVia for
+// members that reach the cluster through per-region proxies. A nil rewrite
+// is the identity.
+func ResumeDialVia(addr string, state []byte, timeout time.Duration, rewrite func(string) string) (*Client, error) {
 	st, err := DecodeClientState(state)
 	if err != nil {
 		return nil, err
 	}
-	return followRedirects(addr, func(addr string) (*Client, error) {
+	return followRedirectsVia(addr, rewrite, func(addr string) (*Client, error) {
 		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err != nil {
 			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)

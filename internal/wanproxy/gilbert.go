@@ -1,0 +1,109 @@
+package wanproxy
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// GE parameterizes a two-state Gilbert–Elliott loss process. The channel
+// alternates between a good and a bad state; each packet first advances
+// the state machine (P(good→bad) = PGoodBad, P(bad→good) = PBadGood per
+// packet), then is dropped with the state's loss probability. Correlated
+// bursts are exactly what the WKA-BKR loss estimator assumes about lossy
+// multicast links, so shaping UDP shards through this model exercises the
+// same regime the paper's parity sizing was designed for.
+type GE struct {
+	// PGoodBad is the per-packet probability of entering the bad state.
+	PGoodBad float64
+	// PBadGood is the per-packet probability of leaving the bad state;
+	// the mean burst length (in packets) is 1/PBadGood.
+	PBadGood float64
+	// LossGood is the drop probability while in the good state.
+	LossGood float64
+	// LossBad is the drop probability while in the bad state.
+	LossBad float64
+}
+
+// BurstLoss derives GE parameters from the two numbers operators think
+// in: the long-run loss rate and the mean loss-burst length in packets.
+// The bad state always drops (LossBad=1) and the good state never does,
+// so the stationary bad-state occupancy must equal rate:
+//
+//	π_bad = PGoodBad/(PGoodBad+PBadGood) = rate,  PBadGood = 1/meanBurst
+//
+// A rate of 0 returns the zero GE (never drops). meanBurst is floored at
+// 1 (independent losses).
+func BurstLoss(rate, meanBurst float64) GE {
+	if rate <= 0 {
+		return GE{}
+	}
+	if rate >= 1 {
+		return GE{LossGood: 1, LossBad: 1}
+	}
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	pBadGood := 1 / meanBurst
+	return GE{
+		PGoodBad: rate * pBadGood / (1 - rate),
+		PBadGood: pBadGood,
+		LossBad:  1,
+	}
+}
+
+// StationaryLoss returns the model's long-run drop probability.
+func (g GE) StationaryLoss() float64 {
+	if g.PGoodBad == 0 && g.PBadGood == 0 {
+		return g.LossGood
+	}
+	piBad := g.PGoodBad / (g.PGoodBad + g.PBadGood)
+	return piBad*g.LossBad + (1-piBad)*g.LossGood
+}
+
+// MeanBurst returns the expected sojourn in the bad state, in packets.
+func (g GE) MeanBurst() float64 {
+	if g.PBadGood <= 0 {
+		return 1
+	}
+	return 1 / g.PBadGood
+}
+
+func (g GE) String() string {
+	return fmt.Sprintf("GE(loss=%.3f burst=%.1f)", g.StationaryLoss(), g.MeanBurst())
+}
+
+// geChan is one running instance of the process. Not safe for concurrent
+// use; links guard it with their own mutex.
+type geChan struct {
+	params GE
+	bad    bool
+	rng    *rand.Rand
+}
+
+func newGEChan(params GE, rng *rand.Rand) *geChan {
+	return &geChan{params: params, rng: rng}
+}
+
+// setParams swaps the model mid-run (profile change); the current state
+// carries over so a swap cannot reset a burst.
+func (c *geChan) setParams(params GE) { c.params = params }
+
+// drop advances the state machine one packet and reports whether that
+// packet is lost.
+func (c *geChan) drop() bool {
+	if c.bad {
+		if c.rng.Float64() < c.params.PBadGood {
+			c.bad = false
+		}
+	} else if c.rng.Float64() < c.params.PGoodBad {
+		c.bad = true
+	}
+	p := c.params.LossGood
+	if c.bad {
+		p = c.params.LossBad
+	}
+	if p <= 0 {
+		return false
+	}
+	return c.rng.Float64() < p
+}

@@ -1,0 +1,103 @@
+package wanproxy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestBurstLossStationary drives the seeded Gilbert–Elliott process for a
+// long packet train and checks the empirical loss rate and mean burst
+// length land near their configured targets — the two properties the
+// WKA-BKR estimator's correlated-loss assumption rests on.
+func TestBurstLossStationary(t *testing.T) {
+	cases := []struct {
+		rate  float64
+		burst float64
+	}{
+		{0.02, 8},
+		{0.01, 5},
+		{0.05, 3},
+		{0.10, 1}, // degenerate: independent losses
+	}
+	const packets = 2_000_000
+	for _, tc := range cases {
+		params := BurstLoss(tc.rate, tc.burst)
+		if got := params.StationaryLoss(); math.Abs(got-tc.rate) > 1e-12 {
+			t.Fatalf("BurstLoss(%v,%v).StationaryLoss() = %v, want %v", tc.rate, tc.burst, got, tc.rate)
+		}
+		ch := newGEChan(params, rand.New(rand.NewPCG(42, 1)))
+
+		dropped := 0
+		bursts, burstLen, inBurst := 0, 0, false
+		for i := 0; i < packets; i++ {
+			if ch.drop() {
+				dropped++
+				if !inBurst {
+					bursts++
+					inBurst = true
+				}
+				burstLen++
+			} else {
+				inBurst = false
+			}
+		}
+		gotRate := float64(dropped) / packets
+		if math.Abs(gotRate-tc.rate)/tc.rate > 0.10 {
+			t.Errorf("rate=%v burst=%v: empirical loss %v is more than 10%% off", tc.rate, tc.burst, gotRate)
+		}
+		gotBurst := float64(burstLen) / float64(bursts)
+		// Consecutive-loss runs are shorter than bad-state sojourns only by
+		// the (here zero) good-state loss; tolerance covers sampling noise.
+		if math.Abs(gotBurst-tc.burst)/tc.burst > 0.15 {
+			t.Errorf("rate=%v burst=%v: empirical mean burst %v is more than 15%% off", tc.rate, tc.burst, gotBurst)
+		}
+	}
+}
+
+// TestBurstLossEdges pins the degenerate parameterizations.
+func TestBurstLossEdges(t *testing.T) {
+	if g := BurstLoss(0, 5); g != (GE{}) {
+		t.Errorf("BurstLoss(0, 5) = %+v, want zero GE", g)
+	}
+	if g := (GE{}); g.StationaryLoss() != 0 || g.MeanBurst() != 1 {
+		t.Errorf("zero GE: loss %v burst %v, want 0 and 1", g.StationaryLoss(), g.MeanBurst())
+	}
+	g := BurstLoss(1, 5)
+	if g.StationaryLoss() != 1 {
+		t.Errorf("BurstLoss(1, 5).StationaryLoss() = %v, want 1", g.StationaryLoss())
+	}
+	ch := newGEChan(BurstLoss(1, 5), rand.New(rand.NewPCG(1, 1)))
+	for i := 0; i < 100; i++ {
+		if !ch.drop() {
+			t.Fatal("rate-1 channel delivered a packet")
+		}
+	}
+}
+
+// TestBurstLossDeterministic: same seed, same drop schedule.
+func TestBurstLossDeterministic(t *testing.T) {
+	params := BurstLoss(0.1, 4)
+	a := newGEChan(params, rand.New(rand.NewPCG(7, 7)))
+	b := newGEChan(params, rand.New(rand.NewPCG(7, 7)))
+	for i := 0; i < 10_000; i++ {
+		if a.drop() != b.drop() {
+			t.Fatalf("drop schedules diverged at packet %d", i)
+		}
+	}
+}
+
+// TestSetParamsKeepsState: swapping profiles mid-burst must not reset the
+// channel to the good state.
+func TestSetParamsKeepsState(t *testing.T) {
+	ch := newGEChan(GE{PGoodBad: 1, PBadGood: 0, LossBad: 1}, rand.New(rand.NewPCG(3, 3)))
+	if !ch.drop() {
+		t.Fatal("channel did not enter the bad state")
+	}
+	// New params can never *enter* bad (PGoodBad=0) — only carried-over
+	// state keeps dropping.
+	ch.setParams(GE{PGoodBad: 0, PBadGood: 0, LossBad: 1})
+	if !ch.drop() {
+		t.Fatal("bad state was reset by setParams")
+	}
+}

@@ -1,0 +1,116 @@
+package wanproxy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Profile describes one direction-symmetric WAN link. TCP streams get the
+// delay/jitter/bandwidth treatment plus a retransmission-style stall when
+// the loss process fires (a byte stream cannot drop bytes, so a loss
+// manifests as the head-of-line delay a real TCP retransmit would cost).
+// UDP packets additionally see real drops and reordering.
+type Profile struct {
+	// Name labels the profile in logs and reports.
+	Name string `json:"name"`
+	// Delay is the one-way propagation delay applied in each direction.
+	Delay time.Duration `json:"delay"`
+	// Jitter adds a uniform [0, Jitter) extra delay per chunk/packet.
+	Jitter time.Duration `json:"jitter"`
+	// Loss is the Gilbert–Elliott loss process (zero value = lossless).
+	Loss GE `json:"loss"`
+	// Reorder is the probability a UDP packet is held back an extra
+	// ReorderDelay, letting later packets overtake it.
+	Reorder float64 `json:"reorder"`
+	// ReorderDelay is the hold applied to reordered packets
+	// (default 4×Jitter, floored at 1ms).
+	ReorderDelay time.Duration `json:"reorder_delay"`
+	// Rate caps each direction's throughput in bytes/second (0 = unlimited).
+	// Excess traffic queues behind the cap (bufferbloat, not tail drop).
+	Rate int64 `json:"rate"`
+	// LossStall is the extra head-of-line delay a TCP chunk suffers when
+	// the loss process fires (default 2×Delay + 200ms: one retransmission
+	// timeout's worth of stall).
+	LossStall time.Duration `json:"loss_stall"`
+}
+
+// stall returns the effective TCP loss stall.
+func (p Profile) stall() time.Duration {
+	if p.LossStall > 0 {
+		return p.LossStall
+	}
+	return 2*p.Delay + 200*time.Millisecond
+}
+
+// reorderDelay returns the effective reorder hold.
+func (p Profile) reorderDelay() time.Duration {
+	if p.ReorderDelay > 0 {
+		return p.ReorderDelay
+	}
+	if d := 4 * p.Jitter; d > time.Millisecond {
+		return d
+	}
+	return time.Millisecond
+}
+
+func (p Profile) String() string {
+	return fmt.Sprintf("%s(delay=%v jitter=%v %v reorder=%.2f rate=%dB/s)",
+		p.Name, p.Delay, p.Jitter, p.Loss, p.Reorder, p.Rate)
+}
+
+// Named region profiles, calibrated to the regimes the paper's loss
+// weighting targets: clean LAN, transcontinental and intercontinental
+// fiber, bursty cellular, and high-delay satellite.
+var profiles = map[string]Profile{
+	"lan": {
+		Name:   "lan",
+		Delay:  200 * time.Microsecond,
+		Jitter: 100 * time.Microsecond,
+	},
+	"transcon": {
+		Name:    "transcon",
+		Delay:   40 * time.Millisecond,
+		Jitter:  5 * time.Millisecond,
+		Loss:    BurstLoss(0.001, 2),
+		Reorder: 0.001,
+	},
+	"intercon": {
+		Name:    "intercon",
+		Delay:   120 * time.Millisecond,
+		Jitter:  15 * time.Millisecond,
+		Loss:    BurstLoss(0.005, 3),
+		Reorder: 0.005,
+	},
+	"mobile-3g": {
+		Name:    "mobile-3g",
+		Delay:   150 * time.Millisecond,
+		Jitter:  40 * time.Millisecond,
+		Loss:    BurstLoss(0.02, 8),
+		Reorder: 0.01,
+		Rate:    2 << 20, // ~2 MiB/s shared cell
+	},
+	"satellite": {
+		Name:   "satellite",
+		Delay:  300 * time.Millisecond,
+		Jitter: 10 * time.Millisecond,
+		Loss:   BurstLoss(0.01, 5),
+		Rate:   4 << 20,
+	},
+}
+
+// Named returns a built-in region profile by name.
+func Named(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// ProfileNames lists the built-in profiles in sorted order.
+func ProfileNames() []string {
+	out := make([]string, 0, len(profiles))
+	for name := range profiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package wanproxy
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// deliveryQueue releases shaped UDP packets at their scheduled times in
+// (release, arrival) order: packets with distinct release times can
+// overtake each other (jitter, reorder holds), but equal release times
+// deliver in arrival order — a FIFO link with zero jitter never reorders.
+type deliveryQueue struct {
+	mu     sync.Mutex
+	h      deliveryHeap
+	seq    uint64
+	wake   chan struct{}
+	closed chan struct{}
+}
+
+type delivery struct {
+	release time.Time
+	seq     uint64
+	fn      func()
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].release.Equal(h[j].release) {
+		return h[i].release.Before(h[j].release)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+func newDeliveryQueue(closed chan struct{}) *deliveryQueue {
+	return &deliveryQueue{wake: make(chan struct{}, 1), closed: closed}
+}
+
+// push schedules fn for the given release time.
+func (q *deliveryQueue) push(release time.Time, fn func()) {
+	q.mu.Lock()
+	heap.Push(&q.h, delivery{release: release, seq: q.seq, fn: fn})
+	q.seq++
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run delivers until closed. One goroutine per link serializes delivery,
+// which is what makes the ordering guarantee hold under load.
+func (q *deliveryQueue) run() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		q.mu.Lock()
+		for q.h.Len() > 0 && !q.h[0].release.After(time.Now()) {
+			d := heap.Pop(&q.h).(delivery)
+			q.mu.Unlock()
+			d.fn()
+			q.mu.Lock()
+		}
+		var wait time.Duration = time.Hour
+		if q.h.Len() > 0 {
+			wait = time.Until(q.h[0].release)
+		}
+		q.mu.Unlock()
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-q.closed:
+			return
+		case <-q.wake:
+		case <-timer.C:
+		}
+	}
+}

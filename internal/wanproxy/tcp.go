@@ -1,0 +1,147 @@
+package wanproxy
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// chunkSize bounds one shaped read. Small enough that the rate cap's
+// transmission delay is spread over the stream, large enough to keep the
+// goroutine overhead negligible at soak scale.
+const chunkSize = 16 << 10
+
+// pipeDepth bounds the in-flight chunks per direction; a full queue
+// back-pressures the reader, which back-pressures the sender's TCP — the
+// userspace analog of a bounded router buffer.
+const pipeDepth = 256
+
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, chunkSize)
+	return &b
+}}
+
+func (l *Link) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		client, err := l.tcpLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		down := l.down
+		l.mu.Unlock()
+		if down || l.isClosed() {
+			l.droppedDown.Add(1)
+			client.Close()
+			continue
+		}
+		l.wg.Add(1)
+		go l.handleConn(client)
+	}
+}
+
+func (l *Link) handleConn(client net.Conn) {
+	defer l.wg.Done()
+	server, err := net.DialTimeout("tcp", l.cfg.TargetTCP, 10*time.Second)
+	if err != nil {
+		// Dead backend: close immediately so a preflighting client sees
+		// EOF instead of a silent stall.
+		l.cfg.Logf("wanproxy %s: backend %s unreachable: %v", l.cfg.Name, l.cfg.TargetTCP, err)
+		client.Close()
+		return
+	}
+	l.mu.Lock()
+	if l.down {
+		l.mu.Unlock()
+		client.Close()
+		server.Close()
+		l.droppedDown.Add(1)
+		return
+	}
+	l.conns[client] = server
+	l.mu.Unlock()
+	l.tcpConns.Add(1)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		l.pipe(server, client, dirUp, &l.bytesUp)
+	}()
+	go func() {
+		defer wg.Done()
+		l.pipe(client, server, dirDown, &l.bytesDown)
+	}()
+	wg.Wait()
+
+	l.mu.Lock()
+	delete(l.conns, client)
+	l.mu.Unlock()
+	client.Close()
+	server.Close()
+}
+
+// tcpChunk is one scheduled stretch of stream.
+type tcpChunk struct {
+	buf     *[]byte
+	n       int
+	release time.Time
+}
+
+// pipe shapes one direction of a proxied TCP connection. Chunks flow
+// through a FIFO channel and release times are monotonic per direction,
+// so the byte stream is delayed but never reordered or corrupted.
+func (l *Link) pipe(dst, src net.Conn, dir direction, bytes *atomic.Uint64) {
+	ch := make(chan tcpChunk, pipeDepth)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c := range ch {
+			if d := time.Until(c.release); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := dst.Write((*c.buf)[:c.n]); err != nil {
+				// Sink broken: drain the channel so the reader unblocks.
+				chunkPool.Put(c.buf)
+				for c := range ch {
+					chunkPool.Put(c.buf)
+				}
+				src.Close()
+				return
+			}
+			bytes.Add(uint64(c.n))
+			chunkPool.Put(c.buf)
+		}
+		// Clean EOF from src: half-close toward dst so the peer sees it.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		} else {
+			dst.Close()
+		}
+	}()
+
+	var lastRelease time.Time
+	for {
+		buf := chunkPool.Get().(*[]byte)
+		n, err := src.Read(*buf)
+		if n > 0 {
+			_, release, _ := l.schedule(dir, n, false)
+			// TCP ordering guarantee: a later chunk never releases before
+			// an earlier one, whatever the jitter draws.
+			if release.Before(lastRelease) {
+				release = lastRelease
+			}
+			lastRelease = release
+			ch <- tcpChunk{buf: buf, n: n, release: release}
+		} else {
+			chunkPool.Put(buf)
+		}
+		if err != nil {
+			close(ch)
+			<-done
+			return
+		}
+	}
+}

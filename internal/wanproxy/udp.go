@@ -1,0 +1,110 @@
+package wanproxy
+
+import (
+	"net"
+	"time"
+)
+
+// udpMTU bounds one relayed datagram; the rekey plane's shards are far
+// below this.
+const udpMTU = 64 << 10
+
+// udpLoop relays member→server datagrams, opening one NAT flow per member
+// source address so server replies demux back to the right member.
+func (l *Link) udpLoop() {
+	defer l.wg.Done()
+	buf := make([]byte, udpMTU)
+	for {
+		n, addr, err := l.udpConn.ReadFrom(buf)
+		if err != nil {
+			return // conn closed
+		}
+		l.udpPackets.Add(1)
+		flow, err := l.flow(addr)
+		if err != nil {
+			l.cfg.Logf("wanproxy %s: udp flow for %s: %v", l.cfg.Name, addr, err)
+			continue
+		}
+		drop, release, wasDown := l.schedule(dirUp, n, true)
+		if drop {
+			if wasDown {
+				l.droppedDown.Add(1)
+			} else {
+				l.udpDropped.Add(1)
+			}
+			continue
+		}
+		data := append([]byte(nil), buf[:n]...)
+		l.deliverAt(release, func() {
+			flow.out.WriteToUDP(data, l.udpDst)
+		})
+	}
+}
+
+// flow returns (creating if needed) the NAT entry for one member address.
+func (l *Link) flow(addr net.Addr) (*udpFlow, error) {
+	key := addr.String()
+	l.mu.Lock()
+	if f, ok := l.flows[key]; ok {
+		l.mu.Unlock()
+		return f, nil
+	}
+	l.mu.Unlock()
+
+	out, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil, err
+	}
+	f := &udpFlow{client: addr, out: out}
+
+	l.mu.Lock()
+	if existing, ok := l.flows[key]; ok {
+		// Raced with another packet from the same member; keep the first.
+		l.mu.Unlock()
+		out.Close()
+		return existing, nil
+	}
+	l.flows[key] = f
+	l.mu.Unlock()
+
+	l.wg.Add(1)
+	go l.flowLoop(f)
+	return f, nil
+}
+
+// flowLoop relays server→member datagrams for one flow.
+func (l *Link) flowLoop(f *udpFlow) {
+	defer l.wg.Done()
+	buf := make([]byte, udpMTU)
+	for {
+		n, _, err := f.out.ReadFromUDP(buf)
+		if err != nil {
+			return // flow closed with the link
+		}
+		l.udpPackets.Add(1)
+		drop, release, wasDown := l.schedule(dirDown, n, true)
+		if drop {
+			if wasDown {
+				l.droppedDown.Add(1)
+			} else {
+				l.udpDropped.Add(1)
+			}
+			continue
+		}
+		data := append([]byte(nil), buf[:n]...)
+		l.deliverAt(release, func() {
+			l.udpConn.WriteTo(data, f.client)
+		})
+	}
+}
+
+// deliverAt hands fn to the link's delivery queue, which releases packets
+// in (release time, arrival) order: jitter and reorder holds genuinely
+// reorder the stream, but a zero-jitter link stays FIFO.
+func (l *Link) deliverAt(release time.Time, fn func()) {
+	l.dq.push(release, func() {
+		if !l.isClosed() {
+			fn()
+		}
+	})
+}

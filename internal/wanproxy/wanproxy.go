@@ -1,0 +1,345 @@
+// Package wanproxy is a userspace WAN emulator: a TCP+UDP forwarding
+// proxy that shapes every link with one-way delay, jitter, reordering,
+// correlated (Gilbert–Elliott) burst loss, and bandwidth caps — no root,
+// no netem, no containers. The chaos harness places each region's member
+// fleet behind one Link so the real keyserverd/loadgen binaries experience
+// transcontinental latency, bursty cellular loss, or satellite delay while
+// running unmodified on loopback.
+//
+// TCP streams are shaped but never corrupted: bytes are delayed (delay +
+// jitter + queueing behind the rate cap) and a firing loss process stalls
+// the stream for a retransmission-timeout's worth of head-of-line delay,
+// preserving order and integrity exactly as a real TCP would. UDP packets
+// additionally see real drops and reordering, which is what the rekey
+// datagram plane's FEC/NACK machinery is built to absorb.
+package wanproxy
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config assembles one shaped link.
+type Config struct {
+	// Name labels the link in logs and stats (typically the region).
+	Name string
+	// ListenTCP is the member-facing TCP address ("" disables TCP).
+	ListenTCP string
+	// TargetTCP is the real server's TCP address.
+	TargetTCP string
+	// ListenUDP is the member-facing UDP address ("" disables UDP).
+	ListenUDP string
+	// TargetUDP is the real server's UDP address.
+	TargetUDP string
+	// Profile is the initial shaping profile.
+	Profile Profile
+	// Seed makes the loss/jitter/reorder schedule reproducible.
+	Seed uint64
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts a link's traffic; read with Link.Stats.
+type Stats struct {
+	TCPConns    uint64 `json:"tcp_conns"`
+	BytesUp     uint64 `json:"bytes_up"`
+	BytesDown   uint64 `json:"bytes_down"`
+	TCPStalls   uint64 `json:"tcp_stalls"`
+	UDPPackets  uint64 `json:"udp_packets"`
+	UDPDropped  uint64 `json:"udp_dropped"`
+	DroppedDown uint64 `json:"dropped_down"`
+}
+
+// Link is one running shaped path. All methods are safe for concurrent use.
+type Link struct {
+	cfg Config
+
+	tcpLn   net.Listener
+	udpConn net.PacketConn
+	udpDst  *net.UDPAddr
+
+	mu   sync.Mutex
+	prof Profile
+	down bool
+	rng  *rand.Rand
+	ge   *geChan
+	// bwUp/bwDown are per-direction transmission cursors: the instant the
+	// emulated serial link is next free. Queueing behind the rate cap is
+	// the gap between a chunk's arrival and its cursor slot.
+	bwUp, bwDown time.Time
+	// conns tracks live proxied TCP pairs so a link flap can sever them.
+	conns map[net.Conn]net.Conn
+	flows map[string]*udpFlow
+	// dq releases shaped UDP packets in (release, arrival) order.
+	dq *deliveryQueue
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	tcpConns    atomic.Uint64
+	bytesUp     atomic.Uint64
+	bytesDown   atomic.Uint64
+	tcpStalls   atomic.Uint64
+	udpPackets  atomic.Uint64
+	udpDropped  atomic.Uint64
+	droppedDown atomic.Uint64
+}
+
+// udpFlow is one member's NAT entry: a dedicated upstream socket so the
+// server's replies demux back to the right client address.
+type udpFlow struct {
+	client net.Addr
+	out    *net.UDPConn
+}
+
+// direction selects a bandwidth cursor.
+type direction int
+
+const (
+	dirUp direction = iota
+	dirDown
+)
+
+// Listen starts a link: TCP and/or UDP listeners per Config.
+func Listen(cfg Config) (*Link, error) {
+	if cfg.ListenTCP == "" && cfg.ListenUDP == "" {
+		return nil, fmt.Errorf("wanproxy: link %q has neither TCP nor UDP listener", cfg.Name)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	l := &Link{
+		cfg:    cfg,
+		prof:   cfg.Profile,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a55a5a5a5a)),
+		conns:  make(map[net.Conn]net.Conn),
+		flows:  make(map[string]*udpFlow),
+		closed: make(chan struct{}),
+	}
+	l.ge = newGEChan(cfg.Profile.Loss, l.rng)
+
+	if cfg.ListenTCP != "" {
+		if cfg.TargetTCP == "" {
+			return nil, fmt.Errorf("wanproxy: link %q has a TCP listener but no target", cfg.Name)
+		}
+		ln, err := net.Listen("tcp", cfg.ListenTCP)
+		if err != nil {
+			return nil, fmt.Errorf("wanproxy: link %q: %w", cfg.Name, err)
+		}
+		l.tcpLn = ln
+		l.wg.Add(1)
+		go l.acceptLoop()
+	}
+	if cfg.ListenUDP != "" {
+		if cfg.TargetUDP == "" {
+			l.Close()
+			return nil, fmt.Errorf("wanproxy: link %q has a UDP listener but no target", cfg.Name)
+		}
+		dst, err := net.ResolveUDPAddr("udp", cfg.TargetUDP)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("wanproxy: link %q: resolving %s: %w", cfg.Name, cfg.TargetUDP, err)
+		}
+		pc, err := net.ListenPacket("udp", cfg.ListenUDP)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("wanproxy: link %q: %w", cfg.Name, err)
+		}
+		l.udpDst = dst
+		l.udpConn = pc
+		l.dq = newDeliveryQueue(l.closed)
+		l.wg.Add(2)
+		go func() { defer l.wg.Done(); l.dq.run() }()
+		go l.udpLoop()
+	}
+	return l, nil
+}
+
+// TCPAddr returns the member-facing TCP address (nil if TCP is disabled).
+func (l *Link) TCPAddr() net.Addr {
+	if l.tcpLn == nil {
+		return nil
+	}
+	return l.tcpLn.Addr()
+}
+
+// UDPAddr returns the member-facing UDP address (nil if UDP is disabled).
+func (l *Link) UDPAddr() net.Addr {
+	if l.udpConn == nil {
+		return nil
+	}
+	return l.udpConn.LocalAddr()
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Profile returns the current shaping profile.
+func (l *Link) Profile() Profile {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prof
+}
+
+// SetProfile swaps the shaping profile mid-run. The loss process keeps
+// its current state, so a swap cannot cut a burst short.
+func (l *Link) SetProfile(p Profile) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prof = p
+	l.ge.setParams(p.Loss)
+}
+
+// SetRate changes only the bandwidth cap (bytes/second; 0 = unlimited) —
+// the mid-rekey-storm squeeze event.
+func (l *Link) SetRate(bytesPerSec int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prof.Rate = bytesPerSec
+}
+
+// SetDown flaps the link: while down, new TCP connections are refused,
+// established ones are severed, and UDP packets are dropped.
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	l.down = down
+	var sever []net.Conn
+	if down {
+		for a, b := range l.conns {
+			sever = append(sever, a, b)
+		}
+	}
+	l.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+	if down {
+		l.cfg.Logf("wanproxy %s: link down", l.cfg.Name)
+	} else {
+		l.cfg.Logf("wanproxy %s: link up", l.cfg.Name)
+	}
+}
+
+// Flap takes the link down for d, restoring it afterwards.
+func (l *Link) Flap(d time.Duration) {
+	l.SetDown(true)
+	time.AfterFunc(d, func() {
+		select {
+		case <-l.closed:
+		default:
+			l.SetDown(false)
+		}
+	})
+}
+
+// Stats snapshots the link's counters.
+func (l *Link) Stats() Stats {
+	return Stats{
+		TCPConns:    l.tcpConns.Load(),
+		BytesUp:     l.bytesUp.Load(),
+		BytesDown:   l.bytesDown.Load(),
+		TCPStalls:   l.tcpStalls.Load(),
+		UDPPackets:  l.udpPackets.Load(),
+		UDPDropped:  l.udpDropped.Load(),
+		DroppedDown: l.droppedDown.Load(),
+	}
+}
+
+// Close stops the link and severs every proxied connection and flow.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	select {
+	case <-l.closed:
+		l.mu.Unlock()
+		return nil
+	default:
+	}
+	close(l.closed)
+	var conns []net.Conn
+	for a, b := range l.conns {
+		conns = append(conns, a, b)
+	}
+	flows := make([]*udpFlow, 0, len(l.flows))
+	for _, f := range l.flows {
+		flows = append(flows, f)
+	}
+	l.mu.Unlock()
+
+	if l.tcpLn != nil {
+		l.tcpLn.Close()
+	}
+	if l.udpConn != nil {
+		l.udpConn.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, f := range flows {
+		f.out.Close()
+	}
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Link) isClosed() bool {
+	select {
+	case <-l.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// schedule computes one chunk/packet's fate under the current profile:
+// whether it is dropped (UDP only honors this) and when it is released.
+// The emulated serial link transmits at Rate starting when it is next
+// free, then the payload propagates for delay+jitter; a firing loss
+// process adds the TCP stall. Calls are serialized by l.mu, which also
+// makes the seeded rng safe.
+func (l *Link) schedule(dir direction, n int, udp bool) (drop bool, release time.Time, wasDown bool) {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return true, now, true
+	}
+	p := l.prof
+
+	cursor := &l.bwUp
+	if dir == dirDown {
+		cursor = &l.bwDown
+	}
+	start := now
+	if cursor.After(start) {
+		start = *cursor
+	}
+	var tx time.Duration
+	if p.Rate > 0 {
+		tx = time.Duration(float64(n) / float64(p.Rate) * float64(time.Second))
+	}
+	*cursor = start.Add(tx)
+
+	release = start.Add(tx + p.Delay)
+	if p.Jitter > 0 {
+		release = release.Add(time.Duration(l.rng.Int64N(int64(p.Jitter))))
+	}
+	lost := l.ge.drop()
+	if udp {
+		if lost {
+			return true, release, false
+		}
+		if p.Reorder > 0 && l.rng.Float64() < p.Reorder {
+			release = release.Add(p.reorderDelay())
+		}
+		return false, release, false
+	}
+	if lost {
+		l.tcpStalls.Add(1)
+		release = release.Add(p.stall())
+	}
+	return false, release, false
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// FlashCrowd parameterizes an MBone-style flash-crowd arrival burst: the
+// audience holds at its baseline, ramps up sharply when a broadcast event
+// starts, holds near peak, then decays back as the crowd loses interest —
+// the join-storm shape Almeroth and Ammar observed at popular MBone
+// session starts, and the worst case for batched-rekey admission latency.
+type FlashCrowd struct {
+	// Start is when the crowd begins arriving (seconds into the trace).
+	Start float64
+	// RampUp is how long the arrival rate takes to climb from baseline
+	// to Peak (seconds; 0 = a step).
+	RampUp float64
+	// Hold is how long arrivals stay at Peak (seconds).
+	Hold float64
+	// Decay is the exponential time constant of the fall back to
+	// baseline after the hold (seconds; 0 = a step back down).
+	Decay float64
+	// Peak multiplies the baseline arrival rate at the crowd's height
+	// (must be >= 1).
+	Peak float64
+}
+
+// validate rejects shapes the thinning sampler cannot honor.
+func (fc FlashCrowd) validate() error {
+	if fc.Peak < 1 {
+		return fmt.Errorf("workload: flash crowd peak %v below baseline", fc.Peak)
+	}
+	if fc.Start < 0 || fc.RampUp < 0 || fc.Hold < 0 || fc.Decay < 0 {
+		return fmt.Errorf("workload: negative flash crowd timing")
+	}
+	return nil
+}
+
+// Rate returns the crowd's rate modulation for Config.RateFn: 1 at
+// baseline, Peak at the crowd's height. Use with RateCeil = Peak.
+func (fc FlashCrowd) Rate() func(t float64) float64 {
+	return func(t float64) float64 {
+		switch {
+		case t < fc.Start:
+			return 1
+		case t < fc.Start+fc.RampUp:
+			return 1 + (fc.Peak-1)*(t-fc.Start)/fc.RampUp
+		case t < fc.Start+fc.RampUp+fc.Hold:
+			return fc.Peak
+		default:
+			if fc.Decay <= 0 {
+				return 1
+			}
+			since := t - fc.Start - fc.RampUp - fc.Hold
+			return 1 + (fc.Peak-1)*math.Exp(-since/fc.Decay)
+		}
+	}
+}
+
+// FlashCrowdConfig assembles a complete synthetic flash-crowd workload.
+type FlashCrowdConfig struct {
+	// Seed makes the trace reproducible.
+	Seed uint64
+	// Baseline is the steady-state group size the trace orbits; the
+	// primed population and the baseline arrival rate both derive from
+	// it via Little's law.
+	Baseline int
+	// Horizon is the trace length in seconds.
+	Horizon float64
+	// Crowd shapes the burst.
+	Crowd FlashCrowd
+	// Durations is the membership model (zero value = the paper's
+	// two-class model compressed 100x, matching the loadgen default).
+	Durations TwoClass
+	// Loss assigns per-member loss rates (zero value = paper model with
+	// 20% of members on lossy links).
+	Loss LossModel
+}
+
+// SynthFlashCrowd generates a reproducible flash-crowd membership trace:
+// a primed steady-state population plus Poisson arrivals whose rate
+// follows the crowd shape. The result round-trips through WriteTrace /
+// ReadTrace, so chaos scenarios archive the exact churn they replayed.
+func SynthFlashCrowd(cfg FlashCrowdConfig) (*Trace, error) {
+	if err := cfg.Crowd.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Baseline <= 0 {
+		return nil, fmt.Errorf("workload: flash crowd baseline %d not positive", cfg.Baseline)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: flash crowd horizon %v not positive", cfg.Horizon)
+	}
+	if cfg.Durations.Short == nil || cfg.Durations.Long == nil {
+		cfg.Durations = PaperDefault().Compressed(100)
+	}
+	if cfg.Loss == (LossModel{}) {
+		cfg.Loss = PaperLossModel(0.2)
+	}
+	s, err := NewSession(Config{
+		Seed:        cfg.Seed,
+		ArrivalRate: ArrivalRateForGroupSize(float64(cfg.Baseline), cfg.Durations),
+		Durations:   cfg.Durations,
+		Loss:        cfg.Loss,
+		RateFn:      cfg.Crowd.Rate(),
+		RateCeil:    cfg.Crowd.Peak,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Record(cfg.Baseline, cfg.Horizon), nil
+}

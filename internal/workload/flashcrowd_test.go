@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestFlashCrowdRateShape pins the modulation's four segments.
+func TestFlashCrowdRateShape(t *testing.T) {
+	fc := FlashCrowd{Start: 10, RampUp: 4, Hold: 6, Decay: 5, Peak: 8}
+	rate := fc.Rate()
+	if got := rate(0); got != 1 {
+		t.Fatalf("baseline before start: %v", got)
+	}
+	if got := rate(12); got <= 1 || got >= 8 {
+		t.Fatalf("mid-ramp rate %v not between baseline and peak", got)
+	}
+	if got := rate(15); got != 8 {
+		t.Fatalf("hold rate %v, want peak", got)
+	}
+	// One decay constant after the hold ends: 1 + 7/e.
+	want := 1 + 7*math.Exp(-1)
+	if got := rate(25); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("decay rate %v, want %v", got, want)
+	}
+	if got := rate(1e6); got > 1.0001 {
+		t.Fatalf("rate %v never returned to baseline", got)
+	}
+
+	step := FlashCrowd{Start: 5, Hold: 2, Peak: 3}
+	srate := step.Rate()
+	if srate(4.9) != 1 || srate(5) != 3 || srate(7.5) != 1 {
+		t.Fatalf("step crowd: %v %v %v", srate(4.9), srate(5), srate(7.5))
+	}
+}
+
+// TestSynthFlashCrowd checks that the burst actually concentrates joins,
+// that the trace is deterministic in the seed, and that it round-trips
+// through the trace codec.
+func TestSynthFlashCrowd(t *testing.T) {
+	cfg := FlashCrowdConfig{
+		Seed:     7,
+		Baseline: 100,
+		Horizon:  60,
+		Crowd:    FlashCrowd{Start: 20, RampUp: 2, Hold: 8, Decay: 4, Peak: 10},
+	}
+	tr, err := SynthFlashCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Primed) != cfg.Baseline {
+		t.Fatalf("primed %d members, want %d", len(tr.Primed), cfg.Baseline)
+	}
+	// Joins per second inside the crowd window vs. the quiet lead-in.
+	var quiet, burst float64
+	for _, e := range tr.Events {
+		if e.Kind != EventJoin {
+			continue
+		}
+		switch {
+		case e.Time < 20:
+			quiet++
+		case e.Time >= 22 && e.Time < 30:
+			burst++
+		}
+	}
+	quietRate := quiet / 20
+	burstRate := burst / 8
+	if quietRate <= 0 {
+		t.Fatal("no baseline joins at all")
+	}
+	if burstRate < 4*quietRate {
+		t.Fatalf("flash crowd too weak: burst %.2f joins/s vs quiet %.2f", burstRate, quietRate)
+	}
+
+	// Determinism: the serialized trace is byte-identical per seed.
+	again, err := SynthFlashCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteTrace(&b1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b2, again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same seed produced different traces")
+	}
+
+	back, err := ReadTrace(&b1)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Events) != len(tr.Events) || len(back.Members) != len(tr.Members) {
+		t.Fatalf("round trip lost records: %d/%d events, %d/%d members",
+			len(back.Events), len(tr.Events), len(back.Members), len(tr.Members))
+	}
+}
+
+// TestSynthFlashCrowdRejectsBadShapes pins the validation errors.
+func TestSynthFlashCrowdRejectsBadShapes(t *testing.T) {
+	bad := []FlashCrowdConfig{
+		{Baseline: 10, Horizon: 10, Crowd: FlashCrowd{Peak: 0.5}},
+		{Baseline: 10, Horizon: 10, Crowd: FlashCrowd{Peak: 2, Start: -1}},
+		{Baseline: 0, Horizon: 10, Crowd: FlashCrowd{Peak: 2}},
+		{Baseline: 10, Horizon: 0, Crowd: FlashCrowd{Peak: 2}},
+	}
+	for i, cfg := range bad {
+		if _, err := SynthFlashCrowd(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
