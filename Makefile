@@ -61,11 +61,13 @@ soak:
 	STATUS=$$?; kill $$SERVER_PID; exit $$STATUS
 
 # Compare a fresh perf run against the committed baseline (CI gate),
-# including the sparse fan-out bytes/member floor.
+# including the sparse fan-out bytes/member floor and the placement
+# planner's wraps/batch reduction floor.
 benchgate:
 	$(GO) run ./cmd/lkhbench -exp perf -bench-out BENCH_rekey.new.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_rekey.json \
-		-candidate BENCH_rekey.new.json -max-regress 0.25 -min-sparse-reduction 5
+		-candidate BENCH_rekey.new.json -max-regress 0.25 \
+		-min-sparse-reduction 5 -min-planner-reduction 5
 
 # Deterministic full-system simulation: a 20-seed smoke across every
 # fault profile, plus the planted-bug regression proving the harness

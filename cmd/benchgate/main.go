@@ -63,6 +63,8 @@ func run(args []string) error {
 	maxRegress := fs.Float64("max-regress", 0.25, "largest tolerated fractional keys/sec drop")
 	minSparse := fs.Float64("min-sparse-reduction", 0,
 		"floor on full/sparse broadcast bytes-per-member reduction (0 disables the check)")
+	minPlanner := fs.Float64("min-planner-reduction", 0,
+		"floor on the placement planner's shrink-regime wraps/batch reduction percent; every regime must also be >= 0 (0 disables the check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +115,26 @@ func run(args []string) error {
 			}
 			fmt.Printf("%-10s %10d %14.0f %14.1f %7.2fx%s\n",
 				"fanout", fo.GroupSize, fo.FullBytesPerMember, fo.SparseBytesPerMember, fo.Reduction, mark)
+		}
+	}
+	if *minPlanner > 0 {
+		if len(candRep.Planner) == 0 {
+			failures = append(failures, fmt.Sprintf("%s has no planner series but -min-planner-reduction=%v was requested",
+				*candPath, *minPlanner))
+		}
+		for _, pr := range candRep.Planner {
+			floor := 0.0
+			if pr.Regime == "shrink" {
+				floor = *minPlanner
+			}
+			mark := ""
+			if pr.ReductionPct < floor {
+				mark = "  BELOW FLOOR"
+				failures = append(failures, fmt.Sprintf("planner %s: %.1f -> %.1f wraps/batch is %.2f%%, floor %.2f%%",
+					pr.Regime, pr.GreedyPerBatch, pr.PlannerPerBatch, pr.ReductionPct, floor))
+			}
+			fmt.Printf("%-10s %10s %14.1f %14.1f %6.2f%%%s\n",
+				"planner", pr.Regime, pr.GreedyPerBatch, pr.PlannerPerBatch, pr.ReductionPct, mark)
 		}
 	}
 	if len(failures) > 0 {

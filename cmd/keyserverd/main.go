@@ -63,6 +63,7 @@ func run(args []string) error {
 	udpDrop := fs.Float64("udp-drop", 0, "fraction of outbound UDP packets to drop, for loss testing (0 disables)")
 	udpDropSeed := fs.Int64("udp-drop-seed", 1, "seed for the deterministic -udp-drop schedule")
 	schemeName := fs.String("scheme", "onetree", "onetree, naive, qt, tt, pt, losshomog")
+	planner := fs.Bool("planner", false, "enable the cost-optimal batch placement planner on every key tree")
 	k := fs.Int("k", 10, "S-period in rekey periods for qt/tt")
 	period := fs.Duration("period", 5*time.Second, "rekey period Tp")
 	feed := fs.Duration("feed", 0, "interval of the demo data feed (0 disables)")
@@ -97,11 +98,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg.Planner = *planner
 	workers := core.WithRekeyWorkers(*rekeyWorkers)
 
 	overrides, err := parseGroupSchemes(*groupSchemes, *k)
 	if err != nil {
 		return err
+	}
+	for g := range overrides {
+		o := overrides[g]
+		o.Planner = *planner
+		overrides[g] = o
 	}
 	if *udpAddr != "" && (*clusterNode != "" || *groups > 1) {
 		return fmt.Errorf("-udp is only supported in single-group standalone mode")
@@ -280,17 +287,33 @@ func run(args []string) error {
 	}
 
 	if *advise > 0 {
+		// Runtime adaptation from the advisor's churn fit — the planner's
+		// churn hint and the two-partition S-period — changes which payloads
+		// a batch produces, so it is only safe without a WAL: a durable
+		// deployment must replay the log under the exact parameters it ran
+		// with, and there the advisor stays log-only.
+		tune := *stateDir == ""
+		rekeyPeriod := *period
 		go func() {
 			ticker := time.NewTicker(*advise)
 			defer ticker.Stop()
 			for range ticker.C {
-				rec, err := srv.Recommend(*period)
+				rec, err := srv.Recommend(rekeyPeriod)
 				if err != nil {
 					fmt.Printf("advisor: waiting for churn data (%d departures observed)\n",
 						srv.ObservedDepartures())
 					continue
 				}
 				fmt.Printf("advisor: %v\n", rec)
+				if !tune {
+					continue
+				}
+				if hint, ok := srv.TunePlannerFromChurn(rekeyPeriod); ok {
+					fmt.Printf("advisor: planner churn hint set to %d departures/batch\n", hint)
+				}
+				if rec.K > 0 && srv.SetSPeriod(rec.K) {
+					fmt.Printf("advisor: S-period set to K=%d\n", rec.K)
+				}
 			}
 		}()
 	}

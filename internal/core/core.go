@@ -167,6 +167,7 @@ type options struct {
 	degree       int
 	keyIDBase    keycrypt.KeyID
 	rekeyWorkers int
+	planner      *keytree.PlannerConfig
 }
 
 // WithRand injects the entropy source (nil means crypto/rand); simulations
@@ -203,6 +204,40 @@ func WithRekeyWorkers(n int) Option {
 		}
 		o.rekeyWorkers = n
 	}
+}
+
+// WithPlanner enables the cost-optimal batch placement planner
+// (keytree.WithPlanner) on every key tree the scheme maintains. Planning
+// is a pure function of tree shape and batch, so enabling it keeps
+// deterministic replay intact — but snapshots do not record it, so
+// restore paths must be handed the same option the original scheme was
+// built with.
+func WithPlanner(cfg keytree.PlannerConfig) Option {
+	return func(o *options) {
+		c := cfg
+		o.planner = &c
+	}
+}
+
+// PlannerTuner is implemented by schemes whose trees run the batch
+// placement planner; TunePlanner forwards a live churn-per-batch estimate
+// to every tree (see keytree.Tree.TunePlanner for the replay caveat).
+type PlannerTuner interface {
+	TunePlanner(churnHint int)
+}
+
+// treeOptions assembles the keytree options every tree a scheme builds
+// shares. first is the tree's first key ID; pass 0 to leave the default
+// (restore paths, where the snapshot already carries the IDs).
+func (o options) treeOptions(first keycrypt.KeyID) []keytree.Option {
+	opts := []keytree.Option{keytree.WithRand(o.rand), keytree.WithWrapWorkers(o.rekeyWorkers)}
+	if first != 0 {
+		opts = append(opts, keytree.WithFirstKeyID(first))
+	}
+	if o.planner != nil {
+		opts = append(opts, keytree.WithPlanner(*o.planner))
+	}
+	return opts
 }
 
 // treeConcurrency reports whether tree-level rekeys may run concurrently.

@@ -24,19 +24,43 @@ import (
 	"groupkey/internal/member"
 )
 
+// plannerOpt is the batch-placement-planner configuration the secrecy
+// suite uses — deliberately aggressive (drift trigger at the balanced
+// bound, generous wrap slack) so churn traces exercise hole reorderings
+// AND rebalance moves with their LeafRefresh bridges against the
+// secrecy oracles, not just the greedy fallback.
+func plannerOpt() Option {
+	return WithPlanner(keytree.PlannerConfig{DriftFactor: 1.0, MaxMovesPerBatch: 2, MoveWrapSlack: 4})
+}
+
 // secrecySchemes names one constructor per scheme family under test —
-// all four of the paper's constructions, with every TwoPartition mode.
+// all four of the paper's constructions, with every TwoPartition mode —
+// plus a planner-enabled variant of every tree-backed scheme.
 var secrecySchemes = []struct {
-	name  string
-	build func(seed uint64) (Scheme, error)
+	name    string
+	planner bool
+	build   func(seed uint64) (Scheme, error)
 }{
-	{"onetree", func(seed uint64) (Scheme, error) { return NewOneTree(rnd(seed)) }},
-	{"naive", func(seed uint64) (Scheme, error) { return NewNaive(rnd(seed)) }},
-	{"twopartition-qt", func(seed uint64) (Scheme, error) { return NewTwoPartition(QT, 3, rnd(seed)) }},
-	{"twopartition-tt", func(seed uint64) (Scheme, error) { return NewTwoPartition(TT, 3, rnd(seed)) }},
-	{"twopartition-pt", func(seed uint64) (Scheme, error) { return NewTwoPartition(PT, 3, rnd(seed)) }},
-	{"loss-homogenized", func(seed uint64) (Scheme, error) {
+	{"onetree", false, func(seed uint64) (Scheme, error) { return NewOneTree(rnd(seed)) }},
+	{"naive", false, func(seed uint64) (Scheme, error) { return NewNaive(rnd(seed)) }},
+	{"twopartition-qt", false, func(seed uint64) (Scheme, error) { return NewTwoPartition(QT, 3, rnd(seed)) }},
+	{"twopartition-tt", false, func(seed uint64) (Scheme, error) { return NewTwoPartition(TT, 3, rnd(seed)) }},
+	{"twopartition-pt", false, func(seed uint64) (Scheme, error) { return NewTwoPartition(PT, 3, rnd(seed)) }},
+	{"loss-homogenized", false, func(seed uint64) (Scheme, error) {
 		return NewLossHomogenized([]float64{0.01, 0.1}, rnd(seed))
+	}},
+	{"onetree-planner", true, func(seed uint64) (Scheme, error) { return NewOneTree(rnd(seed), plannerOpt()) }},
+	{"twopartition-qt-planner", true, func(seed uint64) (Scheme, error) {
+		return NewTwoPartition(QT, 3, rnd(seed), plannerOpt())
+	}},
+	{"twopartition-tt-planner", true, func(seed uint64) (Scheme, error) {
+		return NewTwoPartition(TT, 3, rnd(seed), plannerOpt())
+	}},
+	{"twopartition-pt-planner", true, func(seed uint64) (Scheme, error) {
+		return NewTwoPartition(PT, 3, rnd(seed), plannerOpt())
+	}},
+	{"loss-homogenized-planner", true, func(seed uint64) (Scheme, error) {
+		return NewLossHomogenized([]float64{0.01, 0.1}, rnd(seed), plannerOpt())
 	}},
 }
 
@@ -206,6 +230,15 @@ func TestSecrecyInvariants(t *testing.T) {
 			if s.Size() == 0 {
 				t.Fatal("trace drained the group; agreement untested")
 			}
+			if tc.planner {
+				ps := s.Stats().Planner
+				if !ps.Enabled {
+					t.Fatal("planner variant reports planner disabled")
+				}
+				if ps.PlannedBatches+ps.GreedyFallbacks == 0 {
+					t.Fatal("planner variant never evaluated a batch; secrecy coverage is vacuous")
+				}
+			}
 		})
 	}
 }
@@ -229,7 +262,14 @@ func TestSecrecyInvariantsAcrossMigration(t *testing.T) {
 			if err != nil {
 				t.Fatalf("GroupKey before migration: %v", err)
 			}
-			dst, err := NewOneTree(rnd(902), WithKeyIDBase(keycrypt.KeyID(9)<<40))
+			dstOpts := []Option{rnd(902), WithKeyIDBase(keycrypt.KeyID(9) << 40)}
+			if tc.planner {
+				// Planner rows migrate onto a planner-enabled destination:
+				// the bridge and the post-migration churn below must honor
+				// the invariants with planning active on both sides.
+				dstOpts = append(dstOpts, plannerOpt())
+			}
+			dst, err := NewOneTree(dstOpts...)
 			if err != nil {
 				t.Fatalf("NewOneTree: %v", err)
 			}

@@ -127,9 +127,7 @@ func newMultiTree(name string, trees int, opts ...Option) (*MultiTree, error) {
 	s.dek = dek
 	for i := 0; i < trees; i++ {
 		tr, err := keytree.New(o.degree,
-			keytree.WithRand(o.rand),
-			keytree.WithFirstKeyID(o.keyIDBase+multiTreeKeyIDBase*keycrypt.KeyID(i+1)),
-			keytree.WithWrapWorkers(o.rekeyWorkers))
+			o.treeOptions(o.keyIDBase+multiTreeKeyIDBase*keycrypt.KeyID(i+1))...)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +322,18 @@ func (s *MultiTree) Stats() SchemeStats {
 	for i, tr := range s.trees {
 		parts[i] = PartitionStat{Label: fmt.Sprintf("tree-%d", i), Size: tr.Size()}
 	}
-	return s.stats(parts...)
+	st := s.stats(parts...)
+	for _, tr := range s.trees {
+		st.Planner = st.Planner.Add(tr.PlannerStats())
+	}
+	return st
+}
+
+// TunePlanner implements PlannerTuner.
+func (s *MultiTree) TunePlanner(churnHint int) {
+	for _, tr := range s.trees {
+		tr.TunePlanner(churnHint)
+	}
 }
 
 // Members implements Scheme.

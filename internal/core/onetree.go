@@ -23,8 +23,7 @@ func NewOneTree(opts ...Option) (*OneTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+1),
-		keytree.WithWrapWorkers(o.rekeyWorkers))
+	tr, err := keytree.New(o.degree, o.treeOptions(o.keyIDBase+1)...)
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +97,13 @@ func (s *OneTree) Members() []keytree.MemberID { return s.tree.Members() }
 
 // Stats implements Scheme.
 func (s *OneTree) Stats() SchemeStats {
-	return s.stats(PartitionStat{Label: "group", Size: s.tree.Size()})
+	st := s.stats(PartitionStat{Label: "group", Size: s.tree.Size()})
+	st.Planner = s.tree.PlannerStats()
+	return st
 }
+
+// TunePlanner implements PlannerTuner.
+func (s *OneTree) TunePlanner(churnHint int) { s.tree.TunePlanner(churnHint) }
 
 // Tree exposes the underlying key tree for white-box experiments.
 func (s *OneTree) Tree() *keytree.Tree { return s.tree }

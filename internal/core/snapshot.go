@@ -78,8 +78,7 @@ func RestoreOneTree(snapshot []byte, opts ...Option) (*OneTree, error) {
 	if err := r.close(); err != nil {
 		return nil, err
 	}
-	s.tree, err = keytree.Restore(treeBlob,
-		keytree.WithRand(o.rand), keytree.WithWrapWorkers(o.rekeyWorkers))
+	s.tree, err = keytree.Restore(treeBlob, o.treeOptions(0)...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
@@ -235,7 +234,7 @@ func RestoreTwoPartition(snapshot []byte, opts ...Option) (*TwoPartition, error)
 	if err := r.close(); err != nil {
 		return nil, err
 	}
-	treeOpts := []keytree.Option{keytree.WithRand(o.rand), keytree.WithWrapWorkers(o.rekeyWorkers)}
+	treeOpts := o.treeOptions(0)
 	if len(sBlob) > 0 {
 		s.stree, err = keytree.Restore(sBlob, treeOpts...)
 		if err != nil {
@@ -325,8 +324,7 @@ func RestoreMultiTree(snapshot []byte, opts ...Option) (*MultiTree, error) {
 		return nil, fmt.Errorf("%w: %d bounds but %d trees", ErrBadSnapshot, len(s.bounds), len(blobs))
 	}
 	for i, blob := range blobs {
-		tr, err := keytree.Restore(blob,
-			keytree.WithRand(o.rand), keytree.WithWrapWorkers(o.rekeyWorkers))
+		tr, err := keytree.Restore(blob, o.treeOptions(0)...)
 		if err != nil {
 			return nil, fmt.Errorf("%w: tree %d: %v", ErrBadSnapshot, i, err)
 		}

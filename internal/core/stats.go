@@ -1,5 +1,7 @@
 package core
 
+import "groupkey/internal/keytree"
+
 // Observability: every Scheme exports cumulative rekey counters and its
 // current partition layout through Stats(). The server mirrors these into
 // internal/metrics gauges (one per partition label), which is how the
@@ -27,6 +29,9 @@ type SchemeStats struct {
 	KeysEncrypted uint64
 	// Partitions is the current partition layout, in a stable order.
 	Partitions []PartitionStat
+	// Planner aggregates batch-placement-planner counters across the
+	// scheme's trees (zero value when the planner is disabled).
+	Planner keytree.PlannerStats
 }
 
 // statCounters accumulates the cumulative half of SchemeStats. Schemes

@@ -106,14 +106,12 @@ func NewTwoPartition(mode PartitionMode, sPeriodK int, opts ...Option) (*TwoPart
 	}
 	s.dek = dek
 	if mode != QT {
-		s.stree, err = keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+sTreeKeyIDBase),
-			keytree.WithWrapWorkers(o.rekeyWorkers))
+		s.stree, err = keytree.New(o.degree, o.treeOptions(o.keyIDBase+sTreeKeyIDBase)...)
 		if err != nil {
 			return nil, err
 		}
 	}
-	s.ltree, err = keytree.New(o.degree, keytree.WithRand(o.rand), keytree.WithFirstKeyID(o.keyIDBase+lTreeKeyIDBase),
-		keytree.WithWrapWorkers(o.rekeyWorkers))
+	s.ltree, err = keytree.New(o.degree, o.treeOptions(o.keyIDBase+lTreeKeyIDBase)...)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +123,19 @@ func (s *TwoPartition) Name() string { return fmt.Sprintf("two-partition-%s", s.
 
 // Mode returns the construction in use.
 func (s *TwoPartition) Mode() PartitionMode { return s.mode }
+
+// SetSPeriod updates K, the number of rekey periods a member must survive
+// in S before migrating to L, for subsequent batches; members already in
+// S migrate under the new K at the next batch. Like the planner's churn
+// hint this changes payload-affecting decisions, so durable deployments
+// must only set it through configuration that replays with the log.
+// Negative values are ignored.
+func (s *TwoPartition) SetSPeriod(k int) {
+	if k < 0 {
+		return
+	}
+	s.sPeriod = uint64(k)
+}
 
 // SPartitionSize returns the current number of members in the S-partition.
 func (s *TwoPartition) SPartitionSize() int {
@@ -468,10 +479,23 @@ func (s *TwoPartition) Size() int { return s.SPartitionSize() + s.ltree.Size() }
 
 // Stats implements Scheme.
 func (s *TwoPartition) Stats() SchemeStats {
-	return s.stats(
+	st := s.stats(
 		PartitionStat{Label: "s", Size: s.SPartitionSize()},
 		PartitionStat{Label: "l", Size: s.LPartitionSize()},
 	)
+	st.Planner = s.ltree.PlannerStats()
+	if s.stree != nil {
+		st.Planner = st.Planner.Add(s.stree.PlannerStats())
+	}
+	return st
+}
+
+// TunePlanner implements PlannerTuner.
+func (s *TwoPartition) TunePlanner(churnHint int) {
+	s.ltree.TunePlanner(churnHint)
+	if s.stree != nil {
+		s.stree.TunePlanner(churnHint)
+	}
 }
 
 // Members implements Scheme.

@@ -59,6 +59,12 @@ type PerfReport struct {
 	// SparseReduction maps "N=<size>" to full/sparse bytes-per-member —
 	// the series the benchgate -min-sparse-reduction floor is checked on.
 	SparseReduction map[string]float64 `json:"sparse_reduction,omitempty"`
+	// Planner is the greedy-vs-planner wraps/batch series on the
+	// flash-crowd trace, one row per batch regime plus "overall".
+	Planner []PlannerResult `json:"planner,omitempty"`
+	// PlannerReduction maps each regime to its wraps reduction percent —
+	// the series the benchgate -min-planner-reduction floor is checked on.
+	PlannerReduction map[string]float64 `json:"planner_reduction,omitempty"`
 }
 
 // measureRekey builds a tree of the given size and times Churn-replacement
@@ -182,6 +188,20 @@ func RekeyPerf(cfg PerfConfig) (*Table, *PerfReport, error) {
 		t.AddNote("fan-out N=%d: full blob %.0f B/member, sparse mean %.1f B/member (%.1fx reduction).",
 			size, fo.FullBytesPerMember, fo.SparseBytesPerMember, fo.Reduction)
 	}
+	planner, stats, err := PlannerPerf(DefaultPlannerPerfConfig())
+	if err != nil {
+		return nil, nil, fmt.Errorf("planner series: %w", err)
+	}
+	report.Planner = planner
+	report.PlannerReduction = make(map[string]float64, len(planner))
+	for _, pr := range planner {
+		report.PlannerReduction[pr.Regime] = pr.ReductionPct
+		t.AddNote("planner %s: %d batches, %.1f -> %.1f wraps/batch (%.2f%% fewer).",
+			pr.Regime, pr.Batches, pr.GreedyPerBatch, pr.PlannerPerBatch, pr.ReductionPct)
+	}
+	t.AddNote("planner chose a non-greedy placement on %d/%d planned batches (%d rebalance moves).",
+		stats.PlannedBatches, stats.PlannedBatches+stats.GreedyFallbacks, stats.Moves)
+
 	t.AddNote("serial = pre-engine emitter (per-wrap key schedule, walk-and-sort receivers);")
 	t.AddNote("parallel = plan/emit engine (cached schedules, merged receivers, %d wrap workers).", report.GOMAXPR)
 	t.AddNote("Payloads are byte-identical between variants; see keytree determinism tests.")

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"groupkey/internal/keytree"
+	"groupkey/internal/workload"
+)
+
+// smallPlannerConfig keeps the trace cheap enough for the unit suite
+// while still producing all three batch regimes.
+func smallPlannerConfig() PlannerPerfConfig {
+	cfg := DefaultPlannerPerfConfig()
+	cfg.Baseline = 256
+	cfg.Horizon = 1200
+	return cfg
+}
+
+// TestTraceBatchesConsistent checks the bucketing invariants: no member
+// joins twice or leaves without being present, and a member that joins
+// and leaves inside one period appears in neither list.
+func TestTraceBatchesConsistent(t *testing.T) {
+	cfg := smallPlannerConfig()
+	tr, err := workload.SynthFlashCrowd(workload.FlashCrowdConfig{
+		Seed: cfg.Seed, Baseline: cfg.Baseline, Horizon: cfg.Horizon, Crowd: cfg.Crowd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := traceBatches(tr, cfg.Period)
+	if len(batches) == 0 {
+		t.Fatal("no batches from a churning trace")
+	}
+	present := make(map[keytree.MemberID]bool)
+	for _, m := range tr.Primed {
+		present[m.ID] = true
+	}
+	for bi, b := range batches {
+		for _, j := range b.Joins {
+			if present[j] {
+				t.Fatalf("batch %d: join of already-present member %d", bi, j)
+			}
+			present[j] = true
+		}
+		for _, l := range b.Leaves {
+			if !present[l] {
+				t.Fatalf("batch %d: leave of absent member %d", bi, l)
+			}
+			delete(present, l)
+		}
+	}
+}
+
+// TestPlannerPerfSeries replays the comparison end to end and checks the
+// properties benchgate enforces: an overall row exists, batch counts add
+// up, and no regime regresses versus greedy.
+func TestPlannerPerfSeries(t *testing.T) {
+	results, stats, err := PlannerPerf(smallPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Enabled || stats.PlannedBatches+stats.GreedyFallbacks == 0 {
+		t.Fatalf("planner never consulted: %+v", stats)
+	}
+	var overall *PlannerResult
+	perRegime := 0
+	for i := range results {
+		r := &results[i]
+		if r.Regime == "overall" {
+			overall = r
+		} else {
+			perRegime += r.Batches
+		}
+		if r.ReductionPct < 0 {
+			t.Errorf("regime %s regressed: greedy %d, planner %d wraps",
+				r.Regime, r.GreedyWraps, r.PlannerWraps)
+		}
+	}
+	if overall == nil {
+		t.Fatal("no overall row")
+	}
+	if perRegime != overall.Batches {
+		t.Fatalf("regime batches %d != overall %d", perRegime, overall.Batches)
+	}
+
+	// The series is a pure function of the config.
+	again, _, err := PlannerPerf(smallPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i] != again[i] {
+			t.Fatalf("rerun diverged: %+v vs %+v", results[i], again[i])
+		}
+	}
+}

@@ -87,6 +87,12 @@ type Payload struct {
 	// out by unicast; they are kept separate so experiments can count
 	// multicast bandwidth the way the paper's analytic model does.
 	JoinerItems []Item
+	// Placement records the structural decisions this rekey realized:
+	// which joiner took which departure hole, which holes were removed,
+	// where surplus joiners attached, and any rebalance moves. It never
+	// rides the wire; tests and experiments use it to assert the realized
+	// placement matches the chosen plan.
+	Placement Placement
 }
 
 // MulticastKeyCount is the number of encrypted keys multicast to current
@@ -131,13 +137,121 @@ type dirtyInfo struct {
 //     its individual key.
 //
 // Rekey mutates the tree. On error the tree is unchanged.
+//
+// When WithPlanner is set, the placement (which joiner takes which hole,
+// where surplus joiners attach, whether any members are relocated) comes
+// from the batch planner; otherwise the greedy pairing above is applied
+// verbatim. Either way the plan is a deterministic function of the tree
+// shape and the batch, so payload bytes replay identically.
 func (t *Tree) Rekey(b Batch) (*Payload, error) {
 	if err := t.validateBatch(b); err != nil {
 		return nil, err
 	}
+	var plan Plan
+	if t.planner != nil {
+		plan = t.planner.plan(t, b)
+	} else {
+		plan = greedyPlan(b)
+	}
+	return t.applyPlan(b, plan)
+}
+
+// validatePlan checks a plan is a well-formed placement of the batch:
+// every joiner placed exactly once, every hole consumed exactly once
+// (filled, removed, or given to a move), and movers are current members
+// outside the batch.
+func (t *Tree) validatePlan(b Batch, p Plan) error {
+	holes := make(map[MemberID]bool, len(b.Leaves))
+	for _, m := range b.Leaves {
+		holes[m] = false
+	}
+	joiners := make(map[MemberID]bool, len(b.Joins))
+	for _, m := range b.Joins {
+		joiners[m] = false
+	}
+	takeHole := func(m MemberID) error {
+		used, ok := holes[m]
+		if !ok {
+			return fmt.Errorf("%w: plan references non-hole %d", ErrInvalidPlan, m)
+		}
+		if used {
+			return fmt.Errorf("%w: hole %d assigned twice", ErrInvalidPlan, m)
+		}
+		holes[m] = true
+		return nil
+	}
+	takeJoiner := func(m MemberID) error {
+		used, ok := joiners[m]
+		if !ok {
+			return fmt.Errorf("%w: plan places non-joiner %d", ErrInvalidPlan, m)
+		}
+		if used {
+			return fmt.Errorf("%w: joiner %d placed twice", ErrInvalidPlan, m)
+		}
+		joiners[m] = true
+		return nil
+	}
+	for _, f := range p.Fills {
+		if err := takeHole(f.Hole); err != nil {
+			return err
+		}
+		if err := takeJoiner(f.Joiner); err != nil {
+			return err
+		}
+	}
+	for _, m := range p.Removals {
+		if err := takeHole(m); err != nil {
+			return err
+		}
+	}
+	moved := make(map[MemberID]bool, len(p.Moves))
+	for _, mv := range p.Moves {
+		if err := takeHole(mv.Hole); err != nil {
+			return err
+		}
+		if !t.Contains(mv.Member) {
+			return fmt.Errorf("%w: move of unknown member %d", ErrInvalidPlan, mv.Member)
+		}
+		if _, inBatch := holes[mv.Member]; inBatch {
+			return fmt.Errorf("%w: move of departing member %d", ErrInvalidPlan, mv.Member)
+		}
+		if _, inBatch := joiners[mv.Member]; inBatch {
+			return fmt.Errorf("%w: move of joining member %d", ErrInvalidPlan, mv.Member)
+		}
+		if moved[mv.Member] {
+			return fmt.Errorf("%w: member %d moved twice", ErrInvalidPlan, mv.Member)
+		}
+		moved[mv.Member] = true
+	}
+	for _, g := range p.Grows {
+		if err := takeJoiner(g.Joiner); err != nil {
+			return err
+		}
+	}
+	for m, used := range holes {
+		if !used {
+			return fmt.Errorf("%w: hole %d never consumed", ErrInvalidPlan, m)
+		}
+	}
+	for m, used := range joiners {
+		if !used {
+			return fmt.Errorf("%w: joiner %d never placed", ErrInvalidPlan, m)
+		}
+	}
+	return nil
+}
+
+// applyPlan executes a validated placement through the historical rekey
+// phases. Fills, removals, moves, and grows run in plan order, so when the
+// plan is greedyPlan(b) the entropy draws — and therefore the payload
+// bytes — are identical to the pre-planner implementation.
+func (t *Tree) applyPlan(b Batch, plan Plan) (*Payload, error) {
+	if err := t.validatePlan(b, plan); err != nil {
+		return nil, err
+	}
 
 	dirty := make(map[*Node]*dirtyInfo)
-	joiners := make(map[MemberID]bool, len(b.Joins))
+	joiners := make(map[MemberID]bool, len(b.Joins)+len(plan.Moves))
 	for _, m := range b.Joins {
 		joiners[m] = true
 	}
@@ -153,25 +267,24 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 		}
 	}
 
-	// Phase 1: replacements — joiners take the leaf slots of departures.
-	pairs := min(len(b.Joins), len(b.Leaves))
-	for i := 0; i < pairs; i++ {
-		leaf := t.leaves[b.Leaves[i]]
-		delete(t.leaves, b.Leaves[i])
+	// Phase 1: fills — joiners take the chosen departure holes.
+	for _, f := range plan.Fills {
+		leaf := t.leaves[f.Hole]
+		delete(t.leaves, f.Hole)
 		fresh, err := t.freshKey()
 		if err != nil {
 			return nil, err
 		}
 		leaf.key = fresh
-		leaf.member = b.Joins[i]
-		t.leaves[b.Joins[i]] = leaf
+		leaf.member = f.Joiner
+		t.leaves[f.Joiner] = leaf
 		mark(leaf.parent, true)
 		t.stats.Joins++
 		t.stats.Departures++
 	}
 
 	// Phase 2: surplus departures shrink the tree.
-	for _, m := range b.Leaves[pairs:] {
+	for _, m := range plan.Removals {
 		anc, err := t.removeLeaf(m)
 		if err != nil {
 			return nil, err // unreachable: validated above
@@ -180,9 +293,75 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 		t.stats.Departures++
 	}
 
-	// Phase 3: surplus joins grow the tree.
-	for _, m := range b.Joins[pairs:] {
-		leaf, created, err := t.insertLeafTracked(m)
+	// Phase 2b: rebalance moves — an existing member relocates into a
+	// hole that would otherwise be removed. The mover's old path is a
+	// departure (it must not keep decrypting its old subtree's updates),
+	// the hole gets a fresh leaf key, and the mover is folded into the
+	// joiner set so it receives its new path as JoinerWrap items, chained
+	// off a LeafRefresh bridge emitted after the payload.
+	type bridge struct {
+		member MemberID
+		oldKey keycrypt.Key
+		leaf   *Node
+	}
+	var bridges []bridge
+	for _, mv := range plan.Moves {
+		oldKey := t.leaves[mv.Member].key
+		anc, err := t.removeLeaf(mv.Member)
+		if err != nil {
+			return nil, err // unreachable: validated above
+		}
+		mark(anc, true)
+		leaf := t.leaves[mv.Hole]
+		delete(t.leaves, mv.Hole)
+		fresh, err := t.freshKey()
+		if err != nil {
+			return nil, err
+		}
+		leaf.key = fresh
+		leaf.member = mv.Member
+		t.leaves[mv.Member] = leaf
+		mark(leaf.parent, true)
+		joiners[mv.Member] = true
+		bridges = append(bridges, bridge{member: mv.Member, oldKey: oldKey, leaf: leaf})
+		t.stats.Departures++ // the hole's former occupant departs
+		t.plannerStats.Moves++
+	}
+
+	// Phase 3: surplus joins grow the tree, at the planned anchors or by
+	// least-leaves descent.
+	var byKeyID map[keycrypt.KeyID]*Node
+	grown := make([]Growth, 0, len(plan.Grows))
+	for _, g := range plan.Grows {
+		if g.Anchor != 0 {
+			if byKeyID == nil {
+				byKeyID = make(map[keycrypt.KeyID]*Node)
+				walk(t.root, func(n *Node) {
+					if !n.IsLeaf() {
+						byKeyID[n.key.ID] = n
+					}
+				})
+			}
+			anchor := byKeyID[g.Anchor]
+			if anchor == nil || !t.attached(anchor) || len(anchor.children) >= t.degree {
+				return nil, fmt.Errorf("%w: anchor %v unusable for joiner %d", ErrInvalidPlan, g.Anchor, g.Joiner)
+			}
+			fresh, err := t.freshKey()
+			if err != nil {
+				return nil, err
+			}
+			leaf := &Node{key: fresh, parent: anchor, member: g.Joiner, leaves: 1}
+			anchor.children = append(anchor.children, leaf)
+			for p := anchor; p != nil; p = p.parent {
+				p.leaves++
+			}
+			t.leaves[g.Joiner] = leaf
+			mark(anchor, false)
+			t.stats.Joins++
+			grown = append(grown, Growth{Joiner: g.Joiner, Anchor: anchor.key.ID})
+			continue
+		}
+		leaf, created, err := t.insertLeafTracked(g.Joiner)
 		if err != nil {
 			return nil, err
 		}
@@ -193,6 +372,11 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 			mark(leaf.parent, false)
 		}
 		t.stats.Joins++
+		var parentID keycrypt.KeyID
+		if leaf.parent != nil {
+			parentID = leaf.parent.key.ID
+		}
+		grown = append(grown, Growth{Joiner: g.Joiner, Anchor: parentID})
 	}
 
 	// Prune dirty entries for nodes spliced out of the tree by removals.
@@ -231,6 +415,33 @@ func (t *Tree) Rekey(b Batch) (*Payload, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	// Bridge items: each mover's fresh leaf key wrapped under its previous
+	// leaf key, unlocking the mover's JoinerWrap path chain. Emitted after
+	// both emitters' draws, in mover-ID order, so payload bytes stay
+	// identical across emitters and worker counts.
+	sort.Slice(bridges, func(i, j int) bool { return bridges[i].member < bridges[j].member })
+	for _, br := range bridges {
+		w, err := t.wrapper.Wrap(br.leaf.key, br.oldKey, t.gen.Rand)
+		if err != nil {
+			return nil, fmt.Errorf("keytree: wrapping move bridge for member %d: %w", br.member, err)
+		}
+		p.JoinerItems = append(p.JoinerItems, Item{
+			Wrapped:   w,
+			Kind:      LeafRefresh,
+			Level:     br.leaf.Depth(),
+			Receivers: []MemberID{br.member},
+		})
+	}
+
+	p.Placement = Placement{
+		Fills:          plan.Fills,
+		Removed:        plan.Removals,
+		Grown:          grown,
+		Moves:          plan.Moves,
+		Planned:        plan.Planned,
+		PredictedWraps: plan.PredictedWraps,
 	}
 
 	t.stats.KeysWrapped += p.TotalKeyCount()

@@ -38,6 +38,7 @@ var (
 	ErrEmptyTree        = errors.New("keytree: tree is empty")
 	ErrBatchConflict    = errors.New("keytree: member appears in conflicting batch operations")
 	ErrExhaustedEntropy = errors.New("keytree: key generation failed")
+	ErrInvalidPlan      = errors.New("keytree: placement plan does not cover the batch")
 )
 
 // Node is one key slot in the hierarchy. Interior nodes hold auxiliary keys;
@@ -92,6 +93,11 @@ type Tree struct {
 	wrapWorkers int
 	legacyRekey bool
 
+	// planner, when set, chooses each batch's placement (see planner.go);
+	// nil applies the greedy pairing.
+	planner      *planner
+	plannerStats PlannerStats
+
 	// stats accumulated across the tree's lifetime.
 	stats Stats
 }
@@ -143,6 +149,69 @@ func WithWrapWorkers(n int) Option {
 // measures the engine's speedup against it.
 func WithLegacyRekey() Option {
 	return func(t *Tree) { t.legacyRekey = true }
+}
+
+// WithPlanner enables the batch placement planner (see planner.go): each
+// Rekey enumerates candidate hole assignments, insertion anchors, and
+// rebalance moves, and applies the one minimizing realized wraps plus the
+// marginal ExpectedRekeyCost, with the greedy pairing as fallback.
+// Planning is deterministic given the tree shape and batch, so replayed
+// logs rebuild byte-identical payloads.
+func WithPlanner(cfg PlannerConfig) Option {
+	return func(t *Tree) { t.planner = &planner{cfg: cfg.normalized()} }
+}
+
+// PlannerStats counts the batch placement planner's lifetime activity.
+type PlannerStats struct {
+	// Enabled reports whether the tree runs the planner at all.
+	Enabled bool
+	// PlannedBatches counts batches where a non-greedy plan won.
+	PlannedBatches int
+	// GreedyFallbacks counts batches the planner evaluated but kept the
+	// greedy plan (dominance guard or scoring).
+	GreedyFallbacks int
+	// Moves counts amortized rebalance relocations executed.
+	Moves int
+	// SavedWraps accumulates the simulated multicast wraps saved versus
+	// the greedy baseline across all planned batches.
+	SavedWraps int
+}
+
+// Add merges two counters (multi-tree schemes aggregate across trees).
+func (s PlannerStats) Add(o PlannerStats) PlannerStats {
+	return PlannerStats{
+		Enabled:         s.Enabled || o.Enabled,
+		PlannedBatches:  s.PlannedBatches + o.PlannedBatches,
+		GreedyFallbacks: s.GreedyFallbacks + o.GreedyFallbacks,
+		Moves:           s.Moves + o.Moves,
+		SavedWraps:      s.SavedWraps + o.SavedWraps,
+	}
+}
+
+// PlannerStats returns the planner's lifetime counters.
+func (t *Tree) PlannerStats() PlannerStats {
+	s := t.plannerStats
+	s.Enabled = t.planner != nil
+	return s
+}
+
+// PlannerEnabled reports whether the batch placement planner is active.
+func (t *Tree) PlannerEnabled() bool { return t.planner != nil }
+
+// TunePlanner updates the planner's churn hint — the departure count l
+// that ExpectedRekeyCost scoring assumes — from a live churn estimate
+// (l ≤ 0 restores per-batch derivation). No-op without WithPlanner.
+// Because the hint changes payload-affecting decisions, durable
+// deployments must only tune it through configuration that replays with
+// the log, never from runtime estimates.
+func (t *Tree) TunePlanner(churnHint int) {
+	if t.planner == nil {
+		return
+	}
+	if churnHint < 0 {
+		churnHint = 0
+	}
+	t.planner.cfg.ChurnHint = churnHint
 }
 
 // New creates an empty key tree of the given degree (fan-out d ≥ 2).

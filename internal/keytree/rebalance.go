@@ -1,0 +1,74 @@
+package keytree
+
+import (
+	"groupkey/internal/analytic"
+)
+
+// This file provides the balanced-cost bound the rebalancer compares the
+// live tree against. A tree whose ExpectedRekeyCost sits at the bound is
+// as cheap as any d-ary shape over the same membership can be (up to the
+// near-equal split rounding); drift above the bound is structure the
+// planner's amortized moves can claw back.
+
+// BalancedRekeyCost returns the ExpectedRekeyCost of an ideally balanced
+// d-ary tree over n members for a batch of l random departures: every
+// node splits its leaves as evenly as possible among min(d, leaves)
+// children, which is the shape the greedy least-leaves insertion policy
+// converges to under join-only growth. Subtree costs depend only on the
+// subtree's leaf count, so the recursion memoizes on it.
+func BalancedRekeyCost(n, d, l int) float64 {
+	if n <= 1 || l <= 0 || d < 2 {
+		return 0
+	}
+	nf := float64(n)
+	lf := float64(l)
+	if lf > nf {
+		lf = nf
+	}
+	memo := make(map[int]float64)
+	var sub func(s int) float64
+	sub = func(s int) float64 {
+		if s <= 1 {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		k := d
+		if s < k {
+			k = s
+		}
+		pUpdate := 1 - analytic.ChooseRatio(nf, float64(s), lf)
+		q, r := s/k, s%k
+		total := 0.0
+		for i := 0; i < k; i++ {
+			cs := q
+			if i < r {
+				cs++
+			}
+			contribution := pUpdate - analytic.AllChosenProb(nf, float64(cs), lf)
+			if contribution > 0 {
+				total += contribution
+			}
+			total += sub(cs)
+		}
+		memo[s] = total
+		return total
+	}
+	return sub(n)
+}
+
+// CostDrift reports how far the tree's expected rekey cost has drifted
+// above the balanced bound for churn l: 1 means the shape is as cheap as
+// a balanced tree, larger values mean structural debt. Degenerate trees
+// (≤ 1 member) report 1.
+func (t *Tree) CostDrift(l int) float64 {
+	if t.root == nil || t.Size() <= 1 {
+		return 1
+	}
+	bal := BalancedRekeyCost(t.Size(), t.degree, l)
+	if bal <= 0 {
+		return 1
+	}
+	return t.ExpectedRekeyCost(l) / bal
+}

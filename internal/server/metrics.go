@@ -332,6 +332,27 @@ func (m *Metrics) noteRekey(scheme core.Scheme, r *core.Rekey, joins, leaves, by
 		m.reg.Gauge("groupkey_partition_members",
 			"Current members per scheme partition.", partLabels...).Set(float64(p.Size))
 	}
+	// Planner gauges are registered lazily, only when the scheme actually
+	// runs the batch placement planner; like the partition gauges they stay
+	// on the owning bundle.
+	if st.Planner.Enabled {
+		var plLabels []metrics.Label
+		if m.group != "" {
+			plLabels = append(plLabels, metrics.Label{Name: "group", Value: m.group})
+		}
+		m.reg.Gauge("groupkey_planner_batches_planned_total",
+			"Batches where a non-greedy placement plan won.", plLabels...).
+			Set(float64(st.Planner.PlannedBatches))
+		m.reg.Gauge("groupkey_planner_greedy_fallbacks_total",
+			"Batches the planner evaluated but kept the greedy plan.", plLabels...).
+			Set(float64(st.Planner.GreedyFallbacks))
+		m.reg.Gauge("groupkey_planner_moves_total",
+			"Amortized rebalance relocations executed.", plLabels...).
+			Set(float64(st.Planner.Moves))
+		m.reg.Gauge("groupkey_planner_saved_wraps_total",
+			"Simulated multicast wraps saved versus the greedy baseline.", plLabels...).
+			Set(float64(st.Planner.SavedWraps))
+	}
 	if m.tracer != nil {
 		m.tracer.Record(metrics.RekeyEvent{
 			Time:            now,

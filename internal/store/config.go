@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"groupkey/internal/core"
+	"groupkey/internal/keytree"
 )
 
 // SchemeKind identifies a scheme construction in the WAL's create record.
@@ -58,6 +59,12 @@ type SchemeConfig struct {
 	Trees int
 	// LossBounds are the ascending class bounds for SchemeLossHomog.
 	LossBounds []float64
+	// Planner enables the cost-optimal batch placement planner on every
+	// key tree (core.WithPlanner with default parameters). It lives in the
+	// create record because planning changes which payloads a batch
+	// produces: recovery must replay with the same setting or the rebuilt
+	// state diverges from the log.
+	Planner bool
 }
 
 // ParseSchemeConfig maps a -scheme flag value (plus the -k period) to a
@@ -88,6 +95,9 @@ func (c SchemeConfig) Build(opts ...core.Option) (core.Scheme, error) {
 	if c.Degree > 0 {
 		all = append(all, core.WithDegree(c.Degree))
 	}
+	if c.Planner {
+		all = append(all, core.WithPlanner(keytree.PlannerConfig{}))
+	}
 	all = append(all, opts...)
 	switch c.Kind {
 	case SchemeOneTree:
@@ -109,11 +119,24 @@ func (c SchemeConfig) Build(opts ...core.Option) (core.Scheme, error) {
 	}
 }
 
+// restoreOptions returns the extra core options a snapshot restore needs
+// to reproduce construction settings the scheme blob itself does not
+// carry (currently the batch placement planner). Nil-safe: an unknown
+// config contributes nothing.
+func (c *SchemeConfig) restoreOptions() []core.Option {
+	if c == nil || !c.Planner {
+		return nil
+	}
+	return []core.Option{core.WithPlanner(keytree.PlannerConfig{})}
+}
+
 func errBadConfig(k SchemeKind) error {
 	return fmt.Errorf("unknown scheme kind %d", uint8(k))
 }
 
-// encode serializes the config for the create record.
+// encode serializes the config for the create record. The planner flag
+// is a trailing byte so pre-planner logs (which end right after the
+// bounds) still decode.
 func (c SchemeConfig) encode() []byte {
 	out := []byte{byte(c.Kind)}
 	out = binary.BigEndian.AppendUint32(out, uint32(c.Degree))
@@ -123,10 +146,17 @@ func (c SchemeConfig) encode() []byte {
 	for _, b := range c.LossBounds {
 		out = binary.BigEndian.AppendUint64(out, math.Float64bits(b))
 	}
+	if c.Planner {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
 	return out
 }
 
-// decodeSchemeConfig parses a create-record payload.
+// decodeSchemeConfig parses a create-record payload. Records written
+// before the planner flag existed end immediately after the bounds;
+// they decode with Planner false.
 func decodeSchemeConfig(b []byte) (SchemeConfig, error) {
 	var c SchemeConfig
 	if len(b) < 1+4+8+4+4 {
@@ -138,7 +168,11 @@ func decodeSchemeConfig(b []byte) (SchemeConfig, error) {
 	c.Trees = int(binary.BigEndian.Uint32(b[13:17]))
 	n := int(binary.BigEndian.Uint32(b[17:21]))
 	rest := b[21:]
-	if len(rest) != 8*n {
+	switch len(rest) {
+	case 8 * n:
+	case 8*n + 1:
+		c.Planner = rest[8*n] != 0
+	default:
 		return c, fmt.Errorf("store: create record bounds length mismatch")
 	}
 	for i := 0; i < n; i++ {

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestSchemeConfigRoundTrip encodes and decodes every field combination
+// the create record can carry, planner flag included.
+func TestSchemeConfigRoundTrip(t *testing.T) {
+	cases := []SchemeConfig{
+		{Kind: SchemeOneTree},
+		{Kind: SchemeOneTree, Planner: true},
+		{Kind: SchemeNaive, Degree: 8},
+		{Kind: SchemeTT, SPeriodK: 7, Planner: true},
+		{Kind: SchemeQT, SPeriodK: 1},
+		{Kind: SchemeLossHomog, LossBounds: []float64{0.01, 0.2}, Planner: true},
+		{Kind: SchemeRandomMultiTree, Trees: 3, Degree: 2},
+	}
+	for _, want := range cases {
+		got, err := decodeSchemeConfig(want.encode())
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip changed the config: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// legacyEncode reproduces the pre-planner create-record layout, which
+// ended immediately after the loss bounds.
+func legacyEncode(c SchemeConfig) []byte {
+	out := []byte{byte(c.Kind)}
+	out = binary.BigEndian.AppendUint32(out, uint32(c.Degree))
+	out = binary.BigEndian.AppendUint64(out, uint64(c.SPeriodK))
+	out = binary.BigEndian.AppendUint32(out, uint32(c.Trees))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.LossBounds)))
+	for _, b := range c.LossBounds {
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(b))
+	}
+	return out
+}
+
+// TestSchemeConfigDecodeLegacy proves logs written before the planner
+// flag existed still decode, with the planner off.
+func TestSchemeConfigDecodeLegacy(t *testing.T) {
+	for _, want := range []SchemeConfig{
+		{Kind: SchemeTT, SPeriodK: 4},
+		{Kind: SchemeLossHomog, LossBounds: []float64{0.05}},
+	} {
+		got, err := decodeSchemeConfig(legacyEncode(want))
+		if err != nil {
+			t.Fatalf("decode legacy(%+v): %v", want, err)
+		}
+		if got.Planner {
+			t.Fatalf("legacy record decoded with planner enabled: %+v", got)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("legacy decode changed the config: got %+v, want %+v", got, want)
+		}
+	}
+
+	// A truncated or padded record still fails loudly.
+	bad := legacyEncode(SchemeConfig{Kind: SchemeOneTree})
+	if _, err := decodeSchemeConfig(append(bad, 0, 0)); err == nil {
+		t.Fatal("over-long record decoded without error")
+	}
+}
+
+// TestSnapshotPlainConfigRoundTrip covers the snapshot container: a
+// version-2 snapshot carries the scheme config (or records its absence),
+// and version-1 files written by earlier builds still decode.
+func TestSnapshotPlainConfigRoundTrip(t *testing.T) {
+	blob := []byte("scheme-state")
+	cfg := &SchemeConfig{Kind: SchemeTT, SPeriodK: 3, Planner: true}
+
+	seq, nextID, gotCfg, gotBlob, err := decodeSnapshotPlain(encodeSnapshotPlain(42, 99, cfg, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || nextID != 99 || !bytes.Equal(gotBlob, blob) {
+		t.Fatalf("header or blob mangled: seq=%d nextID=%d blob=%q", seq, nextID, gotBlob)
+	}
+	if gotCfg == nil || !reflect.DeepEqual(*gotCfg, *cfg) {
+		t.Fatalf("config mangled: %+v", gotCfg)
+	}
+
+	// Unknown config encodes as an empty section and decodes as nil.
+	_, _, gotCfg, gotBlob, err = decodeSnapshotPlain(encodeSnapshotPlain(1, 2, nil, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != nil || !bytes.Equal(gotBlob, blob) {
+		t.Fatalf("nil-config round trip: cfg=%+v blob=%q", gotCfg, gotBlob)
+	}
+
+	// Version-1 layout: no config section at all.
+	legacy := []byte(snapMagic)
+	legacy = binary.BigEndian.AppendUint32(legacy, snapVersionLegacy)
+	legacy = binary.BigEndian.AppendUint64(legacy, 7)
+	legacy = binary.BigEndian.AppendUint64(legacy, 8)
+	legacy = append(legacy, blob...)
+	seq, nextID, gotCfg, gotBlob, err = decodeSnapshotPlain(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || nextID != 8 || gotCfg != nil || !bytes.Equal(gotBlob, blob) {
+		t.Fatalf("legacy decode: seq=%d nextID=%d cfg=%+v blob=%q", seq, nextID, gotCfg, gotBlob)
+	}
+}

@@ -179,6 +179,7 @@ func (s *Store) ReplicaApply(sc core.Scheme, rec Record) (core.Scheme, *core.Rek
 			return nil, nil, 0, fmt.Errorf("store: applying create record: %w", err)
 		}
 		s.hasScheme = true
+		s.cfg = &cfg
 		return sc, nil, 0, nil
 	case recBatch:
 		if sc == nil {
@@ -235,7 +236,10 @@ func (s *Store) InstallSnapshot(seq uint64, nextID keytree.MemberID, blob []byte
 	if !s.recovered {
 		return nil, errors.New("store: InstallSnapshot before Recover")
 	}
-	sc, err := core.RestoreScheme(blob, s.schemeOptions()...)
+	// The shipped blob carries no construction config; the locally known
+	// one (from the streamed create record, or a previous snapshot of this
+	// store) supplies settings the blob cannot, like the placement planner.
+	sc, err := core.RestoreScheme(blob, append(s.schemeOptions(), s.cfg.restoreOptions()...)...)
 	if err != nil {
 		return nil, fmt.Errorf("store: restoring shipped snapshot: %w", err)
 	}
@@ -254,7 +258,7 @@ func (s *Store) InstallSnapshot(seq uint64, nextID keytree.MemberID, blob []byte
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		return nil, err
 	}
-	n, err := writeSnapshotFileFS(s.fs, s.entropy, s.dir, seq, s.master, encodeSnapshotPlain(seq, nextID, blob))
+	n, err := writeSnapshotFileFS(s.fs, s.entropy, s.dir, seq, s.master, encodeSnapshotPlain(seq, nextID, s.cfg, blob))
 	if err != nil {
 		return nil, err
 	}

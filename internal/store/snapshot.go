@@ -21,12 +21,22 @@ import (
 //
 // Sealed layout (keycrypt.Seal framing):
 //
-//	plaintext = magic "GKSN" | version(4) | seq(8) | nextID(8) | scheme blob
+//	plaintext = magic "GKSN" | version(4) | seq(8) | nextID(8)
+//	          | cfgLen(4) | scheme config | scheme blob     (version 2)
+//
+// Version 1 had no config section. The config rides in the snapshot
+// because core scheme blobs deliberately do not serialize construction
+// settings that change payload-affecting behavior (the batch placement
+// planner): once the WAL's create record is compacted away, the snapshot
+// is the only place recovery can learn them from. cfgLen 0 means the
+// config was unknown when the snapshot was written (a replica that
+// installed a shipped snapshot without ever seeing the create record).
 const (
-	snapPrefix  = "snap-"
-	snapSuffix  = ".gks"
-	snapMagic   = "GKSN"
-	snapVersion = 1
+	snapPrefix        = "snap-"
+	snapSuffix        = ".gks"
+	snapMagic         = "GKSN"
+	snapVersion       = 2
+	snapVersionLegacy = 1
 	// snapKeep is how many snapshot generations survive pruning: the
 	// newest plus one fallback in case the newest is torn by a crash
 	// during a later save (the rename is atomic, but belts and braces).
@@ -60,27 +70,56 @@ func snapshotFilesFS(fsys vfs.FS, dir string) ([]string, error) {
 	return out, nil
 }
 
-// encodeSnapshotPlain builds the plaintext to be sealed.
-func encodeSnapshotPlain(seq uint64, nextID keytree.MemberID, blob []byte) []byte {
-	out := make([]byte, 0, 4+4+8+8+len(blob))
+// encodeSnapshotPlain builds the plaintext to be sealed. cfg may be nil
+// when the writing store never learned the scheme's construction config.
+func encodeSnapshotPlain(seq uint64, nextID keytree.MemberID, cfg *SchemeConfig, blob []byte) []byte {
+	var cfgBytes []byte
+	if cfg != nil {
+		cfgBytes = cfg.encode()
+	}
+	out := make([]byte, 0, 4+4+8+8+4+len(cfgBytes)+len(blob))
 	out = append(out, snapMagic...)
 	out = binary.BigEndian.AppendUint32(out, snapVersion)
 	out = binary.BigEndian.AppendUint64(out, seq)
 	out = binary.BigEndian.AppendUint64(out, uint64(nextID))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(cfgBytes)))
+	out = append(out, cfgBytes...)
 	return append(out, blob...)
 }
 
-// decodeSnapshotPlain parses a decrypted snapshot.
-func decodeSnapshotPlain(b []byte) (seq uint64, nextID keytree.MemberID, blob []byte, err error) {
+// decodeSnapshotPlain parses a decrypted snapshot. cfg is nil for
+// version-1 files and for version-2 files written without a known config.
+func decodeSnapshotPlain(b []byte) (seq uint64, nextID keytree.MemberID, cfg *SchemeConfig, blob []byte, err error) {
 	if len(b) < 4+4+8+8 || string(b[:4]) != snapMagic {
-		return 0, 0, nil, fmt.Errorf("store: not a snapshot")
+		return 0, 0, nil, nil, fmt.Errorf("store: not a snapshot")
 	}
-	if v := binary.BigEndian.Uint32(b[4:8]); v != snapVersion {
-		return 0, 0, nil, fmt.Errorf("store: snapshot version %d not supported", v)
-	}
+	v := binary.BigEndian.Uint32(b[4:8])
 	seq = binary.BigEndian.Uint64(b[8:16])
 	nextID = keytree.MemberID(binary.BigEndian.Uint64(b[16:24]))
-	return seq, nextID, b[24:], nil
+	rest := b[24:]
+	switch v {
+	case snapVersionLegacy:
+		return seq, nextID, nil, rest, nil
+	case snapVersion:
+		if len(rest) < 4 {
+			return 0, 0, nil, nil, fmt.Errorf("store: snapshot config section truncated")
+		}
+		n := int(binary.BigEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if n > len(rest) {
+			return 0, 0, nil, nil, fmt.Errorf("store: snapshot config section truncated")
+		}
+		if n > 0 {
+			c, err := decodeSchemeConfig(rest[:n])
+			if err != nil {
+				return 0, 0, nil, nil, err
+			}
+			cfg = &c
+		}
+		return seq, nextID, cfg, rest[n:], nil
+	default:
+		return 0, 0, nil, nil, fmt.Errorf("store: snapshot version %d not supported", v)
+	}
 }
 
 // writeSnapshotFile seals plain under master and lands it atomically:

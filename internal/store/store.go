@@ -89,6 +89,12 @@ type Store struct {
 	snapSeq   uint64 // newest snapshot's record
 	recovered bool
 	hasScheme bool
+	// cfg is the scheme's construction config, learned from Create, a
+	// replayed create record, or a version-2 snapshot. It is embedded in
+	// every snapshot written so payload-affecting construction settings
+	// (the batch placement planner) survive WAL compaction; nil when the
+	// store never learned it.
+	cfg *SchemeConfig
 	// subs is ordered by subscription age: record fan-out must visit
 	// subscribers in a deterministic order under the simulator.
 	subs []*Subscription
@@ -197,15 +203,18 @@ func (s *Store) Recover() (*RecoveryResult, error) {
 		if err != nil {
 			continue
 		}
-		seq, nextID, blob, err := decodeSnapshotPlain(plain)
+		seq, nextID, cfg, blob, err := decodeSnapshotPlain(plain)
 		if err != nil {
 			continue
 		}
-		sc, err := core.RestoreScheme(blob, s.schemeOptions()...)
+		sc, err := core.RestoreScheme(blob, append(s.schemeOptions(), cfg.restoreOptions()...)...)
 		if err != nil {
 			continue
 		}
 		scheme, s.snapSeq, res.SnapshotSeq, res.NextID = sc, seq, seq, nextID
+		if cfg != nil {
+			s.cfg = cfg
+		}
 		break
 	}
 
@@ -268,6 +277,7 @@ func (s *Store) Recover() (*RecoveryResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("store: replaying create record: %w", err)
 			}
+			s.cfg = &cfg
 		case recBatch:
 			if scheme == nil {
 				return nil, fmt.Errorf("store: batch record at seq %d before any scheme", r.seq)
@@ -345,6 +355,7 @@ func (s *Store) Create(cfg SchemeConfig) (core.Scheme, error) {
 		return nil, err
 	}
 	s.hasScheme = true
+	s.cfg = &cfg
 	return sc, nil
 }
 
@@ -439,7 +450,7 @@ func (s *Store) SaveSnapshot(sc core.Scheme, nextID keytree.MemberID) error {
 	if err := s.wal.sync(); err != nil {
 		return err
 	}
-	n, err := writeSnapshotFileFS(s.fs, s.entropy, s.dir, s.seq, s.master, encodeSnapshotPlain(s.seq, nextID, blob))
+	n, err := writeSnapshotFileFS(s.fs, s.entropy, s.dir, s.seq, s.master, encodeSnapshotPlain(s.seq, nextID, s.cfg, blob))
 	if err != nil {
 		return err
 	}

@@ -103,6 +103,11 @@ func schemeConfigs() []SchemeConfig {
 		{Kind: SchemeQT, SPeriodK: 1},
 		{Kind: SchemeLossHomog, LossBounds: []float64{0.05}},
 		{Kind: SchemeRandomMultiTree, Trees: 2},
+		// Planner-enabled variants: replay must reproduce the planner's
+		// placement decisions byte-for-byte, from the WAL and from
+		// snapshots alike.
+		{Kind: SchemeOneTree, Planner: true},
+		{Kind: SchemeTT, SPeriodK: 2, Planner: true},
 	}
 }
 
